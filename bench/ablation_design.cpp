@@ -1,0 +1,132 @@
+// Ablations over the design knobs DESIGN.md calls out:
+//   1. certificate redundancy ρ in the certified dissemination ("vote
+//      small, certify sparse"): delivery rate vs bytes;
+//   2. OWF-SRDS sortition parameter λ: security margin vs certificate size;
+//   3. tree committee size factor: protocol success vs cost.
+#include <cstdio>
+
+#include "ba/runner.hpp"
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "srds/games.hpp"
+#include "srds/owf_srds.hpp"
+#include "tree/comm_tree.hpp"
+
+namespace {
+
+using namespace srds;
+using namespace srds::bench;
+
+void redundancy_ablation() {
+  print_header("Ablation 1: certificate redundancy rho (n=256, beta=0.2, pi_ba/snark)");
+  std::vector<int> widths{8, 12, 18, 18};
+  print_row({"rho", "decided", "max boost bytes", "agreement"}, widths);
+  // Redundancy is plumbed through PiBaConfig; run_ba uses the default (3),
+  // so this ablation drives the config directly via the runner's defaults
+  // at rho=3 and brackets it with direct comparisons below.
+  for (std::size_t rho : {1u, 2u, 3u, 6u}) {
+    BaRunConfig cfg;
+    cfg.n = 256;
+    cfg.beta = 0.2;
+    cfg.seed = 500 + rho;
+    cfg.protocol = BoostProtocol::kPiBaSnark;
+    cfg.certificate_redundancy = rho;
+    auto r = run_ba(cfg);
+    print_row({std::to_string(rho), fmt(100.0 * r.decided_fraction(), 1) + "%",
+               fmt_bytes(static_cast<double>(r.boost_stats.max_bytes_total())),
+               r.agreement ? "yes" : "NO"},
+              widths);
+  }
+  std::printf("Expected: delivery already ~100%% at rho=1 thanks to the PRF round;\n"
+              "bytes grow with rho — rho=3 is belt-and-braces at ~moderate cost.\n");
+}
+
+void lambda_ablation() {
+  print_header("Ablation 2: OWF-SRDS sortition lambda (robustness@t=10% / forgery@<n/3 over 12 trials, n=180)");
+  std::vector<int> widths{10, 16, 16, 18};
+  print_row({"lambda", "robust fails", "forgeries", "aggregate size"}, widths);
+  for (std::size_t lambda : {12u, 24u, 48u, 96u}) {
+    std::size_t robust_fails = 0, forgeries = 0, agg_size = 0;
+    for (std::size_t trial = 0; trial < 12; ++trial) {
+      CommTree tree = make_game_tree(180, 600 + trial);
+      OwfSrdsParams p;
+      p.n_signers = tree.virtual_count();
+      p.expected_signers = lambda;
+      p.backend = BaseSigBackend::kCompact;
+      {
+        OwfSrds scheme(p, 700 + trial);
+        GameConfig cfg;
+        cfg.t = 18;
+        cfg.strategy = AttackStrategy::kWrongMessage;
+        cfg.seed = 800 + trial;
+        auto out = run_robustness_game(scheme, tree, cfg);
+        robust_fails += out.adversary_wins ? 1 : 0;
+      }
+      {
+        OwfSrdsParams fp = p;
+        fp.n_signers = 180;
+        OwfSrds scheme(fp, 900 + trial);
+        GameConfig cfg;
+        cfg.t = 59;
+        cfg.strategy = AttackStrategy::kWrongMessage;
+        cfg.seed = 1000 + trial;
+        forgeries += run_forgery_game(scheme, cfg).adversary_wins ? 1 : 0;
+      }
+    }
+    // Aggregate size sample.
+    OwfSrdsParams p;
+    p.n_signers = 400;
+    p.expected_signers = lambda;
+    p.backend = BaseSigBackend::kCompact;
+    OwfSrds scheme(p, 1100);
+    for (std::size_t i = 0; i < 400; ++i) scheme.keygen(i);
+    scheme.finalize_keys();
+    Bytes m = to_bytes("m");
+    std::vector<Bytes> sigs;
+    for (std::size_t i = 0; i < 400; ++i) {
+      Bytes s = scheme.sign(i, m);
+      if (!s.empty()) sigs.push_back(std::move(s));
+    }
+    agg_size = scheme.aggregate(m, sigs).size();
+    print_row({std::to_string(lambda), std::to_string(robust_fails) + "/12",
+               std::to_string(forgeries) + "/12",
+               fmt_bytes(static_cast<double>(agg_size))},
+              widths);
+  }
+  std::printf("Expected: small lambda leaves no concentration margin (both failure\n"
+              "columns light up); lambda >= 48 is clean; size grows linearly in\n"
+              "lambda — the paper's polylog(n) knob traded against poly(kappa) bytes.\n");
+}
+
+void committee_ablation() {
+  print_header("Ablation 3: tree committee-size factor (n=256, beta=0.2, pi_ba/snark)");
+  std::vector<int> widths{22, 12, 12, 18};
+  print_row({"committee size", "decided", "rounds", "max boost bytes"}, widths);
+  for (double factor : {1.0, 2.0, 3.0}) {
+    BaRunConfig cfg;
+    cfg.n = 256;
+    cfg.beta = 0.2;
+    cfg.seed = 1300;
+    cfg.protocol = BoostProtocol::kPiBaSnark;
+    cfg.committee_factor = factor;
+    auto r = run_ba(cfg);
+    char label[32];
+    std::snprintf(label, sizeof label, "%.0fx log n", 2 * factor);
+    print_row({label, fmt(100.0 * r.decided_fraction(), 1) + "%",
+               std::to_string(r.rounds),
+               fmt_bytes(static_cast<double>(r.boost_stats.max_bytes_total()))},
+              widths);
+  }
+  std::printf("Expected: bigger committees buy corruption margin with a superlinear\n"
+              "byte cost — the paper's log^3 n committees are the asymptotic version\n"
+              "of the same trade.\n");
+}
+
+}  // namespace
+
+int main() {
+  redundancy_ablation();
+  lambda_ablation();
+  committee_ablation();
+  return 0;
+}

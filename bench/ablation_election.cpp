@@ -1,0 +1,82 @@
+// Ablation — why committees must be *elected*, not derived from public
+// setup (the paper's §1.1 "trivialized settings" caveat): against an
+// adversary that corrupts AFTER seeing the public setup, CRS-derived
+// committees are a sitting target (it reads the supreme committee off the
+// CRS and corrupts exactly those parties), while interactively elected
+// committees stay honest-majority because the election randomness does not
+// exist until after the corruption set is fixed.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "tree/comm_tree.hpp"
+#include "tree/election.hpp"
+
+int main() {
+  using namespace srds;
+  using namespace srds::bench;
+
+  const std::size_t n = 192;
+  const double beta = 0.25;
+  const std::size_t budget = static_cast<std::size_t>(beta * n);
+  const std::size_t trials = 10;
+
+  print_header("Ablation: supreme-committee corrupt fraction, setup-aware adversary (n=192, beta=0.25)");
+  std::vector<int> widths{34, 24, 22};
+  print_row({"committee source", "assignment-blind adv", "setup-aware adv"}, widths);
+
+  // --- CRS-derived committees (CommTree seeded from public randomness) ---
+  double crs_blind = 0, crs_aware = 0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    CommTree tree(TreeParams::scaled(n), 40 + trial);
+    const auto& committee = tree.supreme_committee();
+    // Blind adversary: random corruption.
+    Rng rng(90 + trial);
+    std::vector<bool> corrupt(n, false);
+    for (auto idx : rng.subset(n, budget)) corrupt[idx] = true;
+    std::size_t bad = 0;
+    for (PartyId p : committee) bad += corrupt[p] ? 1 : 0;
+    crs_blind += static_cast<double>(bad) / static_cast<double>(committee.size());
+    // Setup-aware adversary: reads the committee off the CRS, corrupts it.
+    std::size_t bad_aware = std::min(budget, committee.size());
+    crs_aware += static_cast<double>(bad_aware) / static_cast<double>(committee.size());
+  }
+
+  // --- interactively elected committees ---
+  double el_blind = 0, el_aware = 0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    Rng rng(140 + trial);
+    std::vector<bool> corrupt(n, false);
+    for (auto idx : rng.subset(n, budget)) corrupt[idx] = true;
+    ElectionParams params;
+    params.final_size = 16;
+    // Both adversaries corrupt *before* the election runs — the setup-aware
+    // one gains nothing because there is no assignment to read yet. (The
+    // same run therefore measures both columns.)
+    auto r = run_committee_election(n, corrupt, params, 990 + trial);
+    el_blind += r.committee_corrupt_fraction;
+    el_aware += r.committee_corrupt_fraction;
+  }
+
+  print_row({"CRS-derived (CommTree seed)", fmt(100.0 * crs_blind / trials, 1) + "%",
+             fmt(100.0 * crs_aware / trials, 1) + "%"},
+            widths);
+  print_row({"interactive election (KSSV-lite)", fmt(100.0 * el_blind / trials, 1) + "%",
+             fmt(100.0 * el_aware / trials, 1) + "%"},
+            widths);
+
+  ElectionParams params;
+  params.final_size = 16;
+  auto cost = run_committee_election(512, std::vector<bool>(512, false), params, 5);
+  std::printf(
+      "\nelection cost at n=512: %zu rounds, max %s per party, locality %zu\n",
+      cost.rounds, fmt_bytes(static_cast<double>(cost.stats.max_bytes_total())).c_str(),
+      cost.stats.max_locality());
+  std::printf(
+      "\nExpected shape: the setup-aware column hits 100%% (committee > corruption\n"
+      "budget notwithstanding) for CRS-derived committees — full compromise — but\n"
+      "stays near beta for elected committees. This is why f_ae-comm must be\n"
+      "realized interactively (paper §1.1) and why this repository evaluates the\n"
+      "CRS-seeded tree only under assignment-independent corruption.\n");
+  return 0;
+}

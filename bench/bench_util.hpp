@@ -1,0 +1,58 @@
+// Shared helpers for the experiment binaries: fixed-width table printing
+// and log-log slope estimation for the scaling figures.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace srds::bench {
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_row(const std::vector<std::string>& cells,
+                      const std::vector<int>& widths) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::printf("%-*s", widths[i], cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string fmt_bytes(double b) {
+  char buf[32];
+  if (b >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof buf, "%.1f MiB", b / (1024.0 * 1024.0));
+  } else if (b >= 1024.0) {
+    std::snprintf(buf, sizeof buf, "%.1f KiB", b / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f B", b);
+  }
+  return buf;
+}
+
+inline std::string fmt(double v, int prec = 2) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+/// Least-squares slope of log(y) against log(x): the growth exponent.
+/// (Slope ~1 = linear, ~0.5 = sqrt, ~0 = polylog-flat.)
+inline double loglog_slope(const std::vector<double>& xs, const std::vector<double>& ys) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t n = xs.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    double lx = std::log(xs[i]), ly = std::log(ys[i] > 0 ? ys[i] : 1.0);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  double denom = static_cast<double>(n) * sxx - sx * sx;
+  return denom == 0 ? 0 : (static_cast<double>(n) * sxy - sx * sy) / denom;
+}
+
+}  // namespace srds::bench

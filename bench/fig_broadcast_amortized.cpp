@@ -1,0 +1,58 @@
+// Experiment "Cor 1.2(1)" — the broadcast-service corollary: ℓ one-bit
+// broadcasts over one shared tree/PKI cost ℓ · polylog(n) · poly(κ) bits
+// per party; the per-broadcast cost is flat in ℓ (no amortization debt) and
+// polylog in n.
+#include <cstdio>
+
+#include "ba/runner.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace srds;
+  using namespace srds::bench;
+
+  print_header("Cor 1.2(1): max per-party bytes for ell broadcasts (n=256, beta=0.1)");
+  std::vector<int> widths{8, 18, 22, 12};
+  print_row({"ell", "max bytes/party", "per-broadcast", "delivered"}, widths);
+
+  for (std::size_t ell : {1u, 2u, 4u, 8u, 16u}) {
+    BroadcastRunConfig cfg;
+    cfg.n = 256;
+    cfg.ell = ell;
+    cfg.beta = 0.1;
+    cfg.seed = 77;
+    auto r = run_broadcast_service(cfg);
+    double total = static_cast<double>(r.stats.max_bytes_total());
+    print_row({std::to_string(ell), fmt_bytes(total),
+               fmt_bytes(total / static_cast<double>(ell)),
+               fmt(100.0 * static_cast<double>(r.delivered) /
+                       static_cast<double>(r.possible),
+                   1) +
+                   "%"},
+              widths);
+  }
+
+  print_header("Per-broadcast cost vs n (ell=4, beta=0.1)");
+  std::vector<int> w2{8, 22};
+  print_row({"n", "per-broadcast/party"}, w2);
+  std::vector<double> xs, ys;
+  for (std::size_t n : {128u, 256u, 512u, 1024u}) {
+    BroadcastRunConfig cfg;
+    cfg.n = n;
+    cfg.ell = 4;
+    cfg.beta = 0.1;
+    cfg.seed = 78;
+    auto r = run_broadcast_service(cfg);
+    double per = static_cast<double>(r.stats.max_bytes_total()) / 4.0;
+    xs.push_back(static_cast<double>(n));
+    ys.push_back(per);
+    print_row({std::to_string(n), fmt_bytes(per)}, w2);
+  }
+  std::printf(
+      "\ngrowth exponent in n: %.2f\n"
+      "(expected: polylogarithmic — the committee Dolev-Strong/coin-toss factors\n"
+      "are ~log^4 n, which fits as an exponent ~0.4-0.5 over this small range;\n"
+      "contrast with exponent 1.0 for a naive Θ(n)-per-party broadcast flood)\n",
+      loglog_slope(xs, ys));
+  return 0;
+}

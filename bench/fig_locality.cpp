@@ -1,0 +1,60 @@
+// Experiment "Fig B" — communication locality (max distinct peers any
+// single party exchanges messages with) against n. The paper's protocol
+// establishes a polylog(n)-degree communication graph; the Θ(n) boosters
+// and the star protocol touch (almost) everyone.
+#include <cstdio>
+
+#include "ba/runner.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace srds;
+  using namespace srds::bench;
+
+  const std::vector<std::size_t> sizes{64, 128, 256, 512, 1024, 2048};
+  const std::vector<std::pair<BoostProtocol, const char*>> protocols{
+      {BoostProtocol::kNaive, "naive"},
+      {BoostProtocol::kStar, "acd19-star"},
+      {BoostProtocol::kSampling, "ks11-sampling"},
+      {BoostProtocol::kPiBaSnark, "pi_ba/snark"},
+      {BoostProtocol::kPiBaOwf, "pi_ba/owf"},
+  };
+
+  print_header("Fig B: boost-phase communication locality (max distinct peers) vs n  [beta=0.2]");
+  std::vector<int> widths{16};
+  std::vector<std::string> head{"protocol"};
+  for (auto n : sizes) {
+    head.push_back("n=" + std::to_string(n));
+    widths.push_back(10);
+  }
+  head.push_back("slope");
+  widths.push_back(8);
+  print_row(head, widths);
+
+  for (auto [proto, label] : protocols) {
+    std::vector<std::string> cells{label};
+    std::vector<double> xs, ys;
+    for (auto n : sizes) {
+      BaRunConfig cfg;
+      cfg.n = n;
+      cfg.beta = 0.2;
+      cfg.seed = 202;
+      cfg.protocol = proto;
+      auto r = run_ba(cfg);
+      xs.push_back(static_cast<double>(n));
+      ys.push_back(static_cast<double>(r.boost_stats.max_locality()));
+      cells.push_back(std::to_string(r.boost_stats.max_locality()));
+    }
+    cells.push_back(fmt(loglog_slope(xs, ys), 2));
+    print_row(cells, widths);
+  }
+
+  std::printf(
+      "\nExpected shape: naive and star pin locality at n-1 (slope ~1); sampling\n"
+      "grows like sqrt(n)*log(n). The pi_ba rows stay a constant factor below\n"
+      "the full graph and grow with the scaled committee sizes (~2 log n), so\n"
+      "their fitted exponent over this small range overstates the asymptotic\n"
+      "polylog: log n itself doubles across the sweep. At n=2048 a pi_ba party\n"
+      "touches ~2.5x fewer peers than naive; the gap widens with n.\n");
+  return 0;
+}

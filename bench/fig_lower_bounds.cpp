@@ -1,0 +1,70 @@
+// Experiments "LB-1" / "LB-2" — the isolation attacks behind Theorems 1.3
+// and 1.4, swept over n: single-round catch-up of an isolated party with
+// o(n) messages per party fails without private setup (CRS-only), fails
+// with plain signatures, succeeds with an SRDS certificate, and fails again
+// if one-way functions are invertible.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "lb/isolation.hpp"
+
+int main() {
+  using namespace srds;
+  using namespace srds::bench;
+
+  const std::vector<std::size_t> sizes{128, 256, 512, 1024, 2048};
+  const std::size_t trials = 10;
+  const std::vector<BoostSetup> setups{
+      BoostSetup::kCrsOnly,
+      BoostSetup::kPkiPlainSigs,
+      BoostSetup::kPkiSrds,
+      BoostSetup::kPkiSrdsInvertedKeys,
+  };
+
+  print_header("LB-1/LB-2: isolated-party fooling rate, single round, fanout=log^2(n)/2, t=n/4");
+  std::vector<int> widths{26};
+  std::vector<std::string> head{"setup"};
+  for (auto n : sizes) {
+    head.push_back("n=" + std::to_string(n));
+    widths.push_back(10);
+  }
+  print_row(head, widths);
+
+  for (auto setup : setups) {
+    std::vector<std::string> cells{setup_name(setup)};
+    for (auto n : sizes) {
+      std::size_t fooled = 0;
+      for (std::size_t trial = 0; trial < trials; ++trial) {
+        IsolationConfig cfg;
+        cfg.n = n;
+        cfg.t = n / 4;
+        cfg.seed = 100 * n + trial;
+        fooled += run_isolation_attack(setup, cfg).target_fooled ? 1 : 0;
+      }
+      cells.push_back(fmt(100.0 * static_cast<double>(fooled) / trials, 0) + "%");
+    }
+    print_row(cells, widths);
+  }
+
+  print_header("Support detail at n=1024 (one trial)");
+  std::vector<int> w2{26, 18, 18};
+  print_row({"setup", "honest support", "forged support"}, w2);
+  for (auto setup : setups) {
+    IsolationConfig cfg;
+    cfg.n = 1024;
+    cfg.t = 256;
+    cfg.seed = 9;
+    auto out = run_isolation_attack(setup, cfg);
+    print_row({setup_name(setup), std::to_string(out.honest_support),
+               std::to_string(out.forged_support)},
+              w2);
+  }
+
+  std::printf(
+      "\nExpected shape: 100%% fooling for crs-only and pki-plain-signatures\n"
+      "(Theorem 1.3: the Θ(n) adversary outvotes the polylog honest in-degree,\n"
+      "with the gap widening in n), 0%% for pki-srds-certificate (what π_ba\n"
+      "actually runs), and 100%% again for inverted one-way functions\n"
+      "(Theorem 1.4: computational assumptions are necessary).\n");
+  return 0;
+}

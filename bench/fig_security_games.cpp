@@ -1,0 +1,122 @@
+// Experiments "Game R" / "Game F" — the paper's security definitions
+// (Figures 1 and 2) executed as repeated experiments: empirical adversary
+// success rates for a battery of strategies against both SRDS schemes,
+// plus the clairvoyant-corruption ablation that shows why oblivious key
+// generation matters for the OWF construction.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "srds/games.hpp"
+#include "srds/owf_srds.hpp"
+#include "srds/snark_srds.hpp"
+
+namespace {
+
+using namespace srds;
+
+std::unique_ptr<SrdsScheme> make_scheme(bool owf, std::size_t n_signers,
+                                        std::uint64_t seed, std::size_t lambda = 64) {
+  if (owf) {
+    OwfSrdsParams p;
+    p.n_signers = n_signers;
+    p.expected_signers = lambda;
+    p.backend = BaseSigBackend::kCompact;
+    return std::make_unique<OwfSrds>(p, seed);
+  }
+  SnarkSrdsParams p;
+  p.n_signers = n_signers;
+  p.backend = BaseSigBackend::kCompact;
+  return std::make_unique<SnarkSrds>(p, seed);
+}
+
+}  // namespace
+
+int main() {
+  using namespace srds::bench;
+
+  const std::size_t n_parties = 200;
+  const std::size_t trials = 15;
+  const std::vector<std::pair<AttackStrategy, const char*>> strategies{
+      {AttackStrategy::kSilent, "silent"},
+      {AttackStrategy::kGarbage, "garbage"},
+      {AttackStrategy::kWrongMessage, "wrong-message"},
+      {AttackStrategy::kDuplicate, "duplicate-replay"},
+      {AttackStrategy::kBestEffort, "best-effort"},
+  };
+
+  print_header("Game R (Fig. 1): robustness — adversary win rate (must be ~0%), n=200, t=10%");
+  std::vector<int> widths{20, 20, 20};
+  print_row({"strategy", "owf-srds", "snark-srds"}, widths);
+  for (auto [strategy, label] : strategies) {
+    std::vector<std::string> cells{label};
+    for (bool owf : {true, false}) {
+      std::size_t wins = 0;
+      for (std::size_t trial = 0; trial < trials; ++trial) {
+        CommTree tree = make_game_tree(n_parties, 900 + trial);
+        auto scheme = make_scheme(owf, tree.virtual_count(), 1700 + trial);
+        GameConfig cfg;
+        cfg.t = n_parties / 10;
+        cfg.strategy = strategy;
+        cfg.seed = 2600 + trial;
+        wins += run_robustness_game(*scheme, tree, cfg).adversary_wins ? 1 : 0;
+      }
+      cells.push_back(fmt(100.0 * static_cast<double>(wins) / trials, 1) + "%");
+    }
+    print_row(cells, widths);
+  }
+
+  print_header("Game F (Fig. 2): forgery — adversary win rate (must be 0%), |S ∪ I| < n/3");
+  print_row({"strategy", "owf-srds", "snark-srds"}, widths);
+  for (auto [strategy, label] : strategies) {
+    if (strategy == AttackStrategy::kSilent || strategy == AttackStrategy::kBestEffort) {
+      continue;  // meaningless as forgeries
+    }
+    std::vector<std::string> cells{label};
+    for (bool owf : {true, false}) {
+      std::size_t wins = 0;
+      for (std::size_t trial = 0; trial < trials; ++trial) {
+        auto scheme = make_scheme(owf, 180, 3500 + trial);
+        GameConfig cfg;
+        cfg.t = 59;  // maximal corruption below n/3
+        cfg.strategy = strategy;
+        cfg.seed = 4400 + trial;
+        wins += run_forgery_game(*scheme, cfg).adversary_wins ? 1 : 0;
+      }
+      cells.push_back(fmt(100.0 * static_cast<double>(wins) / trials, 1) + "%");
+    }
+    print_row(cells, widths);
+  }
+
+  print_header("Ablation: corruption selector vs OWF-SRDS robustness (t = 20%, lambda = 100)");
+  print_row({"selector", "owf-srds win rate", ""}, widths);
+  for (auto [selector, label] :
+       std::vector<std::pair<CorruptionSelector, const char*>>{
+           {CorruptionSelector::kRandom, "random (model)"},
+           {CorruptionSelector::kClairvoyant, "clairvoyant (broken keygen)"}}) {
+    std::size_t wins = 0;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      // Run at 2x the population: the concentration margins (tree goodness
+      // and sortition) sharpen with n, isolating the selector effect.
+      const std::size_t n_ablation = 2 * n_parties;
+      CommTree tree = make_game_tree(n_ablation, 5200 + trial);
+      auto scheme = make_scheme(true, tree.virtual_count(), 6100 + trial, 100);
+      GameConfig cfg;
+      cfg.t = n_ablation / 5;
+      cfg.strategy = AttackStrategy::kWrongMessage;
+      cfg.selector = selector;
+      cfg.seed = 7000 + trial;
+      wins += run_robustness_game(*scheme, tree, cfg).adversary_wins ? 1 : 0;
+    }
+    print_row({label, fmt(100.0 * static_cast<double>(wins) / trials, 1) + "%", ""},
+              widths);
+  }
+
+  std::printf(
+      "\nExpected shape: ~0%% win rates in both games for every strategy, and a\n"
+      "stark selector contrast in the ablation — the clairvoyant adversary (who\n"
+      "can see sortition outcomes, i.e. a *broken* oblivious keygen) wins almost\n"
+      "always while the model's assignment-blind adversary almost never does.\n"
+      "That gap is why hiding signing ability inside the trusted PKI is\n"
+      "load-bearing for the OWF construction.\n");
+  return 0;
+}

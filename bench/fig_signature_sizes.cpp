@@ -1,0 +1,118 @@
+// Experiment "Fig D" — the §1.2 observation that motivates SRDS: the
+// *effective* size of a verifiable aggregate signature. Multi-signatures
+// aggregate compactly but verification needs the Θ(n)-bit signer set;
+// both SRDS constructions keep everything needed for verification Õ(1).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "crypto/multisig.hpp"
+#include "srds/counting_multisig.hpp"
+#include "srds/owf_srds.hpp"
+#include "srds/snark_srds.hpp"
+
+namespace {
+
+srds::Bytes message() { return srds::to_bytes("block #12345"); }
+
+std::size_t multisig_size(std::size_t n) {
+  using namespace srds;
+  MultisigRegistry reg(n, 1);
+  Bytes m = message();
+  std::vector<std::size_t> signers;
+  std::vector<MultisigTag> tags;
+  for (std::size_t i = 0; i < n; i += 2) {  // half the parties sign
+    signers.push_back(i);
+    tags.push_back(reg.sign(i, m));
+  }
+  return MultisigRegistry::aggregate(n, signers, tags).wire_size();
+}
+
+std::size_t owf_size(std::size_t n, srds::BaseSigBackend backend) {
+  using namespace srds;
+  OwfSrdsParams p;
+  p.n_signers = n;
+  p.expected_signers = 48;
+  p.backend = backend;
+  OwfSrds scheme(p, 2);
+  for (std::size_t i = 0; i < n; ++i) scheme.keygen(i);
+  scheme.finalize_keys();
+  Bytes m = message();
+  std::vector<Bytes> sigs;
+  for (std::size_t i = 0; i < n; ++i) {
+    Bytes s = scheme.sign(i, m);
+    if (!s.empty()) sigs.push_back(std::move(s));
+  }
+  return scheme.aggregate(m, sigs).size();
+}
+
+std::size_t counting_multisig_size(std::size_t n) {
+  using namespace srds;
+  CountingMultisig cms(n, 4);
+  Bytes m = message();
+  std::vector<std::size_t> signers;
+  std::vector<MultisigTag> tags;
+  for (std::size_t i = 0; i < n; i += 2) {
+    signers.push_back(i);
+    tags.push_back(cms.sign(i, m));
+  }
+  auto cert = cms.aggregate(m, signers, tags);
+  return cert.has_value() ? cert->serialize().size() : 0;
+}
+
+std::size_t snark_size(std::size_t n) {
+  using namespace srds;
+  SnarkSrdsParams p;
+  p.n_signers = n;
+  p.backend = BaseSigBackend::kCompact;
+  SnarkSrds scheme(p, 3);
+  for (std::size_t i = 0; i < n; ++i) scheme.keygen(i);
+  scheme.finalize_keys();
+  Bytes m = message();
+  std::vector<Bytes> sigs;
+  for (std::size_t i = 0; i < n; ++i) sigs.push_back(scheme.sign(i, m));
+  return scheme.aggregate(m, sigs).size();
+}
+
+}  // namespace
+
+int main() {
+  using namespace srds;
+  using namespace srds::bench;
+
+  const std::vector<std::size_t> sizes{128, 512, 2048, 8192};
+
+  print_header("Fig D: bytes needed to ship one verifiable aggregate signature vs n");
+  std::vector<int> widths{10, 20, 22, 20, 20, 14};
+  print_row({"n", "multisig (+bitmap)", "owf-srds (wots)", "owf-srds (compact)",
+             "counting-msig", "snark-srds"},
+            widths);
+
+  std::vector<double> xs, ms_ys, snark_ys;
+  for (auto n : sizes) {
+    std::size_t ms = multisig_size(n);
+    std::size_t owf_wots = owf_size(n, BaseSigBackend::kWots);
+    std::size_t owf_c = owf_size(n, BaseSigBackend::kCompact);
+    std::size_t cm = counting_multisig_size(n);
+    std::size_t sn = snark_size(n);
+    xs.push_back(static_cast<double>(n));
+    ms_ys.push_back(static_cast<double>(ms));
+    snark_ys.push_back(static_cast<double>(sn));
+    print_row({std::to_string(n), fmt_bytes(static_cast<double>(ms)),
+               fmt_bytes(static_cast<double>(owf_wots)),
+               fmt_bytes(static_cast<double>(owf_c)),
+               fmt_bytes(static_cast<double>(cm)),
+               fmt_bytes(static_cast<double>(sn))},
+              widths);
+  }
+  std::printf("\nmultisig growth exponent: %.2f   snark-srds growth exponent: %.2f\n",
+              loglog_slope(xs, ms_ys), loglog_slope(xs, snark_ys));
+  std::printf(
+      "Expected shape: the multisig column grows linearly (the signer bitmap);\n"
+      "every other column is flat in n — OWF-SRDS size is set by the polylog\n"
+      "sortition parameter; counting-msig (the paper's SNARG connection) and\n"
+      "SNARK-SRDS are constant-size proofs. The counting-msig column matches\n"
+      "snark-srds in SIZE but cannot be reconstructed incrementally — the\n"
+      "aggregator needs the Θ(n)-bit witness (see counting_multisig.hpp).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Experiment "Fig C" — Def. 2.3 property (4): the fraction of leaves with a
+// good path to the root, against the corruption rate β, for both goodness
+// rules, compared with the paper's asymptotic bound 1 - 3/log n.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "tree/comm_tree.hpp"
+
+int main() {
+  using namespace srds;
+  using namespace srds::bench;
+
+  const std::vector<std::size_t> sizes{256, 1024, 4096};
+  const std::vector<double> betas{0.05, 0.10, 0.15, 0.20, 0.25, 0.30};
+  const std::size_t trials = 20;
+
+  for (auto rule : {GoodnessRule::kOneThird, GoodnessRule::kMajority}) {
+    print_header(std::string("Fig C: good-path leaf fraction (rule: ") +
+                 (rule == GoodnessRule::kOneThird ? "<1/3 corrupt, Def. 2.3"
+                                                  : "<1/2 corrupt, voting") +
+                 ")");
+    std::vector<int> widths{8};
+    std::vector<std::string> head{"n"};
+    for (double b : betas) {
+      head.push_back("b=" + fmt(b, 2));
+      widths.push_back(9);
+    }
+    head.push_back("1-3/log n");
+    widths.push_back(11);
+    head.push_back("root good");
+    widths.push_back(10);
+    print_row(head, widths);
+
+    for (auto n : sizes) {
+      std::vector<std::string> cells{std::to_string(n)};
+      std::size_t root_good_all = 0, runs = 0;
+      for (double beta : betas) {
+        double sum = 0;
+        for (std::size_t trial = 0; trial < trials; ++trial) {
+          CommTree tree(TreeParams::scaled(n), 31337 + trial);
+          Rng rng(777 * n + trial + static_cast<std::size_t>(beta * 100));
+          std::vector<bool> corrupt(n, false);
+          for (auto idx :
+               rng.subset(n, static_cast<std::size_t>(beta * static_cast<double>(n)))) {
+            corrupt[idx] = true;
+          }
+          auto g = tree.analyze(corrupt, rule);
+          sum += g.good_leaf_fraction;
+          root_good_all += g.root_good ? 1 : 0;
+          ++runs;
+        }
+        cells.push_back(fmt(sum / trials, 3));
+      }
+      double bound = 1.0 - 3.0 / std::log2(static_cast<double>(n));
+      cells.push_back(fmt(bound, 3));
+      cells.push_back(fmt(100.0 * static_cast<double>(root_good_all) /
+                              static_cast<double>(runs),
+                          1) +
+                      "%");
+      print_row(cells, widths);
+    }
+  }
+
+  std::printf(
+      "\nExpected shape: under the majority rule the fraction stays near 1 well\n"
+      "past beta=0.25; under the paper's 1/3 rule it matches or beats 1-3/log n\n"
+      "for beta <= 0.15 and degrades gracefully toward beta=1/3 (the scaled\n"
+      "committees are ~2 log n, not log^3 n — see DESIGN.md S5).\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Micro-benchmarks for SRDS operations (google-benchmark): Sign, Aggregate
+// (the Aggregate1/Aggregate2 decomposition), and Verify for both
+// constructions and both base-signature backends, plus the simulated
+// SNARK/PCD prove/verify primitives.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "snark/snark.hpp"
+#include "srds/owf_srds.hpp"
+#include "srds/snark_srds.hpp"
+
+namespace {
+
+using namespace srds;
+
+std::unique_ptr<OwfSrds> owf_scheme(std::size_t n, BaseSigBackend backend) {
+  OwfSrdsParams p;
+  p.n_signers = n;
+  p.expected_signers = 48;
+  p.backend = backend;
+  auto scheme = std::make_unique<OwfSrds>(p, 11);
+  for (std::size_t i = 0; i < n; ++i) scheme->keygen(i);
+  scheme->finalize_keys();
+  return scheme;
+}
+
+std::unique_ptr<SnarkSrds> snark_scheme(std::size_t n, BaseSigBackend backend) {
+  SnarkSrdsParams p;
+  p.n_signers = n;
+  p.backend = backend;
+  auto scheme = std::make_unique<SnarkSrds>(p, 12);
+  for (std::size_t i = 0; i < n; ++i) scheme->keygen(i);
+  scheme->finalize_keys();
+  return scheme;
+}
+
+std::vector<Bytes> all_signatures(SrdsScheme& scheme, const Bytes& m) {
+  std::vector<Bytes> sigs;
+  for (std::size_t i = 0; i < scheme.signer_count(); ++i) {
+    Bytes s = scheme.sign(i, m);
+    if (!s.empty()) sigs.push_back(std::move(s));
+  }
+  return sigs;
+}
+
+template <typename MakeScheme>
+void bench_sign(benchmark::State& state, MakeScheme make) {
+  auto scheme = make();
+  Bytes m = to_bytes("bench");
+  std::size_t signer = 0;
+  // Find a signer that can sign (OWF sortition).
+  while (scheme->sign(signer, m).empty() && signer + 1 < scheme->signer_count()) ++signer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme->sign(signer, m));
+  }
+}
+
+template <typename MakeScheme>
+void bench_aggregate(benchmark::State& state, MakeScheme make) {
+  auto scheme = make();
+  Bytes m = to_bytes("bench");
+  auto sigs = all_signatures(*scheme, m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme->aggregate(m, sigs));
+  }
+  state.counters["base_sigs"] = static_cast<double>(sigs.size());
+}
+
+template <typename MakeScheme>
+void bench_verify(benchmark::State& state, MakeScheme make) {
+  auto scheme = make();
+  Bytes m = to_bytes("bench");
+  Bytes agg = scheme->aggregate(m, all_signatures(*scheme, m));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme->verify(m, agg));
+  }
+  state.counters["sig_bytes"] = static_cast<double>(agg.size());
+}
+
+void BM_OwfSign_Wots(benchmark::State& s) {
+  bench_sign(s, [] { return owf_scheme(512, BaseSigBackend::kWots); });
+}
+void BM_OwfSign_Compact(benchmark::State& s) {
+  bench_sign(s, [] { return owf_scheme(512, BaseSigBackend::kCompact); });
+}
+void BM_OwfAggregate_Compact(benchmark::State& s) {
+  bench_aggregate(s, [] { return owf_scheme(512, BaseSigBackend::kCompact); });
+}
+void BM_OwfVerify_Compact(benchmark::State& s) {
+  bench_verify(s, [] { return owf_scheme(512, BaseSigBackend::kCompact); });
+}
+void BM_OwfVerify_Wots(benchmark::State& s) {
+  bench_verify(s, [] { return owf_scheme(256, BaseSigBackend::kWots); });
+}
+void BM_SnarkSign_Compact(benchmark::State& s) {
+  bench_sign(s, [] { return snark_scheme(512, BaseSigBackend::kCompact); });
+}
+void BM_SnarkAggregate_Compact(benchmark::State& s) {
+  bench_aggregate(s, [] { return snark_scheme(512, BaseSigBackend::kCompact); });
+}
+void BM_SnarkAggregate_Wots(benchmark::State& s) {
+  bench_aggregate(s, [] { return snark_scheme(128, BaseSigBackend::kWots); });
+}
+void BM_SnarkVerify_Compact(benchmark::State& s) {
+  bench_verify(s, [] { return snark_scheme(512, BaseSigBackend::kCompact); });
+}
+
+BENCHMARK(BM_OwfSign_Wots);
+BENCHMARK(BM_OwfSign_Compact);
+BENCHMARK(BM_OwfAggregate_Compact);
+BENCHMARK(BM_OwfVerify_Compact);
+BENCHMARK(BM_OwfVerify_Wots);
+BENCHMARK(BM_SnarkSign_Compact);
+BENCHMARK(BM_SnarkAggregate_Compact);
+BENCHMARK(BM_SnarkAggregate_Wots);
+BENCHMARK(BM_SnarkVerify_Compact);
+
+void BM_PcdProveVerify(benchmark::State& state) {
+  SnarkOracle oracle(13);
+  auto prover = oracle.register_predicate(
+      [](BytesView, BytesView, const std::vector<PriorMessage>&) { return true; });
+  Bytes st = to_bytes("statement");
+  for (auto _ : state) {
+    auto proof = prover.prove(st, {}, {});
+    benchmark::DoNotOptimize(prover.verifier().verify(st, *proof));
+  }
+}
+BENCHMARK(BM_PcdProveVerify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Scenario: blockchain checkpoint certificates.
+//
+// A proof-of-stake network with thousands of validators wants light clients
+// to verify that a majority of validators signed off on a checkpoint block
+// — with a certificate small enough to gossip and embed. This is the
+// paper's §1.2 motivation in miniature:
+//   * a multi-signature is compact but the verifier also needs the Θ(n)-bit
+//     validator bitmap;
+//   * an SRDS certificate carries *everything* a verifier needs in Õ(1)
+//     bytes, and it can be aggregated incrementally by relay committees.
+//
+// The example builds both certificates for a 4096-validator checkpoint and
+// prints what a light client must download.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "crypto/multisig.hpp"
+#include "srds/snark_srds.hpp"
+
+int main() {
+  using namespace srds;
+  const std::size_t n_validators = 4096;
+  const Bytes checkpoint = to_bytes("block 81920 | state root 3fb2...e1 | epoch 640");
+
+  // --- SRDS certificate (this paper) ---
+  SnarkSrdsParams params;
+  params.n_signers = n_validators;
+  params.backend = BaseSigBackend::kCompact;
+  SnarkSrds srds_scheme(params, /*crs_seed=*/99);
+  for (std::size_t v = 0; v < n_validators; ++v) srds_scheme.keygen(v);
+  srds_scheme.finalize_keys();
+
+  // 70% of validators sign; relay committees aggregate in batches of 64,
+  // then one final aggregation — mimicking the tree flow.
+  std::vector<Bytes> batches;
+  std::vector<Bytes> pending;
+  std::size_t signed_count = 0;
+  for (std::size_t v = 0; v < n_validators; ++v) {
+    if (v % 10 < 7) {
+      pending.push_back(srds_scheme.sign(v, checkpoint));
+      ++signed_count;
+    }
+    if (pending.size() == 64 || (v + 1 == n_validators && !pending.empty())) {
+      batches.push_back(srds_scheme.aggregate(checkpoint, pending));
+      pending.clear();
+    }
+  }
+  Bytes certificate = srds_scheme.aggregate(checkpoint, batches);
+
+  bool ok = srds_scheme.verify(checkpoint, certificate);
+  std::printf("validators            : %zu (signed: %zu)\n", n_validators, signed_count);
+  std::printf("srds certificate      : %zu bytes, verifies: %s, covers %llu signatures\n",
+              certificate.size(), ok ? "yes" : "NO",
+              static_cast<unsigned long long>(srds_scheme.base_count(certificate)));
+
+  // --- multi-signature certificate (the status quo) ---
+  MultisigRegistry msig(n_validators, 7);
+  std::vector<std::size_t> signers;
+  std::vector<MultisigTag> tags;
+  for (std::size_t v = 0; v < n_validators; ++v) {
+    if (v % 10 < 7) {
+      signers.push_back(v);
+      tags.push_back(msig.sign(v, checkpoint));
+    }
+  }
+  Multisig ms = MultisigRegistry::aggregate(n_validators, signers, tags);
+  std::printf("multisig certificate  : %zu bytes (48 B tag + %zu B signer bitmap), verifies: %s\n",
+              ms.wire_size(), (n_validators + 7) / 8,
+              msig.verify(checkpoint, ms) ? "yes" : "NO");
+
+  // --- what a light client learns ---
+  std::printf("\nlight-client download : %zu bytes (srds) vs %zu bytes (multisig)\n",
+              certificate.size(), ms.wire_size());
+  std::printf("the srds certificate alone proves a majority signed; the multisig\n"
+              "needs the bitmap — and the gap grows linearly with the validator set.\n");
+
+  // A forged certificate for a conflicting checkpoint must fail.
+  Bytes conflicting = to_bytes("block 81920 | state root deadbeef | epoch 640");
+  std::vector<Bytes> minority;
+  for (std::size_t v = 0; v < n_validators / 10; ++v) {
+    minority.push_back(srds_scheme.sign(v * 10 + 9, conflicting));
+  }
+  Bytes forged = srds_scheme.aggregate(conflicting, minority);
+  std::printf("minority fork cert    : verifies: %s (must be 'NO')\n",
+              (!forged.empty() && srds_scheme.verify(conflicting, forged)) ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

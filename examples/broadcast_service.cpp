@@ -1,0 +1,48 @@
+// Scenario: a broadcast service for a large deployment (Corollary 1.2(1)).
+//
+// A fleet of 512 nodes needs a stream of authenticated one-bit decisions
+// (feature flags, failover votes, epoch bumps) delivered to everyone,
+// Byzantine-fault-tolerantly. Running a fresh quadratic broadcast per
+// decision would melt the network; the paper's tree + SRDS machinery gives
+// ℓ broadcasts for ℓ · polylog(n) bits per node, reusing one setup.
+#include <cstdio>
+
+#include "ba/runner.hpp"
+
+int main() {
+  using namespace srds;
+
+  BroadcastRunConfig config;
+  config.n = 512;
+  config.ell = 6;        // six decisions through the same tree/PKI
+  config.beta = 0.15;    // 15% of the fleet is compromised
+  config.seed = 31415;
+  config.protocol = BoostProtocol::kPiBaSnark;
+
+  std::printf("broadcasting %zu decisions across %zu nodes (%.0f%% Byzantine)...\n",
+              config.ell, config.n, config.beta * 100);
+  auto result = run_broadcast_service(config);
+
+  std::printf("deliveries            : %zu / %zu honest receptions correct\n",
+              result.delivered, result.possible);
+  std::printf("agreement             : %s\n", result.agreement ? "yes" : "NO (bug!)");
+  double max_total = static_cast<double>(result.stats.max_bytes_total());
+  std::printf("max bytes per node    : %.1f KiB total, %.1f KiB per decision\n",
+              max_total / 1024.0, max_total / 1024.0 / static_cast<double>(config.ell));
+  std::printf("max locality          : %zu distinct peers (fleet size %zu)\n",
+              result.stats.max_locality(), config.n);
+
+  // Honest framing: at this fleet size the polylog committee machinery has
+  // chunky constants (the supreme committee's Dolev-Strong rounds dominate),
+  // so a naive Θ(n)-per-node flood (~64 B x n) is still cheaper in absolute
+  // bytes. The committee cost is flat in n while the flood grows linearly —
+  // the measured numbers below put the crossover within fleet reach.
+  double per_decision = max_total / static_cast<double>(config.ell);
+  double naive_per_decision = static_cast<double>(config.n) * 64.0;
+  std::printf("naive flood estimate  : %.1f KiB per node per decision (Θ(n))\n",
+              naive_per_decision / 1024.0);
+  std::printf("estimated crossover   : fleets larger than ~%.0fk nodes favour this\n"
+              "                        service per decision (its cost is ~flat in n)\n",
+              per_decision / 64.0 / 1000.0);
+  return result.agreement ? 0 : 1;
+}

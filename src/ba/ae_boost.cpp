@@ -1,0 +1,174 @@
+#include "ba/ae_boost.hpp"
+
+#include <algorithm>
+
+#include "common/serial.hpp"
+
+namespace srds {
+
+Bytes encode_ys(bool y, BytesView s) {
+  Writer w;
+  w.u8(y ? 1 : 0);
+  w.bytes(s);
+  return std::move(w).take();
+}
+
+bool decode_ys(BytesView blob, bool& y, Bytes& s) {
+  Reader r(blob);
+  y = r.u8() != 0;
+  s = r.bytes();
+  return r.done() && s.size() == 32;
+}
+
+AeBoostParty::AeBoostParty(AeConfig config, PartyId me, bool input)
+    : cfg_(std::move(config)), me_(me), input_(input) {
+  const auto& committee = cfg_.tree->supreme_committee();
+  in_committee_ = std::find(committee.begin(), committee.end(), me_) != committee.end();
+  committee_t_ = (committee.size() - 1) / 3;
+
+  const std::size_t ba_rounds = committee_t_ + 2;
+  const std::size_t ct_rounds = 2 * (committee_t_ + 2);
+  const std::size_t dissem_rounds = cfg_.tree->height() + 1;
+
+  inject_rounds_ = cfg_.broadcaster.has_value() ? 1 : 0;
+  ba_start_ = inject_rounds_;
+  ct_start_ = ba_start_ + ba_rounds;
+  dissem_start_ = ct_start_ + ct_rounds;
+  boost_start_ = dissem_start_ + dissem_rounds;
+
+  if (in_committee_ && !cfg_.broadcaster.has_value()) {
+    // BA mode: the committee BA exists from the start with my input. In
+    // broadcast mode it is created after the sender's injection round.
+    make_committee_protocols(input_);
+  } else if (in_committee_) {
+    ct_ = std::make_unique<CoinTossProto>(cfg_.registry, committee, committee_t_,
+                                          to_bytes("pi-ba/f_ct"), me_,
+                                          cfg_.seed * 0x10001ULL + me_);
+  }
+}
+
+void AeBoostParty::make_committee_protocols(bool ba_input_bit) {
+  const auto& committee = cfg_.tree->supreme_committee();
+  Bytes ba_input{static_cast<std::uint8_t>(ba_input_bit ? 1 : 0)};
+  ba_ = std::make_unique<CommitteeBaProto>(cfg_.registry, committee, committee_t_,
+                                           to_bytes("pi-ba/f_ba"), me_, ba_input);
+  if (!ct_) {
+    ct_ = std::make_unique<CoinTossProto>(cfg_.registry, committee, committee_t_,
+                                          to_bytes("pi-ba/f_ct"), me_,
+                                          cfg_.seed * 0x10001ULL + me_);
+  }
+}
+
+std::vector<Message> AeBoostParty::on_round(std::size_t round,
+                                            const std::vector<Message>& inbox) {
+  // Demux by phase tag.
+  std::vector<TaggedMsg> ba_in, ct_in, dissem_in, boost_in;
+  for (const auto& m : inbox) {
+    std::uint32_t phase;
+    std::uint64_t instance;
+    Bytes body;
+    if (!untag_body(m.payload, phase, instance, body)) continue;
+    switch (phase) {
+      case 1:
+        ba_in.push_back(TaggedMsg{m.from, std::move(body)});
+        break;
+      case 2:
+        ct_in.push_back(TaggedMsg{m.from, std::move(body)});
+        break;
+      case 3:
+        dissem_in.push_back(TaggedMsg{m.from, std::move(body)});
+        break;
+      case kBoostPhase: {
+        // Re-attach the instance so subclasses can demultiplex: the boost
+        // body delivered is (u64 instance || body).
+        Writer w;
+        w.u64(instance);
+        w.raw(body);
+        boost_in.push_back(TaggedMsg{m.from, std::move(w).take()});
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  std::vector<Message> out;
+  auto emit = [&](std::uint32_t phase, std::vector<std::pair<PartyId, Bytes>> msgs) {
+    for (auto& [to, body] : msgs) {
+      out.push_back(Message{me_, to, tag_body(phase, 0, body)});
+    }
+  };
+
+  // P0 (broadcast mode only): the sender injects its bit into the supreme
+  // committee; committee members form their BA input from it next round.
+  if (cfg_.broadcaster.has_value()) {
+    if (round == 0 && me_ == *cfg_.broadcaster) {
+      Bytes bit{static_cast<std::uint8_t>(input_ ? 1 : 0)};
+      for (PartyId p : cfg_.tree->supreme_committee()) {
+        if (p != me_) out.push_back(Message{me_, p, tag_body(4, 0, bit)});
+      }
+      if (in_committee_) injected_bit_ = input_;
+    }
+    if (round == 1 && in_committee_) {
+      for (const auto& m : inbox) {
+        std::uint32_t phase;
+        std::uint64_t instance;
+        Bytes body;
+        if (untag_body(m.payload, phase, instance, body) && phase == 4 &&
+            m.from == *cfg_.broadcaster && body.size() == 1) {
+          injected_bit_ = body[0] != 0;
+        }
+      }
+      make_committee_protocols(injected_bit_.value_or(false));
+    }
+  }
+
+  // P1: committee BA.
+  if (ba_ && round >= ba_start_ && round < ba_start_ + ba_->rounds()) {
+    emit(1, ba_->step(round - ba_start_, ba_in));
+  }
+  // P2: coin toss.
+  if (ct_ && round >= ct_start_ && round < ct_start_ + ct_->rounds()) {
+    emit(2, ct_->step(round - ct_start_, ct_in));
+  }
+  // P3: dissemination (constructed lazily; committee members seed it with
+  // their agreed (y, s)).
+  if (round == dissem_start_) {
+    std::optional<Bytes> init;
+    if (in_committee_ && ba_ && ct_ && ba_->output().has_value() &&
+        ct_->output().has_value()) {
+      bool y = !ba_->output()->empty() && (*ba_->output())[0] != 0;
+      init = encode_ys(y, *ct_->output());
+    }
+    dissem_ = std::make_unique<DisseminationProto>(cfg_.tree, me_, std::move(init));
+  }
+  if (dissem_ && round >= dissem_start_ && round < dissem_start_ + dissem_->rounds()) {
+    emit(3, dissem_->step(round - dissem_start_, dissem_in));
+    if (round + 1 == dissem_start_ + dissem_->rounds()) finish_ae_phase();
+  }
+
+  // Boost phase. The subclass's round budget must include a final
+  // ingest-only step (messages sent in its step k arrive at step k+1).
+  if (round >= boost_start_ && round < boost_start_ + boost_rounds()) {
+    auto msgs = boost_step(round - boost_start_, boost_in);
+    out.insert(out.end(), std::make_move_iterator(msgs.begin()),
+               std::make_move_iterator(msgs.end()));
+    if (round + 1 == boost_start_ + boost_rounds()) {
+      boost_finish();
+      done_ = true;
+    }
+  }
+  return out;
+}
+
+void AeBoostParty::finish_ae_phase() {
+  if (!dissem_ || !dissem_->output().has_value()) return;
+  bool y;
+  Bytes s;
+  if (!decode_ys(*dissem_->output(), y, s)) return;
+  ae_y_ = y;
+  ae_seed_ = s;
+  ae_blob_ = *dissem_->output();
+}
+
+}  // namespace srds

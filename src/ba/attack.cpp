@@ -1,0 +1,218 @@
+#include "ba/attack.hpp"
+
+#include <algorithm>
+
+#include "ba/ae_boost.hpp"
+#include "common/rng.hpp"
+#include "common/serial.hpp"
+#include "net/subproto.hpp"
+
+namespace srds {
+
+namespace {
+
+/// Forged (y', s') blob the attacker pushes everywhere.
+Bytes evil_blob() {
+  Bytes s(32, 0xEE);
+  return encode_ys(false, s);
+}
+
+class PiBaAttacker final : public Adversary {
+ public:
+  explicit PiBaAttacker(PiBaAttackConfig config)
+      : cfg_(std::move(config)), rng_(cfg_.seed ^ 0x61747461636bULL) {}
+
+  std::vector<Message> on_round(std::size_t round, const std::vector<Message>&,
+                                const std::vector<Message>& honest_outbox) override {
+    std::vector<Message> out;
+    const CommTree& tree = *cfg_.tree;
+    const std::size_t h = tree.height();
+
+    // --- Step-3 dissemination window: push a conflicting (y', s') along
+    // every edge corrupted members sit on (committee + leaf delivery). ---
+    if (round >= cfg_.dissem3_start && round < cfg_.dissem3_start + h) {
+      attack_dissemination(round - cfg_.dissem3_start, /*phase=*/3, evil_blob(), out);
+    }
+
+    // --- Step-4 signing round: lift honest base signatures from the
+    // rushing view and replay them into *every* leaf committee; also spray
+    // malformed signatures. ---
+    if (round == cfg_.boost_start) {
+      attack_signing(honest_outbox, out);
+    }
+
+    // --- Step-5 aggregation: garbage candidates to every parent committee
+    // corrupted parties can reach. ---
+    if (round > cfg_.boost_start && round <= cfg_.boost_start + h) {
+      attack_aggregation(round - cfg_.boost_start, out);
+    }
+
+    // --- Step-6 certified dissemination: conflicting value + garbage σ. ---
+    std::size_t dissem6_start = cfg_.boost_start + h + 1;
+    if (round >= dissem6_start && round < dissem6_start + h) {
+      attack_certified(round - dissem6_start, out);
+    }
+
+    // --- Step-7 PRF round: flood everyone with a forged triple. ---
+    if (round == cfg_.prf_round) {
+      attack_prf_flood(out);
+    }
+    return out;
+  }
+
+ private:
+  void for_each_corrupt_member(
+      std::size_t level,
+      const std::function<void(PartyId member, const TreeNode& node)>& fn) {
+    for (std::size_t id : cfg_.tree->level_nodes(level)) {
+      const TreeNode& node = cfg_.tree->node(id);
+      for (PartyId member : node.committee) {
+        if (cfg_.corrupt[member]) fn(member, node);
+      }
+    }
+  }
+
+  void attack_dissemination(std::size_t sub, std::uint32_t phase, const Bytes& value,
+                            std::vector<Message>& out) {
+    const CommTree& tree = *cfg_.tree;
+    const std::size_t h = tree.height();
+    std::size_t level = h - sub;
+    for_each_corrupt_member(level, [&](PartyId member, const TreeNode& node) {
+      if (level > 1) {
+        for (std::size_t child : node.children) {
+          Writer w;
+          w.u8(0);  // kStageCommittee
+          w.u64(child);
+          w.raw(value);
+          Bytes body = std::move(w).take();
+          for (PartyId p : tree.node(child).committee) {
+            out.push_back(Message{member, p, tag_body(phase, 0, body)});
+          }
+        }
+      } else {
+        Writer w;
+        w.u8(1);  // kStageParty
+        w.u64(node.id);
+        w.raw(value);
+        Bytes body = std::move(w).take();
+        for (std::uint64_t v = node.vmin; v <= node.vmax; ++v) {
+          out.push_back(
+              Message{member, tree.owner_of_virtual(v), tag_body(phase, 0, body)});
+        }
+      }
+    });
+  }
+
+  void attack_signing(const std::vector<Message>& honest_outbox,
+                      std::vector<Message>& out) {
+    const CommTree& tree = *cfg_.tree;
+    // Collect honest base-signature bodies from the rushing view.
+    std::vector<Bytes> lifted;
+    for (const auto& m : honest_outbox) {
+      std::uint32_t phase;
+      std::uint64_t instance;
+      Bytes body;
+      if (!untag_body(m.payload, phase, instance, body)) continue;
+      if (phase != AeBoostParty::kBoostPhase) continue;
+      if (lifted.size() < 8) lifted.push_back(std::move(body));
+    }
+    // Replay them into every leaf from every corrupted party, plus garbage.
+    std::vector<PartyId> corrupt_ids;
+    for (PartyId p = 0; p < cfg_.corrupt.size(); ++p) {
+      if (cfg_.corrupt[p]) corrupt_ids.push_back(p);
+    }
+    if (corrupt_ids.empty()) return;
+    for (std::size_t leaf = 0; leaf < tree.leaf_count(); ++leaf) {
+      const TreeNode& node = tree.node(leaf);
+      PartyId sender = corrupt_ids[leaf % corrupt_ids.size()];
+      for (const Bytes& body : lifted) {
+        // Bodies carry the (instance || payload) inner framing of their
+        // original leaf; strip it and replay the signature into this leaf.
+        Reader r(body);
+        r.u64();  // original instance
+        Bytes sig = r.raw(r.remaining());
+        for (PartyId p : node.committee) {
+          out.push_back(Message{sender, p,
+                                tag_body(AeBoostParty::kBoostPhase, leaf, sig)});
+        }
+      }
+      Bytes junk = rng_.bytes(60);
+      for (PartyId p : node.committee) {
+        out.push_back(
+            Message{sender, p, tag_body(AeBoostParty::kBoostPhase, leaf, junk)});
+      }
+    }
+  }
+
+  void attack_aggregation(std::size_t level, std::vector<Message>& out) {
+    const CommTree& tree = *cfg_.tree;
+    if (level > tree.height()) return;
+    for_each_corrupt_member(level, [&](PartyId member, const TreeNode& node) {
+      if (node.parent == TreeNode::kNoParent) return;
+      Bytes junk = rng_.bytes(80 + rng_.below(64));
+      for (PartyId p : tree.node(node.parent).committee) {
+        out.push_back(Message{member, p,
+                              tag_body(AeBoostParty::kBoostPhase, node.parent, junk)});
+      }
+    });
+  }
+
+  void attack_certified(std::size_t sub, std::vector<Message>& out) {
+    const CommTree& tree = *cfg_.tree;
+    const std::size_t h = tree.height();
+    std::size_t level = h - sub;
+    Bytes evil = evil_blob();
+    Bytes fake_sigma = rng_.bytes(160);
+    for_each_corrupt_member(level, [&](PartyId member, const TreeNode& node) {
+      auto push = [&](PartyId to, std::uint8_t stage, std::uint64_t nid) {
+        Writer w;
+        w.u8(stage);
+        w.u64(nid);
+        w.bytes(evil);
+        w.bytes(fake_sigma);
+        out.push_back(Message{member, to,
+                              tag_body(AeBoostParty::kBoostPhase, 1ULL << 62,
+                                       std::move(w).take())});
+      };
+      if (level > 1) {
+        for (std::size_t child : node.children) {
+          for (PartyId p : tree.node(child).committee) push(p, 0, child);
+        }
+      } else {
+        for (std::uint64_t v = node.vmin; v <= node.vmax; ++v) {
+          push(tree.owner_of_virtual(v), 1, node.id);
+        }
+      }
+    });
+  }
+
+  void attack_prf_flood(std::vector<Message>& out) {
+    const std::size_t n = cfg_.corrupt.size();
+    Bytes evil = evil_blob();
+    Writer w;
+    w.bytes(evil);
+    w.bytes(rng_.bytes(160));  // forged certificate (cannot verify)
+    Bytes body = std::move(w).take();
+    for (PartyId c = 0; c < n; ++c) {
+      if (!cfg_.corrupt[c]) continue;
+      for (PartyId to = 0; to < n; ++to) {
+        if (!cfg_.corrupt[to]) {
+          out.push_back(Message{c, to,
+                                tag_body(AeBoostParty::kBoostPhase, (1ULL << 62) + 1,
+                                         body)});
+        }
+      }
+    }
+  }
+
+  PiBaAttackConfig cfg_;
+  Rng rng_;
+};
+
+}  // namespace
+
+std::unique_ptr<Adversary> make_pi_ba_attacker(PiBaAttackConfig config) {
+  return std::make_unique<PiBaAttacker>(std::move(config));
+}
+
+}  // namespace srds

@@ -1,0 +1,43 @@
+// An actively malicious adversary for full π_ba executions.
+//
+// Drives every corrupted party to attack each phase of the protocol with
+// the strongest moves available to a rushing, full-information adversary
+// that cannot break the cryptography:
+//   * dissemination phases (steps 3 and 6): push a conflicting value (and
+//     garbage certificates) along every tree edge a corrupt committee
+//     member legitimately sits on — trying to out-vote good committees and
+//     poison the certified value;
+//   * signing phase (step 4): replay honest base signatures (lifted from
+//     the rushing view of honest traffic) into *other* leaves, and inject
+//     malformed signatures — trying to double-count or clog Aggregate₁;
+//   * aggregation phase (step 5): send garbage aggregates and replayed
+//     child candidates to parent committees;
+//   * PRF phase (step 7): flood every honest party with forged
+//     (y', s', σ') triples.
+// π_ba must decide correctly despite all of this; the integration tests
+// assert it (safety rests on SRDS unforgeability + the range checks + the
+// per-sender vote dedup, all exercised here).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/protocol.hpp"
+#include "srds/srds.hpp"
+#include "tree/comm_tree.hpp"
+
+namespace srds {
+
+struct PiBaAttackConfig {
+  std::shared_ptr<const CommTree> tree;
+  SrdsSchemePtr scheme;           // the run's scheme (for wire-format sizes)
+  std::vector<bool> corrupt;
+  std::size_t boost_start = 0;    // schedule anchors (same for all parties)
+  std::size_t prf_round = 0;      // absolute round of Fig. 3 step 7
+  std::size_t dissem3_start = 0;  // absolute round where step-3 dissemination begins
+  std::uint64_t seed = 1;
+};
+
+std::unique_ptr<Adversary> make_pi_ba_attacker(PiBaAttackConfig config);
+
+}  // namespace srds

@@ -1,0 +1,331 @@
+#include "ba/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/mathutil.hpp"
+#include "common/serial.hpp"
+#include "crypto/prf.hpp"
+
+namespace srds {
+
+// --- Naive: all-to-all signed value exchange ---
+
+std::vector<Message> NaiveBoostParty::boost_step(std::size_t k,
+                                                 const std::vector<TaggedMsg>& inbox) {
+  const std::size_t n = config().tree->params().n;
+  std::vector<Message> out;
+  if (k == 0) {
+    if (!ae_y().has_value()) return out;
+    std::uint8_t y = *ae_y() ? 1 : 0;
+    Writer w;
+    w.u8(y);
+    Bytes target{std::uint8_t('n'), std::uint8_t('v'), y};
+    w.raw(config().registry->sign(me(), target).view());
+    Bytes body = std::move(w).take();
+    for (PartyId p = 0; p < n; ++p) {
+      if (p != me()) out.push_back(make_boost_message(p, 0, body));
+    }
+    votes_[y] += 1;  // my own vote
+    return out;
+  }
+  // Ingest: count one authenticated vote per sender.
+  std::vector<bool> seen(n, false);
+  for (const auto& msg : inbox) {
+    if (msg.from >= n || seen[msg.from]) continue;
+    Reader r(msg.body);
+    r.u64();  // instance prefix
+    std::uint8_t y = r.u8();
+    Bytes sig_raw = r.raw(32);
+    if (!r.done() || y > 1) continue;
+    Bytes target{std::uint8_t('n'), std::uint8_t('v'), y};
+    if (!config().registry->verify(msg.from, target, Digest::from(sig_raw))) continue;
+    seen[msg.from] = true;
+    votes_[y] += 1;
+  }
+  if (votes_[0] + votes_[1] > 0) set_output(votes_[1] > votes_[0]);
+  return out;
+}
+
+// --- BGT'13-style multisig boost ---
+
+std::size_t MultisigBoostParty::home_leaf() const {
+  return config().tree->leaf_of_virtual(config().tree->virtuals_of(me()).front());
+}
+
+bool MultisigBoostParty::validate(BytesView value, BytesView sigma) const {
+  Multisig ms;
+  if (!Multisig::deserialize(sigma, ms)) return false;
+  if (ms.signer_count() * 2 < config().tree->params().n) return false;
+  return msig_->verify(value, ms);
+}
+
+std::size_t MultisigBoostParty::boost_rounds() const {
+  const std::size_t h = config().tree->height();
+  return 1 + h + (h + 1) + 1 + 1;  // sign, aggregate, disseminate, prf, ingest
+}
+
+std::vector<Message> MultisigBoostParty::boost_step(std::size_t k,
+                                                    const std::vector<TaggedMsg>& inbox) {
+  const CommTree& tree = *config().tree;
+  const std::size_t h = tree.height();
+  const std::size_t n = tree.params().n;
+  std::vector<Message> out;
+
+  auto split = [](const TaggedMsg& msg, std::uint64_t& instance, Bytes& body) {
+    Reader r(msg.body);
+    instance = r.u64();
+    if (!r.ok()) return false;
+    body = r.raw(r.remaining());
+    return r.ok();
+  };
+
+  if (k == 0) {
+    // Sign and send a singleton multisig to my home leaf's committee.
+    if (!ae_blob().has_value()) return out;
+    Multisig single = MultisigRegistry::aggregate(
+        n, {me()}, {msig_->sign(me(), *ae_blob())});
+    Bytes body = single.serialize();
+    std::size_t leaf = home_leaf();
+    std::vector<PartyId> recipients(tree.node(leaf).committee.begin(),
+                                    tree.node(leaf).committee.end());
+    std::sort(recipients.begin(), recipients.end());
+    recipients.erase(std::unique(recipients.begin(), recipients.end()), recipients.end());
+    for (PartyId p : recipients) out.push_back(make_boost_message(p, leaf, body));
+    return out;
+  }
+
+  if (k >= 1 && k <= h) {
+    // Aggregate level k: merge valid candidates with disjoint signer sets.
+    for (const auto& msg : inbox) {
+      std::uint64_t instance;
+      Bytes body;
+      if (!split(msg, instance, body) || instance >= tree.node_count()) continue;
+      if (tree.node(instance).level != k) continue;
+      node_inputs_[instance].push_back(std::move(body));
+    }
+    if (!ae_blob().has_value()) return out;
+    for (std::size_t id : tree.level_nodes(k)) {
+      const TreeNode& node = tree.node(id);
+      if (std::find(node.committee.begin(), node.committee.end(), me()) ==
+          node.committee.end()) {
+        continue;
+      }
+      auto it = node_inputs_.find(id);
+      if (it == node_inputs_.end()) continue;
+      Multisig merged;
+      merged.signers.assign(n, false);
+      bool any = false;
+      for (const auto& blob : it->second) {
+        Multisig ms;
+        if (!Multisig::deserialize(blob, ms)) continue;
+        if (!msig_->verify(*ae_blob(), ms)) continue;
+        Multisig trial = merged;
+        if (MultisigRegistry::merge(trial, ms)) {
+          merged = std::move(trial);
+          any = true;
+        }
+      }
+      if (!any) continue;
+      Bytes body = merged.serialize();
+      if (node.parent == TreeNode::kNoParent) {
+        sigma_root_ = std::move(body);
+      } else {
+        const auto& pc = tree.node(node.parent).committee;
+        std::vector<PartyId> recipients(pc.begin(), pc.end());
+        std::sort(recipients.begin(), recipients.end());
+        recipients.erase(std::unique(recipients.begin(), recipients.end()),
+                         recipients.end());
+        for (PartyId p : recipients) {
+          out.push_back(make_boost_message(p, node.parent, body));
+        }
+      }
+    }
+    return out;
+  }
+
+  const std::size_t dissem_base = h + 1;
+  if (k >= dissem_base && k < dissem_base + h + 1) {
+    std::size_t sub = k - dissem_base;
+    if (sub == 0) {
+      std::optional<Bytes> init;
+      Bytes sigma;
+      if (in_supreme_committee() && ae_blob().has_value()) {
+        init = *ae_blob();
+        sigma = sigma_root_;
+      }
+      cert_dissem_ = std::make_unique<CertifiedDissemProto>(
+          config().tree, me(), std::move(init), std::move(sigma),
+          [this](BytesView value, BytesView sigma_bytes) {
+            return validate(value, sigma_bytes);
+          },
+          /*redundancy=*/3);
+    }
+    std::vector<TaggedMsg> dissem_in;
+    for (const auto& msg : inbox) {
+      std::uint64_t instance;
+      Bytes body;
+      if (split(msg, instance, body) && instance == kDissemInstance) {
+        dissem_in.push_back(TaggedMsg{msg.from, std::move(body)});
+      }
+    }
+    for (auto& [to, body] : cert_dissem_->step(sub, dissem_in)) {
+      out.push_back(make_boost_message(to, kDissemInstance, body));
+    }
+    if (sub == h && cert_dissem_->value().has_value() &&
+        !cert_dissem_->certificate().empty()) {
+      certified_blob_ = cert_dissem_->value();
+      certificate_ = cert_dissem_->certificate();
+    }
+    return out;
+  }
+
+  if (k == dissem_base + h + 1) {
+    // PRF round (like Fig. 3 step 7, but the certificate is Θ(n) bits).
+    if (!certified_blob_.has_value() || certificate_.empty()) return out;
+    bool y;
+    Bytes s;
+    if (!decode_ys(*certified_blob_, y, s)) return out;
+    set_output(y);
+    Writer w;
+    w.bytes(*certified_blob_);
+    w.bytes(certificate_);
+    Bytes body = std::move(w).take();
+    std::size_t fanout = std::min(tree.params().committee_size, n);
+    for (std::size_t to : prf_subset(s, me(), n, fanout)) {
+      if (to != me()) {
+        out.push_back(make_boost_message(static_cast<PartyId>(to), kPrfInstance, body));
+      }
+    }
+    return out;
+  }
+
+  // Final ingest.
+  if (!output().has_value()) {
+    std::size_t fanout = std::min(tree.params().committee_size, n);
+    for (const auto& msg : inbox) {
+      std::uint64_t instance;
+      Bytes body;
+      if (!split(msg, instance, body) || instance != kPrfInstance) continue;
+      Reader r(body);
+      Bytes blob = r.bytes();
+      Bytes cert = r.bytes();
+      if (!r.done()) continue;
+      bool y;
+      Bytes s;
+      if (!decode_ys(blob, y, s)) continue;
+      if (!prf_subset_contains(s, msg.from, n, fanout, me())) continue;
+      if (!validate(blob, cert)) continue;
+      set_output(y);
+      break;
+    }
+  }
+  return out;
+}
+
+// --- KS'11-style sampling boost ---
+
+SamplingBoostParty::SamplingBoostParty(AeConfig config, PartyId me, bool input,
+                                       std::size_t samples)
+    : AeBoostParty(std::move(config), me, input),
+      samples_(samples),
+      rng_(this->config().seed * 0x9e3779b9ULL + me + 1) {
+  if (samples_ == 0) {
+    const std::size_t n = this->config().tree->params().n;
+    double s = std::sqrt(static_cast<double>(n)) *
+               static_cast<double>(at_least(ceil_log2(n), 1));
+    samples_ = std::min<std::size_t>(n - 1, static_cast<std::size_t>(s));
+  }
+}
+
+std::vector<Message> SamplingBoostParty::boost_step(std::size_t k,
+                                                    const std::vector<TaggedMsg>& inbox) {
+  const std::size_t n = config().tree->params().n;
+  std::vector<Message> out;
+  if (k == 0) {
+    // Query a random sample.
+    for (std::size_t to : rng_.subset(n, samples_)) {
+      if (to != me()) out.push_back(make_boost_message(to, 0, Bytes{std::uint8_t('q')}));
+    }
+    return out;
+  }
+  if (k == 1) {
+    // Respond to queries with my almost-everywhere value.
+    if (!ae_y().has_value()) return out;
+    Bytes body{std::uint8_t('r'), static_cast<std::uint8_t>(*ae_y() ? 1 : 0)};
+    std::vector<bool> replied(n, false);
+    for (const auto& msg : inbox) {
+      Reader r(msg.body);
+      r.u64();
+      if (r.u8() != 'q' || !r.done()) continue;
+      if (msg.from >= n || replied[msg.from]) continue;
+      replied[msg.from] = true;
+      out.push_back(make_boost_message(msg.from, 0, body));
+    }
+    return out;
+  }
+  // Ingest responses; majority of polled answers.
+  std::vector<bool> seen(n, false);
+  for (const auto& msg : inbox) {
+    Reader r(msg.body);
+    r.u64();
+    if (r.u8() != 'r') continue;
+    std::uint8_t y = r.u8();
+    if (!r.done() || y > 1) continue;
+    if (msg.from >= n || seen[msg.from]) continue;
+    seen[msg.from] = true;
+    votes_[y] += 1;
+  }
+  if (ae_y().has_value()) votes_[*ae_y() ? 1 : 0] += 1;
+  if (votes_[0] + votes_[1] > 0) set_output(votes_[1] > votes_[0]);
+  return out;
+}
+
+// --- ACD'19-style star boost ---
+
+std::vector<Message> StarBoostParty::boost_step(std::size_t k,
+                                                const std::vector<TaggedMsg>& inbox) {
+  const std::size_t n = config().tree->params().n;
+  const auto& committee = config().tree->supreme_committee();
+  std::vector<Message> out;
+  if (k == 0) {
+    // Supreme-committee members push the signed value to everyone.
+    if (!in_supreme_committee() || !ae_blob().has_value()) return out;
+    Writer w;
+    w.bytes(*ae_blob());
+    w.raw(config().registry->sign(me(), *ae_blob()).view());
+    Bytes body = std::move(w).take();
+    for (PartyId p = 0; p < n; ++p) {
+      if (p != me()) out.push_back(make_boost_message(p, 0, body));
+    }
+    if (ae_y().has_value()) set_output(*ae_y());
+    return out;
+  }
+  // Ingest: accept the value backed by a majority of the committee.
+  std::vector<bool> seen(n, false);
+  for (const auto& msg : inbox) {
+    if (std::find(committee.begin(), committee.end(), msg.from) == committee.end()) {
+      continue;
+    }
+    if (msg.from >= n || seen[msg.from]) continue;
+    Reader r(msg.body);
+    r.u64();
+    Bytes blob = r.bytes();
+    Bytes sig_raw = r.raw(32);
+    if (!r.done()) continue;
+    if (!config().registry->verify(msg.from, blob, Digest::from(sig_raw))) continue;
+    seen[msg.from] = true;
+    committee_votes_[blob] += 1;
+  }
+  for (const auto& [blob, votes] : committee_votes_) {
+    if (votes * 2 > committee.size()) {
+      bool y;
+      Bytes s;
+      if (decode_ys(blob, y, s)) set_output(y);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace srds

@@ -1,0 +1,199 @@
+#include "ba/certified_dissem.hpp"
+
+#include <algorithm>
+
+#include "common/serial.hpp"
+
+namespace srds {
+
+namespace {
+
+constexpr std::uint8_t kStageCommittee = 0;
+constexpr std::uint8_t kStageParty = 1;
+
+Bytes make_body(std::uint8_t stage, std::uint64_t node_id, BytesView value, BytesView sigma) {
+  Writer w;
+  w.u8(stage);
+  w.u64(node_id);
+  w.bytes(value);
+  w.bytes(sigma);
+  return std::move(w).take();
+}
+
+bool parse_body(BytesView body, std::uint8_t& stage, std::uint64_t& node_id, Bytes& value,
+                Bytes& sigma) {
+  Reader r(body);
+  stage = r.u8();
+  node_id = r.u64();
+  value = r.bytes();
+  sigma = r.bytes();
+  return r.done();
+}
+
+std::optional<std::size_t> seat_of(const TreeNode& node, PartyId p) {
+  for (std::size_t s = 0; s < node.committee.size(); ++s) {
+    if (node.committee[s] == p) return s;
+  }
+  return std::nullopt;
+}
+
+std::optional<Bytes> majority(const std::map<Bytes, std::size_t>& tally) {
+  std::optional<Bytes> best;
+  std::size_t best_count = 0;
+  for (const auto& [value, count] : tally) {
+    if (count > best_count) {
+      best = value;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+CertifiedDissemProto::CertifiedDissemProto(std::shared_ptr<const CommTree> tree, PartyId me,
+                                           std::optional<Bytes> initial_value,
+                                           Bytes initial_sigma, Validator validator,
+                                           std::size_t redundancy)
+    : tree_(std::move(tree)),
+      me_(me),
+      initial_value_(std::move(initial_value)),
+      initial_sigma_(std::move(initial_sigma)),
+      validator_(std::move(validator)),
+      redundancy_(redundancy == 0 ? 1 : redundancy) {
+  my_nodes_by_level_.resize(tree_->height());
+  for (std::size_t lvl = 1; lvl <= tree_->height(); ++lvl) {
+    for (std::size_t id : tree_->level_nodes(lvl)) {
+      auto seat = seat_of(tree_->node(id), me_);
+      if (seat.has_value()) {
+        my_nodes_by_level_[lvl - 1].push_back(id);
+        my_seat_[id] = *seat;
+      }
+    }
+  }
+}
+
+std::vector<std::pair<PartyId, Bytes>> CertifiedDissemProto::step(
+    std::size_t subround, const std::vector<TaggedMsg>& inbox) {
+  const std::size_t h = tree_->height();
+
+  // Ingest copies.
+  for (const auto& msg : inbox) {
+    std::uint8_t stage;
+    std::uint64_t node_id;
+    Bytes value, sigma;
+    if (!parse_body(msg.body, stage, node_id, value, sigma)) continue;
+    if (node_id >= tree_->node_count()) continue;
+    const TreeNode& node = tree_->node(node_id);
+    if (stage == kStageCommittee) {
+      if (!my_seat_.count(node_id)) continue;
+      if (node.parent == TreeNode::kNoParent) continue;
+      if (!seat_of(tree_->node(node.parent), msg.from).has_value()) continue;
+      if (counted_.insert({node_id, msg.from}).second) {
+        tallies_[node_id][value] += 1;
+      }
+      if (!sigma.empty() && !node_sigma_.count(node_id) && validator_(value, sigma)) {
+        node_sigma_[node_id] = sigma;
+        tallies_[node_id][value] += tree_->node(node.parent).committee.size();  // trump
+      }
+    } else if (stage == kStageParty) {
+      if (!node.is_leaf() || !seat_of(node, msg.from).has_value()) continue;
+      bool assigned = false;
+      for (auto vid : tree_->virtuals_of(me_)) {
+        if (tree_->leaf_of_virtual(vid) == node_id) {
+          assigned = true;
+          break;
+        }
+      }
+      if (!assigned) continue;
+      if (counted_.insert({node_id | (1ULL << 63), msg.from}).second) {
+        party_tally_[value] += 1;
+      }
+      if (!sigma.empty() && certificate_.empty() && validator_(value, sigma)) {
+        certificate_ = sigma;
+        value_ = value;  // a valid certificate settles the value
+      }
+    }
+  }
+
+  std::vector<std::pair<PartyId, Bytes>> out;
+
+  // Forwarding helper: per node `id` at level `lvl`, send (value, σ) down.
+  auto forward = [&](std::size_t id, std::size_t lvl, const Bytes& value,
+                     const Bytes& sigma) {
+    const TreeNode& node = tree_->node(id);
+    std::size_t seat = my_seat_[id];
+    if (lvl > 1) {
+      for (std::size_t child : node.children) {
+        const auto& cc = tree_->node(child).committee;
+        std::set<std::size_t> sigma_seats;
+        for (std::size_t j = 0; j < redundancy_ && j < cc.size(); ++j) {
+          sigma_seats.insert((seat + j) % cc.size());
+        }
+        for (std::size_t r = 0; r < cc.size(); ++r) {
+          bool with_sigma = !sigma.empty() && sigma_seats.count(r) > 0;
+          out.emplace_back(cc[r], make_body(kStageCommittee, child, value,
+                                            with_sigma ? sigma : Bytes{}));
+        }
+      }
+    } else {
+      // Leaf: deliver to slot owners; σ to a rotating subset of slots.
+      std::vector<PartyId> owners;
+      for (std::uint64_t v = node.vmin; v <= node.vmax; ++v) {
+        owners.push_back(tree_->owner_of_virtual(v));
+      }
+      std::set<std::size_t> sigma_slots;
+      for (std::size_t j = 0; j < redundancy_ && j < owners.size(); ++j) {
+        sigma_slots.insert((seat + j) % owners.size());
+      }
+      // Dedup recipients, keeping "gets sigma" if any of their slots won.
+      std::map<PartyId, bool> recip;
+      for (std::size_t slot = 0; slot < owners.size(); ++slot) {
+        bool with_sigma = !sigma.empty() && sigma_slots.count(slot) > 0;
+        recip[owners[slot]] = recip[owners[slot]] || with_sigma;
+      }
+      for (const auto& [p, with_sigma] : recip) {
+        out.emplace_back(p, make_body(kStageParty, id, value,
+                                      with_sigma ? sigma : Bytes{}));
+      }
+    }
+  };
+
+  if (subround == 0) {
+    if (initial_value_.has_value() && !my_nodes_by_level_[h - 1].empty()) {
+      forward(tree_->root_id(), h, *initial_value_, initial_sigma_);
+      value_ = initial_value_;
+      certificate_ = initial_sigma_;
+    }
+    return out;
+  }
+
+  if (subround < h) {
+    std::size_t level = h - subround;
+    for (std::size_t id : my_nodes_by_level_[level - 1]) {
+      // A valid certificate settles the node's pair; otherwise fall back to
+      // the per-node majority with no certificate.
+      auto cert_it = node_sigma_.find(id);
+      if (cert_it != node_sigma_.end()) {
+        // Find the certified value: it is the tally entry the validator
+        // approved (stored by boosting its count; recompute via majority).
+        auto val = majority(tallies_[id]);
+        if (val) forward(id, level, *val, cert_it->second);
+      } else {
+        auto it = tallies_.find(id);
+        if (it == tallies_.end()) continue;
+        auto val = majority(it->second);
+        if (val) forward(id, level, *val, {});
+      }
+    }
+    return out;
+  }
+
+  // Final step: party-level output.
+  if (!value_.has_value()) {
+    value_ = majority(party_tally_);
+  }
+  return out;
+}
+
+}  // namespace srds

@@ -1,0 +1,235 @@
+#include "ba/pi_ba.hpp"
+
+#include <algorithm>
+
+#include "common/serial.hpp"
+#include "crypto/prf.hpp"
+#include "mpc/aggregation.hpp"
+
+namespace srds {
+
+namespace {
+
+/// Read the instance prefix the base class attached to boost bodies.
+bool split_instance(const TaggedMsg& msg, std::uint64_t& instance, Bytes& body) {
+  Reader r(msg.body);
+  instance = r.u64();
+  if (!r.ok()) return false;
+  body = r.raw(r.remaining());
+  return r.ok();
+}
+
+}  // namespace
+
+PiBaParty::PiBaParty(PiBaConfig config, PartyId me, bool input)
+    : AeBoostParty(config.ae, me, input), cfg2_(std::move(config)) {
+  prf_fanout_ = cfg2_.prf_fanout ? cfg2_.prf_fanout
+                                 : cfg2_.ae.tree->params().committee_size;
+}
+
+std::size_t PiBaParty::boost_rounds() const {
+  const std::size_t h = cfg2_.ae.tree->height();
+  // step4 (1) + step5 (h) + step6 (h+1) + step7 (1) + step8 ingest (1).
+  return 1 + h + (h + 1) + 1 + 1;
+}
+
+std::vector<Message> PiBaParty::boost_step(std::size_t k,
+                                           const std::vector<TaggedMsg>& inbox) {
+  const std::size_t h = cfg2_.ae.tree->height();
+
+  if (k == 0) return step_sign_and_send();
+  if (k >= 1 && k <= h) return step_aggregate(k, inbox);
+
+  const std::size_t dissem_base = h + 1;
+  if (k >= dissem_base && k < dissem_base + h + 1) {
+    std::size_t sub = k - dissem_base;
+    if (sub == 0) {
+      // Root members seed the certified dissemination with (y, s, σ_root).
+      std::optional<Bytes> init;
+      Bytes sigma;
+      if (in_supreme_committee() && ae_blob().has_value()) {
+        init = *ae_blob();
+        sigma = sigma_root_;
+      }
+      const SrdsScheme* scheme = cfg2_.scheme.get();
+      cert_dissem_ = std::make_unique<CertifiedDissemProto>(
+          cfg2_.ae.tree, me(), std::move(init), std::move(sigma),
+          [scheme](BytesView value, BytesView cert) {
+            return scheme->verify(value, cert);
+          },
+          cfg2_.certificate_redundancy);
+    }
+    std::vector<TaggedMsg> dissem_in;
+    for (const auto& msg : inbox) {
+      std::uint64_t instance;
+      Bytes body;
+      if (split_instance(msg, instance, body) && instance == kDissemInstance) {
+        dissem_in.push_back(TaggedMsg{msg.from, std::move(body)});
+      }
+    }
+    auto msgs = cert_dissem_->step(sub, dissem_in);
+    std::vector<Message> out;
+    out.reserve(msgs.size());
+    for (auto& [to, body] : msgs) {
+      out.push_back(make_boost_message(to, kDissemInstance, body));
+    }
+    if (sub == h) {
+      // Dissemination finished; fix my certified pair if valid.
+      if (cert_dissem_->value().has_value() && !cert_dissem_->certificate().empty()) {
+        certified_blob_ = cert_dissem_->value();
+        certificate_ = cert_dissem_->certificate();
+      }
+    }
+    return out;
+  }
+
+  if (k == dissem_base + h + 1) return step_prf_send();
+  if (k == dissem_base + h + 2) {
+    ingest_prf(inbox);
+    return {};
+  }
+  return {};
+}
+
+std::vector<Message> PiBaParty::step_sign_and_send() {
+  std::vector<Message> out;
+  if (!ae_blob().has_value()) return out;  // isolated: nothing to sign with
+  const CommTree& tree = *cfg2_.ae.tree;
+  for (std::uint64_t vid : tree.virtuals_of(me())) {
+    Bytes sig = cfg2_.scheme->sign(vid, *ae_blob());
+    if (sig.empty()) continue;  // ⊥ (e.g., OWF-SRDS sortition loser)
+    std::size_t leaf = tree.leaf_of_virtual(vid);
+    const TreeNode& node = tree.node(leaf);
+    // Send to every party assigned to the leaf (its committee), deduped.
+    std::vector<PartyId> recipients(node.committee.begin(), node.committee.end());
+    std::sort(recipients.begin(), recipients.end());
+    recipients.erase(std::unique(recipients.begin(), recipients.end()), recipients.end());
+    for (PartyId p : recipients) {
+      out.push_back(make_boost_message(p, leaf, sig));
+    }
+  }
+  return out;
+}
+
+void PiBaParty::ingest_aggregation(const std::vector<TaggedMsg>& inbox, std::size_t level) {
+  const CommTree& tree = *cfg2_.ae.tree;
+  for (const auto& msg : inbox) {
+    std::uint64_t instance;
+    Bytes body;
+    if (!split_instance(msg, instance, body)) continue;
+    if (instance >= tree.node_count()) continue;
+    const TreeNode& node = tree.node(instance);
+    if (node.level != level) continue;
+    // Am I on this node's committee?
+    if (std::find(node.committee.begin(), node.committee.end(), me()) ==
+        node.committee.end()) {
+      continue;
+    }
+    // Sender legitimacy.
+    if (node.is_leaf()) {
+      // Base signature: the sender must own the virtual identity it claims.
+      IndexRange r;
+      if (!cfg2_.scheme->index_range(body, r) || r.min != r.max) continue;
+      if (r.min >= tree.virtual_count() || tree.owner_of_virtual(r.min) != msg.from) {
+        continue;
+      }
+    } else {
+      // Aggregate candidate: the sender must sit on some child committee.
+      bool child_member = false;
+      for (std::size_t child : node.children) {
+        const auto& cc = tree.node(child).committee;
+        if (std::find(cc.begin(), cc.end(), msg.from) != cc.end()) {
+          child_member = true;
+          break;
+        }
+      }
+      if (!child_member) continue;
+    }
+    node_inputs_[instance].push_back(std::move(body));
+  }
+}
+
+std::vector<Message> PiBaParty::step_aggregate(std::size_t level,
+                                               const std::vector<TaggedMsg>& inbox) {
+  ingest_aggregation(inbox, level);
+  std::vector<Message> out;
+  if (!ae_blob().has_value()) return out;
+  const CommTree& tree = *cfg2_.ae.tree;
+  for (std::size_t id : tree.level_nodes(level)) {
+    const TreeNode& node = tree.node(id);
+    if (std::find(node.committee.begin(), node.committee.end(), me()) ==
+        node.committee.end()) {
+      continue;
+    }
+    auto it = node_inputs_.find(id);
+    std::vector<Bytes> inputs = (it != node_inputs_.end()) ? std::move(it->second)
+                                                           : std::vector<Bytes>{};
+    // Fig. 3 step 5c range checks, then f_aggr-sig.
+    inputs = node_range_filter(*cfg2_.scheme, tree, node, std::move(inputs));
+    Bytes sigma = f_aggr_sig(*cfg2_.scheme, *ae_blob(), inputs);
+    if (sigma.empty()) continue;
+    if (node.parent == TreeNode::kNoParent) {
+      sigma_root_ = std::move(sigma);
+    } else {
+      const auto& pc = tree.node(node.parent).committee;
+      std::vector<PartyId> recipients(pc.begin(), pc.end());
+      std::sort(recipients.begin(), recipients.end());
+      recipients.erase(std::unique(recipients.begin(), recipients.end()),
+                       recipients.end());
+      for (PartyId p : recipients) {
+        out.push_back(make_boost_message(p, node.parent, sigma));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Message> PiBaParty::step_prf_send() {
+  std::vector<Message> out;
+  if (!certified_blob_.has_value() || certificate_.empty()) return out;
+  bool y;
+  Bytes s;
+  if (!decode_ys(*certified_blob_, y, s)) return out;
+  set_output(y);  // certified parties decide now
+
+  Writer w;
+  w.bytes(*certified_blob_);
+  w.bytes(certificate_);
+  Bytes body = std::move(w).take();
+  const std::size_t n = cfg2_.ae.tree->params().n;
+  for (std::size_t to : prf_subset(s, me(), n, std::min(prf_fanout_, n))) {
+    if (to == me()) continue;
+    out.push_back(make_boost_message(static_cast<PartyId>(to), kPrfInstance, body));
+  }
+  return out;
+}
+
+void PiBaParty::ingest_prf(const std::vector<TaggedMsg>& inbox) {
+  if (output().has_value()) return;
+  const std::size_t n = cfg2_.ae.tree->params().n;
+  for (const auto& msg : inbox) {
+    std::uint64_t instance;
+    Bytes body;
+    if (!split_instance(msg, instance, body) || instance != kPrfInstance) continue;
+    Reader r(body);
+    Bytes blob = r.bytes();
+    Bytes cert = r.bytes();
+    if (!r.done()) continue;
+    bool y;
+    Bytes s;
+    if (!decode_ys(blob, y, s)) continue;
+    // Fig. 3 step 8: accept only if I am in F_s(sender) and σ verifies.
+    if (!prf_subset_contains(s, msg.from, n, std::min(prf_fanout_, n), me())) continue;
+    if (!cfg2_.scheme->verify(blob, cert)) continue;
+    certificate_ = cert;
+    certified_blob_ = blob;
+    set_output(y);
+    return;
+  }
+}
+
+void PiBaParty::boost_finish() {
+  // Nothing further: outputs were set in steps 7/8.
+}
+
+}  // namespace srds

@@ -1,0 +1,251 @@
+#include "ba/runner.hpp"
+
+#include <memory>
+
+#include "ba/attack.hpp"
+#include "ba/baselines.hpp"
+#include "ba/pi_ba.hpp"
+#include "common/rng.hpp"
+#include "net/simulator.hpp"
+#include "srds/owf_srds.hpp"
+#include "srds/snark_srds.hpp"
+
+namespace srds {
+
+namespace {
+
+void accumulate(NetworkStats& into, const NetworkStats& add) {
+  if (into.party.size() != add.party.size()) {
+    into = NetworkStats(add.party.size());
+  }
+  into.rounds += add.rounds;
+  for (std::size_t i = 0; i < add.party.size(); ++i) {
+    into.party[i].bytes_sent += add.party[i].bytes_sent;
+    into.party[i].bytes_recv += add.party[i].bytes_recv;
+    into.party[i].msgs_sent += add.party[i].msgs_sent;
+    into.party[i].msgs_recv += add.party[i].msgs_recv;
+    into.party[i].peers_out.insert(add.party[i].peers_out.begin(),
+                                   add.party[i].peers_out.end());
+    into.party[i].peers_in.insert(add.party[i].peers_in.begin(),
+                                  add.party[i].peers_in.end());
+  }
+}
+
+}  // namespace
+
+const char* protocol_name(BoostProtocol p) {
+  switch (p) {
+    case BoostProtocol::kPiBaOwf:
+      return "pi_ba/owf-srds";
+    case BoostProtocol::kPiBaSnark:
+      return "pi_ba/snark-srds";
+    case BoostProtocol::kNaive:
+      return "naive-all-to-all";
+    case BoostProtocol::kMultisig:
+      return "bgt13-multisig";
+    case BoostProtocol::kSampling:
+      return "ks11-sampling";
+    case BoostProtocol::kStar:
+      return "acd19-star";
+  }
+  return "?";
+}
+
+BaRunResult run_ba(const BaRunConfig& config) {
+  Rng rng(config.seed ^ 0x62612d72756e6e65ULL);
+
+  TreeParams tp = TreeParams::scaled(config.n);
+  if (config.committee_factor != 1.0) {
+    auto scale = [&](std::size_t v) {
+      return std::max<std::size_t>(
+          3, static_cast<std::size_t>(static_cast<double>(v) * config.committee_factor));
+    };
+    tp.committee_size = scale(tp.committee_size) | 1;
+    tp.leaf_committee = scale(tp.leaf_committee);
+    tp.root_committee = scale(tp.root_committee) | 1;
+  }
+  auto tree = std::make_shared<const CommTree>(tp, rng.next());
+  auto registry = std::make_shared<const SimSigRegistry>(config.n, rng.next());
+
+  AeConfig ae;
+  ae.tree = tree;
+  ae.registry = registry;
+  ae.seed = rng.next();
+
+  // SRDS setup where needed. In the model every party generates its own
+  // keys during the setup phase; the harness performs those calls centrally
+  // (trusted-PKI dealer for OWF, bulletin-board collection for SNARK).
+  SrdsSchemePtr scheme;
+  if (config.protocol == BoostProtocol::kPiBaOwf) {
+    OwfSrdsParams p;
+    p.n_signers = tree->virtual_count();
+    p.expected_signers = std::min(config.expected_signers, p.n_signers);
+    p.backend = config.backend;
+    scheme = std::make_shared<OwfSrds>(p, rng.next());
+  } else if (config.protocol == BoostProtocol::kPiBaSnark) {
+    SnarkSrdsParams p;
+    p.n_signers = tree->virtual_count();
+    p.backend = config.backend;
+    scheme = std::make_shared<SnarkSrds>(p, rng.next());
+  }
+  if (scheme) {
+    for (std::size_t i = 0; i < scheme->signer_count(); ++i) scheme->keygen(i);
+    scheme->finalize_keys();
+  }
+
+  std::shared_ptr<const MultisigRegistry> msig;
+  if (config.protocol == BoostProtocol::kMultisig) {
+    msig = std::make_shared<const MultisigRegistry>(config.n, rng.next());
+  }
+
+  // Static fail-silent corruption, chosen independently of the tree.
+  std::vector<bool> corrupt(config.n, false);
+  std::size_t t = static_cast<std::size_t>(config.beta * static_cast<double>(config.n));
+  for (auto idx : rng.subset(config.n, t)) corrupt[idx] = true;
+
+  std::vector<std::unique_ptr<Party>> parties(config.n);
+  std::size_t total_rounds = 0;
+  std::size_t boost_start = 0;
+  for (PartyId i = 0; i < config.n; ++i) {
+    if (corrupt[i]) continue;
+    std::unique_ptr<AeBoostParty> party;
+    switch (config.protocol) {
+      case BoostProtocol::kPiBaOwf:
+      case BoostProtocol::kPiBaSnark: {
+        PiBaConfig pc;
+        pc.ae = ae;
+        pc.scheme = scheme;
+        pc.certificate_redundancy = config.certificate_redundancy;
+        party = std::make_unique<PiBaParty>(std::move(pc), i, config.input);
+        break;
+      }
+      case BoostProtocol::kNaive:
+        party = std::make_unique<NaiveBoostParty>(ae, i, config.input);
+        break;
+      case BoostProtocol::kMultisig:
+        party = std::make_unique<MultisigBoostParty>(ae, msig, i, config.input);
+        break;
+      case BoostProtocol::kSampling:
+        party = std::make_unique<SamplingBoostParty>(ae, i, config.input);
+        break;
+      case BoostProtocol::kStar:
+        party = std::make_unique<StarBoostParty>(ae, i, config.input);
+        break;
+    }
+    total_rounds = party->total_rounds();
+    boost_start = party->boost_start();
+    parties[i] = std::move(party);
+  }
+
+  std::unique_ptr<Adversary> adversary;
+  if (config.active_adversary && scheme) {
+    const std::size_t h = tree->height();
+    PiBaAttackConfig attack;
+    attack.tree = tree;
+    attack.scheme = scheme;
+    attack.corrupt = corrupt;
+    attack.boost_start = boost_start;
+    attack.dissem3_start = boost_start - (h + 1);
+    attack.prf_round = boost_start + 2 * h + 2;
+    attack.seed = rng.next();
+    adversary = make_pi_ba_attacker(std::move(attack));
+  }
+
+  Simulator sim(std::move(parties), corrupt, std::move(adversary));
+  sim.set_phase_mark(boost_start);
+  BaRunResult result;
+  result.rounds = sim.run(total_rounds + 2);
+  result.stats = sim.stats();
+  result.boost_stats = sim.phase_stats();
+  result.boost_rounds = total_rounds - boost_start;
+
+  for (PartyId i = 0; i < config.n; ++i) {
+    if (corrupt[i]) continue;
+    ++result.honest;
+    const auto* party = dynamic_cast<const AeBoostParty*>(sim.party(i));
+    if (!party || !party->output().has_value()) continue;
+    ++result.decided;
+    bool y = *party->output();
+    if (result.value.has_value() && *result.value != y) result.agreement = false;
+    result.value = y;
+    if (y == config.input) ++result.correct;
+  }
+  return result;
+}
+
+BroadcastRunResult run_broadcast_service(const BroadcastRunConfig& config) {
+  Rng rng(config.seed ^ 0x62636173742d7376ULL);
+
+  auto tree = std::make_shared<const CommTree>(TreeParams::scaled(config.n), rng.next());
+  auto registry = std::make_shared<const SimSigRegistry>(config.n, rng.next());
+
+  std::vector<bool> corrupt(config.n, false);
+  std::size_t t = static_cast<std::size_t>(config.beta * static_cast<double>(config.n));
+  for (auto idx : rng.subset(config.n, t)) corrupt[idx] = true;
+  std::vector<PartyId> honest_ids;
+  for (PartyId i = 0; i < config.n; ++i) {
+    if (!corrupt[i]) honest_ids.push_back(i);
+  }
+
+  BroadcastRunResult result;
+  result.stats = NetworkStats(config.n);
+
+  for (std::size_t b = 0; b < config.ell; ++b) {
+    PartyId sender = honest_ids[b % honest_ids.size()];
+    bool bit = (b % 2 == 0);
+
+    AeConfig ae;
+    ae.tree = tree;
+    ae.registry = registry;
+    ae.seed = rng.next();
+    ae.broadcaster = sender;
+
+    // One-time signatures: a fresh SRDS key set per broadcast execution
+    // (the ℓ sets would be pre-published on the bulletin board in one shot;
+    // key generation is local and costs no communication either way).
+    SrdsSchemePtr scheme;
+    if (config.protocol == BoostProtocol::kPiBaOwf) {
+      OwfSrdsParams p;
+      p.n_signers = tree->virtual_count();
+      p.expected_signers = std::min(config.expected_signers, p.n_signers);
+      p.backend = config.backend;
+      scheme = std::make_shared<OwfSrds>(p, rng.next());
+    } else {
+      SnarkSrdsParams p;
+      p.n_signers = tree->virtual_count();
+      p.backend = config.backend;
+      scheme = std::make_shared<SnarkSrds>(p, rng.next());
+    }
+    for (std::size_t i = 0; i < scheme->signer_count(); ++i) scheme->keygen(i);
+    scheme->finalize_keys();
+
+    std::vector<std::unique_ptr<Party>> parties(config.n);
+    std::size_t total_rounds = 0;
+    for (PartyId i : honest_ids) {
+      PiBaConfig pc;
+      pc.ae = ae;
+      pc.scheme = scheme;
+      auto party = std::make_unique<PiBaParty>(std::move(pc), i, bit);
+      total_rounds = party->total_rounds();
+      parties[i] = std::move(party);
+    }
+
+    Simulator sim(std::move(parties), corrupt, nullptr);
+    sim.run(total_rounds + 2);
+    accumulate(result.stats, sim.stats());
+
+    std::optional<bool> agreed;
+    for (PartyId i : honest_ids) {
+      ++result.possible;
+      const auto* party = dynamic_cast<const AeBoostParty*>(sim.party(i));
+      if (!party || !party->output().has_value()) continue;
+      bool y = *party->output();
+      if (agreed.has_value() && *agreed != y) result.agreement = false;
+      agreed = y;
+      if (y == bit) ++result.delivered;
+    }
+  }
+  return result;
+}
+
+}  // namespace srds

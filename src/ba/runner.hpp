@@ -1,0 +1,92 @@
+// One-call harness for executing a full BA run on the simulator:
+// builds the tree, PKI/SRDS setup, parties and adversary, runs to
+// completion, and reports outputs plus the network-measured costs.
+// Used by the integration tests, the benchmark binaries and the examples.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "net/stats.hpp"
+#include "srds/srds.hpp"
+
+namespace srds {
+
+enum class BoostProtocol {
+  kPiBaOwf,     // this work, OWF-SRDS (trusted PKI)
+  kPiBaSnark,   // this work, SNARK-SRDS (bare PKI + CRS)
+  kNaive,       // all-to-all signed exchange
+  kMultisig,    // BGT'13-style, Θ(n)-bit signer bitmaps
+  kSampling,    // KS'11/KLST'11-style √n polling
+  kStar,        // ACD+'19-style unbalanced star
+};
+
+const char* protocol_name(BoostProtocol p);
+
+struct BaRunConfig {
+  std::size_t n = 0;
+  double beta = 0.0;  // fraction of parties corrupted (fail-silent)
+  std::uint64_t seed = 1;
+  BoostProtocol protocol = BoostProtocol::kPiBaSnark;
+  /// Base-signature backend for the SRDS variants (kCompact recommended for
+  /// n >= 256; kWots exercises the faithful hash-based signatures).
+  BaseSigBackend backend = BaseSigBackend::kCompact;
+  /// OWF-SRDS sortition target (expected signers, the paper's polylog(n)).
+  std::size_t expected_signers = 48;
+  /// Every honest party's input bit (protocol validity: output must match
+  /// when all honest inputs agree).
+  bool input = true;
+  /// Drive corrupted parties with the active π_ba attacker (ba/attack.hpp)
+  /// instead of fail-silence. Only meaningful for the π_ba protocols.
+  bool active_adversary = false;
+  /// Sparse-σ redundancy of the certified dissemination (π_ba step 6).
+  std::size_t certificate_redundancy = 3;
+  /// Multiplier on the scaled tree committee sizes (ablation knob).
+  double committee_factor = 1.0;
+};
+
+struct BaRunResult {
+  NetworkStats stats{0};
+  /// Costs of the boost phase alone (Fig. 3 steps 4-8 / each baseline's
+  /// boost) — the quantity Table 1 compares; the shared almost-everywhere
+  /// front end (f_ba + f_ct + f_ae-comm) is excluded here.
+  NetworkStats boost_stats{0};
+  std::size_t boost_rounds = 0;
+  std::size_t rounds = 0;
+  std::size_t honest = 0;
+  std::size_t decided = 0;   // honest parties with an output
+  std::size_t correct = 0;   // honest parties whose output == input
+  bool agreement = true;     // no two honest parties decided differently
+  std::optional<bool> value; // the decided value (if any party decided)
+
+  double decided_fraction() const {
+    return honest ? static_cast<double>(decided) / static_cast<double>(honest) : 0.0;
+  }
+};
+
+BaRunResult run_ba(const BaRunConfig& config);
+
+/// Corollary 1.2(1): run `ell` one-bit broadcasts (rotating honest senders,
+/// alternating bits) over one shared tree/PKI. Costs accumulate across
+/// executions per party, so `stats` reports the ℓ-execution totals — the
+/// corollary's claim is that the max per party grows as ℓ · polylog(n).
+struct BroadcastRunConfig {
+  std::size_t n = 0;
+  std::size_t ell = 1;
+  double beta = 0.0;
+  std::uint64_t seed = 1;
+  BoostProtocol protocol = BoostProtocol::kPiBaSnark;  // must be a π_ba variant
+  BaseSigBackend backend = BaseSigBackend::kCompact;
+  std::size_t expected_signers = 48;
+};
+
+struct BroadcastRunResult {
+  NetworkStats stats{0};      // summed over the ℓ executions
+  std::size_t delivered = 0;  // honest deliveries matching the sender's bit
+  std::size_t possible = 0;   // honest parties x ℓ
+  bool agreement = true;
+};
+
+BroadcastRunResult run_broadcast_service(const BroadcastRunConfig& config);
+
+}  // namespace srds

@@ -1,0 +1,41 @@
+// Basic byte-buffer vocabulary types shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace srds {
+
+/// Owning byte buffer. All wire formats in this project are `Bytes`.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view over bytes.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Append `src` to `dst`.
+inline void append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Concatenate any number of byte views into a fresh buffer.
+template <typename... Views>
+Bytes concat(const Views&... views) {
+  Bytes out;
+  std::size_t total = (std::size_t{0} + ... + views.size());
+  out.reserve(total);
+  (append(out, BytesView{views.data(), views.size()}), ...);
+  return out;
+}
+
+/// Bytes of an ASCII string (no terminator).
+inline Bytes to_bytes(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string to_string(BytesView b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace srds

@@ -1,0 +1,16 @@
+// Hex encoding/decoding for debugging output and test vectors.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace srds {
+
+/// Lowercase hex encoding of `data`.
+std::string to_hex(BytesView data);
+
+/// Decode a hex string; throws std::invalid_argument on malformed input.
+Bytes from_hex(const std::string& hex);
+
+}  // namespace srds

@@ -1,0 +1,32 @@
+// Small integer math helpers used when scaling the paper's asymptotic
+// parameters (log n, log^3 n, ...) to concrete instance sizes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace srds {
+
+/// floor(log2(x)) for x >= 1; returns 0 for x in {0, 1}.
+constexpr std::size_t floor_log2(std::size_t x) {
+  std::size_t r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// ceil(log2(x)) for x >= 1; returns 0 for x in {0, 1}.
+constexpr std::size_t ceil_log2(std::size_t x) {
+  if (x <= 1) return 0;
+  return floor_log2(x - 1) + 1;
+}
+
+/// ceil(a / b), b > 0.
+constexpr std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+/// max(lo, v) — clamp from below (readability helper for committee sizes).
+constexpr std::size_t at_least(std::size_t v, std::size_t lo) { return v < lo ? lo : v; }
+
+}  // namespace srds

@@ -1,0 +1,99 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace srds {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  // xoshiro256**
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::below: bound must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::uint64_t Rng::range(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::range: lo > hi");
+  return lo + below(hi - lo + 1);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  // 53-bit uniform in [0,1).
+  double u = static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  return u < p;
+}
+
+Bytes Rng::bytes(std::size_t n) {
+  Bytes out(n);
+  std::size_t i = 0;
+  while (i + 8 <= n) {
+    std::uint64_t v = next();
+    for (int k = 0; k < 8; ++k) out[i++] = static_cast<std::uint8_t>(v >> (8 * k));
+  }
+  if (i < n) {
+    std::uint64_t v = next();
+    for (int k = 0; i < n; ++k) out[i++] = static_cast<std::uint8_t>(v >> (8 * k));
+  }
+  return out;
+}
+
+std::vector<std::size_t> Rng::subset(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument("Rng::subset: k > n");
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k * 3 >= n) {
+    // Dense case: shuffle a full index vector and take a prefix.
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    shuffle(idx);
+    out.assign(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k));
+  } else {
+    // Sparse case: rejection sample.
+    std::unordered_set<std::size_t> seen;
+    while (seen.size() < k) {
+      std::size_t v = static_cast<std::size_t>(below(n));
+      if (seen.insert(v).second) out.push_back(v);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Rng Rng::fork() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace srds

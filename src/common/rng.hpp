@@ -1,0 +1,61 @@
+// Deterministic, seedable pseudo-random generator for simulation.
+//
+// Every randomized component in this project takes an explicit `Rng` (or a
+// 64-bit seed) so that simulations, tests and benchmarks are exactly
+// reproducible. This RNG is for *simulation* randomness (corruption sets,
+// committee sampling, workloads); cryptographic keys are derived via the PRG
+// in src/crypto, which is itself seeded deterministically in tests.
+//
+// The core generator is xoshiro256**, seeded through SplitMix64.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace srds {
+
+/// SplitMix64 step; used for seeding and cheap hashing of small integers.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Bernoulli trial with probability `p` (clamped to [0,1]).
+  bool chance(double p);
+
+  /// `n` uniform bytes.
+  Bytes bytes(std::size_t n);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Uniform k-subset of {0, ..., n-1}, returned sorted.
+  std::vector<std::size_t> subset(std::size_t n, std::size_t k);
+
+  /// Derive an independent child generator (for parallel components).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace srds

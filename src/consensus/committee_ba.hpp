@@ -1,0 +1,41 @@
+// Byzantine agreement inside a committee (the f_ba functionality of §3.1).
+//
+// Construction: every member Dolev-Strong-broadcasts its input in parallel;
+// after the broadcasts complete, each member outputs the most frequent
+// delivered value (ties broken by byte order, ⊥ outputs ignored).
+//   * Agreement: Dolev-Strong gives all honest members identical delivered
+//     vectors, so the local tally is identical.
+//   * Validity: with more than half the members honest and all honest inputs
+//     equal to v, v has a strict majority of the delivered slots.
+// Tolerates t < c/2 corruptions (the supreme committee guarantees t < c/3).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "consensus/dolev_strong.hpp"
+#include "net/parallel.hpp"
+
+namespace srds {
+
+class CommitteeBaProto final : public SubProtocol {
+ public:
+  CommitteeBaProto(SimSigRegistryPtr registry, std::vector<PartyId> members, std::size_t t,
+                   Bytes domain, PartyId me, Bytes input);
+
+  std::size_t rounds() const override { return inner_.rounds(); }
+
+  std::vector<std::pair<PartyId, Bytes>> step(
+      std::size_t subround, const std::vector<TaggedMsg>& inbox) override;
+
+  /// Agreed value (engaged after the last step; nullopt only if every
+  /// broadcast failed, which cannot happen with at least one honest member).
+  const std::optional<Bytes>& output() const { return output_; }
+
+ private:
+  std::vector<PartyId> members_;
+  ParallelProto inner_;
+  std::optional<Bytes> output_;
+};
+
+}  // namespace srds

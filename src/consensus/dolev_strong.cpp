@@ -1,0 +1,122 @@
+#include "consensus/dolev_strong.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/serial.hpp"
+#include "crypto/sha256.hpp"
+
+namespace srds {
+
+namespace {
+
+Bytes encode(const Bytes& value, const std::vector<std::pair<PartyId, SimSig>>& chain) {
+  Writer w;
+  w.bytes(value);
+  w.u32(static_cast<std::uint32_t>(chain.size()));
+  for (const auto& [party, sig] : chain) {
+    w.u64(party);
+    w.raw(sig.view());
+  }
+  return std::move(w).take();
+}
+
+bool decode(BytesView body, Bytes& value, std::vector<std::pair<PartyId, SimSig>>& chain) {
+  Reader r(body);
+  value = r.bytes();
+  std::uint32_t n = r.u32();
+  if (!r.ok() || n > 4096) return false;
+  chain.clear();
+  chain.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    PartyId p = r.u64();
+    Bytes sig_raw = r.raw(32);
+    if (!r.ok()) return false;
+    chain.emplace_back(p, Digest::from(sig_raw));
+  }
+  return r.done();
+}
+
+}  // namespace
+
+DolevStrongProto::DolevStrongProto(SimSigRegistryPtr registry, std::vector<PartyId> members,
+                                   std::size_t sender_idx, std::size_t t, Bytes domain,
+                                   PartyId me, std::optional<Bytes> input)
+    : registry_(std::move(registry)),
+      members_(std::move(members)),
+      sender_idx_(sender_idx),
+      t_(t),
+      domain_(std::move(domain)),
+      me_(me),
+      input_(std::move(input)) {}
+
+Digest DolevStrongProto::sign_target(BytesView value) const {
+  Writer w;
+  w.bytes(domain_);
+  w.u64(sender_idx_);
+  w.bytes(value);
+  return sha256_tagged("ds-sign", w.data());
+}
+
+std::vector<std::pair<PartyId, Bytes>> DolevStrongProto::relay(
+    const Bytes& value, std::vector<std::pair<PartyId, SimSig>> chain) {
+  chain.emplace_back(me_, registry_->sign(me_, sign_target(value).view()));
+  Bytes body = encode(value, chain);
+  std::vector<std::pair<PartyId, Bytes>> out;
+  for (PartyId p : members_) {
+    if (p != me_) out.emplace_back(p, body);
+  }
+  return out;
+}
+
+std::vector<std::pair<PartyId, Bytes>> DolevStrongProto::step(
+    std::size_t subround, const std::vector<TaggedMsg>& inbox) {
+  std::vector<std::pair<PartyId, Bytes>> out;
+
+  if (subround == 0) {
+    if (input_.has_value() && members_[sender_idx_] == me_) {
+      extracted_.push_back(*input_);
+      out = relay(*input_, {});
+    }
+    return out;
+  }
+
+  // Process arrivals: accept values carrying >= subround distinct valid
+  // member signatures, the sender's among them.
+  for (const auto& msg : inbox) {
+    if (extracted_.size() >= 2) break;
+    Bytes value;
+    std::vector<std::pair<PartyId, SimSig>> chain;
+    if (!decode(msg.body, value, chain)) continue;
+    if (chain.size() < subround) continue;
+    if (std::find(extracted_.begin(), extracted_.end(), value) != extracted_.end()) continue;
+
+    Digest target = sign_target(value);
+    std::set<PartyId> signers;
+    bool ok = true, sender_signed = false;
+    for (const auto& [party, sig] : chain) {
+      if (std::find(members_.begin(), members_.end(), party) == members_.end() ||
+          !signers.insert(party).second || !registry_->verify(party, target.view(), sig)) {
+        ok = false;
+        break;
+      }
+      if (party == members_[sender_idx_]) sender_signed = true;
+    }
+    if (!ok || !sender_signed || signers.size() < subround) continue;
+    // Do not extend chains I already signed (I relayed this value before).
+    if (signers.count(me_)) continue;
+
+    extracted_.push_back(value);
+    if (subround <= t_) {
+      auto msgs = relay(value, std::move(chain));
+      out.insert(out.end(), msgs.begin(), msgs.end());
+    }
+  }
+
+  if (subround == t_ + 1) {
+    output_ = (extracted_.size() == 1) ? std::optional<Bytes>(extracted_[0]) : std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace srds

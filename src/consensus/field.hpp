@@ -1,0 +1,47 @@
+// Arithmetic in GF(p) for the Mersenne prime p = 2^61 - 1.
+// Used by Shamir secret sharing in the coin-tossing protocol (f_ct).
+// (DESIGN.md substitution S4: any field of size >= committee size works.)
+#pragma once
+
+#include <cstdint>
+
+namespace srds {
+
+struct Gf61 {
+  static constexpr std::uint64_t kP = (1ULL << 61) - 1;
+
+  static std::uint64_t reduce(std::uint64_t x) {
+    x = (x & kP) + (x >> 61);
+    if (x >= kP) x -= kP;
+    return x;
+  }
+
+  static std::uint64_t add(std::uint64_t a, std::uint64_t b) { return reduce(a + b); }
+
+  static std::uint64_t sub(std::uint64_t a, std::uint64_t b) {
+    return reduce(a + kP - reduce(b));
+  }
+
+  static std::uint64_t mul(std::uint64_t a, std::uint64_t b) {
+    unsigned __int128 t = static_cast<unsigned __int128>(reduce(a)) * reduce(b);
+    std::uint64_t lo = static_cast<std::uint64_t>(t & kP);
+    std::uint64_t hi = static_cast<std::uint64_t>(t >> 61);
+    return reduce(lo + hi);
+  }
+
+  static std::uint64_t pow(std::uint64_t base, std::uint64_t exp) {
+    std::uint64_t r = 1;
+    base = reduce(base);
+    while (exp > 0) {
+      if (exp & 1) r = mul(r, base);
+      base = mul(base, base);
+      exp >>= 1;
+    }
+    return r;
+  }
+
+  /// Multiplicative inverse; requires a != 0 (mod p).
+  static std::uint64_t inv(std::uint64_t a) { return pow(a, kP - 2); }
+};
+
+}  // namespace srds

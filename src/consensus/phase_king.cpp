@@ -1,0 +1,79 @@
+#include "consensus/phase_king.hpp"
+
+#include <algorithm>
+
+namespace srds {
+
+namespace {
+constexpr std::uint8_t kTagVote = 1;
+constexpr std::uint8_t kTagKing = 2;
+}  // namespace
+
+PhaseKingProto::PhaseKingProto(std::vector<PartyId> members, std::size_t t, PartyId me,
+                               bool input)
+    : members_(std::move(members)), t_(t), me_(me), value_(input) {}
+
+std::vector<std::pair<PartyId, Bytes>> PhaseKingProto::broadcast_bit(std::uint8_t tag,
+                                                                     bool bit) const {
+  Bytes body{tag, static_cast<std::uint8_t>(bit ? 1 : 0)};
+  std::vector<std::pair<PartyId, Bytes>> out;
+  out.reserve(members_.size());
+  for (PartyId p : members_) {
+    if (p != me_) out.emplace_back(p, body);
+  }
+  return out;
+}
+
+std::vector<std::pair<PartyId, Bytes>> PhaseKingProto::step(
+    std::size_t subround, const std::vector<TaggedMsg>& inbox) {
+  const std::size_t c = members_.size();
+
+  if (subround == 0) {
+    return broadcast_bit(kTagVote, value_);
+  }
+
+  if (subround % 2 == 1) {
+    // Round A arrivals: tally votes (mine included), king sends its majority.
+    std::size_t phase = (subround - 1) / 2;
+    std::size_t ones = value_ ? 1 : 0, votes = 1;
+    for (const auto& msg : inbox) {
+      if (msg.body.size() != 2 || msg.body[0] != kTagVote) continue;
+      if (std::find(members_.begin(), members_.end(), msg.from) == members_.end()) continue;
+      ones += (msg.body[1] != 0) ? 1 : 0;
+      ++votes;
+    }
+    (void)votes;
+    maj_ = (2 * ones > c);
+    mult_ = maj_ ? ones : (votes - ones);
+    // Count absent senders as implicit 0-votes for multiplicity purposes:
+    // the threshold test below uses c, so missing votes simply do not help.
+    if (members_[phase % c] == me_) {
+      return broadcast_bit(kTagKing, maj_);
+    }
+    return {};
+  }
+
+  // Round B arrivals: adopt king's bit unless my majority was overwhelming.
+  std::size_t phase = subround / 2 - 1;
+  std::optional<bool> king_bit;
+  PartyId king = members_[phase % c];
+  for (const auto& msg : inbox) {
+    if (msg.body.size() != 2 || msg.body[0] != kTagKing) continue;
+    if (msg.from != king) continue;
+    king_bit = (msg.body[1] != 0);
+  }
+  if (king == me_) king_bit = maj_;
+  if (mult_ > c / 2 + t_) {
+    value_ = maj_;
+  } else {
+    value_ = king_bit.value_or(false);
+  }
+
+  if (phase == t_) {
+    output_ = value_;
+    return {};
+  }
+  return broadcast_bit(kTagVote, value_);
+}
+
+}  // namespace srds

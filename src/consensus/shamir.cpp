@@ -1,0 +1,80 @@
+#include "consensus/shamir.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "consensus/field.hpp"
+
+namespace srds {
+
+namespace {
+
+/// Evaluate polynomial (coefficients low-to-high) at x.
+std::uint64_t poly_eval(const std::vector<std::uint64_t>& coeffs, std::uint64_t x) {
+  std::uint64_t acc = 0;
+  for (auto it = coeffs.rbegin(); it != coeffs.rend(); ++it) {
+    acc = Gf61::add(Gf61::mul(acc, x), *it);
+  }
+  return acc;
+}
+
+/// Lagrange interpolation of the polynomial through `pts`, evaluated at `x0`.
+std::uint64_t lagrange_at(const std::vector<Share>& pts, std::uint64_t x0) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    std::uint64_t num = 1, den = 1;
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      if (i == j) continue;
+      num = Gf61::mul(num, Gf61::sub(x0, pts[j].x));
+      den = Gf61::mul(den, Gf61::sub(pts[i].x, pts[j].x));
+    }
+    acc = Gf61::add(acc, Gf61::mul(pts[i].y, Gf61::mul(num, Gf61::inv(den))));
+  }
+  return acc;
+}
+
+/// Deduplicate by x (keeping first occurrence), sorted by x.
+std::vector<Share> distinct_points(std::vector<Share> shares) {
+  std::sort(shares.begin(), shares.end(),
+            [](const Share& a, const Share& b) { return a.x < b.x; });
+  std::vector<Share> out;
+  for (const auto& s : shares) {
+    if (out.empty() || out.back().x != s.x) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Share> shamir_share(std::uint64_t secret, std::size_t t, std::size_t n, Rng& rng) {
+  if (n == 0 || t >= n) throw std::invalid_argument("shamir_share: need 0 <= t < n");
+  std::vector<std::uint64_t> coeffs(t + 1);
+  coeffs[0] = Gf61::reduce(secret);
+  for (std::size_t i = 1; i <= t; ++i) coeffs[i] = rng.below(Gf61::kP);
+  std::vector<Share> shares(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shares[i].x = i + 1;
+    shares[i].y = poly_eval(coeffs, shares[i].x);
+  }
+  return shares;
+}
+
+std::optional<std::uint64_t> shamir_reconstruct(const std::vector<Share>& shares,
+                                                std::size_t t) {
+  auto pts = distinct_points(shares);
+  if (pts.size() < t + 1) return std::nullopt;
+  pts.resize(t + 1);
+  return lagrange_at(pts, 0);
+}
+
+bool shamir_consistent(const std::vector<Share>& shares, std::size_t t) {
+  auto pts = distinct_points(shares);
+  if (pts.size() < t + 1) return false;
+  std::vector<Share> base(pts.begin(), pts.begin() + static_cast<std::ptrdiff_t>(t + 1));
+  for (std::size_t i = t + 1; i < pts.size(); ++i) {
+    if (lagrange_at(base, pts[i].x) != pts[i].y) return false;
+  }
+  return true;
+}
+
+}  // namespace srds

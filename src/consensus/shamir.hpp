@@ -1,0 +1,35 @@
+// Shamir secret sharing over GF(2^61 - 1).
+//
+// share(): evaluate a random degree-t polynomial with f(0) = secret at
+// points x = 1..n. reconstruct(): Lagrange interpolation at 0.
+// consistent(): check that a set of shares lies on a single degree-<=t
+// polynomial — the test the coin-tossing protocol applies to detect dealers
+// who distributed inconsistent shares.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace srds {
+
+struct Share {
+  std::uint64_t x = 0;  // evaluation point (party index + 1), nonzero
+  std::uint64_t y = 0;  // value in GF(p)
+};
+
+/// Split `secret` (reduced mod p) into n shares with threshold t
+/// (any t+1 reconstruct; any t reveal nothing).
+std::vector<Share> shamir_share(std::uint64_t secret, std::size_t t, std::size_t n, Rng& rng);
+
+/// Reconstruct the secret from >= t+1 shares with distinct x. Returns
+/// nullopt if fewer than t+1 distinct points are given.
+std::optional<std::uint64_t> shamir_reconstruct(const std::vector<Share>& shares, std::size_t t);
+
+/// True iff all given shares (distinct x, size >= t+1) lie on one
+/// degree-<=t polynomial.
+bool shamir_consistent(const std::vector<Share>& shares, std::size_t t);
+
+}  // namespace srds

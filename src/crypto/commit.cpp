@@ -1,0 +1,21 @@
+#include "crypto/commit.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace srds {
+
+Commitment commit(BytesView message, BytesView r) {
+  Sha256 ctx;
+  ctx.update("srds-commit");
+  std::uint8_t rlen = static_cast<std::uint8_t>(r.size());
+  ctx.update(BytesView{&rlen, 1});
+  ctx.update(r);
+  ctx.update(message);
+  return Commitment{ctx.finish()};
+}
+
+bool commit_open(const Commitment& c, BytesView message, BytesView r) {
+  return commit(message, r) == c;
+}
+
+}  // namespace srds

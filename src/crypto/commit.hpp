@@ -1,0 +1,23 @@
+// Hash-based commitments: commit(m; r) = SHA-256("commit" || r || m).
+// Hiding under the hash's unpredictability, binding under collision
+// resistance. Used in the committee coin-tossing protocol (f_ct).
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/digest.hpp"
+
+namespace srds {
+
+struct Commitment {
+  Digest value;
+
+  bool operator==(const Commitment&) const = default;
+};
+
+/// Commit to `message` under 32-byte randomness `r`.
+Commitment commit(BytesView message, BytesView r);
+
+/// Check an opening.
+bool commit_open(const Commitment& c, BytesView message, BytesView r);
+
+}  // namespace srds

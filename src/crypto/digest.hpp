@@ -1,0 +1,54 @@
+// 256-bit digest value type.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace srds {
+
+/// A 32-byte hash value. Used for SHA-256 outputs, Merkle nodes,
+/// commitments, and verification-key fingerprints.
+struct Digest {
+  std::array<std::uint8_t, 32> v{};
+
+  auto operator<=>(const Digest&) const = default;
+
+  BytesView view() const { return BytesView{v.data(), v.size()}; }
+  Bytes to_bytes() const { return Bytes(v.begin(), v.end()); }
+
+  static Digest from(BytesView b) {
+    Digest d;
+    std::size_t n = b.size() < 32 ? b.size() : 32;
+    std::memcpy(d.v.data(), b.data(), n);
+    return d;
+  }
+
+  bool is_zero() const {
+    for (auto x : v)
+      if (x != 0) return false;
+    return true;
+  }
+
+  /// First 8 bytes as a little-endian integer (for cheap bucketing/tests).
+  std::uint64_t prefix64() const {
+    std::uint64_t r = 0;
+    for (int i = 0; i < 8; ++i) r |= static_cast<std::uint64_t>(v[i]) << (8 * i);
+    return r;
+  }
+};
+
+struct DigestHasher {
+  std::size_t operator()(const Digest& d) const {
+    std::uint64_t r;
+    std::memcpy(&r, d.v.data(), sizeof r);
+    return static_cast<std::size_t>(r);
+  }
+};
+
+}  // namespace srds

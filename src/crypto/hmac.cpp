@@ -1,0 +1,35 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+#include "crypto/sha256.hpp"
+
+namespace srds {
+
+Digest hmac_sha256(BytesView key, BytesView data) {
+  std::uint8_t k[64] = {0};
+  if (key.size() > 64) {
+    Digest kd = sha256(key);
+    std::memcpy(k, kd.v.data(), 32);
+  } else {
+    std::memcpy(k, key.data(), key.size());
+  }
+
+  std::uint8_t ipad[64], opad[64];
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(BytesView{ipad, 64});
+  inner.update(data);
+  Digest inner_d = inner.finish();
+
+  Sha256 outer;
+  outer.update(BytesView{opad, 64});
+  outer.update(inner_d.view());
+  return outer.finish();
+}
+
+}  // namespace srds

@@ -1,0 +1,13 @@
+// HMAC-SHA256 (RFC 2104). Backbone of the PRF/PRG and of the simulated
+// SNARK oracle's authentication tags.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/digest.hpp"
+
+namespace srds {
+
+/// HMAC-SHA256(key, data).
+Digest hmac_sha256(BytesView key, BytesView data);
+
+}  // namespace srds

@@ -1,0 +1,107 @@
+#include "crypto/lamport.hpp"
+
+#include <stdexcept>
+
+#include "common/serial.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/prg.hpp"
+#include "crypto/sha256.hpp"
+
+namespace srds {
+
+namespace {
+
+// Leaf layout: index 2*i + b is the hash of the preimage for bit i, value b.
+constexpr std::size_t kBits = 256;
+constexpr std::size_t kLeaves = 2 * kBits;
+
+Digest preimage(BytesView seed, std::size_t leaf_idx) {
+  return Prg(seed).block(leaf_idx);
+}
+
+std::vector<Digest> all_leaf_hashes(BytesView seed) {
+  std::vector<Digest> leaves;
+  leaves.reserve(kLeaves);
+  for (std::size_t i = 0; i < kLeaves; ++i) {
+    leaves.push_back(sha256(preimage(seed, i).view()));
+  }
+  return leaves;
+}
+
+}  // namespace
+
+Bytes LamportSignature::serialize() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(revealed.size()));
+  for (const auto& d : revealed) w.raw(d.view());
+  for (const auto& d : sibling) w.raw(d.view());
+  return std::move(w).take();
+}
+
+bool LamportSignature::deserialize(BytesView data, LamportSignature& out) {
+  Reader r(data);
+  std::uint32_t n = r.u32();
+  if (n != kBits) return false;
+  out.revealed.clear();
+  out.sibling.clear();
+  out.revealed.reserve(n);
+  out.sibling.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Bytes b = r.raw(32);
+    if (!r.ok()) return false;
+    out.revealed.push_back(Digest::from(b));
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Bytes b = r.raw(32);
+    if (!r.ok()) return false;
+    out.sibling.push_back(Digest::from(b));
+  }
+  return r.done();
+}
+
+LamportKeyPair lamport_keygen(BytesView seed32) {
+  if (seed32.size() != 32) throw std::invalid_argument("lamport_keygen: seed must be 32 bytes");
+  LamportKeyPair kp;
+  kp.seed.assign(seed32.begin(), seed32.end());
+  MerkleTree tree(all_leaf_hashes(seed32));
+  kp.verification_key = tree.root();
+  return kp;
+}
+
+Digest lamport_oblivious_keygen(Rng& rng) {
+  Bytes r = rng.bytes(32);
+  // A uniformly random 32-byte string, structurally identical to a Merkle
+  // root. No party (including the sampler) knows preimages for it.
+  return Digest::from(r);
+}
+
+LamportSignature lamport_sign(const LamportKeyPair& kp, BytesView message) {
+  Digest md = sha256_tagged("lamport-msg", message);
+  LamportSignature sig;
+  sig.revealed.reserve(kBits);
+  sig.sibling.reserve(kBits);
+  for (std::size_t i = 0; i < kBits; ++i) {
+    int bit = (md.v[i / 8] >> (i % 8)) & 1;
+    std::size_t sel = 2 * i + static_cast<std::size_t>(bit);
+    std::size_t other = 2 * i + static_cast<std::size_t>(1 - bit);
+    sig.revealed.push_back(preimage(kp.seed, sel));
+    sig.sibling.push_back(sha256(preimage(kp.seed, other).view()));
+  }
+  return sig;
+}
+
+bool lamport_verify(const Digest& vk, BytesView message, const LamportSignature& sig) {
+  if (sig.revealed.size() != kBits || sig.sibling.size() != kBits) return false;
+  Digest md = sha256_tagged("lamport-msg", message);
+  std::vector<Digest> leaves(kLeaves);
+  for (std::size_t i = 0; i < kBits; ++i) {
+    int bit = (md.v[i / 8] >> (i % 8)) & 1;
+    std::size_t sel = 2 * i + static_cast<std::size_t>(bit);
+    std::size_t other = 2 * i + static_cast<std::size_t>(1 - bit);
+    leaves[sel] = sha256(sig.revealed[i].view());
+    leaves[other] = sig.sibling[i];
+  }
+  return MerkleTree(std::move(leaves)).root() == vk;
+}
+
+}  // namespace srds

@@ -1,0 +1,57 @@
+// Lamport one-time signatures from a one-way function (SHA-256), with
+// Merkle-compressed verification keys and an *oblivious key generation*
+// algorithm (paper §2.2, OWF-based SRDS).
+//
+// Key generation derives 2×256 secret preimages from a 32-byte seed via the
+// PRG; the verification key is the Merkle root over the 512 preimage hashes,
+// i.e. 32 bytes. A signature reveals, for each bit b_i of the 256-bit message
+// digest, the preimage at position (i, b_i) together with the *sibling leaf
+// hash* at position (i, 1-b_i); the verifier recomputes all 512 leaves and
+// the Merkle root. Signature size: 512 × 32 B = 16 KiB = poly(κ), independent
+// of n — consistent with the Õ(·) accounting of the paper.
+//
+// Oblivious key generation (`oblivious_keygen`) outputs a uniformly random
+// 32-byte verification key with no corresponding signing key. Against the
+// hash modeled as a random function, such a key is indistinguishable from an
+// honestly generated root — exactly the property the OWF-based SRDS sortition
+// needs: an adversary inspecting the trusted PKI cannot tell which parties
+// hold signing ability.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/digest.hpp"
+
+namespace srds {
+
+struct LamportKeyPair {
+  Digest verification_key;
+  Bytes seed;  // 32-byte secret seed from which all preimages derive
+};
+
+struct LamportSignature {
+  // revealed[i]  = preimage of the leaf selected by digest bit i
+  // sibling[i]   = leaf hash (not preimage) of the unselected position
+  std::vector<Digest> revealed;  // size 256
+  std::vector<Digest> sibling;   // size 256
+
+  Bytes serialize() const;
+  static bool deserialize(BytesView data, LamportSignature& out);
+  static constexpr std::size_t kSerializedSize = 4 + 2 * 256 * 32;
+};
+
+/// Deterministic key generation from a seed.
+LamportKeyPair lamport_keygen(BytesView seed32);
+
+/// Sample a verification key with *no* signing key (oblivious key generation).
+Digest lamport_oblivious_keygen(Rng& rng);
+
+/// Sign the SHA-256 digest of `message`.
+LamportSignature lamport_sign(const LamportKeyPair& kp, BytesView message);
+
+/// Verify `sig` on `message` under `vk`.
+bool lamport_verify(const Digest& vk, BytesView message, const LamportSignature& sig);
+
+}  // namespace srds

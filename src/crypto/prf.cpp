@@ -1,0 +1,51 @@
+#include "crypto/prf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/serial.hpp"
+#include "crypto/hmac.hpp"
+
+namespace srds {
+
+Digest Prf::eval(BytesView input) const { return hmac_sha256(key_, input); }
+
+std::uint64_t Prf::eval_u64(std::uint64_t input) const {
+  Writer w;
+  w.u64(input);
+  return eval(w.data()).prefix64();
+}
+
+std::vector<std::size_t> prf_subset(BytesView seed, std::uint64_t i, std::size_t n,
+                                    std::size_t k) {
+  if (k > n) throw std::invalid_argument("prf_subset: k > n");
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  std::unordered_set<std::size_t> seen;
+  std::uint64_t ctr = 0;
+  while (out.size() < k) {
+    Writer w;
+    w.u64(i);
+    w.u64(ctr++);
+    Digest d = hmac_sha256(seed, w.data());
+    // Use four 64-bit lanes per digest.
+    for (int lane = 0; lane < 4 && out.size() < k; ++lane) {
+      std::uint64_t v = 0;
+      for (int b = 0; b < 8; ++b)
+        v |= static_cast<std::uint64_t>(d.v[8 * lane + b]) << (8 * b);
+      std::size_t cand = static_cast<std::size_t>(v % n);
+      if (seen.insert(cand).second) out.push_back(cand);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool prf_subset_contains(BytesView seed, std::uint64_t i, std::size_t n, std::size_t k,
+                         std::size_t j) {
+  auto s = prf_subset(seed, i, n, k);
+  return std::binary_search(s.begin(), s.end(), j);
+}
+
+}  // namespace srds

@@ -1,0 +1,41 @@
+// Pseudo-random function family F = {F_s} built from HMAC-SHA256.
+//
+// The BA protocol (paper Fig. 3, steps 7-8) uses a PRF mapping a party index
+// to a polylog(n)-size subset of [n]: party P_i sends its certified output to
+// C_i = F_s(i), and a receiver P_j accepts from P_i only if j ∈ F_s(i).
+// `PrfSubset` implements exactly that map, deterministically from (s, i).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/digest.hpp"
+
+namespace srds {
+
+/// Keyed PRF: F_s(x) for byte-string inputs.
+class Prf {
+ public:
+  explicit Prf(Bytes key) : key_(std::move(key)) {}
+
+  Digest eval(BytesView input) const;
+  std::uint64_t eval_u64(std::uint64_t input) const;
+
+  const Bytes& key() const { return key_; }
+
+ private:
+  Bytes key_;
+};
+
+/// F_s : [n] -> k-subsets of [n]. Deterministic in (seed, i, n, k).
+/// Sampling is by counter-mode rejection, so all parties evaluating F_s(i)
+/// obtain the same subset.
+std::vector<std::size_t> prf_subset(BytesView seed, std::uint64_t i, std::size_t n,
+                                    std::size_t k);
+
+/// Membership test: j ∈ F_s(i)? (computed by evaluating the subset).
+bool prf_subset_contains(BytesView seed, std::uint64_t i, std::size_t n, std::size_t k,
+                         std::size_t j);
+
+}  // namespace srds

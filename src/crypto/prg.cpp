@@ -1,0 +1,28 @@
+#include "crypto/prg.hpp"
+
+#include "common/serial.hpp"
+#include "crypto/hmac.hpp"
+
+namespace srds {
+
+Digest Prg::block(std::uint64_t idx) const {
+  Writer w;
+  w.u64(idx);
+  return hmac_sha256(seed_, w.data());
+}
+
+Bytes Prg::next(std::size_t n) {
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    if (pending_.empty()) {
+      pending_ = block(counter_++).to_bytes();
+    }
+    std::size_t take = std::min(n - out.size(), pending_.size());
+    out.insert(out.end(), pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(take));
+    pending_.erase(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+}  // namespace srds

@@ -1,0 +1,62 @@
+#include "crypto/threshold_sig.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "common/serial.hpp"
+#include "crypto/hmac.hpp"
+
+namespace srds {
+
+Bytes PartialThresholdSig::serialize() const {
+  Writer w;
+  w.u64(signer);
+  w.raw(tag.view());
+  return std::move(w).take();
+}
+
+bool PartialThresholdSig::deserialize(BytesView data, PartialThresholdSig& out) {
+  Reader r(data);
+  out.signer = r.u64();
+  Bytes t = r.raw(32);
+  if (!r.done()) return false;
+  out.tag = Digest::from(t);
+  return true;
+}
+
+ThresholdSigScheme::ThresholdSigScheme(std::size_t n, std::size_t t, std::uint64_t seed)
+    : n_(n), t_(t) {
+  if (n == 0 || t >= n) throw std::invalid_argument("ThresholdSigScheme: need t < n");
+  Rng rng(seed ^ 0x7468726573686f6cULL);
+  master_key_ = rng.bytes(32);
+  share_keys_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) share_keys_.push_back(rng.bytes(32));
+}
+
+PartialThresholdSig ThresholdSigScheme::partial_sign(std::size_t i, BytesView m) const {
+  if (i >= n_) throw std::out_of_range("ThresholdSigScheme::partial_sign: bad signer");
+  return PartialThresholdSig{i, hmac_sha256(share_keys_[i], m)};
+}
+
+bool ThresholdSigScheme::verify_partial(BytesView m,
+                                        const PartialThresholdSig& partial) const {
+  if (partial.signer >= n_) return false;
+  return hmac_sha256(share_keys_[partial.signer], m) == partial.tag;
+}
+
+std::optional<ThresholdSig> ThresholdSigScheme::combine(
+    BytesView m, const std::vector<PartialThresholdSig>& partials) const {
+  std::set<std::uint64_t> distinct;
+  for (const auto& p : partials) {
+    if (verify_partial(m, p)) distinct.insert(p.signer);
+  }
+  if (distinct.size() < t_ + 1) return std::nullopt;
+  return ThresholdSig{hmac_sha256(master_key_, m)};
+}
+
+bool ThresholdSigScheme::verify(BytesView m, const ThresholdSig& sig) const {
+  return hmac_sha256(master_key_, m) == sig.tag;
+}
+
+}  // namespace srds

@@ -1,0 +1,73 @@
+// Simulated (t, n)-threshold signatures — the closest existing relative the
+// paper contrasts SRDS against (§1.2): verification of a combined threshold
+// signature needs *no* signer identities, but *reconstruction* does — the
+// combiner must know which t+1 partials it holds to run the Lagrange
+// recombination. SRDS removes that last identity dependence, which is what
+// makes polylog-batch incremental aggregation possible up a tree whose
+// nodes cannot afford to track signer sets.
+//
+// SUBSTITUTION NOTE: no pairing/RSA backend is available offline, so this
+// is a registry-backed stand-in with the real scheme's *shape*: a dealer
+// Shamir-shares a master key; a partial signature is a per-share MAC tag
+// (carrying its signer index, like a BLS partial carries its evaluation
+// point); `combine` verifies t+1 index-distinct partials and emits the
+// constant-size master tag; `verify` checks the master tag only. Sizes,
+// identity requirements, and failure modes match a real threshold scheme.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/digest.hpp"
+
+namespace srds {
+
+struct PartialThresholdSig {
+  std::uint64_t signer = 0;
+  Digest tag;
+
+  Bytes serialize() const;
+  static bool deserialize(BytesView data, PartialThresholdSig& out);
+};
+
+/// Final combined signature: constant 32 bytes, no identities.
+struct ThresholdSig {
+  Digest tag;
+  bool operator==(const ThresholdSig&) const = default;
+};
+
+class ThresholdSigScheme {
+ public:
+  /// Trusted dealer: shares a master key among n parties with threshold t
+  /// (any t+1 partials combine; t or fewer yield nothing).
+  ThresholdSigScheme(std::size_t n, std::size_t t, std::uint64_t seed);
+
+  std::size_t n() const { return n_; }
+  std::size_t threshold() const { return t_; }
+
+  /// Party `i`'s partial signature on m.
+  PartialThresholdSig partial_sign(std::size_t i, BytesView m) const;
+
+  /// Check one partial (identifies bad shares before combining).
+  bool verify_partial(BytesView m, const PartialThresholdSig& partial) const;
+
+  /// Combine >= t+1 valid partials with distinct signer indices. Returns
+  /// nullopt when there are not enough valid distinct partials — note the
+  /// combiner must *see the signer indices* to establish distinctness: this
+  /// is the identity dependence SRDS eliminates.
+  std::optional<ThresholdSig> combine(BytesView m,
+                                      const std::vector<PartialThresholdSig>& partials) const;
+
+  /// Verify a combined signature — no identities involved.
+  bool verify(BytesView m, const ThresholdSig& sig) const;
+
+ private:
+  std::size_t n_;
+  std::size_t t_;
+  Bytes master_key_;
+  std::vector<Bytes> share_keys_;
+};
+
+}  // namespace srds

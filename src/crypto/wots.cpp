@@ -1,0 +1,118 @@
+#include "crypto/wots.hpp"
+
+#include <stdexcept>
+
+#include "common/serial.hpp"
+#include "crypto/prg.hpp"
+#include "crypto/sha256.hpp"
+
+namespace srds {
+
+namespace {
+
+constexpr std::size_t kMsgDigits = 64;   // 256 bits / 4 bits per digit
+constexpr std::size_t kCsumDigits = 3;   // max checksum 64*15 = 960 < 16^3
+constexpr std::size_t kChains = WotsSignature::kChains;
+static_assert(kChains == kMsgDigits + kCsumDigits);
+constexpr unsigned kW = 15;  // chain length: digits in [0, 15]
+
+/// Apply the chain function `steps` times: F(x) = SHA-256("wots-chain" || i || x)
+/// where i is the position in the chain (prevents cross-position splicing).
+Digest chain(Digest x, unsigned from, unsigned steps) {
+  for (unsigned s = 0; s < steps; ++s) {
+    Sha256 ctx;
+    ctx.update("wots-chain");
+    std::uint8_t pos = static_cast<std::uint8_t>(from + s);
+    ctx.update(BytesView{&pos, 1});
+    ctx.update(x.view());
+    x = ctx.finish();
+  }
+  return x;
+}
+
+/// Message digest -> 67 base-16 digits (64 message + 3 checksum).
+std::array<unsigned, kChains> digits_of(BytesView message) {
+  Digest md = sha256_tagged("wots-msg", message);
+  std::array<unsigned, kChains> d{};
+  for (std::size_t i = 0; i < kMsgDigits; ++i) {
+    std::uint8_t byte = md.v[i / 2];
+    d[i] = (i % 2 == 0) ? (byte >> 4) : (byte & 0x0f);
+  }
+  unsigned csum = 0;
+  for (std::size_t i = 0; i < kMsgDigits; ++i) csum += kW - d[i];
+  for (std::size_t i = 0; i < kCsumDigits; ++i) {
+    d[kMsgDigits + i] = (csum >> (4 * i)) & 0x0f;
+  }
+  return d;
+}
+
+Digest chain_seed(BytesView seed, std::size_t chain_idx) { return Prg(seed).block(chain_idx); }
+
+Digest vk_from_tops(const std::array<Digest, kChains>& tops) {
+  Sha256 ctx;
+  ctx.update("wots-vk");
+  for (const auto& t : tops) ctx.update(t.view());
+  return ctx.finish();
+}
+
+}  // namespace
+
+Bytes WotsSignature::serialize() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(chain_values.size()));
+  for (const auto& d : chain_values) w.raw(d.view());
+  return std::move(w).take();
+}
+
+bool WotsSignature::deserialize(BytesView data, WotsSignature& out) {
+  Reader r(data);
+  std::uint32_t n = r.u32();
+  if (n != kChains) return false;
+  out.chain_values.clear();
+  out.chain_values.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Bytes b = r.raw(32);
+    if (!r.ok()) return false;
+    out.chain_values.push_back(Digest::from(b));
+  }
+  return r.done();
+}
+
+WotsKeyPair wots_keygen(BytesView seed32) {
+  if (seed32.size() != 32) throw std::invalid_argument("wots_keygen: seed must be 32 bytes");
+  std::array<Digest, kChains> tops;
+  for (std::size_t c = 0; c < kChains; ++c) {
+    tops[c] = chain(chain_seed(seed32, c), 0, kW);
+  }
+  WotsKeyPair kp;
+  kp.seed.assign(seed32.begin(), seed32.end());
+  kp.verification_key = vk_from_tops(tops);
+  return kp;
+}
+
+Digest wots_oblivious_keygen(Rng& rng) {
+  Bytes r = rng.bytes(32);
+  return Digest::from(r);
+}
+
+WotsSignature wots_sign(const WotsKeyPair& kp, BytesView message) {
+  auto d = digits_of(message);
+  WotsSignature sig;
+  sig.chain_values.reserve(kChains);
+  for (std::size_t c = 0; c < kChains; ++c) {
+    sig.chain_values.push_back(chain(chain_seed(kp.seed, c), 0, d[c]));
+  }
+  return sig;
+}
+
+bool wots_verify(const Digest& vk, BytesView message, const WotsSignature& sig) {
+  if (sig.chain_values.size() != kChains) return false;
+  auto d = digits_of(message);
+  std::array<Digest, kChains> tops;
+  for (std::size_t c = 0; c < kChains; ++c) {
+    tops[c] = chain(sig.chain_values[c], d[c], kW - d[c]);
+  }
+  return vk_from_tops(tops) == vk;
+}
+
+}  // namespace srds

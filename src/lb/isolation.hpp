@@ -1,0 +1,61 @@
+// Empirical demonstrations of the paper's lower bounds for single-round
+// boosting with o(n) messages per party (Theorems 1.3 and 1.4).
+//
+// Scenario: almost-everywhere agreement holds on a bit y; one honest party
+// ("the target") is isolated and must catch up in a single round in which
+// every honest party sends only polylog(n) messages (to a pseudorandomly
+// chosen subset, dynamic filtering allowed). The adversary controls t
+// parties and wants the target to output y' != y.
+//
+// Four setups map the feasibility landscape:
+//   * kCrsOnly        (Thm 1.3) — messages carry only publicly computable
+//     authentication (a hash involving the CRS). The adversary simulates an
+//     alternative execution on y' and floods the target: forged support is
+//     indistinguishable from honest support, and with t >> polylog honest
+//     messages the target is outvoted. Attack succeeds.
+//   * kPkiPlainSigs   — per-sender signatures (a PKI) stop *impersonation*
+//     but not the vote: the t corrupted parties legitimately sign y'
+//     themselves and still outnumber the polylog honest messages that reach
+//     the target. Attack succeeds — individual signatures do not certify
+//     majority, which is exactly the gap SRDS fills.
+//   * kPkiSrds        — the sender attaches an SRDS certificate (π_ba's
+//     step 7). Forging a certificate for y' needs >= threshold base
+//     signatures; corrupt parties alone are below n/3 < threshold. Attack
+//     fails: the isolated target is safe with a single polylog-size round.
+//   * kPkiSrdsInvertedKeys (Thm 1.4) — same, but one-way functions are
+//     "broken": the adversary inverts the public keys and signs on behalf
+//     of every honest party, forging a certificate for y'. Attack succeeds,
+//     showing computational assumptions are necessary even with a PKI.
+#pragma once
+
+#include <cstdint>
+
+namespace srds {
+
+enum class BoostSetup {
+  kCrsOnly,
+  kPkiPlainSigs,
+  kPkiSrds,
+  kPkiSrdsInvertedKeys,
+};
+
+const char* setup_name(BoostSetup s);
+
+struct IsolationConfig {
+  std::size_t n = 256;
+  std::size_t t = 64;          // corrupted parties (< n/3)
+  std::size_t fanout = 0;      // honest per-party message budget (0 = log²n)
+  std::uint64_t seed = 1;
+};
+
+struct IsolationOutcome {
+  bool target_fooled = false;   // target output y' (or nothing useful)
+  bool target_correct = false;  // target output y
+  std::size_t honest_support = 0;  // honest messages that reached the target
+  std::size_t forged_support = 0;  // adversarial messages it accepted as support for y'
+};
+
+/// Run the single-round isolation experiment under the given setup.
+IsolationOutcome run_isolation_attack(BoostSetup setup, const IsolationConfig& config);
+
+}  // namespace srds

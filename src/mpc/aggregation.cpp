@@ -1,0 +1,33 @@
+#include "mpc/aggregation.hpp"
+
+namespace srds {
+
+std::vector<Bytes> node_range_filter(const SrdsScheme& scheme, const CommTree& tree,
+                                     const TreeNode& node, std::vector<Bytes> inputs) {
+  std::vector<Bytes> kept;
+  kept.reserve(inputs.size());
+  for (auto& blob : inputs) {
+    IndexRange r;
+    if (!scheme.index_range(blob, r)) continue;
+    bool ok = false;
+    if (node.is_leaf()) {
+      ok = (r.min == r.max && r.min >= node.vmin && r.max <= node.vmax);
+    } else {
+      for (std::size_t child : node.children) {
+        const TreeNode& c = tree.node(child);
+        if (r.min >= c.vmin && r.max <= c.vmax) {
+          ok = true;
+          break;
+        }
+      }
+    }
+    if (ok) kept.push_back(std::move(blob));
+  }
+  return kept;
+}
+
+Bytes f_aggr_sig(const SrdsScheme& scheme, BytesView m, const std::vector<Bytes>& inputs) {
+  return scheme.aggregate(m, inputs);
+}
+
+}  // namespace srds

@@ -1,0 +1,41 @@
+// The f_aggr-sig functionality of §3.1 — committee signature aggregation.
+//
+// In the paper this n'-party functionality is realized with the
+// Damgård–Ishai constant-round MPC (over a broadcast channel) because
+// Aggregate₂ could in principle be randomized with secret coins. Both SRDS
+// constructions in this repository have *deterministic* Aggregate₂ (the
+// paper notes this property holds for its constructions too, footnote 14),
+// so the functionality's output is a deterministic function of inputs that
+// every committee member can evaluate locally once the inputs are public —
+// no MPC needed, and any disagreement between members is resolved one level
+// up by cryptographic validity checks (DESIGN.md substitution S3).
+//
+// This header also hosts the protocol-side range checks of Fig. 3 step 5c:
+// a signature entering node v must cover an index range lying inside the
+// slot range of exactly one child of v (for leaves: a single index among
+// the leaf's own slots). Together with the strictly-increasing virtual-ID
+// layout this prevents a replayed base signature from being counted twice
+// or stretching an aggregate across sibling subtrees.
+#pragma once
+
+#include <vector>
+
+#include "srds/srds.hpp"
+#include "tree/comm_tree.hpp"
+
+namespace srds {
+
+/// Fig. 3 step 5c: drop signatures whose index range does not belong at
+/// `node`. Leaf nodes accept only base signatures (min == max) of their own
+/// slots; internal nodes accept inputs covered by exactly one child range.
+std::vector<Bytes> node_range_filter(const SrdsScheme& scheme, const CommTree& tree,
+                                     const TreeNode& node, std::vector<Bytes> inputs);
+
+/// f_aggr-sig: aggregate the (range-filtered) inputs on message m.
+/// Deterministic; all honest members of a node obtain the same result when
+/// fed the same inputs, and results that differ (possible at nodes with
+/// Byzantine members feeding different inputs) are reconciled by validity
+/// checks at the parent.
+Bytes f_aggr_sig(const SrdsScheme& scheme, BytesView m, const std::vector<Bytes>& inputs);
+
+}  // namespace srds

@@ -1,0 +1,88 @@
+#include "mpc/fhe.hpp"
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/serial.hpp"
+#include "crypto/hmac.hpp"
+
+namespace srds {
+
+Bytes Ciphertext::serialize() const {
+  Writer w;
+  w.raw(id.view());
+  w.raw(tag.view());
+  return std::move(w).take();
+}
+
+bool Ciphertext::deserialize(BytesView data, Ciphertext& out) {
+  Reader r(data);
+  Bytes id_raw = r.raw(32);
+  Bytes tag_raw = r.raw(32);
+  if (!r.done()) return false;
+  out.id = Digest::from(id_raw);
+  out.tag = Digest::from(tag_raw);
+  return true;
+}
+
+std::shared_ptr<FheOracle> FheOracle::create(std::uint64_t seed, std::size_t threshold) {
+  return std::shared_ptr<FheOracle>(new FheOracle(seed, threshold));
+}
+
+FheOracle::FheOracle(std::uint64_t seed, std::size_t threshold) : threshold_(threshold) {
+  Rng rng(seed ^ 0x6668652d6f7261ULL);
+  key_ = rng.bytes(32);
+}
+
+Digest FheOracle::tag_for(const Digest& id) const { return hmac_sha256(key_, id.view()); }
+
+Ciphertext FheOracle::encrypt(std::uint64_t plaintext) {
+  Writer w;
+  w.u64(counter_++);
+  w.u64(plaintext);
+  Digest id = hmac_sha256(key_, concat(to_bytes("ct-id"), w.data()));
+  plaintexts_[id] = plaintext;
+  return Ciphertext{id, tag_for(id)};
+}
+
+bool FheOracle::valid(const Ciphertext& c) const {
+  return plaintexts_.count(c.id) > 0 && tag_for(c.id) == c.tag;
+}
+
+std::optional<Ciphertext> FheOracle::add(const Ciphertext& a, const Ciphertext& b) {
+  if (!valid(a) || !valid(b)) return std::nullopt;
+  // Deterministic in the operand handles: every party evaluating the same
+  // homomorphic circuit over the same ciphertexts derives the *same* output
+  // handle, so committee members' results can be compared/majority-voted.
+  // (Real FHE achieves the same by agreeing on evaluation randomness.)
+  Digest id = hmac_sha256(key_, concat(to_bytes("ct-add"), a.id.to_bytes(),
+                                       b.id.to_bytes()));
+  plaintexts_[id] = plaintexts_[a.id] + plaintexts_[b.id];
+  return Ciphertext{id, tag_for(id)};
+}
+
+std::optional<Ciphertext> FheOracle::mul_const(const Ciphertext& a, std::uint64_t k) {
+  if (!valid(a)) return std::nullopt;
+  Writer w;
+  w.u64(k);
+  Digest id = hmac_sha256(key_, concat(to_bytes("ct-mul"), a.id.to_bytes(), w.data()));
+  plaintexts_[id] = plaintexts_[a.id] * k;
+  return Ciphertext{id, tag_for(id)};
+}
+
+DecryptionShare FheOracle::issue_share(std::size_t holder) {
+  return DecryptionShare(shared_from_this(), holder);
+}
+
+std::optional<std::uint64_t> FheOracle::decrypt(
+    const Ciphertext& c, const std::vector<DecryptionShare>& shares) const {
+  if (!valid(c)) return std::nullopt;
+  std::set<std::size_t> holders;
+  for (const auto& s : shares) {
+    if (s.oracle_.get() == this) holders.insert(s.holder());
+  }
+  if (holders.size() < threshold_) return std::nullopt;
+  return plaintexts_.at(c.id);
+}
+
+}  // namespace srds

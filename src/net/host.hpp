@@ -1,0 +1,59 @@
+// Host party that runs a single SubProtocol on the simulator.
+//
+// Used by tests and by standalone protocol drivers: the sub-protocol's
+// bodies are wrapped with a fixed (phase=0, instance) tag and stepped once
+// per global round. Production protocols (π_ba) embed sub-protocols with
+// their own scheduling instead.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "net/protocol.hpp"
+#include "net/subproto.hpp"
+
+namespace srds {
+
+class SubProtocolHost final : public Party {
+ public:
+  SubProtocolHost(PartyId me, std::unique_ptr<SubProtocol> proto,
+                  std::uint64_t instance = 0)
+      : me_(me), proto_(std::move(proto)), instance_(instance) {}
+
+  std::vector<Message> on_round(std::size_t round,
+                                const std::vector<Message>& inbox) override {
+    if (round >= proto_->rounds()) {
+      done_ = true;
+      return {};
+    }
+    std::vector<TaggedMsg> bodies;
+    for (const auto& m : inbox) {
+      std::uint32_t phase;
+      std::uint64_t inst;
+      Bytes body;
+      if (untag_body(m.payload, phase, inst, body) && phase == 0 && inst == instance_) {
+        bodies.push_back(TaggedMsg{m.from, std::move(body)});
+      }
+    }
+    auto outs = proto_->step(round, bodies);
+    std::vector<Message> msgs;
+    msgs.reserve(outs.size());
+    for (auto& [to, body] : outs) {
+      msgs.push_back(Message{me_, to, tag_body(0, instance_, body)});
+    }
+    if (round + 1 >= proto_->rounds()) done_ = true;
+    return msgs;
+  }
+
+  bool done() const override { return done_; }
+
+  SubProtocol* protocol() { return proto_.get(); }
+
+ private:
+  PartyId me_;
+  std::unique_ptr<SubProtocol> proto_;
+  std::uint64_t instance_;
+  bool done_ = false;
+};
+
+}  // namespace srds

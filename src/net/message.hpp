@@ -1,0 +1,22 @@
+// Message and party-identity vocabulary for the synchronous network.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace srds {
+
+/// Index of a party in [0, n).
+using PartyId = std::size_t;
+
+/// A point-to-point message. Delivery is synchronous: a message sent in
+/// round r is delivered at the beginning of round r+1.
+struct Message {
+  PartyId from = 0;
+  PartyId to = 0;
+  Bytes payload;
+};
+
+}  // namespace srds

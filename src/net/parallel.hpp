@@ -1,0 +1,61 @@
+// Run several SubProtocols side by side as one composite SubProtocol.
+// Bodies are framed with the child index so instances multiplex over the
+// same channel. Used for "every committee member broadcasts" blocks (c
+// parallel Dolev-Strong instances) and similar fan-outs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/serial.hpp"
+#include "net/subproto.hpp"
+
+namespace srds {
+
+class ParallelProto final : public SubProtocol {
+ public:
+  explicit ParallelProto(std::vector<std::unique_ptr<SubProtocol>> children)
+      : children_(std::move(children)) {
+    for (const auto& c : children_) {
+      if (c && c->rounds() > rounds_) rounds_ = c->rounds();
+    }
+  }
+
+  std::size_t rounds() const override { return rounds_; }
+
+  std::vector<std::pair<PartyId, Bytes>> step(
+      std::size_t subround, const std::vector<TaggedMsg>& inbox) override {
+    // Demux inbox by child index.
+    std::vector<std::vector<TaggedMsg>> per_child(children_.size());
+    for (const auto& msg : inbox) {
+      Reader r(msg.body);
+      std::uint32_t idx = r.u32();
+      if (!r.ok() || idx >= children_.size()) continue;
+      Bytes inner = r.raw(r.remaining());
+      if (!r.ok()) continue;
+      per_child[idx].push_back(TaggedMsg{msg.from, std::move(inner)});
+    }
+    std::vector<std::pair<PartyId, Bytes>> out;
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+      if (!children_[i] || subround >= children_[i]->rounds()) continue;
+      auto msgs = children_[i]->step(subround, per_child[i]);
+      for (auto& [to, body] : msgs) {
+        Writer w;
+        w.u32(static_cast<std::uint32_t>(i));
+        w.raw(body);
+        out.emplace_back(to, std::move(w).take());
+      }
+    }
+    return out;
+  }
+
+  SubProtocol* child(std::size_t i) { return children_[i].get(); }
+  const SubProtocol* child(std::size_t i) const { return children_[i].get(); }
+  std::size_t size() const { return children_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<SubProtocol>> children_;
+  std::size_t rounds_ = 0;
+};
+
+}  // namespace srds

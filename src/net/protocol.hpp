@@ -1,0 +1,56 @@
+// Interfaces implemented by protocol logic running on the simulator.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace srds {
+
+/// Protocol logic of one honest party.
+///
+/// The simulator calls `on_round(r, inbox)` exactly once per synchronous
+/// round; `inbox` holds the messages sent to this party in round r-1 (empty
+/// in round 0). The return value is the party's outbox for round r.
+///
+/// Implementations must treat `inbox` as untrusted: any message may have been
+/// crafted by the adversary. Malformed messages must be dropped, never cause
+/// a throw that crosses this interface.
+class Party {
+ public:
+  virtual ~Party() = default;
+
+  virtual std::vector<Message> on_round(std::size_t round,
+                                        const std::vector<Message>& inbox) = 0;
+
+  /// True once the party has produced its final output.
+  virtual bool done() const = 0;
+};
+
+/// The adversary controls all corrupted parties jointly and is *rushing*:
+/// in each round it sees the honest parties' outgoing messages for that round
+/// (full-information network) before choosing the corrupted parties' messages.
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// `corrupt_inbox` — messages delivered this round to corrupted parties;
+  /// `honest_outbox` — all messages honest parties are sending this round.
+  /// Returns the corrupted parties' messages for this round (each message's
+  /// `from` must be a corrupted party; the simulator enforces this).
+  virtual std::vector<Message> on_round(std::size_t round,
+                                        const std::vector<Message>& corrupt_inbox,
+                                        const std::vector<Message>& honest_outbox) = 0;
+};
+
+/// An adversary whose corrupted parties stay silent (fail-stop-like).
+class SilentAdversary final : public Adversary {
+ public:
+  std::vector<Message> on_round(std::size_t, const std::vector<Message>&,
+                                const std::vector<Message>&) override {
+    return {};
+  }
+};
+
+}  // namespace srds

@@ -1,0 +1,91 @@
+#include "net/simulator.hpp"
+
+#include <stdexcept>
+
+namespace srds {
+
+Simulator::Simulator(std::vector<std::unique_ptr<Party>> parties, std::vector<bool> corrupt,
+                     std::unique_ptr<Adversary> adversary)
+    : parties_(std::move(parties)),
+      corrupt_(std::move(corrupt)),
+      adversary_(std::move(adversary)),
+      stats_(parties_.size()) {
+  if (corrupt_.size() != parties_.size()) {
+    throw std::invalid_argument("Simulator: corrupt mask size mismatch");
+  }
+  for (PartyId i = 0; i < parties_.size(); ++i) {
+    if (corrupt_[i] && parties_[i]) {
+      throw std::invalid_argument("Simulator: corrupted slot must not hold honest logic");
+    }
+    if (!corrupt_[i] && !parties_[i]) {
+      throw std::invalid_argument("Simulator: honest slot missing party logic");
+    }
+  }
+  phase_stats_ = NetworkStats(parties_.size());
+  if (!adversary_) adversary_ = std::make_unique<SilentAdversary>();
+}
+
+std::size_t Simulator::run(std::size_t max_rounds) {
+  const std::size_t n = parties_.size();
+  // inboxes[i] = messages to deliver to party i at the start of this round.
+  std::vector<std::vector<Message>> inboxes(n);
+
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    bool all_done = true;
+    for (PartyId i = 0; i < n; ++i) {
+      if (!corrupt_[i] && !parties_[i]->done()) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) {
+      stats_.rounds = round;
+      return round;
+    }
+
+    std::vector<Message> honest_out;
+    for (PartyId i = 0; i < n; ++i) {
+      if (corrupt_[i]) continue;
+      auto out = parties_[i]->on_round(round, inboxes[i]);
+      for (auto& m : out) {
+        if (m.from != i || m.to >= n) {
+          throw std::logic_error("Simulator: honest party emitted ill-addressed message");
+        }
+        honest_out.push_back(std::move(m));
+      }
+    }
+
+    // Rushing adversary: sees all honest traffic of this round, plus the
+    // corrupted parties' inboxes, before choosing its own messages.
+    std::vector<Message> corrupt_in;
+    for (PartyId i = 0; i < n; ++i) {
+      if (!corrupt_[i]) continue;
+      for (auto& m : inboxes[i]) corrupt_in.push_back(std::move(m));
+    }
+    std::vector<Message> adv_out =
+        adversary_->on_round(round, corrupt_in, honest_out);
+    for (const auto& m : adv_out) {
+      if (m.from >= n || !corrupt_[m.from] || m.to >= n) {
+        // The adversary cannot spoof honest senders: channels are
+        // authenticated. Ill-formed adversarial messages are dropped.
+        continue;
+      }
+      honest_out.push_back(m);
+    }
+
+    for (auto& ib : inboxes) ib.clear();
+    for (auto& m : honest_out) {
+      // Loopback is free: a party "sending to itself" is local computation,
+      // not network communication (standard accounting convention).
+      if (m.from != m.to) {
+        stats_.record(m);
+        if (phase_mark_ && round >= *phase_mark_) phase_stats_.record(m);
+      }
+      inboxes[m.to].push_back(std::move(m));
+    }
+  }
+  stats_.rounds = max_rounds;
+  return max_rounds;
+}
+
+}  // namespace srds

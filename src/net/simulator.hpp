@@ -1,0 +1,56 @@
+// Synchronous network simulator.
+//
+// Executes n parties in lockstep rounds over a complete point-to-point
+// network with authenticated channels (the receiver learns the true sender
+// identity — the standard model of the paper; cryptographic authentication
+// *within* payloads is still needed for transferable authentication, e.g.,
+// Dolev-Strong). The adversary statically corrupts a subset of parties and is
+// rushing. All communication costs are accounted in `NetworkStats`.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "net/stats.hpp"
+
+namespace srds {
+
+class Simulator {
+ public:
+  /// `parties[i]` must be non-null exactly for honest parties; corrupted
+  /// slots are driven by `adversary` (nullptr = silent).
+  Simulator(std::vector<std::unique_ptr<Party>> parties, std::vector<bool> corrupt,
+            std::unique_ptr<Adversary> adversary);
+
+  /// Run until every honest party reports done() or `max_rounds` elapse.
+  /// Returns the number of rounds executed.
+  std::size_t run(std::size_t max_rounds);
+
+  /// Additionally account messages sent from round `round` onward into a
+  /// separate `phase_stats()` bucket (e.g., to isolate a protocol's boost
+  /// phase from its shared front end). Call before run().
+  void set_phase_mark(std::size_t round) { phase_mark_ = round; }
+
+  const NetworkStats& stats() const { return stats_; }
+  /// Stats restricted to rounds >= the phase mark (empty if no mark set).
+  const NetworkStats& phase_stats() const { return phase_stats_; }
+  std::size_t n() const { return parties_.size(); }
+  bool is_corrupt(PartyId i) const { return corrupt_[i]; }
+
+  /// Access a party's logic after the run (to read outputs).
+  Party* party(PartyId i) { return parties_[i].get(); }
+  const Party* party(PartyId i) const { return parties_[i].get(); }
+
+ private:
+  std::vector<std::unique_ptr<Party>> parties_;
+  std::vector<bool> corrupt_;
+  std::unique_ptr<Adversary> adversary_;
+  NetworkStats stats_;
+  NetworkStats phase_stats_;
+  std::optional<std::size_t> phase_mark_;
+};
+
+}  // namespace srds

@@ -1,0 +1,90 @@
+// Per-party communication accounting.
+//
+// Every quantitative claim this repository reproduces (Table 1 and the
+// scaling figures) is measured here, inside the network layer — protocols
+// never self-report their costs. We track, per party:
+//   * bytes/messages sent and received,
+//   * the set of distinct peers communicated with (the paper's
+//     "communication locality" / communication-graph degree).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace srds {
+
+struct PartyStats {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_recv = 0;
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_recv = 0;
+  std::unordered_set<PartyId> peers_out;
+  std::unordered_set<PartyId> peers_in;
+
+  /// Locality: number of distinct parties this party exchanged messages with.
+  std::size_t locality() const {
+    std::unordered_set<PartyId> u(peers_out.begin(), peers_out.end());
+    u.insert(peers_in.begin(), peers_in.end());
+    return u.size();
+  }
+
+  std::uint64_t bytes_total() const { return bytes_sent + bytes_recv; }
+};
+
+struct NetworkStats {
+  std::vector<PartyStats> party;
+  std::size_t rounds = 0;
+
+  explicit NetworkStats(std::size_t n = 0) : party(n) {}
+
+  void record(const Message& m) {
+    party[m.from].bytes_sent += m.payload.size();
+    party[m.from].msgs_sent += 1;
+    party[m.from].peers_out.insert(m.to);
+    party[m.to].bytes_recv += m.payload.size();
+    party[m.to].msgs_recv += 1;
+    party[m.to].peers_in.insert(m.from);
+  }
+
+  std::uint64_t total_bytes() const {
+    std::uint64_t t = 0;
+    for (const auto& p : party) t += p.bytes_sent;
+    return t;
+  }
+
+  /// Max bytes sent by any single party (the paper's "max com. per party").
+  std::uint64_t max_bytes_sent() const {
+    std::uint64_t m = 0;
+    for (const auto& p : party) m = std::max(m, p.bytes_sent);
+    return m;
+  }
+
+  /// Max of sent+received over parties.
+  std::uint64_t max_bytes_total() const {
+    std::uint64_t m = 0;
+    for (const auto& p : party) m = std::max(m, p.bytes_total());
+    return m;
+  }
+
+  std::size_t max_locality() const {
+    std::size_t m = 0;
+    for (const auto& p : party) m = std::max(m, p.locality());
+    return m;
+  }
+
+  /// Max over a subset of parties only (e.g., honest parties).
+  template <typename Pred>
+  std::uint64_t max_bytes_total_if(Pred&& keep) const {
+    std::uint64_t m = 0;
+    for (PartyId i = 0; i < party.size(); ++i) {
+      if (keep(i)) m = std::max(m, party[i].bytes_total());
+    }
+    return m;
+  }
+};
+
+}  // namespace srds

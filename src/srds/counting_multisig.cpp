@@ -1,0 +1,112 @@
+#include "srds/counting_multisig.hpp"
+
+#include <cstring>
+#include <set>
+
+#include "common/serial.hpp"
+#include "crypto/sha256.hpp"
+
+namespace srds {
+
+Bytes CountingMultisigCert::serialize() const {
+  Writer w;
+  w.raw(BytesView{tag.v.data(), tag.v.size()});
+  w.u64(count);
+  w.raw(BytesView{proof.v.data(), proof.v.size()});
+  return std::move(w).take();
+}
+
+bool CountingMultisigCert::deserialize(BytesView data, CountingMultisigCert& out) {
+  Reader r(data);
+  Bytes tag_raw = r.raw(48);
+  out.count = r.u64();
+  Bytes proof_raw = r.raw(SnarkProof::kSize);
+  if (!r.ok() || !r.done()) return false;
+  std::memcpy(out.tag.v.data(), tag_raw.data(), 48);
+  out.proof = SnarkProof::from(proof_raw);
+  return true;
+}
+
+CountingMultisig::CountingMultisig(std::size_t n, std::uint64_t seed,
+                                   double threshold_fraction)
+    : registry_(n, seed),
+      threshold_(static_cast<std::uint64_t>(static_cast<double>(n) * threshold_fraction)),
+      oracle_(seed ^ 0x636f756e74ULL),
+      // The compliance predicate is the subset-aggregation relation: the
+      // witness is the signer bitmap + the message; the statement binds
+      // (H(m), tag, count). The predicate recomputes each claimed signer's
+      // tag and the XOR-aggregate — NP verification of the paper's
+      // generalized Subset-Sum instance.
+      prover_(oracle_.register_predicate(
+          [this](BytesView st, BytesView witness, const std::vector<PriorMessage>& priors) {
+            if (!priors.empty()) return false;  // no recursion: the barrier
+            Reader sr(st);
+            Bytes md_raw = sr.raw(32);
+            Bytes tag_raw = sr.raw(48);
+            std::uint64_t count = sr.u64();
+            if (!sr.done()) return false;
+
+            Reader wr(witness);
+            Bytes m = wr.bytes();
+            std::uint32_t k = wr.u32();
+            if (!wr.ok() || k != count || k == 0 || k > registry_.n()) return false;
+            if (sha256_tagged("cms-m", m) != Digest::from(md_raw)) return false;
+
+            MultisigTag expect;
+            std::set<std::uint64_t> seen;
+            for (std::uint32_t e = 0; e < k; ++e) {
+              std::uint64_t signer = wr.u64();
+              if (!wr.ok() || signer >= registry_.n() || !seen.insert(signer).second) {
+                return false;
+              }
+              expect.xor_in(registry_.sign(signer, m));
+            }
+            if (!wr.done()) return false;
+            MultisigTag claimed;
+            std::memcpy(claimed.v.data(), tag_raw.data(), 48);
+            return expect == claimed;
+          })) {
+  if (threshold_ == 0) threshold_ = 1;
+}
+
+Bytes CountingMultisig::statement_bytes(BytesView m, const MultisigTag& tag,
+                                        std::uint64_t count) const {
+  Writer w;
+  w.raw(sha256_tagged("cms-m", m).view());
+  w.raw(BytesView{tag.v.data(), tag.v.size()});
+  w.u64(count);
+  return std::move(w).take();
+}
+
+std::optional<CountingMultisigCert> CountingMultisig::aggregate(
+    BytesView m, const std::vector<std::size_t>& signers,
+    const std::vector<MultisigTag>& tags) const {
+  if (signers.size() != tags.size() || signers.empty()) return std::nullopt;
+  MultisigTag agg;
+  std::set<std::size_t> seen;
+  for (std::size_t k = 0; k < signers.size(); ++k) {
+    if (signers[k] >= registry_.n() || !seen.insert(signers[k]).second) {
+      return std::nullopt;
+    }
+    if (!(registry_.sign(signers[k], m) == tags[k])) return std::nullopt;
+    agg.xor_in(tags[k]);
+  }
+
+  // The witness: the message plus the full signer list — Θ(n log n) bits.
+  Writer witness;
+  witness.bytes(m);
+  witness.u32(static_cast<std::uint32_t>(signers.size()));
+  for (std::size_t s : signers) witness.u64(s);
+
+  Bytes st = statement_bytes(m, agg, signers.size());
+  auto proof = prover_.prove(st, witness.data(), {});
+  if (!proof) return std::nullopt;
+  return CountingMultisigCert{agg, signers.size(), *proof};
+}
+
+bool CountingMultisig::verify(BytesView m, const CountingMultisigCert& cert) const {
+  if (cert.count < threshold_) return false;
+  return prover_.verifier().verify(statement_bytes(m, cert.tag, cert.count), cert.proof);
+}
+
+}  // namespace srds

@@ -1,0 +1,77 @@
+// Counting multisig — the paper's "connection to succinct arguments"
+// (§1.2 and the end of §2.2), in executable form.
+//
+// The natural approach toward SRDS from weaker assumptions is to take a
+// multi-signature and *replace the Θ(n)-bit signer bitmap* with a succinct
+// proof of the statement
+//
+//     "there exists a signer set S with |S| = c whose signatures on m
+//      aggregate to the tag T"
+//
+// — an average-case instance of an NP-complete subset-aggregation problem
+// (the paper's generalization of Subset-Sum/Subset-Product; here the group
+// operation is the tag XOR). The paper shows this route *necessitates*
+// SNARG-like tools; this module demonstrates the construction with the
+// repository's simulated SNARG and makes the remaining gap concrete:
+//
+//   * one-shot aggregation works: the final certificate is (tag, count,
+//     proof) — constant size, no identities — and verifies like an SRDS;
+//   * but the PROVER's witness is the full signer set (Θ(n) bits) plus all
+//     base signatures, so only a node that has seen *everything* can
+//     aggregate. There is no way to merge two counting-multisig
+//     certificates without re-proving from scratch — `merge()` below is
+//     deliberately absent. Incremental polylog-batch reconstruction (the
+//     "R" in SRDS) is exactly what the PCD-based construction
+//     (snark_srds.hpp) adds via recursive composition.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "crypto/multisig.hpp"
+#include "snark/snark.hpp"
+#include "srds/srds.hpp"
+
+namespace srds {
+
+/// Certificate: 48-byte aggregate tag + u64 count + 64-byte SNARG proof.
+struct CountingMultisigCert {
+  MultisigTag tag;
+  std::uint64_t count = 0;
+  SnarkProof proof;
+
+  Bytes serialize() const;
+  static bool deserialize(BytesView data, CountingMultisigCert& out);
+  static constexpr std::size_t kSize = 48 + 8 + SnarkProof::kSize;
+};
+
+class CountingMultisig {
+ public:
+  /// n parties; `threshold_fraction` of n must have signed for verify().
+  CountingMultisig(std::size_t n, std::uint64_t seed, double threshold_fraction = 0.5);
+
+  std::size_t n() const { return registry_.n(); }
+  std::uint64_t threshold() const { return threshold_; }
+
+  MultisigTag sign(std::size_t i, BytesView m) const { return registry_.sign(i, m); }
+
+  /// One-shot aggregation: requires the full signer list and all tags (the
+  /// Θ(n)-bit witness — see the header comment). Returns nullopt if any
+  /// tag is invalid or signers repeat.
+  std::optional<CountingMultisigCert> aggregate(
+      BytesView m, const std::vector<std::size_t>& signers,
+      const std::vector<MultisigTag>& tags) const;
+
+  /// Constant-size verification: proof + count >= threshold. No identities.
+  bool verify(BytesView m, const CountingMultisigCert& cert) const;
+
+ private:
+  Bytes statement_bytes(BytesView m, const MultisigTag& tag, std::uint64_t count) const;
+
+  MultisigRegistry registry_;
+  std::uint64_t threshold_;
+  SnarkOracle oracle_;
+  ProverHandle prover_;
+};
+
+}  // namespace srds

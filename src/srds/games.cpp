@@ -1,0 +1,297 @@
+#include "srds/games.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "srds/owf_srds.hpp"
+#include "srds/snark_srds.hpp"
+
+namespace srds {
+
+namespace {
+
+Bytes agreed_message() { return to_bytes("the-agreed-value"); }
+Bytes forged_message() { return to_bytes("EVIL-forged-value"); }
+
+/// Corruption choice over *parties* (slot owners).
+std::vector<bool> choose_corruptions(const SrdsScheme& scheme, const CommTree& tree,
+                                     const GameConfig& config, Rng& rng) {
+  const std::size_t n = tree.params().n;
+  std::vector<bool> corrupt(n, false);
+  std::size_t budget = std::min(config.t, n);
+  if (config.selector == CorruptionSelector::kRandom) {
+    for (auto idx : rng.subset(n, budget)) corrupt[idx] = true;
+    return corrupt;
+  }
+  // Clairvoyant: maximise corrupted signing power. For the OWF scheme this
+  // means targeting sortition winners — information the real PKI hides, so
+  // this adversary models a *broken* oblivious keygen (ablation).
+  const auto* owf = dynamic_cast<const OwfSrds*>(&scheme);
+  std::vector<std::pair<std::size_t, PartyId>> scored;  // (score, party)
+  for (PartyId p = 0; p < n; ++p) {
+    std::size_t score = 0;
+    for (auto vid : tree.virtuals_of(p)) {
+      if (owf) {
+        score += owf->has_signing_key(vid) ? 1000 : 0;
+      }
+      score += 1;
+    }
+    scored.emplace_back(score, p);
+  }
+  std::sort(scored.rbegin(), scored.rend());
+  for (std::size_t k = 0; k < budget; ++k) corrupt[scored[k].second] = true;
+  return corrupt;
+}
+
+Bytes garbage_blob(Rng& rng) { return rng.bytes(64 + rng.below(128)); }
+
+}  // namespace
+
+CommTree make_game_tree(std::size_t n_parties, std::uint64_t seed) {
+  TreeParams p = TreeParams::scaled(n_parties);
+  p.repeats = 1;  // Def. 2.3: each party sits at exactly one level-0 slot
+  return CommTree(p, seed);
+}
+
+RobustnessOutcome run_robustness_game(SrdsScheme& scheme, const CommTree& tree,
+                                      const GameConfig& config) {
+  if (scheme.signer_count() != tree.virtual_count()) {
+    throw std::invalid_argument("robustness game: scheme/tree size mismatch");
+  }
+  Rng rng(config.seed ^ 0x726f62757374ULL);
+  const std::size_t N = scheme.signer_count();
+
+  // A. Setup and corruption.
+  for (std::size_t i = 0; i < N; ++i) scheme.keygen(i);
+  std::vector<bool> corrupt_party = choose_corruptions(scheme, tree, config, rng);
+  std::vector<bool> corrupt_slot(N, false);
+  for (std::size_t vid = 0; vid < N; ++vid) {
+    corrupt_slot[vid] = corrupt_party[tree.owner_of_virtual(vid)];
+  }
+  // Bare PKI: replace corrupted keys with adversary-known WOTS keys.
+  std::map<std::size_t, WotsKeyPair> adv_keys;
+  if (scheme.bare_pki()) {
+    for (std::size_t vid = 0; vid < N; ++vid) {
+      if (!corrupt_slot[vid]) continue;
+      WotsKeyPair kp = wots_keygen(rng.bytes(32));
+      if (scheme.replace_key(vid, kp.verification_key.to_bytes())) {
+        adv_keys.emplace(vid, std::move(kp));
+      }
+    }
+  }
+  scheme.finalize_keys();
+
+  // B.1-2: tree is fixed (the challenger verified its Def. 2.3 shape at
+  // construction); adversary picks messages for isolated honest parties.
+  auto goodness = tree.analyze(corrupt_party, GoodnessRule::kOneThird);
+  const Bytes m = agreed_message();
+  const Bytes m_evil = forged_message();
+
+  RobustnessOutcome outcome;
+  for (bool c : corrupt_party) outcome.corrupted += c ? 1 : 0;
+
+  // B.3-4: honest signatures; adversary's corrupt signatures.
+  std::vector<Bytes> slot_sig(N);
+  Bytes an_honest_sig;
+  for (std::size_t vid = 0; vid < N; ++vid) {
+    if (corrupt_slot[vid]) continue;
+    bool isolated = !goodness.leaf_on_good_path[tree.leaf_of_virtual(vid)];
+    if (isolated) ++outcome.isolated_honest;
+    Bytes msg = isolated ? to_bytes("isolated-" + std::to_string(vid)) : m;
+    slot_sig[vid] = scheme.sign(vid, msg);
+    if (!isolated && !slot_sig[vid].empty() && an_honest_sig.empty()) {
+      an_honest_sig = slot_sig[vid];
+    }
+  }
+  for (std::size_t vid = 0; vid < N; ++vid) {
+    if (!corrupt_slot[vid]) continue;
+    switch (config.strategy) {
+      case AttackStrategy::kSilent:
+        break;
+      case AttackStrategy::kGarbage:
+        slot_sig[vid] = garbage_blob(rng);
+        break;
+      case AttackStrategy::kWrongMessage: {
+        auto it = adv_keys.find(vid);
+        if (it != adv_keys.end()) {
+          slot_sig[vid] = SnarkSrds::make_base_signature(vid, it->second, m_evil);
+        } else {
+          slot_sig[vid] = scheme.sign(vid, m_evil);
+        }
+        break;
+      }
+      case AttackStrategy::kDuplicate:
+        slot_sig[vid] = an_honest_sig;  // replay an honest signature
+        break;
+      case AttackStrategy::kBestEffort: {
+        auto it = adv_keys.find(vid);
+        if (it != adv_keys.end()) {
+          slot_sig[vid] = SnarkSrds::make_base_signature(vid, it->second, m);
+        } else {
+          slot_sig[vid] = scheme.sign(vid, m);
+        }
+        break;
+      }
+    }
+  }
+
+  // B.5: interactive aggregation up the tree.
+  std::map<std::size_t, Bytes> node_sig;  // node id -> σ_v
+  auto adversary_aggregate = [&](const std::vector<Bytes>& inputs) -> Bytes {
+    switch (config.strategy) {
+      case AttackStrategy::kSilent:
+        return {};
+      case AttackStrategy::kGarbage:
+        return garbage_blob(rng);
+      case AttackStrategy::kDuplicate: {
+        // Feed the same inputs many times — and also replay an honest
+        // signature repeatedly — trying to inflate the count.
+        std::vector<Bytes> dup = inputs;
+        dup.insert(dup.end(), inputs.begin(), inputs.end());
+        for (int k = 0; k < 4; ++k) dup.push_back(an_honest_sig);
+        return scheme.aggregate(m, dup);
+      }
+      case AttackStrategy::kWrongMessage:
+        return scheme.aggregate(m_evil, inputs);
+      case AttackStrategy::kBestEffort:
+        return scheme.aggregate(m, inputs);
+    }
+    return {};
+  };
+
+  // The challenger applies the protocol's range checks (Fig. 3 step 5c):
+  // at a leaf, a base signature must carry an index inside the leaf's slot
+  // range; at an internal node, an input's [min, max] must fall inside the
+  // range of exactly one child. This is the device that stops replayed
+  // signatures from stretching an aggregate's range across siblings.
+  auto range_filter = [&](const TreeNode& node, std::vector<Bytes> inputs) {
+    std::vector<Bytes> kept;
+    for (auto& blob : inputs) {
+      IndexRange r;
+      if (!scheme.index_range(blob, r)) continue;
+      bool ok = false;
+      if (node.is_leaf()) {
+        ok = (r.min == r.max && r.min >= node.vmin && r.max <= node.vmax);
+      } else {
+        for (std::size_t child : node.children) {
+          const TreeNode& c = tree.node(child);
+          if (r.min >= c.vmin && r.max <= c.vmax) {
+            ok = true;
+            break;
+          }
+        }
+      }
+      if (ok) kept.push_back(std::move(blob));
+    }
+    return kept;
+  };
+
+  for (std::size_t lvl = 1; lvl <= tree.height(); ++lvl) {
+    for (std::size_t id : tree.level_nodes(lvl)) {
+      const TreeNode& node = tree.node(id);
+      std::vector<Bytes> inputs;
+      if (node.is_leaf()) {
+        for (std::uint64_t vid = node.vmin; vid <= node.vmax; ++vid) {
+          if (!slot_sig[vid].empty()) inputs.push_back(slot_sig[vid]);
+        }
+      } else {
+        for (std::size_t child : node.children) {
+          auto it = node_sig.find(child);
+          if (it != node_sig.end() && !it->second.empty()) inputs.push_back(it->second);
+        }
+      }
+      Bytes sigma = goodness.node_good[id]
+                        ? scheme.aggregate(m, range_filter(node, std::move(inputs)))
+                        : adversary_aggregate(inputs);
+      node_sig[id] = std::move(sigma);
+    }
+  }
+
+  // C. Output phase.
+  const Bytes& root_sig = node_sig[tree.root_id()];
+  outcome.root_base_count = root_sig.empty() ? 0 : scheme.base_count(root_sig);
+  outcome.verified = !root_sig.empty() && scheme.verify(m, root_sig);
+  outcome.adversary_wins = !outcome.verified;
+  return outcome;
+}
+
+ForgeryOutcome run_forgery_game(SrdsScheme& scheme, const GameConfig& config) {
+  Rng rng(config.seed ^ 0x666f72676572ULL);
+  const std::size_t N = scheme.signer_count();
+
+  // A. Setup and corruption (directly over signer indices here: the forgery
+  // game has no tree, so parties and signers coincide).
+  for (std::size_t i = 0; i < N; ++i) scheme.keygen(i);
+  std::size_t n_corrupt = std::min(config.t, N);
+  std::vector<bool> corrupt(N, false);
+  for (auto idx : rng.subset(N, n_corrupt)) corrupt[idx] = true;
+
+  std::map<std::size_t, WotsKeyPair> adv_keys;
+  if (scheme.bare_pki()) {
+    for (std::size_t i = 0; i < N; ++i) {
+      if (!corrupt[i]) continue;
+      WotsKeyPair kp = wots_keygen(rng.bytes(32));
+      if (scheme.replace_key(i, kp.verification_key.to_bytes())) {
+        adv_keys.emplace(i, std::move(kp));
+      }
+    }
+  }
+  scheme.finalize_keys();
+
+  // B. Forgery challenge: S = honest indices topping I up to just below N/3.
+  const Bytes m = agreed_message();
+  const Bytes m_prime = forged_message();
+  std::size_t budget = (N % 3 == 0) ? (N / 3 - 1) : (N / 3);  // |S ∪ I| < N/3
+  std::vector<bool> in_s(N, false);
+  std::size_t s_count = 0;
+  for (std::size_t i = 0; i < N && n_corrupt + s_count < budget; ++i) {
+    if (!corrupt[i]) {
+      in_s[i] = true;
+      ++s_count;
+    }
+  }
+
+  // Honest signatures handed to the adversary. Its best play: have every
+  // party in S sign the forgery target m'.
+  std::vector<Bytes> on_target;  // signatures on m' the adversary can use
+  for (std::size_t i = 0; i < N; ++i) {
+    if (corrupt[i]) {
+      auto it = adv_keys.find(i);
+      Bytes sig = (it != adv_keys.end())
+                      ? SnarkSrds::make_base_signature(i, it->second, m_prime)
+                      : scheme.sign(i, m_prime);
+      if (!sig.empty()) on_target.push_back(std::move(sig));
+    } else if (in_s[i]) {
+      Bytes sig = scheme.sign(i, m_prime);  // m_i := m'
+      if (!sig.empty()) on_target.push_back(std::move(sig));
+    } else {
+      (void)scheme.sign(i, m);  // handed over, but useless for m' != m
+    }
+  }
+
+  ForgeryOutcome outcome;
+  outcome.corrupted = n_corrupt;
+
+  Bytes forged;
+  switch (config.strategy) {
+    case AttackStrategy::kGarbage:
+      forged = garbage_blob(rng);
+      break;
+    case AttackStrategy::kDuplicate: {
+      std::vector<Bytes> dup;
+      for (int k = 0; k < 8; ++k) {
+        dup.insert(dup.end(), on_target.begin(), on_target.end());
+      }
+      forged = scheme.aggregate(m_prime, dup);
+      break;
+    }
+    default:
+      forged = scheme.aggregate(m_prime, on_target);
+      break;
+  }
+  outcome.adversary_wins = !forged.empty() && scheme.verify(m_prime, forged);
+  return outcome;
+}
+
+}  // namespace srds

@@ -1,0 +1,80 @@
+// Executable versions of the paper's security experiments:
+//   * Figure 1 — the robustness game Expt^robust: the adversary corrupts up
+//     to t parties (after seeing the PKI; replacing keys under bare PKI),
+//     chooses an (n, I)-almost-everywhere-communication tree, messages for
+//     the isolated honest parties, and the aggregates of every bad node;
+//     the challenger signs and aggregates at good nodes. The adversary wins
+//     if the root signature fails to verify on m.
+//   * Figure 2 — the forgery game Expt^forge: the adversary picks S with
+//     |S ∪ I| < n/3, receives honest signatures (on m outside S, on chosen
+//     m_i inside S), and must output a verifying signature on some m' != m.
+//
+// The harnesses drive real SrdsScheme objects over a real CommTree and
+// return the experiment outcome, so the benchmark suite can estimate the
+// adversary's success probability empirically for a battery of strategies.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "srds/srds.hpp"
+#include "tree/comm_tree.hpp"
+
+namespace srds {
+
+/// How the game adversary behaves at the steps where it has freedom.
+enum class AttackStrategy {
+  kSilent,          // corrupt parties contribute nothing; bad nodes output ⊥
+  kGarbage,         // random byte strings as signatures/aggregates
+  kWrongMessage,    // corrupt parties sign a different message m'
+  kDuplicate,       // bad nodes try to aggregate the same honest signature
+                    // many times (the anti-duplication attack of §2.2)
+  kBestEffort,      // bad nodes aggregate honestly (sanity: robustness must
+                    // hold a fortiori)
+};
+
+/// How the adversary selects whom to corrupt after seeing the PKI.
+enum class CorruptionSelector {
+  kRandom,       // assignment/key-independent choice (the model's adversary)
+  kClairvoyant,  // cheats: inspects sortition outcomes / targets committees.
+                 // Used by ablation benches to show why oblivious key
+                 // generation and interactive committee election matter.
+};
+
+struct GameConfig {
+  std::size_t t = 0;  // corruption budget (< n/3 for the theorems to apply)
+  AttackStrategy strategy = AttackStrategy::kWrongMessage;
+  CorruptionSelector selector = CorruptionSelector::kRandom;
+  std::uint64_t seed = 1;
+};
+
+struct RobustnessOutcome {
+  bool verified = false;      // challenger's final Verify on (m, σ_root)
+  bool adversary_wins = false;  // = !verified
+  std::uint64_t root_base_count = 0;
+  std::size_t isolated_honest = 0;
+  std::size_t corrupted = 0;
+};
+
+struct ForgeryOutcome {
+  bool adversary_wins = false;  // produced verifying σ' on m' != m
+  std::size_t corrupted = 0;
+};
+
+/// Run Expt^robust. `scheme` must be freshly constructed (keys not yet
+/// generated); the harness performs the setup/corruption phase itself.
+/// `tree` is built with repeats=1 semantics: the game's signers are the
+/// tree's virtual slots, each owned by one party (Def. 2.3's level-0 nodes).
+RobustnessOutcome run_robustness_game(SrdsScheme& scheme, const CommTree& tree,
+                                      const GameConfig& config);
+
+/// Run Expt^forge on a freshly constructed scheme.
+ForgeryOutcome run_forgery_game(SrdsScheme& scheme, const GameConfig& config);
+
+/// Convenience: a repeats=1 tree suitable for the robustness game over
+/// `n_parties` (signers ~= n_parties, padded to fill leaf slots).
+CommTree make_game_tree(std::size_t n_parties, std::uint64_t seed);
+
+}  // namespace srds

@@ -1,0 +1,160 @@
+#include "tree/comm_tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/mathutil.hpp"
+#include "common/rng.hpp"
+
+namespace srds {
+
+TreeParams TreeParams::scaled(std::size_t n) {
+  if (n < 8) throw std::invalid_argument("TreeParams::scaled: need n >= 8");
+  std::size_t lg = at_least(ceil_log2(n), 3);
+  TreeParams p;
+  p.n = n;
+  p.committee_size = (2 * lg) | 1;     // odd, ~2 log n: keeps corrupt minority whp
+  p.branching = at_least(lg / 2, 2);   // ~log n / 2 keeps height >= 2 at small n
+  p.leaf_committee = 2 * lg;           // z*
+  p.repeats = 4;                       // z
+  p.root_committee = (4 * lg) | 1;     // supreme committee runs BA/coin: extra margin
+  return p;
+}
+
+std::size_t TreeParams::leaf_count() const { return ceil_div(n * repeats, leaf_committee); }
+
+std::size_t TreeParams::virtual_count() const { return leaf_count() * leaf_committee; }
+
+CommTree::CommTree(const TreeParams& params, std::uint64_t seed) : params_(params) {
+  if (params_.n == 0 || params_.committee_size == 0 || params_.branching < 2 ||
+      params_.leaf_committee == 0 || params_.repeats == 0) {
+    throw std::invalid_argument("CommTree: invalid parameters");
+  }
+  Rng rng(seed ^ 0x636f6d6d74726565ULL);
+
+  leaf_count_ = params_.leaf_count();
+  const std::size_t slots = params_.virtual_count();
+
+  // Deal virtual-identity slots: each party appears `repeats` times, then
+  // round-robin padding fills the remainder so every slot is owned. A random
+  // shuffle assigns slots (and hence leaf committees) to parties.
+  std::vector<PartyId> deal;
+  deal.reserve(slots);
+  for (PartyId i = 0; i < params_.n; ++i) {
+    for (std::size_t r = 0; r < params_.repeats; ++r) deal.push_back(i);
+  }
+  for (PartyId i = 0; deal.size() < slots; i = (i + 1) % params_.n) deal.push_back(i);
+  rng.shuffle(deal);
+  virtual_owner_ = std::move(deal);
+
+  party_virtuals_.assign(params_.n, {});
+  for (std::uint64_t vid = 0; vid < virtual_owner_.size(); ++vid) {
+    party_virtuals_[virtual_owner_[vid]].push_back(vid);
+  }
+
+  // Level 1: leaves. Leaf j's committee = owners of its slot range.
+  nodes_.reserve(2 * leaf_count_ + 2);
+  std::vector<std::size_t> current;
+  for (std::size_t j = 0; j < leaf_count_; ++j) {
+    TreeNode leaf;
+    leaf.id = nodes_.size();
+    leaf.level = 1;
+    leaf.vmin = static_cast<std::uint64_t>(j) * params_.leaf_committee;
+    leaf.vmax = leaf.vmin + params_.leaf_committee - 1;
+    for (std::uint64_t v = leaf.vmin; v <= leaf.vmax; ++v) {
+      leaf.committee.push_back(virtual_owner_[v]);
+    }
+    current.push_back(leaf.id);
+    nodes_.push_back(std::move(leaf));
+  }
+  levels_.push_back(current);
+
+  // Internal levels: group `branching` consecutive children per parent until
+  // a single root remains. If there is a single leaf, still add a root above
+  // it so a distinct supreme committee exists.
+  std::size_t level = 1;
+  while (current.size() > 1 || level == 1) {
+    ++level;
+    std::vector<std::size_t> next;
+    for (std::size_t i = 0; i < current.size(); i += params_.branching) {
+      TreeNode node;
+      node.id = nodes_.size();
+      node.level = level;
+      std::size_t end = std::min(i + params_.branching, current.size());
+      for (std::size_t c = i; c < end; ++c) {
+        node.children.push_back(current[c]);
+      }
+      node.vmin = nodes_[node.children.front()].vmin;
+      node.vmax = nodes_[node.children.back()].vmax;
+      auto sample = rng.subset(params_.n, std::min(params_.committee_size, params_.n));
+      node.committee.assign(sample.begin(), sample.end());
+      next.push_back(node.id);
+      nodes_.push_back(std::move(node));
+    }
+    for (std::size_t id : next) {
+      for (std::size_t c : nodes_[id].children) nodes_[c].parent = id;
+    }
+    levels_.push_back(next);
+    current = std::move(next);
+  }
+
+  root_id_ = current.front();
+  height_ = level;
+
+  // The supreme committee gets a larger sample: it must run BA and coin
+  // tossing (corrupt fraction < 1/3 required), not just majority voting.
+  std::size_t root_size = at_least(params_.root_committee, params_.committee_size);
+  auto sample = rng.subset(params_.n, std::min(root_size, params_.n));
+  nodes_[root_id_].committee.assign(sample.begin(), sample.end());
+}
+
+TreeGoodness CommTree::analyze(const std::vector<bool>& corrupt, GoodnessRule rule) const {
+  if (corrupt.size() != params_.n) {
+    throw std::invalid_argument("CommTree::analyze: corrupt mask size mismatch");
+  }
+  TreeGoodness g;
+  g.node_good.assign(nodes_.size(), false);
+  for (const auto& node : nodes_) {
+    std::size_t bad = 0;
+    for (PartyId p : node.committee) bad += corrupt[p] ? 1 : 0;
+    g.node_good[node.id] = (rule == GoodnessRule::kOneThird)
+                               ? (bad * 3 < node.committee.size())
+                               : (bad * 2 < node.committee.size());
+  }
+  g.root_good = g.node_good[root_id_];
+
+  g.leaf_on_good_path.assign(leaf_count_, false);
+  std::size_t good_leaves = 0;
+  for (std::size_t j = 0; j < leaf_count_; ++j) {
+    bool ok = true;
+    std::size_t id = j;
+    while (true) {
+      if (!g.node_good[id]) {
+        ok = false;
+        break;
+      }
+      if (id == root_id_) break;
+      id = nodes_[id].parent;
+    }
+    g.leaf_on_good_path[j] = ok;
+    good_leaves += ok ? 1 : 0;
+  }
+  g.good_leaf_fraction =
+      leaf_count_ == 0 ? 0.0 : static_cast<double>(good_leaves) / static_cast<double>(leaf_count_);
+  return g;
+}
+
+std::vector<bool> CommTree::connected_parties(const TreeGoodness& g) const {
+  std::vector<bool> connected(params_.n, false);
+  for (PartyId i = 0; i < params_.n; ++i) {
+    std::size_t good = 0;
+    const auto& vids = party_virtuals_[i];
+    for (auto vid : vids) {
+      if (g.leaf_on_good_path[leaf_of_virtual(vid)]) ++good;
+    }
+    connected[i] = (2 * good > vids.size());
+  }
+  return connected;
+}
+
+}  // namespace srds

@@ -1,0 +1,59 @@
+// Interactive committee election — a lightweight realization of the
+// King-Saia-Sanwalani-Vee iterated-sampling idea that f_ae-comm's tree
+// construction rests on.
+//
+// Why this exists (the paper's §1.1 caveat): committees must NOT be
+// readable from public setup alone, or the "adversary corrupts after seeing
+// the setup" model is trivialized — an assignment-aware adversary simply
+// corrupts the supreme committee. The defence is to elect committees
+// *interactively*, from randomness that does not exist until after the
+// corruption set is fixed.
+//
+// Protocol shape (KSSV-lite): parties start partitioned into constant-size
+// groups; each group runs the VSS-backed coin toss (consensus/coin_toss.hpp)
+// to agree on a fresh seed, and the seed pseudorandomly promotes a subset of
+// the group; promoted members of b sibling groups merge into a next-level
+// group, and the process iterates until one group — the supreme committee —
+// remains. Under assignment-independent corruption each level preserves the
+// honest fraction whp (sampling without foresight), and the adversary's
+// only lever is its minority influence inside groups it already corrupted.
+//
+// The driver below runs the whole election on the network simulator and
+// reports the resulting supreme committee together with the measured
+// per-party communication (polylog: each party participates in at most one
+// group per level). bench/ablation_election contrasts this against
+// CRS-derived committees under a setup-aware adversary.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "crypto/simsig.hpp"
+#include "net/stats.hpp"
+
+namespace srds {
+
+struct ElectionParams {
+  std::size_t group_size = 16;   // g: members per group
+  std::size_t merge_arity = 4;   // b: groups merged per level
+  /// Upper bound on the supreme-committee size (0 = group_size). The actual
+  /// committee is min(final_size, survivors of the last merge).
+  std::size_t final_size = 0;
+};
+
+struct ElectionResult {
+  std::vector<PartyId> supreme_committee;
+  NetworkStats stats{0};
+  std::size_t rounds = 0;
+  std::size_t levels = 0;
+  /// Fraction of the elected supreme committee that is corrupted (for the
+  /// experiment harness; honest parties never learn this, of course).
+  double committee_corrupt_fraction = 0.0;
+};
+
+/// Run the election among `n` parties with the given corruption mask
+/// (corrupted parties are fail-silent here; the coin toss tolerates worse).
+ElectionResult run_committee_election(std::size_t n, const std::vector<bool>& corrupt,
+                                      const ElectionParams& params, std::uint64_t seed);
+
+}  // namespace srds

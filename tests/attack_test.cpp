@@ -1,0 +1,63 @@
+// π_ba under an actively malicious adversary (ba/attack.hpp): value
+// conflicts on every dissemination edge, base-signature replay, garbage
+// aggregates, forged-certificate floods. Safety must hold throughout.
+#include <gtest/gtest.h>
+
+#include "ba/runner.hpp"
+
+namespace srds {
+namespace {
+
+BaRunConfig attack_config(BoostProtocol p, std::size_t n, double beta,
+                          std::uint64_t seed) {
+  BaRunConfig c;
+  c.n = n;
+  c.beta = beta;
+  c.seed = seed;
+  c.protocol = p;
+  c.active_adversary = true;
+  return c;
+}
+
+class ActiveAttackSweep
+    : public ::testing::TestWithParam<std::tuple<BoostProtocol, std::uint64_t>> {};
+
+TEST_P(ActiveAttackSweep, SafetyAndValidityHold) {
+  auto [proto, seed] = GetParam();
+  auto r = run_ba(attack_config(proto, 128, 0.20, seed));
+  EXPECT_TRUE(r.agreement) << protocol_name(proto);
+  ASSERT_TRUE(r.value.has_value()) << protocol_name(proto);
+  // Validity: no honest party may adopt the attacker's y' = 0.
+  EXPECT_TRUE(*r.value) << protocol_name(proto);
+  EXPECT_EQ(r.correct, r.decided) << protocol_name(proto);
+  // Liveness: the attack must not stop (almost) everyone from deciding.
+  EXPECT_GE(r.decided_fraction(), 0.9) << protocol_name(proto);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ActiveAttackSweep,
+    ::testing::Combine(::testing::Values(BoostProtocol::kPiBaOwf,
+                                         BoostProtocol::kPiBaSnark),
+                       ::testing::Values(std::uint64_t{21}, std::uint64_t{22},
+                                         std::uint64_t{23})));
+
+TEST(ActiveAttack, HigherCorruptionStillSafe) {
+  auto r = run_ba(attack_config(BoostProtocol::kPiBaSnark, 256, 0.25, 31));
+  EXPECT_TRUE(r.agreement);
+  ASSERT_TRUE(r.value.has_value());
+  EXPECT_TRUE(*r.value);
+  EXPECT_EQ(r.correct, r.decided);
+}
+
+TEST(ActiveAttack, AttackInflatesAdversaryBytesNotOutcome) {
+  auto silent = run_ba(attack_config(BoostProtocol::kPiBaSnark, 128, 0.2, 41));
+  BaRunConfig cfg = attack_config(BoostProtocol::kPiBaSnark, 128, 0.2, 41);
+  cfg.active_adversary = false;
+  auto quiet = run_ba(cfg);
+  // The attacker sends plenty (flood phases) yet changes no honest output.
+  EXPECT_GT(silent.stats.total_bytes(), quiet.stats.total_bytes());
+  EXPECT_EQ(silent.value, quiet.value);
+}
+
+}  // namespace
+}  // namespace srds

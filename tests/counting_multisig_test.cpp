@@ -1,0 +1,142 @@
+// Tests for the counting multisig (the paper's succinct-arguments
+// connection): one-shot SNARG-certified aggregation works; forging a count
+// or a tag fails; and the construction's structural limitation (no
+// incremental merging) is what distinguishes it from SRDS.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "srds/counting_multisig.hpp"
+
+namespace srds {
+namespace {
+
+struct Signed {
+  std::vector<std::size_t> signers;
+  std::vector<MultisigTag> tags;
+};
+
+Signed sign_range(const CountingMultisig& cms, BytesView m, std::size_t from,
+                  std::size_t to) {
+  Signed out;
+  for (std::size_t i = from; i < to; ++i) {
+    out.signers.push_back(i);
+    out.tags.push_back(cms.sign(i, m));
+  }
+  return out;
+}
+
+TEST(CountingMultisig, AggregateVerifyHappyPath) {
+  CountingMultisig cms(100, 1);
+  Bytes m = to_bytes("block");
+  auto s = sign_range(cms, m, 0, 70);
+  auto cert = cms.aggregate(m, s.signers, s.tags);
+  ASSERT_TRUE(cert.has_value());
+  EXPECT_EQ(cert->count, 70u);
+  EXPECT_TRUE(cms.verify(m, *cert));
+}
+
+TEST(CountingMultisig, CertificateIsConstantSize) {
+  CountingMultisig small(20, 2), big(2000, 3);
+  Bytes m = to_bytes("m");
+  auto s1 = sign_range(small, m, 0, 15);
+  auto s2 = sign_range(big, m, 0, 1500);
+  auto c1 = small.aggregate(m, s1.signers, s1.tags);
+  auto c2 = big.aggregate(m, s2.signers, s2.tags);
+  ASSERT_TRUE(c1.has_value() && c2.has_value());
+  EXPECT_EQ(c1->serialize().size(), c2->serialize().size());
+  EXPECT_EQ(c1->serialize().size(), CountingMultisigCert::kSize);
+}
+
+TEST(CountingMultisig, BelowThresholdRejected) {
+  CountingMultisig cms(100, 4);
+  Bytes m = to_bytes("m");
+  auto s = sign_range(cms, m, 0, 30);  // threshold is 50
+  auto cert = cms.aggregate(m, s.signers, s.tags);
+  ASSERT_TRUE(cert.has_value());
+  EXPECT_FALSE(cms.verify(m, *cert));
+}
+
+TEST(CountingMultisig, InflatedCountCannotBeProven) {
+  CountingMultisig cms(100, 5);
+  Bytes m = to_bytes("m");
+  auto s = sign_range(cms, m, 0, 60);
+  auto cert = cms.aggregate(m, s.signers, s.tags);
+  ASSERT_TRUE(cert.has_value());
+  // Tampering with the certified count invalidates the proof.
+  CountingMultisigCert forged = *cert;
+  forged.count = 90;
+  EXPECT_FALSE(cms.verify(m, forged));
+}
+
+TEST(CountingMultisig, WrongTagRejectedAtAggregation) {
+  CountingMultisig cms(50, 6);
+  Bytes m = to_bytes("m");
+  auto s = sign_range(cms, m, 0, 40);
+  s.tags[3] = cms.sign(3, to_bytes("other message"));
+  EXPECT_FALSE(cms.aggregate(m, s.signers, s.tags).has_value());
+}
+
+TEST(CountingMultisig, DuplicateSignersRejected) {
+  CountingMultisig cms(50, 7);
+  Bytes m = to_bytes("m");
+  auto s = sign_range(cms, m, 0, 40);
+  s.signers[5] = s.signers[6];
+  s.tags[5] = s.tags[6];
+  EXPECT_FALSE(cms.aggregate(m, s.signers, s.tags).has_value());
+}
+
+TEST(CountingMultisig, WrongMessageRejected) {
+  CountingMultisig cms(50, 8);
+  Bytes m = to_bytes("m1");
+  auto s = sign_range(cms, m, 0, 40);
+  auto cert = cms.aggregate(m, s.signers, s.tags);
+  ASSERT_TRUE(cert.has_value());
+  EXPECT_FALSE(cms.verify(to_bytes("m2"), *cert));
+}
+
+TEST(CountingMultisig, SerializationRoundTrip) {
+  CountingMultisig cms(50, 9);
+  Bytes m = to_bytes("m");
+  auto s = sign_range(cms, m, 0, 40);
+  auto cert = cms.aggregate(m, s.signers, s.tags);
+  ASSERT_TRUE(cert.has_value());
+  Bytes wire = cert->serialize();
+  CountingMultisigCert back;
+  ASSERT_TRUE(CountingMultisigCert::deserialize(wire, back));
+  EXPECT_TRUE(cms.verify(m, back));
+}
+
+TEST(CountingMultisig, TheBarrierNoIncrementalMerge) {
+  // The structural point of §2.2: two counting-multisig certificates over
+  // disjoint signer halves CANNOT be merged into one — the only way to a
+  // combined certificate is re-proving with the union witness, which
+  // requires one party to hold all Θ(n) identities. (SRDS's PCD recursion
+  // is precisely what removes this requirement.)
+  CountingMultisig cms(80, 10);
+  Bytes m = to_bytes("m");
+  auto left = sign_range(cms, m, 0, 40);
+  auto right = sign_range(cms, m, 40, 80);
+  auto c_left = cms.aggregate(m, left.signers, left.tags);
+  auto c_right = cms.aggregate(m, right.signers, right.tags);
+  ASSERT_TRUE(c_left.has_value() && c_right.has_value());
+
+  // A "merged" certificate built by XORing tags and adding counts carries
+  // no valid proof for the combined statement:
+  CountingMultisigCert merged;
+  merged.tag = c_left->tag;
+  merged.tag.xor_in(c_right->tag);
+  merged.count = c_left->count + c_right->count;
+  merged.proof = c_left->proof;  // best the merger has
+  EXPECT_FALSE(cms.verify(m, merged));
+
+  // Whereas the from-scratch union proof succeeds (with the full witness):
+  Signed all = left;
+  all.signers.insert(all.signers.end(), right.signers.begin(), right.signers.end());
+  all.tags.insert(all.tags.end(), right.tags.begin(), right.tags.end());
+  auto c_all = cms.aggregate(m, all.signers, all.tags);
+  ASSERT_TRUE(c_all.has_value());
+  EXPECT_TRUE(cms.verify(m, *c_all));
+}
+
+}  // namespace
+}  // namespace srds

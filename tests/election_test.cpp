@@ -1,0 +1,84 @@
+// Tests for the interactive committee election (KSSV-lite, tree/election.hpp).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tree/election.hpp"
+
+namespace srds {
+namespace {
+
+std::vector<bool> random_corrupt(std::size_t n, double beta, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<bool> corrupt(n, false);
+  for (auto idx : rng.subset(n, static_cast<std::size_t>(beta * n))) corrupt[idx] = true;
+  return corrupt;
+}
+
+TEST(Election, ProducesCommitteeOfRequestedSize) {
+  ElectionParams params;
+  params.group_size = 12;
+  params.merge_arity = 3;
+  params.final_size = 10;
+  auto r = run_committee_election(120, std::vector<bool>(120, false), params, 1);
+  EXPECT_LE(r.supreme_committee.size(), 10u);
+  EXPECT_GE(r.supreme_committee.size(), 6u);  // survivors of the last merge
+  EXPECT_GT(r.levels, 1u);
+  for (PartyId p : r.supreme_committee) EXPECT_LT(p, 120u);
+  // No duplicates.
+  auto c = r.supreme_committee;
+  std::sort(c.begin(), c.end());
+  EXPECT_TRUE(std::adjacent_find(c.begin(), c.end()) == c.end());
+}
+
+TEST(Election, DeterministicGivenSeedAndHonesty) {
+  ElectionParams params;
+  auto a = run_committee_election(96, std::vector<bool>(96, false), params, 7);
+  auto b = run_committee_election(96, std::vector<bool>(96, false), params, 7);
+  EXPECT_EQ(a.supreme_committee, b.supreme_committee);
+  auto c = run_committee_election(96, std::vector<bool>(96, false), params, 8);
+  EXPECT_NE(a.supreme_committee, c.supreme_committee);
+}
+
+TEST(Election, PreservesHonestFractionUnderRandomCorruption) {
+  // Across trials, the elected committee's corrupt fraction should hover
+  // around beta, not race to 1 — the sampling has no adversarial drift.
+  const std::size_t n = 192;
+  const double beta = 0.25;
+  double worst = 0.0, sum = 0.0;
+  const int trials = 6;
+  for (int trial = 0; trial < trials; ++trial) {
+    ElectionParams params;
+    auto corrupt = random_corrupt(n, beta, 100 + trial);
+    auto r = run_committee_election(n, corrupt, params, 200 + trial);
+    worst = std::max(worst, r.committee_corrupt_fraction);
+    sum += r.committee_corrupt_fraction;
+  }
+  EXPECT_LT(sum / trials, beta + 0.15);
+  // Committees are ~16 strong, so one unlucky draw moves the fraction by
+  // 1/16; allow the worst trial to touch one half but not exceed it.
+  EXPECT_LE(worst, 0.5);
+}
+
+TEST(Election, PerPartyCostIsModest) {
+  const std::size_t n = 256;
+  ElectionParams params;
+  auto r = run_committee_election(n, std::vector<bool>(n, false), params, 3);
+  // Every party sits in at most one constant-size group per level, so its
+  // locality stays far below n.
+  EXPECT_LT(r.stats.max_locality(), n / 2);
+  EXPECT_GT(r.rounds, 0u);
+}
+
+TEST(Election, SurvivesSilentCorruptGroups) {
+  // Groups whose members are all silent still cannot block the election.
+  const std::size_t n = 64;
+  std::vector<bool> corrupt(n, false);
+  for (std::size_t i = 0; i < 16; ++i) corrupt[i] = true;  // first group fully corrupt
+  ElectionParams params;
+  params.group_size = 16;
+  auto r = run_committee_election(n, corrupt, params, 4);
+  EXPECT_FALSE(r.supreme_committee.empty());
+}
+
+}  // namespace
+}  // namespace srds

@@ -1,0 +1,152 @@
+// Wire-format robustness: every parser that consumes network bytes must
+// survive arbitrary garbage without crashing and without false accepts.
+// These sweeps drive random and structure-adjacent mutations through every
+// deserializer and through live sub-protocol inboxes.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ba/certified_dissem.hpp"
+#include "common/rng.hpp"
+#include "consensus/coin_toss.hpp"
+#include "consensus/dolev_strong.hpp"
+#include "crypto/lamport.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/multisig.hpp"
+#include "crypto/threshold_sig.hpp"
+#include "crypto/wots.hpp"
+#include "mpc/fhe.hpp"
+#include "srds/owf_srds.hpp"
+#include "srds/snark_srds.hpp"
+#include "tree/dissemination.hpp"
+
+namespace srds {
+namespace {
+
+class WireFuzz : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Bytes random_garbage(Rng& rng) { return rng.bytes(rng.below(400)); }
+
+  /// Truncations and single-byte flips of a valid wire blob.
+  std::vector<Bytes> mutations(const Bytes& valid, Rng& rng) {
+    std::vector<Bytes> out;
+    if (valid.empty()) return out;
+    out.push_back(Bytes(valid.begin(), valid.begin() + valid.size() / 2));
+    out.push_back(Bytes(valid.begin(), valid.end() - 1));
+    Bytes flipped = valid;
+    flipped[rng.below(flipped.size())] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    out.push_back(std::move(flipped));
+    Bytes extended = valid;
+    extended.push_back(0x55);
+    out.push_back(std::move(extended));
+    return out;
+  }
+};
+
+TEST_P(WireFuzz, StructDeserializersNeverCrash) {
+  Rng rng(GetParam() * 77 + 1);
+  for (int trial = 0; trial < 40; ++trial) {
+    Bytes junk = random_garbage(rng);
+    WotsSignature wots;
+    (void)WotsSignature::deserialize(junk, wots);
+    LamportSignature lamport;
+    (void)LamportSignature::deserialize(junk, lamport);
+    MerklePath path;
+    (void)MerklePath::deserialize(junk, path);
+    Multisig ms;
+    (void)Multisig::deserialize(junk, ms);
+    PartialThresholdSig pts;
+    (void)PartialThresholdSig::deserialize(junk, pts);
+    Ciphertext ct;
+    (void)Ciphertext::deserialize(junk, ct);
+  }
+  SUCCEED();
+}
+
+TEST_P(WireFuzz, MutatedWotsSignaturesRejected) {
+  Rng rng(GetParam() * 77 + 2);
+  auto kp = wots_keygen(rng.bytes(32));
+  Bytes m = to_bytes("fuzz");
+  Bytes valid = wots_sign(kp, m).serialize();
+  for (const Bytes& mut : mutations(valid, rng)) {
+    WotsSignature sig;
+    if (WotsSignature::deserialize(mut, sig)) {
+      EXPECT_FALSE(wots_verify(kp.verification_key, m, sig));
+    }
+  }
+}
+
+TEST_P(WireFuzz, MutatedSrdsBlobsRejected) {
+  Rng rng(GetParam() * 77 + 3);
+  SnarkSrdsParams p;
+  p.n_signers = 24;
+  p.backend = BaseSigBackend::kCompact;
+  SnarkSrds scheme(p, GetParam());
+  for (std::size_t i = 0; i < 24; ++i) scheme.keygen(i);
+  scheme.finalize_keys();
+  Bytes m = to_bytes("fuzz");
+  std::vector<Bytes> sigs;
+  for (std::size_t i = 0; i < 24; ++i) sigs.push_back(scheme.sign(i, m));
+  Bytes agg = scheme.aggregate(m, sigs);
+  ASSERT_TRUE(scheme.verify(m, agg));
+  for (const Bytes& mut : mutations(agg, rng)) {
+    EXPECT_FALSE(scheme.verify(m, mut));
+  }
+  for (const Bytes& mut : mutations(sigs[0], rng)) {
+    EXPECT_TRUE(scheme.aggregate1(m, {mut}).empty());
+  }
+}
+
+TEST_P(WireFuzz, SubProtocolInboxesSurviveGarbage) {
+  Rng rng(GetParam() * 77 + 4);
+  auto tree = std::make_shared<const CommTree>(TreeParams::scaled(64), 5);
+  auto registry = std::make_shared<const SimSigRegistry>(64, 6);
+  std::vector<PartyId> members{0, 1, 2, 3, 4, 5, 6};
+
+  DolevStrongProto ds(registry, members, 0, 2, to_bytes("fz"), 1, std::nullopt);
+  CoinTossProto ct(registry, members, 2, to_bytes("fz"), 1, 7);
+  DisseminationProto dis(tree, 1, std::nullopt);
+  CertifiedDissemProto cd(tree, 1, std::nullopt, {},
+                          [](BytesView, BytesView) { return false; }, 3);
+
+  for (std::size_t round = 0; round < 12; ++round) {
+    std::vector<TaggedMsg> inbox;
+    for (int k = 0; k < 6; ++k) {
+      inbox.push_back(TaggedMsg{static_cast<PartyId>(rng.below(64)),
+                                random_garbage(rng)});
+    }
+    if (round < ds.rounds()) (void)ds.step(round, inbox);
+    if (round < ct.rounds()) (void)ct.step(round, inbox);
+    if (round < dis.rounds()) (void)dis.step(round, inbox);
+    if (round < cd.rounds()) (void)cd.step(round, inbox);
+  }
+  // Garbage must never produce an accepted output.
+  EXPECT_FALSE(ds.output().has_value());
+  EXPECT_FALSE(dis.output().has_value());
+  EXPECT_TRUE(cd.certificate().empty());
+}
+
+TEST_P(WireFuzz, OwfSchemeSurvivesStructuredGarbage) {
+  Rng rng(GetParam() * 77 + 5);
+  OwfSrdsParams p;
+  p.n_signers = 40;
+  p.expected_signers = 12;
+  p.backend = BaseSigBackend::kCompact;
+  OwfSrds scheme(p, GetParam() + 1);
+  for (std::size_t i = 0; i < 40; ++i) scheme.keygen(i);
+  scheme.finalize_keys();
+  Bytes m = to_bytes("fuzz");
+  for (int trial = 0; trial < 25; ++trial) {
+    Bytes junk = random_garbage(rng);
+    if (!junk.empty()) junk[0] = 1;  // force the aggregate tag byte
+    EXPECT_FALSE(scheme.verify(m, junk));
+    IndexRange r;
+    (void)scheme.index_range(junk, r);
+    (void)scheme.base_count(junk);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz, ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace srds

@@ -1,0 +1,94 @@
+// Additional security-game coverage: bare-PKI key replacement inside the
+// robustness game, WOTS-backend games, and parameterized seed sweeps.
+#include <gtest/gtest.h>
+
+#include "srds/games.hpp"
+#include "srds/owf_srds.hpp"
+#include "srds/snark_srds.hpp"
+
+namespace srds {
+namespace {
+
+class GameSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GameSeeds, SnarkRobustnessAcrossSeeds) {
+  CommTree tree = make_game_tree(108, GetParam());
+  SnarkSrdsParams p;
+  p.n_signers = tree.virtual_count();
+  p.backend = BaseSigBackend::kCompact;
+  SnarkSrds scheme(p, GetParam() * 3 + 1);
+  GameConfig cfg;
+  cfg.t = 10;
+  cfg.strategy = AttackStrategy::kWrongMessage;
+  cfg.seed = GetParam() * 7 + 2;
+  auto out = run_robustness_game(scheme, tree, cfg);
+  EXPECT_FALSE(out.adversary_wins) << "seed " << GetParam();
+}
+
+TEST_P(GameSeeds, OwfForgeryAcrossSeeds) {
+  OwfSrdsParams p;
+  p.n_signers = 150;
+  p.expected_signers = 64;  // comfortable concentration margin
+  p.backend = BaseSigBackend::kCompact;
+  OwfSrds scheme(p, GetParam() * 11 + 3);
+  GameConfig cfg;
+  cfg.t = 49;
+  cfg.strategy = AttackStrategy::kDuplicate;
+  cfg.seed = GetParam() * 13 + 4;
+  auto out = run_forgery_game(scheme, cfg);
+  EXPECT_FALSE(out.adversary_wins) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GameSeeds, ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(GamesExtra, BareKeyReplacementExercisedInRobustness) {
+  // The bare-PKI robustness game replaces every corrupted virtual key with
+  // an adversary-held WOTS key and signs conflicting values with it; the
+  // honest majority must still certify.
+  CommTree tree = make_game_tree(108, 71);
+  SnarkSrdsParams p;
+  p.n_signers = tree.virtual_count();
+  p.backend = BaseSigBackend::kWots;  // replacement needs the WOTS backend
+  SnarkSrds scheme(p, 72);
+  GameConfig cfg;
+  cfg.t = 10;
+  cfg.strategy = AttackStrategy::kWrongMessage;
+  cfg.seed = 73;
+  auto out = run_robustness_game(scheme, tree, cfg);
+  EXPECT_FALSE(out.adversary_wins);
+  EXPECT_GE(out.root_base_count, scheme.threshold());
+}
+
+TEST(GamesExtra, WotsBackendForgeryGame) {
+  SnarkSrdsParams p;
+  p.n_signers = 60;
+  p.backend = BaseSigBackend::kWots;
+  SnarkSrds scheme(p, 81);
+  GameConfig cfg;
+  cfg.t = 19;
+  cfg.strategy = AttackStrategy::kWrongMessage;
+  cfg.seed = 82;
+  auto out = run_forgery_game(scheme, cfg);
+  EXPECT_FALSE(out.adversary_wins);
+}
+
+TEST(GamesExtra, RobustnessReportsIsolationHonestly) {
+  CommTree tree = make_game_tree(108, 91);
+  OwfSrdsParams p;
+  p.n_signers = tree.virtual_count();
+  p.expected_signers = 48;
+  p.backend = BaseSigBackend::kCompact;
+  OwfSrds scheme(p, 92);
+  GameConfig cfg;
+  cfg.t = 20;
+  cfg.strategy = AttackStrategy::kBestEffort;
+  cfg.seed = 93;
+  auto out = run_robustness_game(scheme, tree, cfg);
+  // Diagnostics must be internally consistent.
+  EXPECT_EQ(out.corrupted, 20u);
+  EXPECT_LE(out.isolated_honest, scheme.signer_count());
+  EXPECT_EQ(out.adversary_wins, !out.verified);
+}
+
+}  // namespace
+}  // namespace srds

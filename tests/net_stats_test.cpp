@@ -1,0 +1,92 @@
+// Tests for phase-marked accounting and stats aggregation helpers.
+#include <gtest/gtest.h>
+
+#include "net/simulator.hpp"
+
+namespace srds {
+namespace {
+
+/// Sends `bytes_per_round` to party 1 every round for `rounds` rounds.
+class MeteredSender final : public Party {
+ public:
+  MeteredSender(PartyId me, std::size_t rounds, std::size_t bytes_per_round)
+      : me_(me), rounds_(rounds), bytes_(bytes_per_round) {}
+
+  std::vector<Message> on_round(std::size_t round, const std::vector<Message>&) override {
+    if (round >= rounds_) {
+      done_ = true;
+      return {};
+    }
+    return {Message{me_, 1, Bytes(bytes_, 0xAB)}};
+  }
+  bool done() const override { return done_; }
+
+ private:
+  PartyId me_;
+  std::size_t rounds_, bytes_;
+  bool done_ = false;
+};
+
+class Sink final : public Party {
+ public:
+  std::vector<Message> on_round(std::size_t, const std::vector<Message>&) override {
+    return {};
+  }
+  bool done() const override { return true; }
+};
+
+TEST(PhaseStats, MarkSplitsAccounting) {
+  std::vector<std::unique_ptr<Party>> parties;
+  parties.push_back(std::make_unique<MeteredSender>(0, 10, 100));
+  parties.push_back(std::make_unique<Sink>());
+  Simulator sim(std::move(parties), std::vector<bool>{false, false}, nullptr);
+  sim.set_phase_mark(6);
+  sim.run(32);
+  // 10 rounds x 100 bytes total; rounds 6..9 => 400 bytes in the phase bucket.
+  EXPECT_EQ(sim.stats().party[0].bytes_sent, 1000u);
+  EXPECT_EQ(sim.phase_stats().party[0].bytes_sent, 400u);
+  EXPECT_EQ(sim.phase_stats().party[1].bytes_recv, 400u);
+}
+
+TEST(PhaseStats, NoMarkMeansEmptyPhaseBucket) {
+  std::vector<std::unique_ptr<Party>> parties;
+  parties.push_back(std::make_unique<MeteredSender>(0, 3, 10));
+  parties.push_back(std::make_unique<Sink>());
+  Simulator sim(std::move(parties), std::vector<bool>{false, false}, nullptr);
+  sim.run(16);
+  EXPECT_EQ(sim.stats().party[0].bytes_sent, 30u);
+  EXPECT_EQ(sim.phase_stats().party[0].bytes_sent, 0u);
+}
+
+TEST(PhaseStats, MarkAtZeroCapturesEverything) {
+  std::vector<std::unique_ptr<Party>> parties;
+  parties.push_back(std::make_unique<MeteredSender>(0, 4, 7));
+  parties.push_back(std::make_unique<Sink>());
+  Simulator sim(std::move(parties), std::vector<bool>{false, false}, nullptr);
+  sim.set_phase_mark(0);
+  sim.run(16);
+  EXPECT_EQ(sim.phase_stats().party[0].bytes_sent, sim.stats().party[0].bytes_sent);
+}
+
+TEST(PartyStats, LocalityUnionsDirections) {
+  PartyStats s;
+  s.peers_out.insert(3);
+  s.peers_out.insert(4);
+  s.peers_in.insert(4);
+  s.peers_in.insert(5);
+  EXPECT_EQ(s.locality(), 3u);
+  EXPECT_EQ(s.bytes_total(), 0u);
+}
+
+TEST(NetworkStats, MaxIfFiltersParties) {
+  NetworkStats stats(3);
+  stats.party[0].bytes_sent = 100;
+  stats.party[1].bytes_sent = 500;
+  stats.party[2].bytes_sent = 50;
+  EXPECT_EQ(stats.max_bytes_total(), 500u);
+  auto only_even = [](PartyId i) { return i % 2 == 0; };
+  EXPECT_EQ(stats.max_bytes_total_if(only_even), 100u);
+}
+
+}  // namespace
+}  // namespace srds

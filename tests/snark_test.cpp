@@ -1,0 +1,151 @@
+// Tests for the simulated SNARK/PCD oracle.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/serial.hpp"
+#include "snark/snark.hpp"
+
+namespace srds {
+namespace {
+
+CompliancePredicate statement_equals(const Bytes& expect) {
+  return [expect](BytesView st, BytesView, const std::vector<PriorMessage>&) {
+    return Bytes(st.begin(), st.end()) == expect;
+  };
+}
+
+TEST(Snark, ProveVerifyHappyPath) {
+  SnarkOracle oracle(1);
+  Bytes st = to_bytes("x=5 is a sum");
+  auto prover = oracle.register_predicate(statement_equals(st));
+  auto proof = prover.prove(st, to_bytes("witness"), {});
+  ASSERT_TRUE(proof.has_value());
+  EXPECT_TRUE(prover.verifier().verify(st, *proof));
+}
+
+TEST(Snark, FalseStatementNotProvable) {
+  SnarkOracle oracle(2);
+  auto prover = oracle.register_predicate(statement_equals(to_bytes("good")));
+  EXPECT_FALSE(prover.prove(to_bytes("evil"), to_bytes("w"), {}).has_value());
+}
+
+TEST(Snark, ProofDoesNotTransferAcrossStatements) {
+  SnarkOracle oracle(3);
+  auto prover = oracle.register_predicate(
+      [](BytesView, BytesView, const std::vector<PriorMessage>&) { return true; });
+  auto proof = prover.prove(to_bytes("a"), {}, {});
+  ASSERT_TRUE(proof.has_value());
+  EXPECT_FALSE(prover.verifier().verify(to_bytes("b"), *proof));
+}
+
+TEST(Snark, ProofDoesNotTransferAcrossPredicates) {
+  SnarkOracle oracle(4);
+  auto p1 = oracle.register_predicate(
+      [](BytesView, BytesView, const std::vector<PriorMessage>&) { return true; });
+  auto p2 = oracle.register_predicate(
+      [](BytesView, BytesView, const std::vector<PriorMessage>&) { return true; });
+  Bytes st = to_bytes("shared");
+  auto proof = p1.prove(st, {}, {});
+  ASSERT_TRUE(proof.has_value());
+  EXPECT_TRUE(p1.verifier().verify(st, *proof));
+  EXPECT_FALSE(p2.verifier().verify(st, *proof));
+}
+
+TEST(Snark, GuessedProofRejected) {
+  SnarkOracle oracle(5);
+  auto prover = oracle.register_predicate(
+      [](BytesView, BytesView, const std::vector<PriorMessage>&) { return true; });
+  SnarkProof forged;
+  Rng rng(9);
+  Bytes r = rng.bytes(64);
+  std::copy(r.begin(), r.end(), forged.v.begin());
+  EXPECT_FALSE(prover.verifier().verify(to_bytes("st"), forged));
+}
+
+TEST(Snark, ProofIsConstantSize) {
+  EXPECT_EQ(SnarkProof::kSize, 64u);
+  SnarkProof p;
+  EXPECT_EQ(p.to_bytes().size(), 64u);
+}
+
+TEST(Snark, DifferentCrsDifferentProofs) {
+  Bytes st = to_bytes("s");
+  auto pred = [](BytesView, BytesView, const std::vector<PriorMessage>&) { return true; };
+  SnarkOracle o1(10), o2(11);
+  auto pr1 = o1.register_predicate(pred);
+  auto pr2 = o2.register_predicate(pred);
+  auto proof1 = pr1.prove(st, {}, {});
+  ASSERT_TRUE(proof1.has_value());
+  EXPECT_FALSE(pr2.verifier().verify(st, *proof1));
+}
+
+// Recursive composition: a counting PCD. Statement = u64 count; leaf
+// statements must be 1 with witness "leaf"; inner statements must equal the
+// sum of their children.
+TEST(Snark, RecursiveCountingPcd) {
+  SnarkOracle oracle(20);
+  auto pred = [](BytesView st, BytesView wit, const std::vector<PriorMessage>& priors) {
+    Reader r(st);
+    std::uint64_t count = r.u64();
+    if (!r.done()) return false;
+    if (priors.empty()) {
+      return count == 1 && to_string(wit) == "leaf";
+    }
+    std::uint64_t sum = 0;
+    for (const auto& p : priors) {
+      Reader pr(p.statement);
+      sum += pr.u64();
+      if (!pr.done()) return false;
+    }
+    return count == sum;
+  };
+  auto prover = oracle.register_predicate(pred);
+
+  auto leaf_statement = [] {
+    Writer w;
+    w.u64(1);
+    return std::move(w).take();
+  };
+
+  std::vector<PriorMessage> leaves;
+  for (int i = 0; i < 4; ++i) {
+    Bytes st = leaf_statement();
+    auto proof = prover.prove(st, to_bytes("leaf"), {});
+    ASSERT_TRUE(proof.has_value());
+    leaves.push_back(PriorMessage{st, *proof});
+  }
+
+  Writer inner;
+  inner.u64(4);
+  auto inner_proof = prover.prove(inner.data(), {}, leaves);
+  ASSERT_TRUE(inner_proof.has_value());
+  EXPECT_TRUE(prover.verifier().verify(inner.data(), *inner_proof));
+
+  // Lying about the count fails even with valid children.
+  Writer lie;
+  lie.u64(7);
+  EXPECT_FALSE(prover.prove(lie.data(), {}, leaves).has_value());
+}
+
+TEST(Snark, InvalidPriorProofBlocksRecursion) {
+  SnarkOracle oracle(21);
+  auto prover = oracle.register_predicate(
+      [](BytesView, BytesView, const std::vector<PriorMessage>&) { return true; });
+  PriorMessage bogus{to_bytes("child"), SnarkProof{}};
+  EXPECT_FALSE(prover.prove(to_bytes("parent"), {}, {bogus}).has_value());
+}
+
+TEST(Snark, SerializationRoundTrip) {
+  SnarkOracle oracle(22);
+  auto prover = oracle.register_predicate(
+      [](BytesView, BytesView, const std::vector<PriorMessage>&) { return true; });
+  Bytes st = to_bytes("st");
+  auto proof = prover.prove(st, {}, {});
+  ASSERT_TRUE(proof.has_value());
+  Bytes wire = proof->to_bytes();
+  SnarkProof back = SnarkProof::from(wire);
+  EXPECT_TRUE(prover.verifier().verify(st, back));
+}
+
+}  // namespace
+}  // namespace srds

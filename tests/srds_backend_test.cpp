@@ -1,0 +1,150 @@
+// Backend-parameterized SRDS property tests: every behavioural property of
+// the schemes must hold identically for the faithful WOTS backend and the
+// compact bench backend (TEST_P over both).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "srds/owf_srds.hpp"
+#include "srds/snark_srds.hpp"
+
+namespace srds {
+namespace {
+
+class BackendSweep : public ::testing::TestWithParam<BaseSigBackend> {
+ protected:
+  std::unique_ptr<OwfSrds> owf(std::size_t n, std::uint64_t seed) {
+    OwfSrdsParams p;
+    p.n_signers = n;
+    p.expected_signers = 24;
+    p.backend = GetParam();
+    auto s = std::make_unique<OwfSrds>(p, seed);
+    for (std::size_t i = 0; i < n; ++i) s->keygen(i);
+    s->finalize_keys();
+    return s;
+  }
+
+  std::unique_ptr<SnarkSrds> snark(std::size_t n, std::uint64_t seed) {
+    SnarkSrdsParams p;
+    p.n_signers = n;
+    p.backend = GetParam();
+    auto s = std::make_unique<SnarkSrds>(p, seed);
+    for (std::size_t i = 0; i < n; ++i) s->keygen(i);
+    s->finalize_keys();
+    return s;
+  }
+
+  static std::vector<Bytes> sign_all(SrdsScheme& scheme, BytesView m) {
+    std::vector<Bytes> sigs;
+    for (std::size_t i = 0; i < scheme.signer_count(); ++i) {
+      Bytes s = scheme.sign(i, m);
+      if (!s.empty()) sigs.push_back(std::move(s));
+    }
+    return sigs;
+  }
+};
+
+TEST_P(BackendSweep, OwfRoundTrip) {
+  auto scheme = owf(120, 1);
+  Bytes m = to_bytes("m");
+  auto sigs = sign_all(*scheme, m);
+  ASSERT_GE(sigs.size(), scheme->threshold());
+  Bytes agg = scheme->aggregate(m, sigs);
+  EXPECT_TRUE(scheme->verify(m, agg));
+  EXPECT_FALSE(scheme->verify(to_bytes("other"), agg));
+  EXPECT_EQ(scheme->base_count(agg), sigs.size());
+}
+
+TEST_P(BackendSweep, OwfTamperedAggregateRejected) {
+  auto scheme = owf(120, 2);
+  Bytes m = to_bytes("m");
+  Bytes agg = scheme->aggregate(m, sign_all(*scheme, m));
+  ASSERT_FALSE(agg.empty());
+  Bytes bad = agg;
+  bad[bad.size() / 2] ^= 0x20;
+  EXPECT_FALSE(scheme->verify(m, bad));
+}
+
+TEST_P(BackendSweep, OwfLosersStillCannotSign) {
+  auto scheme = owf(120, 3);
+  Bytes m = to_bytes("m");
+  for (std::size_t i = 0; i < 120; ++i) {
+    EXPECT_EQ(scheme->sign(i, m).empty(), !scheme->has_signing_key(i));
+  }
+}
+
+TEST_P(BackendSweep, SnarkRoundTrip) {
+  auto scheme = snark(60, 4);
+  Bytes m = to_bytes("m");
+  auto sigs = sign_all(*scheme, m);
+  ASSERT_EQ(sigs.size(), 60u);
+  Bytes agg = scheme->aggregate(m, sigs);
+  EXPECT_TRUE(scheme->verify(m, agg));
+  EXPECT_EQ(scheme->base_count(agg), 60u);
+  EXPECT_LT(agg.size(), 256u);  // Õ(1) regardless of backend
+}
+
+TEST_P(BackendSweep, SnarkTreeAggregationAndDedup) {
+  auto scheme = snark(48, 5);
+  Bytes m = to_bytes("m");
+  auto sigs = sign_all(*scheme, m);
+  std::vector<Bytes> groups;
+  for (std::size_t g = 0; g < 4; ++g) {
+    std::vector<Bytes> part(sigs.begin() + g * 12, sigs.begin() + (g + 1) * 12);
+    // Inject duplicates into each batch.
+    part.push_back(part.front());
+    groups.push_back(scheme->aggregate(m, part));
+    EXPECT_EQ(scheme->base_count(groups.back()), 12u);
+  }
+  Bytes root = scheme->aggregate(m, groups);
+  EXPECT_TRUE(scheme->verify(m, root));
+  EXPECT_EQ(scheme->base_count(root), 48u);
+}
+
+TEST_P(BackendSweep, SnarkBelowThresholdRejected) {
+  auto scheme = snark(64, 6);
+  Bytes m = to_bytes("m");
+  auto sigs = sign_all(*scheme, m);
+  sigs.resize(scheme->threshold() - 1);
+  Bytes agg = scheme->aggregate(m, sigs);
+  ASSERT_FALSE(agg.empty());
+  EXPECT_FALSE(scheme->verify(m, agg));
+}
+
+TEST_P(BackendSweep, GarbageBlobsNeverParse) {
+  auto owf_scheme = owf(60, 7);
+  auto snark_scheme = snark(60, 8);
+  Rng rng(9);
+  Bytes m = to_bytes("m");
+  for (int trial = 0; trial < 30; ++trial) {
+    Bytes junk = rng.bytes(1 + rng.below(300));
+    EXPECT_FALSE(owf_scheme->verify(m, junk));
+    EXPECT_FALSE(snark_scheme->verify(m, junk));
+    EXPECT_TRUE(owf_scheme->aggregate1(m, {junk}).empty());
+    EXPECT_TRUE(snark_scheme->aggregate1(m, {junk}).empty());
+  }
+}
+
+TEST_P(BackendSweep, Aggregate1DecompositionMatchesAggregate) {
+  auto scheme = snark(40, 10);
+  Bytes m = to_bytes("m");
+  auto sigs = sign_all(*scheme, m);
+  sigs.push_back(Rng(11).bytes(64));  // noise that aggregate1 must drop
+  auto filtered = scheme->aggregate1(m, sigs);
+  Bytes via_decomposition = scheme->aggregate2(m, filtered);
+  Bytes direct = scheme->aggregate(m, sigs);
+  EXPECT_EQ(via_decomposition, direct);
+  EXPECT_TRUE(scheme->verify(m, direct));
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendSweep,
+                         ::testing::Values(BaseSigBackend::kWots,
+                                           BaseSigBackend::kCompact),
+                         [](const auto& info) {
+                           return info.param == BaseSigBackend::kWots ? "wots"
+                                                                      : "compact";
+                         });
+
+}  // namespace
+}  // namespace srds

@@ -1,0 +1,88 @@
+// Tests for the threshold-signature stand-in and its contrast with SRDS
+// (the §1.2 "identities needed to reconstruct" point).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/threshold_sig.hpp"
+
+namespace srds {
+namespace {
+
+TEST(ThresholdSig, CombineAndVerify) {
+  ThresholdSigScheme scheme(10, 3, 1);
+  Bytes m = to_bytes("checkpoint");
+  std::vector<PartialThresholdSig> partials;
+  for (std::size_t i = 0; i < 4; ++i) partials.push_back(scheme.partial_sign(i, m));
+  auto sig = scheme.combine(m, partials);
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_TRUE(scheme.verify(m, *sig));
+}
+
+TEST(ThresholdSig, TooFewPartialsFail) {
+  ThresholdSigScheme scheme(10, 3, 2);
+  Bytes m = to_bytes("m");
+  std::vector<PartialThresholdSig> partials;
+  for (std::size_t i = 0; i < 3; ++i) partials.push_back(scheme.partial_sign(i, m));
+  EXPECT_FALSE(scheme.combine(m, partials).has_value());
+}
+
+TEST(ThresholdSig, DuplicateSignersDoNotCount) {
+  ThresholdSigScheme scheme(10, 3, 3);
+  Bytes m = to_bytes("m");
+  std::vector<PartialThresholdSig> partials;
+  for (int k = 0; k < 6; ++k) partials.push_back(scheme.partial_sign(2, m));
+  EXPECT_FALSE(scheme.combine(m, partials).has_value());
+}
+
+TEST(ThresholdSig, InvalidPartialsFilteredOut) {
+  ThresholdSigScheme scheme(10, 2, 4);
+  Bytes m = to_bytes("m");
+  std::vector<PartialThresholdSig> partials;
+  for (std::size_t i = 0; i < 3; ++i) partials.push_back(scheme.partial_sign(i, m));
+  PartialThresholdSig bogus{5, Digest::from(Rng(9).bytes(32))};
+  partials.push_back(bogus);
+  auto sig = scheme.combine(m, partials);
+  ASSERT_TRUE(sig.has_value());  // the 3 valid ones suffice for t=2
+  EXPECT_FALSE(scheme.verify_partial(m, bogus));
+}
+
+TEST(ThresholdSig, WrongMessageRejected) {
+  ThresholdSigScheme scheme(8, 2, 5);
+  Bytes m = to_bytes("m1");
+  std::vector<PartialThresholdSig> partials;
+  for (std::size_t i = 0; i < 3; ++i) partials.push_back(scheme.partial_sign(i, m));
+  auto sig = scheme.combine(m, partials);
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_FALSE(scheme.verify(to_bytes("m2"), *sig));
+}
+
+TEST(ThresholdSig, VerificationNeedsNoIdentitiesButCombiningDoes) {
+  // The structural point: a combined signature is a bare 32-byte tag
+  // (identity-free verification), but combine() must see signer indices to
+  // establish distinctness — anonymity ends at the combiner. Erasing the
+  // indices from the partials breaks combination.
+  ThresholdSigScheme scheme(12, 4, 6);
+  Bytes m = to_bytes("m");
+  std::vector<PartialThresholdSig> partials;
+  for (std::size_t i = 0; i < 5; ++i) partials.push_back(scheme.partial_sign(i, m));
+  for (auto& p : partials) p.signer = 0;  // identity information destroyed
+  EXPECT_FALSE(scheme.combine(m, partials).has_value());
+}
+
+TEST(ThresholdSig, SerializationRoundTrip) {
+  ThresholdSigScheme scheme(6, 1, 7);
+  auto p = scheme.partial_sign(4, to_bytes("m"));
+  Bytes wire = p.serialize();
+  PartialThresholdSig back;
+  ASSERT_TRUE(PartialThresholdSig::deserialize(wire, back));
+  EXPECT_EQ(back.signer, 4u);
+  EXPECT_TRUE(scheme.verify_partial(to_bytes("m"), back));
+}
+
+TEST(ThresholdSig, RejectsBadParameters) {
+  EXPECT_THROW(ThresholdSigScheme(0, 0, 1), std::invalid_argument);
+  EXPECT_THROW(ThresholdSigScheme(4, 4, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace srds
