@@ -1,0 +1,135 @@
+// Experiment "Fig R" — resilience under network chaos (docs/fault_model.md).
+// Sweeps message-drop rate and bounded delay for every protocol row and
+// reports the decided fraction, whether agreement held, and the extra rounds
+// the hardened schedule spent (grace window + retransmissions) relative to
+// the fault-free run. The headline series the acceptance criteria pin down:
+// pi_ba/snark at n=256 must keep agreement at every drop rate in
+// {0, 0.01, 0.05, 0.10} while availability degrades gracefully.
+#include <cstdio>
+
+#include "ba/runner.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace srds;
+  using namespace srds::bench;
+
+  const std::vector<std::pair<BoostProtocol, const char*>> protocols{
+      {BoostProtocol::kNaive, "naive"},
+      {BoostProtocol::kMultisig, "bgt13-multisig"},
+      {BoostProtocol::kStar, "acd19-star"},
+      {BoostProtocol::kSampling, "ks11-sampling"},
+      {BoostProtocol::kPiBaOwf, "pi_ba/owf"},
+      {BoostProtocol::kPiBaSnark, "pi_ba/snark"},
+  };
+  const std::vector<double> drop_rates{0.0, 0.01, 0.05, 0.10};
+  const std::size_t kN = 256;
+  const double kBeta = 0.1;
+
+  auto run_with = [&](BoostProtocol proto, const FaultPlan& plan) {
+    BaRunConfig cfg;
+    cfg.n = kN;
+    cfg.beta = kBeta;
+    cfg.seed = 101;
+    cfg.protocol = proto;
+    cfg.faults = plan;
+    return run_ba(cfg);
+  };
+
+  // Fault-free baseline rounds per protocol (for the extra-rounds column).
+  std::vector<std::size_t> base_rounds;
+  for (auto [proto, label] : protocols) {
+    BaRunConfig cfg;
+    cfg.n = kN;
+    cfg.beta = kBeta;
+    cfg.seed = 101;
+    cfg.protocol = proto;
+    base_rounds.push_back(run_ba(cfg).rounds);
+  }
+
+  print_header("Fig R1: decided fraction vs drop rate  [n=256, beta=0.1]");
+  {
+    std::vector<int> widths{18};
+    std::vector<std::string> head{"protocol"};
+    for (double rate : drop_rates) {
+      head.push_back("drop=" + fmt(rate, 2));
+      widths.push_back(12);
+    }
+    head.push_back("agreement");
+    widths.push_back(11);
+    head.push_back("extra-rounds");
+    widths.push_back(12);
+    print_row(head, widths);
+
+    for (std::size_t pi = 0; pi < protocols.size(); ++pi) {
+      auto [proto, label] = protocols[pi];
+      std::vector<std::string> cells{label};
+      bool all_agree = true;
+      std::size_t extra = 0;
+      for (double rate : drop_rates) {
+        FaultPlan plan;
+        plan.seed = 2026;
+        plan.drop_prob = rate;
+        auto r = run_with(proto, plan);
+        cells.push_back(fmt(r.decided_fraction(), 3));
+        all_agree = all_agree && r.agreement;
+        extra = r.rounds > base_rounds[pi] ? r.rounds - base_rounds[pi] : 0;
+      }
+      cells.push_back(all_agree ? "yes" : "NO");
+      cells.push_back(std::to_string(extra));
+      print_row(cells, widths);
+    }
+  }
+
+  print_header("Fig R2: decided fraction vs bounded delay  [n=256, beta=0.1, p_delay=0.25]");
+  {
+    const std::vector<std::size_t> delays{1, 2, 3};
+    std::vector<int> widths{18};
+    std::vector<std::string> head{"protocol"};
+    for (auto d : delays) {
+      head.push_back("Delta=" + std::to_string(d));
+      widths.push_back(12);
+    }
+    head.push_back("agreement");
+    widths.push_back(11);
+    head.push_back("extra-rounds");
+    widths.push_back(12);
+    print_row(head, widths);
+
+    for (std::size_t pi = 0; pi < protocols.size(); ++pi) {
+      auto [proto, label] = protocols[pi];
+      std::vector<std::string> cells{label};
+      bool all_agree = true;
+      std::size_t extra = 0;
+      for (auto d : delays) {
+        FaultPlan plan;
+        plan.seed = 2027;
+        plan.delay_prob = 0.25;
+        plan.max_delay = d;
+        auto r = run_with(proto, plan);
+        cells.push_back(fmt(r.decided_fraction(), 3));
+        all_agree = all_agree && r.agreement;
+        extra = r.rounds > base_rounds[pi] ? r.rounds - base_rounds[pi] : 0;
+      }
+      cells.push_back(all_agree ? "yes" : "NO");
+      cells.push_back(std::to_string(extra));
+      print_row(cells, widths);
+    }
+  }
+
+  std::printf(
+      "\nExpected shape: agreement must read \"yes\" in every row of both tables\n"
+      "-- fault injection attacks availability, never safety. At n=256 the\n"
+      "hardening (step-6 certificate retransmits bounded by\n"
+      "certificate_redundancy, plus the grace window for late boost traffic)\n"
+      "holds every decided fraction at 1.000 through 10%% loss: committee-level\n"
+      "redundancy means a dropped share is re-covered by a sibling or a\n"
+      "retransmit. The knee only appears at harsher rates (the chaos tests\n"
+      "probe 25%%+ at n=64, where committees are thinner). Bounded delay costs\n"
+      "availability only when a message's slack outlives the grace window, so\n"
+      "the Delta sweep stays at 1.000 throughout. extra-rounds is the schedule\n"
+      "stretch the hardening spends (grace window + step-6 retransmits),\n"
+      "identical across the sweep since it derives from the plan, not the\n"
+      "realized faults.\n");
+  return 0;
+}

@@ -149,12 +149,24 @@ std::vector<Message> AeBoostParty::on_round(std::size_t round,
 
   // Boost phase. The subclass's round budget must include a final
   // ingest-only step (messages sent in its step k arrive at step k+1).
-  if (round >= boost_start_ && round < boost_start_ + boost_rounds()) {
+  const std::size_t boost_end = boost_start_ + boost_rounds();
+  if (round >= boost_start_ && round < boost_end) {
     auto msgs = boost_step(round - boost_start_, boost_in);
     out.insert(out.end(), std::make_move_iterator(msgs.begin()),
                std::make_move_iterator(msgs.end()));
-    if (round + 1 == boost_start_ + boost_rounds()) {
+    if (round + 1 == boost_end) {
       boost_finish();
+      if (cfg_.grace_rounds == 0) done_ = true;
+    }
+  }
+
+  // Grace window: keep ingesting late boost traffic; at the very end, a
+  // still-undecided party falls back to partial information rather than
+  // ending the run undecided (graceful degradation under network faults).
+  if (cfg_.grace_rounds > 0 && round >= boost_end && round < total_rounds()) {
+    grace_step(boost_in);
+    if (round + 1 == total_rounds()) {
+      if (!output_.has_value()) decide_with_partial_info();
       done_ = true;
     }
   }

@@ -39,6 +39,14 @@ struct AeConfig {
   /// extra leading round — turning the protocol into a 1-bit broadcast with
   /// the same Õ(1) per-party cost.
   std::optional<PartyId> broadcaster;
+
+  /// Graceful degradation under network faults (docs/fault_model.md): run
+  /// this many extra rounds after the boost phase, during which late
+  /// boost-phase traffic is still ingested (grace_step), and a party still
+  /// undecided at the very end decides from partial information
+  /// (decide_with_partial_info) instead of hanging undecided. 0 = paper
+  /// schedule, decide only through the protocol's own steps.
+  std::size_t grace_rounds = 0;
 };
 
 class AeBoostParty : public Party {
@@ -52,8 +60,11 @@ class AeBoostParty : public Party {
   /// undecided in protocols without a final boost-to-everyone).
   const std::optional<bool>& output() const { return output_; }
 
-  /// Total protocol length in rounds (identical for all parties).
-  std::size_t total_rounds() const { return boost_start_ + boost_rounds(); }
+  /// Total protocol length in rounds (identical for all parties),
+  /// including any grace rounds.
+  std::size_t total_rounds() const {
+    return boost_start_ + boost_rounds() + cfg_.grace_rounds;
+  }
 
   /// First round of the boost phase (for phase-marked cost accounting).
   std::size_t boost_start() const { return boost_start_; }
@@ -72,6 +83,19 @@ class AeBoostParty : public Party {
 
   /// Called once after the final boost round's arrivals were processed.
   virtual void boost_finish() {}
+
+  /// One grace round (only with cfg.grace_rounds > 0): `inbox` holds late
+  /// boost-phase bodies. Subclasses may keep ingesting (e.g., delayed PRF
+  /// sends); the default discards them.
+  virtual void grace_step(const std::vector<TaggedMsg>& inbox) { (void)inbox; }
+
+  /// Last resort at the very end of the grace window for a party without an
+  /// output: decide from partial information. The default adopts the
+  /// almost-everywhere value if one arrived. Subclasses with stronger
+  /// partial evidence (e.g., a verified certificate) should prefer it.
+  virtual void decide_with_partial_info() {
+    if (ae_y_.has_value()) output_ = *ae_y_;
+  }
 
   Message make_boost_message(PartyId to, std::uint64_t instance, BytesView body) const {
     return Message{me_, to, tag_body(kBoostPhase, instance, body)};

@@ -54,13 +54,14 @@ std::optional<Bytes> majority(const std::map<Bytes, std::size_t>& tally) {
 CertifiedDissemProto::CertifiedDissemProto(std::shared_ptr<const CommTree> tree, PartyId me,
                                            std::optional<Bytes> initial_value,
                                            Bytes initial_sigma, Validator validator,
-                                           std::size_t redundancy)
+                                           std::size_t redundancy, std::size_t retries)
     : tree_(std::move(tree)),
       me_(me),
       initial_value_(std::move(initial_value)),
       initial_sigma_(std::move(initial_sigma)),
       validator_(std::move(validator)),
-      redundancy_(redundancy == 0 ? 1 : redundancy) {
+      redundancy_(redundancy == 0 ? 1 : redundancy),
+      retries_(retries) {
   my_nodes_by_level_.resize(tree_->height());
   for (std::size_t lvl = 1; lvl <= tree_->height(); ++lvl) {
     for (std::size_t id : tree_->level_nodes(lvl)) {
@@ -159,18 +160,27 @@ std::vector<std::pair<PartyId, Bytes>> CertifiedDissemProto::step(
     }
   };
 
-  if (subround == 0) {
-    if (initial_value_.has_value() && !my_nodes_by_level_[h - 1].empty()) {
-      forward(tree_->root_id(), h, *initial_value_, initial_sigma_);
-      value_ = initial_value_;
-      certificate_ = initial_sigma_;
-    }
-    return out;
-  }
-
-  if (subround < h) {
-    std::size_t level = h - subround;
-    for (std::size_t id : my_nodes_by_level_[level - 1]) {
+  // Forwarding schedule. Level `lvl` first forwards at subround
+  // r0 = h - lvl (the root, lvl == h, seeds at subround 0) and — under a
+  // retry budget — re-sends for up to `retries_` further subrounds.
+  // Receivers dedup per (node, sender), so retransmission is idempotent; a
+  // member whose own copy only arrived late simply forwards late, inside
+  // the same window. Sends at the last subround could never arrive in time
+  // and are suppressed.
+  const std::size_t last = h + retries_;
+  for (std::size_t lvl = h; lvl >= 1; --lvl) {
+    const std::size_t r0 = h - lvl;
+    if (subround < r0 || subround > r0 + retries_ || subround >= last) continue;
+    for (std::size_t id : my_nodes_by_level_[lvl - 1]) {
+      if (lvl == h) {
+        // Root committee: seed with the initial (value, σ_root).
+        if (initial_value_.has_value()) {
+          forward(id, lvl, *initial_value_, initial_sigma_);
+          value_ = initial_value_;
+          certificate_ = initial_sigma_;
+        }
+        continue;
+      }
       // A valid certificate settles the node's pair; otherwise fall back to
       // the per-node majority with no certificate.
       auto cert_it = node_sigma_.find(id);
@@ -178,19 +188,18 @@ std::vector<std::pair<PartyId, Bytes>> CertifiedDissemProto::step(
         // Find the certified value: it is the tally entry the validator
         // approved (stored by boosting its count; recompute via majority).
         auto val = majority(tallies_[id]);
-        if (val) forward(id, level, *val, cert_it->second);
+        if (val) forward(id, lvl, *val, cert_it->second);
       } else {
         auto it = tallies_.find(id);
         if (it == tallies_.end()) continue;
         auto val = majority(it->second);
-        if (val) forward(id, level, *val, {});
+        if (val) forward(id, lvl, *val, {});
       }
     }
-    return out;
   }
 
   // Final step: party-level output.
-  if (!value_.has_value()) {
+  if (subround == last && !value_.has_value()) {
     value_ = majority(party_tally_);
   }
   return out;

@@ -17,6 +17,14 @@
 // picked up by the PRF round (step 7). Safety is unconditional — only
 // availability relies on redundancy, and bench/fig_security_games and the
 // integration tests measure it.
+//
+// Retransmission (`retries` > 0): under a lossy network (net/faults.hpp),
+// each committee member re-sends its forwarding for up to `retries` extra
+// rounds, and a member whose copy only arrived late forwards as soon as it
+// can. Receivers deduplicate per (node, sender), so retransmits never skew
+// tallies; they only recover deliveries the network lost. The schedule
+// stretches to height + 1 + retries rounds — all parties derive the same
+// schedule from public parameters.
 #pragma once
 
 #include <functional>
@@ -38,9 +46,10 @@ class CertifiedDissemProto final : public SubProtocol {
 
   CertifiedDissemProto(std::shared_ptr<const CommTree> tree, PartyId me,
                        std::optional<Bytes> initial_value, Bytes initial_sigma,
-                       Validator validator, std::size_t redundancy = 3);
+                       Validator validator, std::size_t redundancy = 3,
+                       std::size_t retries = 0);
 
-  std::size_t rounds() const override { return tree_->height() + 1; }
+  std::size_t rounds() const override { return tree_->height() + 1 + retries_; }
 
   std::vector<std::pair<PartyId, Bytes>> step(
       std::size_t subround, const std::vector<TaggedMsg>& inbox) override;
@@ -57,6 +66,7 @@ class CertifiedDissemProto final : public SubProtocol {
   Bytes initial_sigma_;
   Validator validator_;
   std::size_t redundancy_;
+  std::size_t retries_;
 
   std::optional<Bytes> value_;
   Bytes certificate_;

@@ -29,19 +29,20 @@ PiBaParty::PiBaParty(PiBaConfig config, PartyId me, bool input)
 
 std::size_t PiBaParty::boost_rounds() const {
   const std::size_t h = cfg2_.ae.tree->height();
-  // step4 (1) + step5 (h) + step6 (h+1) + step7 (1) + step8 ingest (1).
-  return 1 + h + (h + 1) + 1 + 1;
+  // step4 (1) + step5 (h) + step6 (h+1+retries) + step7 (1) + step8 ingest (1).
+  return 1 + h + (h + 1 + cfg2_.dissem_retries) + 1 + 1;
 }
 
 std::vector<Message> PiBaParty::boost_step(std::size_t k,
                                            const std::vector<TaggedMsg>& inbox) {
   const std::size_t h = cfg2_.ae.tree->height();
+  const std::size_t dissem_rounds = h + 1 + cfg2_.dissem_retries;
 
   if (k == 0) return step_sign_and_send();
   if (k >= 1 && k <= h) return step_aggregate(k, inbox);
 
   const std::size_t dissem_base = h + 1;
-  if (k >= dissem_base && k < dissem_base + h + 1) {
+  if (k >= dissem_base && k < dissem_base + dissem_rounds) {
     std::size_t sub = k - dissem_base;
     if (sub == 0) {
       // Root members seed the certified dissemination with (y, s, σ_root).
@@ -57,7 +58,7 @@ std::vector<Message> PiBaParty::boost_step(std::size_t k,
           [scheme](BytesView value, BytesView cert) {
             return scheme->verify(value, cert);
           },
-          cfg2_.certificate_redundancy);
+          cfg2_.certificate_redundancy, cfg2_.dissem_retries);
     }
     std::vector<TaggedMsg> dissem_in;
     for (const auto& msg : inbox) {
@@ -73,7 +74,7 @@ std::vector<Message> PiBaParty::boost_step(std::size_t k,
     for (auto& [to, body] : msgs) {
       out.push_back(make_boost_message(to, kDissemInstance, body));
     }
-    if (sub == h) {
+    if (sub + 1 == dissem_rounds) {
       // Dissemination finished; fix my certified pair if valid.
       if (cert_dissem_->value().has_value() && !cert_dissem_->certificate().empty()) {
         certified_blob_ = cert_dissem_->value();
@@ -83,8 +84,8 @@ std::vector<Message> PiBaParty::boost_step(std::size_t k,
     return out;
   }
 
-  if (k == dissem_base + h + 1) return step_prf_send();
-  if (k == dissem_base + h + 2) {
+  if (k == dissem_base + dissem_rounds) return step_prf_send();
+  if (k == dissem_base + dissem_rounds + 1) {
     ingest_prf(inbox);
     return {};
   }
@@ -230,6 +231,23 @@ void PiBaParty::ingest_prf(const std::vector<TaggedMsg>& inbox) {
 
 void PiBaParty::boost_finish() {
   // Nothing further: outputs were set in steps 7/8.
+}
+
+void PiBaParty::grace_step(const std::vector<TaggedMsg>& inbox) {
+  ingest_prf(inbox);
+}
+
+void PiBaParty::decide_with_partial_info() {
+  // Only a verified certificate may settle a late decision: certificates
+  // are self-certifying and unforgeable, so no two parties can late-decide
+  // conflicting values no matter how the network misbehaved. The
+  // uncertified almost-everywhere value is NOT safe here — under heavy
+  // loss the front end can split, and adopting ae_y could break agreement.
+  if (certified_blob_.has_value()) {
+    bool y;
+    Bytes s;
+    if (decode_ys(*certified_blob_, y, s)) set_output(y);
+  }
 }
 
 }  // namespace srds

@@ -33,6 +33,9 @@ struct PiBaConfig {
   SrdsSchemePtr scheme;  // over ae.tree->virtual_count() signers, finalized
   std::size_t prf_fanout = 0;  // 0 = default: committee_size
   std::size_t certificate_redundancy = 3;
+  /// Extra retransmission rounds for the certified dissemination (step 6)
+  /// under a lossy network; 0 = paper schedule. All parties must agree.
+  std::size_t dissem_retries = 0;
 };
 
 class PiBaParty final : public AeBoostParty {
@@ -47,6 +50,12 @@ class PiBaParty final : public AeBoostParty {
   std::vector<Message> boost_step(std::size_t k, const std::vector<TaggedMsg>& inbox)
       override;
   void boost_finish() override;
+  /// Under a grace window, delayed step-7 sends are still accepted — they
+  /// carry self-certifying (y, s, σ), so late acceptance is always safe.
+  void grace_step(const std::vector<TaggedMsg>& inbox) override;
+  /// Prefer the verified certificate's value; fall back to the
+  /// almost-everywhere value (safe under benign faults only).
+  void decide_with_partial_info() override;
 
  private:
   // Inner framing of boost bodies (after the instance prefix added by the

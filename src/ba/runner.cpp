@@ -72,6 +72,20 @@ BaRunResult run_ba(const BaRunConfig& config) {
   ae.registry = registry;
   ae.seed = rng.next();
 
+  // Chaos hardening: under a fault plan, budget a grace window for late
+  // traffic and retransmit certificate shares during π_ba's step 6. Both
+  // knobs derive from public configuration, so all parties agree on the
+  // stretched schedule.
+  const bool chaos = config.faults.has_value() && config.faults->any();
+  ae.grace_rounds = config.grace_rounds;
+  if (ae.grace_rounds == 0 && chaos) {
+    ae.grace_rounds = std::max<std::size_t>(config.faults->suggested_grace(), 2);
+  }
+  std::size_t dissem_retries = 0;
+  if (chaos && config.certificate_redundancy > 1) {
+    dissem_retries = std::min<std::size_t>(config.certificate_redundancy - 1, 3);
+  }
+
   // SRDS setup where needed. In the model every party generates its own
   // keys during the setup phase; the harness performs those calls centrally
   // (trusted-PKI dealer for OWF, bulletin-board collection for SNARK).
@@ -116,6 +130,7 @@ BaRunResult run_ba(const BaRunConfig& config) {
         pc.ae = ae;
         pc.scheme = scheme;
         pc.certificate_redundancy = config.certificate_redundancy;
+        pc.dissem_retries = dissem_retries;
         party = std::make_unique<PiBaParty>(std::move(pc), i, config.input);
         break;
       }
@@ -146,13 +161,14 @@ BaRunResult run_ba(const BaRunConfig& config) {
     attack.corrupt = corrupt;
     attack.boost_start = boost_start;
     attack.dissem3_start = boost_start - (h + 1);
-    attack.prf_round = boost_start + 2 * h + 2;
+    attack.prf_round = boost_start + 2 * h + 2 + dissem_retries;
     attack.seed = rng.next();
     adversary = make_pi_ba_attacker(std::move(attack));
   }
 
   Simulator sim(std::move(parties), corrupt, std::move(adversary));
   sim.set_phase_mark(boost_start);
+  if (chaos) sim.set_fault_plan(*config.faults);
   BaRunResult result;
   result.rounds = sim.run(total_rounds + 2);
   result.stats = sim.stats();
@@ -162,6 +178,7 @@ BaRunResult run_ba(const BaRunConfig& config) {
   for (PartyId i = 0; i < config.n; ++i) {
     if (corrupt[i]) continue;
     ++result.honest;
+    if (sim.is_crashed(i)) ++result.crashed;
     const auto* party = dynamic_cast<const AeBoostParty*>(sim.party(i));
     if (!party || !party->output().has_value()) continue;
     ++result.decided;

@@ -7,6 +7,7 @@
 #include <optional>
 #include <string>
 
+#include "net/faults.hpp"
 #include "net/stats.hpp"
 #include "srds/srds.hpp"
 
@@ -43,6 +44,16 @@ struct BaRunConfig {
   std::size_t certificate_redundancy = 3;
   /// Multiplier on the scaled tree committee sizes (ablation knob).
   double committee_factor = 1.0;
+
+  /// Optional network fault plan (chaos run — docs/fault_model.md). When
+  /// set, the simulator injects drops/delays/duplicates/crashes/partitions
+  /// and the protocols harden themselves: π_ba retransmits certificate
+  /// shares (bounded by certificate_redundancy) and every protocol gets a
+  /// grace window to ingest late traffic and degrade gracefully.
+  std::optional<FaultPlan> faults;
+  /// Extra rounds appended after the boost phase for late traffic; 0 =
+  /// derive from the fault plan (faults->suggested_grace(), 0 without one).
+  std::size_t grace_rounds = 0;
 };
 
 struct BaRunResult {
@@ -56,11 +67,19 @@ struct BaRunResult {
   std::size_t honest = 0;
   std::size_t decided = 0;   // honest parties with an output
   std::size_t correct = 0;   // honest parties whose output == input
+  std::size_t crashed = 0;   // honest parties crash-stopped by the fault plan
   bool agreement = true;     // no two honest parties decided differently
   std::optional<bool> value; // the decided value (if any party decided)
 
   double decided_fraction() const {
     return honest ? static_cast<double>(decided) / static_cast<double>(honest) : 0.0;
+  }
+
+  /// Decided fraction among honest parties that did not crash-stop — the
+  /// fair resilience metric (a crashed party cannot decide by definition).
+  double surviving_decided_fraction() const {
+    std::size_t live = honest - crashed;
+    return live ? static_cast<double>(decided) / static_cast<double>(live) : 0.0;
   }
 };
 

@@ -1,0 +1,105 @@
+#include "net/faults.hpp"
+
+#include "common/rng.hpp"
+
+namespace srds {
+
+namespace {
+
+/// Derive an independent SplitMix64 state from a (seed, round, link, seq)
+/// tuple. Each component is whitened before mixing so nearby tuples give
+/// unrelated streams.
+std::uint64_t derive(std::uint64_t seed, std::uint64_t round, std::uint64_t link,
+                     std::uint64_t seq) {
+  std::uint64_t s = seed;
+  std::uint64_t a = round ^ 0x9e3779b97f4a7c15ULL;
+  std::uint64_t b = link ^ 0xbf58476d1ce4e5b9ULL;
+  std::uint64_t c = seq ^ 0x94d049bb133111ebULL;
+  s ^= splitmix64(a);
+  s ^= splitmix64(b);
+  s ^= splitmix64(c);
+  return splitmix64(s);
+}
+
+/// Map a 64-bit value to a uniform double in [0, 1).
+double to_unit(std::uint64_t v) {
+  return static_cast<double>(v >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, std::size_t n)
+    : plan_(std::move(plan)), n_(n), crash_round_(n) {
+  for (const auto& c : plan_.crashes) {
+    if (c.party >= n_) continue;
+    if (!crash_round_[c.party].has_value() || *crash_round_[c.party] > c.round) {
+      crash_round_[c.party] = c.round;
+    }
+  }
+  for (const auto& o : plan_.link_drops) {
+    if (o.from >= n_ || o.to >= n_) continue;
+    link_override_[o.from * n_ + o.to] = o.drop_prob;
+  }
+  partition_side_.reserve(plan_.partitions.size());
+  for (const auto& w : plan_.partitions) {
+    std::vector<bool> side(n_, false);
+    for (PartyId p : w.group) {
+      if (p < n_) side[p] = true;
+    }
+    partition_side_.push_back(std::move(side));
+  }
+}
+
+double FaultInjector::link_drop_prob(PartyId from, PartyId to) const {
+  auto it = link_override_.find(from * n_ + to);
+  return it != link_override_.end() ? it->second : plan_.drop_prob;
+}
+
+bool FaultInjector::crosses_partition(std::size_t round, PartyId from, PartyId to) const {
+  for (std::size_t i = 0; i < plan_.partitions.size(); ++i) {
+    const auto& w = plan_.partitions[i];
+    if (round < w.from_round || round >= w.until_round) continue;
+    if (partition_side_[i][from] != partition_side_[i][to]) return true;
+  }
+  return false;
+}
+
+FaultVerdict FaultInjector::on_message(std::size_t round, const Message& m) {
+  FaultVerdict v;
+  if (m.from >= n_ || m.to >= n_) return v;
+
+  // Partitions are deterministic: no randomness consumed.
+  if (crosses_partition(round, m.from, m.to)) {
+    v.deliver = false;
+    v.partitioned = true;
+    return v;
+  }
+
+  if (round != seq_round_) {
+    seq_round_ = round;
+    seq_.clear();
+  }
+  const std::uint64_t link = static_cast<std::uint64_t>(m.from) * n_ + m.to;
+  const std::uint64_t seq = seq_[link]++;
+  // A fixed number of draws per message, consumed in a fixed order, keeps
+  // each fault class's decisions independent of the others' probabilities.
+  std::uint64_t state = derive(plan_.seed, round, link, seq);
+  const double drop_draw = to_unit(splitmix64(state));
+  const double delay_draw = to_unit(splitmix64(state));
+  const std::uint64_t delay_pick = splitmix64(state);
+  const double dup_draw = to_unit(splitmix64(state));
+
+  if (drop_draw < link_drop_prob(m.from, m.to)) {
+    v.deliver = false;
+    return v;
+  }
+  if (plan_.max_delay > 0 && delay_draw < plan_.delay_prob) {
+    v.delay = 1 + static_cast<std::size_t>(delay_pick % plan_.max_delay);
+  }
+  if (dup_draw < plan_.duplicate_prob) {
+    v.duplicate = true;
+  }
+  return v;
+}
+
+}  // namespace srds

@@ -8,6 +8,7 @@ Simulator::Simulator(std::vector<std::unique_ptr<Party>> parties, std::vector<bo
                      std::unique_ptr<Adversary> adversary)
     : parties_(std::move(parties)),
       corrupt_(std::move(corrupt)),
+      crashed_(parties_.size(), false),
       adversary_(std::move(adversary)),
       stats_(parties_.size()) {
   if (corrupt_.size() != parties_.size()) {
@@ -25,15 +26,79 @@ Simulator::Simulator(std::vector<std::unique_ptr<Party>> parties, std::vector<bo
   if (!adversary_) adversary_ = std::make_unique<SilentAdversary>();
 }
 
+void Simulator::set_fault_plan(const FaultPlan& plan) {
+  injector_ = std::make_unique<FaultInjector>(plan, parties_.size());
+}
+
+void Simulator::deliver(std::size_t round, Message m,
+                        std::vector<std::vector<Message>>& inboxes) {
+  const bool in_phase = phase_mark_ && round >= *phase_mark_;
+  if (!injector_) {
+    stats_.record(m);
+    if (in_phase) phase_stats_.record(m);
+    inboxes[m.to].push_back(std::move(m));
+    return;
+  }
+
+  FaultVerdict v = injector_->on_message(round, m);
+  // The sender paid for the transmission whatever the network then does.
+  stats_.record_send(m);
+  if (in_phase) phase_stats_.record_send(m);
+
+  if (!v.deliver) {
+    if (v.partitioned) {
+      stats_.faults.partitioned += 1;
+    } else {
+      stats_.faults.dropped += 1;
+    }
+    return;
+  }
+  if (v.delay > 0) {
+    stats_.faults.delayed += 1;
+    delayed_[round + 1 + v.delay].push_back(Pending{std::move(m), in_phase});
+    return;
+  }
+  stats_.record_recv(m);
+  if (in_phase) phase_stats_.record_recv(m);
+  if (v.duplicate) {
+    stats_.faults.duplicated += 1;
+    stats_.record_recv(m);
+    if (in_phase) phase_stats_.record_recv(m);
+    inboxes[m.to].push_back(m);
+  }
+  inboxes[m.to].push_back(std::move(m));
+}
+
 std::size_t Simulator::run(std::size_t max_rounds) {
   const std::size_t n = parties_.size();
   // inboxes[i] = messages to deliver to party i at the start of this round.
   std::vector<std::vector<Message>> inboxes(n);
 
   for (std::size_t round = 0; round < max_rounds; ++round) {
+    // Crash-stop faults trigger at the start of their scheduled round.
+    if (injector_) {
+      for (PartyId i = 0; i < n; ++i) {
+        if (!corrupt_[i] && !crashed_[i] && injector_->crashed(i, round)) {
+          crashed_[i] = true;
+          stats_.faults.crashed_parties += 1;
+        }
+      }
+    }
+
+    // Deferred messages whose delay expires this round join the inbox.
+    if (auto it = delayed_.find(round); it != delayed_.end()) {
+      for (auto& p : it->second) {
+        stats_.faults.late_delivered += 1;
+        stats_.record_recv(p.m);
+        if (p.in_phase) phase_stats_.record_recv(p.m);
+        inboxes[p.m.to].push_back(std::move(p.m));
+      }
+      delayed_.erase(it);
+    }
+
     bool all_done = true;
     for (PartyId i = 0; i < n; ++i) {
-      if (!corrupt_[i] && !parties_[i]->done()) {
+      if (!corrupt_[i] && !crashed_[i] && !parties_[i]->done()) {
         all_done = false;
         break;
       }
@@ -45,7 +110,7 @@ std::size_t Simulator::run(std::size_t max_rounds) {
 
     std::vector<Message> honest_out;
     for (PartyId i = 0; i < n; ++i) {
-      if (corrupt_[i]) continue;
+      if (corrupt_[i] || crashed_[i]) continue;
       auto out = parties_[i]->on_round(round, inboxes[i]);
       for (auto& m : out) {
         if (m.from != i || m.to >= n) {
@@ -64,24 +129,29 @@ std::size_t Simulator::run(std::size_t max_rounds) {
     }
     std::vector<Message> adv_out =
         adversary_->on_round(round, corrupt_in, honest_out);
-    for (const auto& m : adv_out) {
-      if (m.from >= n || !corrupt_[m.from] || m.to >= n) {
-        // The adversary cannot spoof honest senders: channels are
-        // authenticated. Ill-formed adversarial messages are dropped.
+    for (auto& m : adv_out) {
+      // The adversary's messages are untrusted input to the network: it
+      // cannot spoof honest senders (channels are authenticated), address
+      // parties outside [0, n), or exceed the payload cap. Ill-formed
+      // messages are dropped and counted — never indexed into stats.
+      if (m.from >= n || !corrupt_[m.from] || m.to >= n ||
+          m.payload.size() > max_adv_payload_) {
+        stats_.faults.adversary_rejected += 1;
         continue;
       }
-      honest_out.push_back(m);
+      honest_out.push_back(std::move(m));
     }
 
     for (auto& ib : inboxes) ib.clear();
     for (auto& m : honest_out) {
       // Loopback is free: a party "sending to itself" is local computation,
-      // not network communication (standard accounting convention).
-      if (m.from != m.to) {
-        stats_.record(m);
-        if (phase_mark_ && round >= *phase_mark_) phase_stats_.record(m);
+      // not network communication (standard accounting convention). It is
+      // also exempt from network faults.
+      if (m.from == m.to) {
+        inboxes[m.to].push_back(std::move(m));
+        continue;
       }
-      inboxes[m.to].push_back(std::move(m));
+      deliver(round, std::move(m), inboxes);
     }
   }
   stats_.rounds = max_rounds;

@@ -6,13 +6,20 @@
 // *within* payloads is still needed for transferable authentication, e.g.,
 // Dolev-Strong). The adversary statically corrupts a subset of parties and is
 // rushing. All communication costs are accounted in `NetworkStats`.
+//
+// Optionally the network itself misbehaves: `set_fault_plan` installs a
+// seeded, deterministic fault-injection layer (drops, bounded delays,
+// duplication, crash-stop faults, partitions — see net/faults.hpp). Without
+// a plan, delivery is perfect and behavior is identical to the paper's model.
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "net/faults.hpp"
 #include "net/protocol.hpp"
 #include "net/stats.hpp"
 
@@ -25,8 +32,17 @@ class Simulator {
   Simulator(std::vector<std::unique_ptr<Party>> parties, std::vector<bool> corrupt,
             std::unique_ptr<Adversary> adversary);
 
-  /// Run until every honest party reports done() or `max_rounds` elapse.
-  /// Returns the number of rounds executed.
+  /// Install a fault plan. Call before run().
+  void set_fault_plan(const FaultPlan& plan);
+
+  /// Cap on adversary message payloads; larger payloads are rejected (and
+  /// counted in stats().faults.adversary_rejected). Honest parties are
+  /// trusted code and exempt.
+  void set_max_adversary_payload(std::size_t bytes) { max_adv_payload_ = bytes; }
+
+  /// Run until every live honest party reports done() or `max_rounds`
+  /// elapse. Crash-stopped parties count as done. Returns the number of
+  /// rounds executed.
   std::size_t run(std::size_t max_rounds);
 
   /// Additionally account messages sent from round `round` onward into a
@@ -39,18 +55,37 @@ class Simulator {
   const NetworkStats& phase_stats() const { return phase_stats_; }
   std::size_t n() const { return parties_.size(); }
   bool is_corrupt(PartyId i) const { return corrupt_[i]; }
+  /// True if party i crash-stopped during the run (always false without a
+  /// fault plan).
+  bool is_crashed(PartyId i) const { return crashed_[i]; }
 
   /// Access a party's logic after the run (to read outputs).
   Party* party(PartyId i) { return parties_[i].get(); }
   const Party* party(PartyId i) const { return parties_[i].get(); }
 
+  static constexpr std::size_t kDefaultMaxAdversaryPayload = 1u << 20;
+
  private:
+  /// Route one accepted outgoing message through the fault layer into
+  /// `inboxes` / the delayed queue, with full accounting.
+  void deliver(std::size_t round, Message m,
+               std::vector<std::vector<Message>>& inboxes);
+
   std::vector<std::unique_ptr<Party>> parties_;
   std::vector<bool> corrupt_;
+  std::vector<bool> crashed_;
   std::unique_ptr<Adversary> adversary_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::size_t max_adv_payload_ = kDefaultMaxAdversaryPayload;
   NetworkStats stats_;
   NetworkStats phase_stats_;
   std::optional<std::size_t> phase_mark_;
+
+  struct Pending {
+    Message m;
+    bool in_phase = false;  // sent at/after the phase mark
+  };
+  std::map<std::size_t, std::vector<Pending>> delayed_;  // delivery round -> msgs
 };
 
 }  // namespace srds

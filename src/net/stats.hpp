@@ -25,6 +25,8 @@ struct PartyStats {
   std::unordered_set<PartyId> peers_out;
   std::unordered_set<PartyId> peers_in;
 
+  bool operator==(const PartyStats&) const = default;
+
   /// Locality: number of distinct parties this party exchanged messages with.
   std::size_t locality() const {
     std::unordered_set<PartyId> u(peers_out.begin(), peers_out.end());
@@ -35,20 +37,51 @@ struct PartyStats {
   std::uint64_t bytes_total() const { return bytes_sent + bytes_recv; }
 };
 
+/// Aggregate counts of network misbehavior during a run — populated only
+/// when the simulator runs under a FaultPlan (see net/faults.hpp), except
+/// `adversary_rejected`, which counts ill-formed adversary messages the
+/// network discarded (bad `from`/`to` indices or oversized payloads).
+struct FaultCounters {
+  std::uint64_t dropped = 0;         // lost to random/link drop faults
+  std::uint64_t partitioned = 0;     // lost crossing an active partition cut
+  std::uint64_t delayed = 0;         // deliveries deferred by a delay fault
+  std::uint64_t late_delivered = 0;  // deferred messages that did arrive
+  std::uint64_t duplicated = 0;      // extra copies injected at receivers
+  std::uint64_t crashed_parties = 0; // honest parties that crash-stopped
+  std::uint64_t adversary_rejected = 0;
+
+  bool operator==(const FaultCounters&) const = default;
+};
+
 struct NetworkStats {
   std::vector<PartyStats> party;
   std::size_t rounds = 0;
+  FaultCounters faults;
 
   explicit NetworkStats(std::size_t n = 0) : party(n) {}
 
   void record(const Message& m) {
+    record_send(m);
+    record_recv(m);
+  }
+
+  /// Send-side half of `record` — used for messages the network accepted
+  /// from the sender but then dropped or deferred.
+  void record_send(const Message& m) {
     party[m.from].bytes_sent += m.payload.size();
     party[m.from].msgs_sent += 1;
     party[m.from].peers_out.insert(m.to);
+  }
+
+  /// Receive-side half of `record` — used at actual delivery time (late
+  /// deliveries, duplicate copies).
+  void record_recv(const Message& m) {
     party[m.to].bytes_recv += m.payload.size();
     party[m.to].msgs_recv += 1;
     party[m.to].peers_in.insert(m.from);
   }
+
+  bool operator==(const NetworkStats&) const = default;
 
   std::uint64_t total_bytes() const {
     std::uint64_t t = 0;

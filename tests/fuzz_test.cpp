@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "ba/certified_dissem.hpp"
+#include "ba/runner.hpp"
 #include "common/rng.hpp"
 #include "consensus/coin_toss.hpp"
 #include "consensus/dolev_strong.hpp"
@@ -147,6 +148,67 @@ TEST_P(WireFuzz, OwfSchemeSurvivesStructuredGarbage) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz, ::testing::Range<std::uint64_t>(0, 8));
+
+// Chaos fuzz: randomized FaultPlan schedules driven through full BA runs.
+// The invariants are absolute — whatever the plan drops, delays, duplicates,
+// partitions or crashes, the run must not crash and no two honest parties
+// may ever decide different values. (Availability is NOT asserted here; a
+// hostile-enough plan may legitimately leave parties undecided.)
+class ChaosFuzz : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  FaultPlan random_plan(Rng& rng, std::size_t n) {
+    FaultPlan plan;
+    plan.seed = rng.next();
+    plan.drop_prob = static_cast<double>(rng.below(31)) / 100.0;  // 0..0.30
+    if (rng.below(2) == 0) {
+      plan.delay_prob = static_cast<double>(rng.below(26)) / 100.0;
+      plan.max_delay = 1 + rng.below(3);
+    }
+    if (rng.below(2) == 0) {
+      plan.duplicate_prob = static_cast<double>(rng.below(16)) / 100.0;
+    }
+    if (rng.below(2) == 0) {
+      PartitionWindow w;
+      w.from_round = rng.below(12);
+      w.until_round = w.from_round + 2 + rng.below(10);
+      for (PartyId p : rng.subset(n, 2 + rng.below(n / 4))) w.group.push_back(p);
+      plan.partitions.push_back(w);
+    }
+    for (std::size_t c = rng.below(4); c > 0; --c) {
+      plan.crashes.push_back(
+          CrashFault{static_cast<PartyId>(rng.below(n)), rng.below(20)});
+    }
+    return plan;
+  }
+};
+
+TEST_P(ChaosFuzz, RandomFaultPlansNeverBreakAgreement) {
+  Rng rng(GetParam() * 131 + 9);
+  const std::size_t n = 48;
+  // Certificate-carrying protocols: late decisions are gated on verified
+  // certificates, so agreement is unconditional by construction; the fuzz
+  // checks the implementation honors that under arbitrary schedules.
+  const BoostProtocol protos[] = {BoostProtocol::kPiBaSnark, BoostProtocol::kStar};
+  for (int trial = 0; trial < 3; ++trial) {
+    FaultPlan plan = random_plan(rng, n);
+    BaRunConfig cfg;
+    cfg.n = n;
+    cfg.beta = 0.1;
+    cfg.seed = rng.next();
+    cfg.protocol = protos[trial % 2];
+    cfg.faults = plan;
+    auto r = run_ba(cfg);  // must not crash/throw
+    EXPECT_TRUE(r.agreement)
+        << protocol_name(cfg.protocol) << " seed=" << plan.seed
+        << " drop=" << plan.drop_prob << " delay=" << plan.delay_prob
+        << " dup=" << plan.duplicate_prob
+        << " partitions=" << plan.partitions.size()
+        << " crashes=" << plan.crashes.size();
+    EXPECT_LE(r.decided, r.honest);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosFuzz, ::testing::Range<std::uint64_t>(0, 6));
 
 }  // namespace
 }  // namespace srds

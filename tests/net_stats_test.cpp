@@ -78,6 +78,40 @@ TEST(PartyStats, LocalityUnionsDirections) {
   EXPECT_EQ(s.bytes_total(), 0u);
 }
 
+TEST(FaultCounters, DefaultIsAllZero) {
+  FaultCounters c;
+  EXPECT_EQ(c, FaultCounters{});
+  EXPECT_EQ(c.dropped, 0u);
+  EXPECT_EQ(c.partitioned, 0u);
+  EXPECT_EQ(c.delayed, 0u);
+  EXPECT_EQ(c.late_delivered, 0u);
+  EXPECT_EQ(c.duplicated, 0u);
+  EXPECT_EQ(c.crashed_parties, 0u);
+  EXPECT_EQ(c.adversary_rejected, 0u);
+}
+
+TEST(NetworkStats, EqualityCoversFaultCounters) {
+  NetworkStats a(2), b(2);
+  EXPECT_EQ(a, b);
+  b.faults.dropped = 1;
+  EXPECT_FALSE(a == b);
+  b.faults.dropped = 0;
+  b.party[1].bytes_sent = 5;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(FaultlessRunHasZeroFaultCounters, EvenWithPlanInstalled) {
+  std::vector<std::unique_ptr<Party>> parties;
+  parties.push_back(std::make_unique<MeteredSender>(0, 3, 10));
+  parties.push_back(std::make_unique<Sink>());
+  Simulator sim(std::move(parties), std::vector<bool>{false, false}, nullptr);
+  FaultPlan plan;  // all-default: no faults configured
+  sim.set_fault_plan(plan);
+  sim.run(16);
+  EXPECT_EQ(sim.stats().faults, FaultCounters{});
+  EXPECT_EQ(sim.stats().party[0].bytes_sent, 30u);
+}
+
 TEST(NetworkStats, MaxIfFiltersParties) {
   NetworkStats stats(3);
   stats.party[0].bytes_sent = 100;

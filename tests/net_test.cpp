@@ -189,6 +189,178 @@ TEST(Simulator, AdversaryIsRushing) {
   EXPECT_EQ(seen[0], 1u);
 }
 
+// --- Fault-injection layer (net/faults.hpp) -------------------------------
+
+/// Sends one uniquely-tagged message to party 1 per round for `rounds`
+/// rounds; stays alive until told how many messages to expect back.
+class CountingReceiver final : public Party {
+ public:
+  CountingReceiver(std::size_t expect, std::size_t give_up_round)
+      : expect_(expect), give_up_(give_up_round) {}
+  std::vector<Message> on_round(std::size_t round,
+                                const std::vector<Message>& inbox) override {
+    for (const auto& m : inbox) received_.push_back(m);
+    if (received_.size() >= expect_ || round >= give_up_) done_ = true;
+    return {};
+  }
+  bool done() const override { return done_; }
+  const std::vector<Message>& received() const { return received_; }
+
+ private:
+  std::size_t expect_, give_up_;
+  bool done_ = false;
+  std::vector<Message> received_;
+};
+
+TEST(FaultInjection, DropsAreCountedAndConserved) {
+  auto run_once = [] {
+    auto sim = make_flood_sim(4, 6);
+    FaultPlan plan;
+    plan.seed = 42;
+    plan.drop_prob = 0.5;
+    sim->set_fault_plan(plan);
+    sim->run(20);
+    return sim->stats();
+  };
+  NetworkStats a = run_once();
+  EXPECT_GT(a.faults.dropped, 0u);
+  // Every sent message is either received or dropped — nothing vanishes
+  // unaccounted (no delay/duplication in this plan).
+  std::size_t sent = 0, recv = 0;
+  for (const auto& p : a.party) {
+    sent += p.msgs_sent;
+    recv += p.msgs_recv;
+  }
+  EXPECT_EQ(sent, recv + a.faults.dropped);
+  // Determinism: the same plan reproduces byte-identical stats.
+  NetworkStats b = run_once();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.faults, b.faults);
+}
+
+TEST(FaultInjection, DelayedMessageArrivesLaterExactlyOnce) {
+  std::vector<std::unique_ptr<Party>> parties;
+  const std::size_t kSends = 5;
+  parties.push_back(std::make_unique<FloodParty>(0, std::vector<PartyId>{1}, kSends));
+  parties.push_back(std::make_unique<CountingReceiver>(kSends, 30));
+  Simulator sim(std::move(parties), std::vector<bool>{false, false}, nullptr);
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.delay_prob = 1.0;  // defer every message
+  plan.max_delay = 2;
+  sim.set_fault_plan(plan);
+  sim.run(40);
+  const auto& st = sim.stats();
+  EXPECT_EQ(st.faults.delayed, kSends);
+  EXPECT_EQ(st.faults.late_delivered, kSends);
+  EXPECT_EQ(st.faults.dropped, 0u);
+  auto* rx = dynamic_cast<CountingReceiver*>(sim.party(1));
+  ASSERT_NE(rx, nullptr);
+  // Each of the k tagged messages arrived exactly once, strictly later than
+  // the perfect-delivery round. FloodParty tags payload[0] with the send
+  // round, so the multiset of tags must be {0, 1, ..., k-1}.
+  ASSERT_EQ(rx->received().size(), kSends);
+  std::vector<int> tally(kSends, 0);
+  for (const auto& m : rx->received()) {
+    ASSERT_LT(m.payload[0], kSends);
+    ++tally[m.payload[0]];
+  }
+  for (std::size_t r = 0; r < kSends; ++r) EXPECT_EQ(tally[r], 1) << "send round " << r;
+}
+
+TEST(FaultInjection, DuplicationDeliversExactlyTwoCopies) {
+  auto sim = make_flood_sim(3, 4);
+  FaultPlan plan;
+  plan.seed = 10;
+  plan.duplicate_prob = 1.0;
+  sim->set_fault_plan(plan);
+  sim->run(20);
+  const auto& st = sim->stats();
+  std::size_t sent = 0, recv = 0;
+  for (const auto& p : st.party) {
+    sent += p.msgs_sent;
+    recv += p.msgs_recv;
+  }
+  EXPECT_EQ(st.faults.duplicated, sent);
+  EXPECT_EQ(recv, 2 * sent);
+}
+
+TEST(FaultInjection, CrashStopHaltsPartyMidRun) {
+  auto sim = make_flood_sim(3, 6);
+  FaultPlan plan;
+  plan.crashes.push_back(CrashFault{2, 2});
+  sim->set_fault_plan(plan);
+  sim->run(20);
+  EXPECT_TRUE(sim->is_crashed(2));
+  EXPECT_FALSE(sim->is_crashed(0));
+  EXPECT_EQ(sim->stats().faults.crashed_parties, 1u);
+  // Party 2 sent during rounds 0 and 1 only (2 peers x 1 byte each).
+  EXPECT_EQ(sim->stats().party[2].bytes_sent, 4u);
+  EXPECT_EQ(sim->stats().party[0].bytes_sent, 12u);  // all 6 rounds
+}
+
+TEST(FaultInjection, PartitionCutsExactlyCrossTraffic) {
+  auto sim = make_flood_sim(4, 4);
+  FaultPlan plan;
+  PartitionWindow w;
+  w.from_round = 1;
+  w.until_round = 3;  // send rounds 1 and 2
+  w.group = {0, 1};
+  plan.partitions.push_back(w);
+  sim->set_fault_plan(plan);
+  sim->run(20);
+  // Per partitioned send round: 2x2 cross pairs in each direction = 8 msgs.
+  EXPECT_EQ(sim->stats().faults.partitioned, 16u);
+  EXPECT_EQ(sim->stats().faults.dropped, 0u);
+  // Intra-side traffic flowed: party 0 still heard party 1 those rounds.
+  auto* p0 = dynamic_cast<FloodParty*>(sim->party(0));
+  ASSERT_NE(p0, nullptr);
+  // 4 rounds x 3 peers = 12 expected without faults; minus 2 rounds x 2
+  // cross-cut senders = 4 lost.
+  EXPECT_EQ(p0->received().size(), 8u);
+}
+
+/// Adversary that sends one oversized and one in-bounds payload.
+class OversizeAdversary final : public Adversary {
+ public:
+  std::vector<Message> on_round(std::size_t round, const std::vector<Message>&,
+                                const std::vector<Message>&) override {
+    if (round > 0) return {};
+    return {
+        Message{2, 0, Bytes(100, 0xEE)},  // over the 8-byte cap below
+        Message{2, 0, Bytes(4, 0xDD)},    // fine
+    };
+  }
+};
+
+TEST(FaultInjection, AdversaryPayloadBoundEnforced) {
+  std::vector<std::unique_ptr<Party>> parties;
+  parties.push_back(std::make_unique<SinkParty>(3));
+  parties.push_back(std::make_unique<SinkParty>(3));
+  parties.push_back(nullptr);  // corrupt
+  std::vector<bool> corrupt{false, false, true};
+  Simulator sim(std::move(parties), corrupt, std::make_unique<OversizeAdversary>());
+  sim.set_max_adversary_payload(8);
+  sim.run(10);
+  EXPECT_EQ(sim.stats().faults.adversary_rejected, 1u);
+  auto* p0 = dynamic_cast<SinkParty*>(sim.party(0));
+  ASSERT_NE(p0, nullptr);
+  ASSERT_EQ(p0->received().size(), 1u);
+  EXPECT_EQ(p0->received()[0].payload.size(), 4u);
+}
+
+TEST(FaultInjection, SpoofedAdversaryMessagesAreCounted) {
+  std::vector<std::unique_ptr<Party>> parties;
+  parties.push_back(std::make_unique<SinkParty>(3));
+  parties.push_back(std::make_unique<SinkParty>(3));
+  parties.push_back(nullptr);
+  std::vector<bool> corrupt{false, false, true};
+  Simulator sim(std::move(parties), corrupt, std::make_unique<SpoofingAdversary>());
+  sim.run(10);
+  // The spoof (honest from) and the out-of-range destination are rejected.
+  EXPECT_EQ(sim.stats().faults.adversary_rejected, 2u);
+}
+
 TEST(SubProto, TagRoundTrip) {
   Bytes body = to_bytes("payload");
   Bytes tagged = tag_body(7, 123456789ULL, body);
