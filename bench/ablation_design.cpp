@@ -17,7 +17,7 @@ namespace {
 using namespace srds;
 using namespace srds::bench;
 
-void redundancy_ablation() {
+void redundancy_ablation(Reporter& rep) {
   print_header("Ablation 1: certificate redundancy rho (n=256, beta=0.2, pi_ba/snark)");
   std::vector<int> widths{8, 12, 18, 18};
   print_row({"rho", "decided", "max boost bytes", "agreement"}, widths);
@@ -36,12 +36,18 @@ void redundancy_ablation() {
                fmt_bytes(static_cast<double>(r.boost_stats.max_bytes_total())),
                r.agreement ? "yes" : "NO"},
               widths);
+    obs::Json m = obs::Json::object();
+    m.set("ablation", "redundancy");
+    m.set("decided_fraction", r.decided_fraction());
+    m.set("max_boost_bytes", r.boost_stats.max_bytes_total());
+    m.set("agreement", r.agreement);
+    rep.add_row(static_cast<double>(rho), std::move(m));
   }
-  std::printf("Expected: delivery already ~100%% at rho=1 thanks to the PRF round;\n"
-              "bytes grow with rho — rho=3 is belt-and-braces at ~moderate cost.\n");
+  say("Expected: delivery already ~100%% at rho=1 thanks to the PRF round;\n"
+      "bytes grow with rho — rho=3 is belt-and-braces at ~moderate cost.\n");
 }
 
-void lambda_ablation() {
+void lambda_ablation(Reporter& rep) {
   print_header("Ablation 2: OWF-SRDS sortition lambda (robustness@t=10% / forgery@<n/3 over 12 trials, n=180)");
   std::vector<int> widths{10, 16, 16, 18};
   print_row({"lambda", "robust fails", "forgeries", "aggregate size"}, widths);
@@ -92,13 +98,20 @@ void lambda_ablation() {
                std::to_string(forgeries) + "/12",
                fmt_bytes(static_cast<double>(agg_size))},
               widths);
+    obs::Json jm = obs::Json::object();
+    jm.set("ablation", "lambda");
+    jm.set("robust_fails", robust_fails);
+    jm.set("forgeries", forgeries);
+    jm.set("trials", 12);
+    jm.set("aggregate_bytes", agg_size);
+    rep.add_row(static_cast<double>(lambda), std::move(jm));
   }
-  std::printf("Expected: small lambda leaves no concentration margin (both failure\n"
-              "columns light up); lambda >= 48 is clean; size grows linearly in\n"
-              "lambda — the paper's polylog(n) knob traded against poly(kappa) bytes.\n");
+  say("Expected: small lambda leaves no concentration margin (both failure\n"
+      "columns light up); lambda >= 48 is clean; size grows linearly in\n"
+      "lambda — the paper's polylog(n) knob traded against poly(kappa) bytes.\n");
 }
 
-void committee_ablation() {
+void committee_ablation(Reporter& rep) {
   print_header("Ablation 3: tree committee-size factor (n=256, beta=0.2, pi_ba/snark)");
   std::vector<int> widths{22, 12, 12, 18};
   print_row({"committee size", "decided", "rounds", "max boost bytes"}, widths);
@@ -116,17 +129,26 @@ void committee_ablation() {
                std::to_string(r.rounds),
                fmt_bytes(static_cast<double>(r.boost_stats.max_bytes_total()))},
               widths);
+    obs::Json m = obs::Json::object();
+    m.set("ablation", "committee-factor");
+    m.set("decided_fraction", r.decided_fraction());
+    m.set("rounds", r.rounds);
+    m.set("max_boost_bytes", r.boost_stats.max_bytes_total());
+    rep.add_row(factor, std::move(m));
   }
-  std::printf("Expected: bigger committees buy corruption margin with a superlinear\n"
-              "byte cost — the paper's log^3 n committees are the asymptotic version\n"
-              "of the same trade.\n");
+  say("Expected: bigger committees buy corruption margin with a superlinear\n"
+      "byte cost — the paper's log^3 n committees are the asymptotic version\n"
+      "of the same trade.\n");
 }
 
 }  // namespace
 
-int main() {
-  redundancy_ablation();
-  lambda_ablation();
-  committee_ablation();
+int main(int argc, char** argv) {
+  Args args = Args::parse(argc, argv);
+  Reporter rep("ablation_design");
+  redundancy_ablation(rep);
+  lambda_ablation(rep);
+  committee_ablation(rep);
+  finish_report(rep, args);
   return 0;
 }

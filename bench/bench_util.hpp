@@ -1,5 +1,8 @@
-// Shared helpers for the experiment binaries: fixed-width table printing
-// and log-log slope estimation for the scaling figures.
+// Shared helpers for the experiment binaries: fixed-width table printing,
+// log-log slope estimation for the scaling figures, and glue between the
+// observability layer (obs/) and the bench JSON artifacts. Every binary
+// parses the shared CLI (obs/bench_args.hpp) and routes its rows through a
+// bench::Reporter in addition to the text tables.
 #pragma once
 
 #include <cmath>
@@ -7,18 +10,59 @@
 #include <string>
 #include <vector>
 
+#include "obs/bench_args.hpp"
+#include "obs/report.hpp"
+#include "obs/tracer.hpp"
+
 namespace srds::bench {
 
 inline void print_header(const std::string& title) {
+  if (quiet()) return;
   std::printf("\n=== %s ===\n", title.c_str());
 }
 
 inline void print_row(const std::vector<std::string>& cells,
                       const std::vector<int>& widths) {
+  if (quiet()) return;
   for (std::size_t i = 0; i < cells.size(); ++i) {
     std::printf("%-*s", widths[i], cells[i].c_str());
   }
   std::printf("\n");
+}
+
+/// printf that respects --quiet (for the "Expected shape" footers).
+template <typename... A>
+void say(const char* fmt, A... args) {
+  if (quiet()) return;
+  std::printf(fmt, args...);
+}
+
+/// Per-phase byte/round/message breakdown of a traced run, as a JSON
+/// object {phase: {rounds, msgs_sent, bytes_sent}} for Reporter metrics.
+inline obs::Json phase_metrics(const obs::RoundTracer& tracer) {
+  obs::Json out = obs::Json::object();
+  for (const auto& p : tracer.phase_totals()) {
+    obs::Json j = obs::Json::object();
+    j.set("start", p.start);
+    j.set("rounds", p.rounds);
+    j.set("msgs_sent", p.msgs_sent);
+    j.set("bytes_sent", p.bytes_sent);
+    out.set(p.name, std::move(j));
+  }
+  return out;
+}
+
+/// Write the Reporter artifact (if --json-out is active) and tell the user
+/// where it went.
+inline void finish_report(const Reporter& rep, const Args& args) {
+  if (!args.json_enabled()) return;
+  std::string path = rep.write(args.json_out);
+  if (path.empty()) {
+    std::fprintf(stderr, "warning: failed to write BENCH_%s.json under %s\n",
+                 rep.name().c_str(), args.json_out.c_str());
+  } else {
+    say("\n[json] %s\n", path.c_str());
+  }
 }
 
 inline std::string fmt_bytes(double b) {

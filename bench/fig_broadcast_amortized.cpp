@@ -7,52 +7,72 @@
 #include "ba/runner.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace srds;
   using namespace srds::bench;
 
-  print_header("Cor 1.2(1): max per-party bytes for ell broadcasts (n=256, beta=0.1)");
+  Args args = Args::parse(argc, argv);
+  const std::size_t n_fixed = args.n_or(256);
+  const std::uint64_t seed = args.seed_or(77);
+
+  Reporter rep("fig_broadcast_amortized");
+  rep.set_param("n", n_fixed);
+  rep.set_param("beta", 0.1);
+  rep.set_param("seed", seed);
+
+  print_header("Cor 1.2(1): max per-party bytes for ell broadcasts (n=" +
+               std::to_string(n_fixed) + ", beta=0.1)");
   std::vector<int> widths{8, 18, 22, 12};
   print_row({"ell", "max bytes/party", "per-broadcast", "delivered"}, widths);
 
   for (std::size_t ell : {1u, 2u, 4u, 8u, 16u}) {
     BroadcastRunConfig cfg;
-    cfg.n = 256;
+    cfg.n = n_fixed;
     cfg.ell = ell;
     cfg.beta = 0.1;
-    cfg.seed = 77;
+    cfg.seed = seed;
     auto r = run_broadcast_service(cfg);
     double total = static_cast<double>(r.stats.max_bytes_total());
+    double delivered = static_cast<double>(r.delivered) / static_cast<double>(r.possible);
     print_row({std::to_string(ell), fmt_bytes(total),
                fmt_bytes(total / static_cast<double>(ell)),
-               fmt(100.0 * static_cast<double>(r.delivered) /
-                       static_cast<double>(r.possible),
-                   1) +
-                   "%"},
+               fmt(100.0 * delivered, 1) + "%"},
               widths);
+    obs::Json m = obs::Json::object();
+    m.set("sweep", "ell");
+    m.set("max_bytes_per_party", r.stats.max_bytes_total());
+    m.set("per_broadcast_bytes", total / static_cast<double>(ell));
+    m.set("delivered_fraction", delivered);
+    m.set("agreement", r.agreement);
+    rep.add_row(static_cast<double>(ell), std::move(m));
   }
 
   print_header("Per-broadcast cost vs n (ell=4, beta=0.1)");
   std::vector<int> w2{8, 22};
   print_row({"n", "per-broadcast/party"}, w2);
   std::vector<double> xs, ys;
-  for (std::size_t n : {128u, 256u, 512u, 1024u}) {
+  for (std::size_t n : args.sizes({128, 256, 512, 1024})) {
     BroadcastRunConfig cfg;
     cfg.n = n;
     cfg.ell = 4;
     cfg.beta = 0.1;
-    cfg.seed = 78;
+    cfg.seed = seed + 1;
     auto r = run_broadcast_service(cfg);
     double per = static_cast<double>(r.stats.max_bytes_total()) / 4.0;
     xs.push_back(static_cast<double>(n));
     ys.push_back(per);
     print_row({std::to_string(n), fmt_bytes(per)}, w2);
+    obs::Json m = obs::Json::object();
+    m.set("sweep", "n");
+    m.set("per_broadcast_bytes", per);
+    rep.add_row(static_cast<double>(n), std::move(m));
   }
-  std::printf(
-      "\ngrowth exponent in n: %.2f\n"
+  rep.set_param("n_sweep_slope", loglog_slope(xs, ys));
+  say("\ngrowth exponent in n: %.2f\n"
       "(expected: polylogarithmic — the committee Dolev-Strong/coin-toss factors\n"
       "are ~log^4 n, which fits as an exponent ~0.4-0.5 over this small range;\n"
       "contrast with exponent 1.0 for a naive Θ(n)-per-party broadcast flood)\n",
       loglog_slope(xs, ys));
+  finish_report(rep, args);
   return 0;
 }

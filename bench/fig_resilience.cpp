@@ -10,10 +10,11 @@
 #include "ba/runner.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace srds;
   using namespace srds::bench;
 
+  Args args = Args::parse(argc, argv);
   const std::vector<std::pair<BoostProtocol, const char*>> protocols{
       {BoostProtocol::kNaive, "naive"},
       {BoostProtocol::kMultisig, "bgt13-multisig"},
@@ -23,14 +24,21 @@ int main() {
       {BoostProtocol::kPiBaSnark, "pi_ba/snark"},
   };
   const std::vector<double> drop_rates{0.0, 0.01, 0.05, 0.10};
-  const std::size_t kN = 256;
+  const std::size_t kN = args.n_or(256);
   const double kBeta = 0.1;
+  const std::uint64_t seed = args.seed_or(101);
+
+  Reporter rep("fig_resilience");
+  rep.set_param("n", kN);
+  rep.set_param("beta", kBeta);
+  rep.set_param("seed", seed);
+  double row_idx = 0;
 
   auto run_with = [&](BoostProtocol proto, const FaultPlan& plan) {
     BaRunConfig cfg;
     cfg.n = kN;
     cfg.beta = kBeta;
-    cfg.seed = 101;
+    cfg.seed = seed;
     cfg.protocol = proto;
     cfg.faults = plan;
     return run_ba(cfg);
@@ -42,7 +50,7 @@ int main() {
     BaRunConfig cfg;
     cfg.n = kN;
     cfg.beta = kBeta;
-    cfg.seed = 101;
+    cfg.seed = seed;
     cfg.protocol = proto;
     base_rounds.push_back(run_ba(cfg).rounds);
   }
@@ -66,18 +74,28 @@ int main() {
       std::vector<std::string> cells{label};
       bool all_agree = true;
       std::size_t extra = 0;
+      obs::Json by_rate = obs::Json::object();
       for (double rate : drop_rates) {
         FaultPlan plan;
         plan.seed = 2026;
         plan.drop_prob = rate;
         auto r = run_with(proto, plan);
         cells.push_back(fmt(r.decided_fraction(), 3));
+        by_rate.set(fmt(rate, 2), r.decided_fraction());
         all_agree = all_agree && r.agreement;
         extra = r.rounds > base_rounds[pi] ? r.rounds - base_rounds[pi] : 0;
       }
       cells.push_back(all_agree ? "yes" : "NO");
       cells.push_back(std::to_string(extra));
       print_row(cells, widths);
+
+      obs::Json m = obs::Json::object();
+      m.set("sweep", "drop");
+      m.set("protocol", label);
+      m.set("decided_fraction_by_drop", std::move(by_rate));
+      m.set("agreement", all_agree);
+      m.set("extra_rounds", extra);
+      rep.add_row(row_idx++, std::move(m));
     }
   }
 
@@ -101,6 +119,7 @@ int main() {
       std::vector<std::string> cells{label};
       bool all_agree = true;
       std::size_t extra = 0;
+      obs::Json by_delay = obs::Json::object();
       for (auto d : delays) {
         FaultPlan plan;
         plan.seed = 2027;
@@ -108,17 +127,25 @@ int main() {
         plan.max_delay = d;
         auto r = run_with(proto, plan);
         cells.push_back(fmt(r.decided_fraction(), 3));
+        by_delay.set(std::to_string(d), r.decided_fraction());
         all_agree = all_agree && r.agreement;
         extra = r.rounds > base_rounds[pi] ? r.rounds - base_rounds[pi] : 0;
       }
       cells.push_back(all_agree ? "yes" : "NO");
       cells.push_back(std::to_string(extra));
       print_row(cells, widths);
+
+      obs::Json m = obs::Json::object();
+      m.set("sweep", "delay");
+      m.set("protocol", label);
+      m.set("decided_fraction_by_delay", std::move(by_delay));
+      m.set("agreement", all_agree);
+      m.set("extra_rounds", extra);
+      rep.add_row(row_idx++, std::move(m));
     }
   }
 
-  std::printf(
-      "\nExpected shape: agreement must read \"yes\" in every row of both tables\n"
+  say("\nExpected shape: agreement must read \"yes\" in every row of both tables\n"
       "-- fault injection attacks availability, never safety. At n=256 the\n"
       "hardening (step-6 certificate retransmits bounded by\n"
       "certificate_redundancy, plus the grace window for late boost traffic)\n"
@@ -131,5 +158,6 @@ int main() {
       "stretch the hardening spends (grace window + step-6 retransmits),\n"
       "identical across the sweep since it derives from the plan, not the\n"
       "realized faults.\n");
+  finish_report(rep, args);
   return 0;
 }

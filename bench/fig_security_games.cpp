@@ -31,10 +31,12 @@ std::unique_ptr<SrdsScheme> make_scheme(bool owf, std::size_t n_signers,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace srds::bench;
 
-  const std::size_t n_parties = 200;
+  Args args = Args::parse(argc, argv);
+  const std::size_t n_parties = args.n_or(200);
+  const std::uint64_t seed = args.seed_or(900);
   const std::size_t trials = 15;
   const std::vector<std::pair<AttackStrategy, const char*>> strategies{
       {AttackStrategy::kSilent, "silent"},
@@ -44,15 +46,24 @@ int main() {
       {AttackStrategy::kBestEffort, "best-effort"},
   };
 
+  Reporter rep("fig_security_games");
+  rep.set_param("n", n_parties);
+  rep.set_param("seed", seed);
+  rep.set_param("trials", trials);
+  double row_idx = 0;
+
   print_header("Game R (Fig. 1): robustness — adversary win rate (must be ~0%), n=200, t=10%");
   std::vector<int> widths{20, 20, 20};
   print_row({"strategy", "owf-srds", "snark-srds"}, widths);
   for (auto [strategy, label] : strategies) {
     std::vector<std::string> cells{label};
+    obs::Json m = obs::Json::object();
+    m.set("game", "robustness");
+    m.set("strategy", label);
     for (bool owf : {true, false}) {
       std::size_t wins = 0;
       for (std::size_t trial = 0; trial < trials; ++trial) {
-        CommTree tree = make_game_tree(n_parties, 900 + trial);
+        CommTree tree = make_game_tree(n_parties, seed + trial);
         auto scheme = make_scheme(owf, tree.virtual_count(), 1700 + trial);
         GameConfig cfg;
         cfg.t = n_parties / 10;
@@ -61,8 +72,11 @@ int main() {
         wins += run_robustness_game(*scheme, tree, cfg).adversary_wins ? 1 : 0;
       }
       cells.push_back(fmt(100.0 * static_cast<double>(wins) / trials, 1) + "%");
+      m.set(owf ? "owf_win_rate" : "snark_win_rate",
+            static_cast<double>(wins) / trials);
     }
     print_row(cells, widths);
+    rep.add_row(row_idx++, std::move(m));
   }
 
   print_header("Game F (Fig. 2): forgery — adversary win rate (must be 0%), |S ∪ I| < n/3");
@@ -72,6 +86,9 @@ int main() {
       continue;  // meaningless as forgeries
     }
     std::vector<std::string> cells{label};
+    obs::Json m = obs::Json::object();
+    m.set("game", "forgery");
+    m.set("strategy", label);
     for (bool owf : {true, false}) {
       std::size_t wins = 0;
       for (std::size_t trial = 0; trial < trials; ++trial) {
@@ -83,8 +100,11 @@ int main() {
         wins += run_forgery_game(*scheme, cfg).adversary_wins ? 1 : 0;
       }
       cells.push_back(fmt(100.0 * static_cast<double>(wins) / trials, 1) + "%");
+      m.set(owf ? "owf_win_rate" : "snark_win_rate",
+            static_cast<double>(wins) / trials);
     }
     print_row(cells, widths);
+    rep.add_row(row_idx++, std::move(m));
   }
 
   print_header("Ablation: corruption selector vs OWF-SRDS robustness (t = 20%, lambda = 100)");
@@ -109,14 +129,19 @@ int main() {
     }
     print_row({label, fmt(100.0 * static_cast<double>(wins) / trials, 1) + "%", ""},
               widths);
+    obs::Json m = obs::Json::object();
+    m.set("game", "selector-ablation");
+    m.set("selector", label);
+    m.set("owf_win_rate", static_cast<double>(wins) / trials);
+    rep.add_row(row_idx++, std::move(m));
   }
 
-  std::printf(
-      "\nExpected shape: ~0%% win rates in both games for every strategy, and a\n"
+  say("\nExpected shape: ~0%% win rates in both games for every strategy, and a\n"
       "stark selector contrast in the ablation — the clairvoyant adversary (who\n"
       "can see sortition outcomes, i.e. a *broken* oblivious keygen) wins almost\n"
       "always while the model's assignment-blind adversary almost never does.\n"
       "That gap is why hiding signing ability inside the trusted PKI is\n"
       "load-bearing for the OWF construction.\n");
+  finish_report(rep, args);
   return 0;
 }

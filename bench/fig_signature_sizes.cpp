@@ -76,11 +76,14 @@ std::size_t snark_size(std::size_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace srds;
   using namespace srds::bench;
 
-  const std::vector<std::size_t> sizes{128, 512, 2048, 8192};
+  Args args = Args::parse(argc, argv);
+  const std::vector<std::size_t> sizes = args.sizes({128, 512, 2048, 8192});
+
+  Reporter rep("fig_signature_sizes");
 
   print_header("Fig D: bytes needed to ship one verifiable aggregate signature vs n");
   std::vector<int> widths{10, 20, 22, 20, 20, 14};
@@ -104,15 +107,25 @@ int main() {
                fmt_bytes(static_cast<double>(cm)),
                fmt_bytes(static_cast<double>(sn))},
               widths);
+
+    obs::Json m = obs::Json::object();
+    m.set("multisig_bytes", ms);
+    m.set("owf_srds_wots_bytes", owf_wots);
+    m.set("owf_srds_compact_bytes", owf_c);
+    m.set("counting_multisig_bytes", cm);
+    m.set("snark_srds_bytes", sn);
+    rep.add_row(static_cast<double>(n), std::move(m));
   }
-  std::printf("\nmultisig growth exponent: %.2f   snark-srds growth exponent: %.2f\n",
-              loglog_slope(xs, ms_ys), loglog_slope(xs, snark_ys));
-  std::printf(
-      "Expected shape: the multisig column grows linearly (the signer bitmap);\n"
+  say("\nmultisig growth exponent: %.2f   snark-srds growth exponent: %.2f\n",
+      loglog_slope(xs, ms_ys), loglog_slope(xs, snark_ys));
+  rep.set_param("multisig_slope", loglog_slope(xs, ms_ys));
+  rep.set_param("snark_srds_slope", loglog_slope(xs, snark_ys));
+  say("Expected shape: the multisig column grows linearly (the signer bitmap);\n"
       "every other column is flat in n — OWF-SRDS size is set by the polylog\n"
       "sortition parameter; counting-msig (the paper's SNARG connection) and\n"
       "SNARK-SRDS are constant-size proofs. The counting-msig column matches\n"
       "snark-srds in SIZE but cannot be reconstructed incrementally — the\n"
       "aggregator needs the Θ(n)-bit witness (see counting_multisig.hpp).\n");
+  finish_report(rep, args);
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hpp"
+#include "micro_main.hpp"
 #include "consensus/shamir.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/lamport.hpp"
@@ -129,4 +130,6 @@ BENCHMARK(BM_ShamirReconstruct)->Arg(16)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return srds::bench::run_micro_suite(argc, argv, "micro_crypto");
+}

@@ -1,0 +1,60 @@
+// Shared main() for the google-benchmark micro suites: parse the repo-wide
+// bench CLI first (bench::Args consumes its flags and compacts argv), hand
+// the remainder to google-benchmark, and tee every run into a
+// bench::Reporter so the suites emit BENCH_*.json like the figure binaries.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace srds::bench {
+
+/// ConsoleReporter that also records each run into a Reporter row
+/// {name, iterations, real/cpu ns per iteration, user counters}. --quiet
+/// suppresses the console table, not the capture.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(Reporter& rep) : rep_(rep) {}
+
+  bool ReportContext(const Context& ctx) override {
+    if (quiet()) return true;
+    return benchmark::ConsoleReporter::ReportContext(ctx);
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      obs::Json m = obs::Json::object();
+      m.set("name", run.benchmark_name());
+      m.set("iterations", static_cast<long long>(run.iterations));
+      const double iters =
+          run.iterations ? static_cast<double>(run.iterations) : 1.0;
+      m.set("real_ns_per_iter", run.real_accumulated_time * 1e9 / iters);
+      m.set("cpu_ns_per_iter", run.cpu_accumulated_time * 1e9 / iters);
+      for (const auto& [cname, counter] : run.counters) {
+        m.set("counter_" + cname, static_cast<double>(counter));
+      }
+      rep_.add_row(static_cast<double>(idx_++), std::move(m));
+    }
+    if (!quiet()) benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  Reporter& rep_;
+  std::size_t idx_ = 0;
+};
+
+inline int run_micro_suite(int argc, char** argv, const char* suite_name) {
+  Args args = Args::parse(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  Reporter rep(suite_name);
+  CapturingReporter console(rep);
+  benchmark::RunSpecifiedBenchmarks(&console);
+  benchmark::Shutdown();
+  finish_report(rep, args);
+  return 0;
+}
+
+}  // namespace srds::bench

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hpp"
+#include "micro_main.hpp"
 #include "snark/snark.hpp"
 #include "srds/owf_srds.hpp"
 #include "srds/snark_srds.hpp"
@@ -129,4 +130,6 @@ BENCHMARK(BM_PcdProveVerify);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return srds::bench::run_micro_suite(argc, argv, "micro_srds");
+}

@@ -94,8 +94,15 @@ std::vector<Message> AeBoostParty::on_round(std::size_t round,
 
   std::vector<Message> out;
   auto emit = [&](std::uint32_t phase, std::vector<std::pair<PartyId, Bytes>> msgs) {
+    MsgKind kind = MsgKind::kUnknown;
+    switch (phase) {
+      case 1: kind = MsgKind::kCommitteeBa; break;
+      case 2: kind = MsgKind::kCoinToss; break;
+      case 3: kind = MsgKind::kDissem; break;
+      default: break;
+    }
     for (auto& [to, body] : msgs) {
-      out.push_back(Message{me_, to, tag_body(phase, 0, body)});
+      out.push_back(Message{me_, to, tag_body(phase, 0, body), kind});
     }
   };
 
@@ -105,7 +112,7 @@ std::vector<Message> AeBoostParty::on_round(std::size_t round,
     if (round == 0 && me_ == *cfg_.broadcaster) {
       Bytes bit{static_cast<std::uint8_t>(input_ ? 1 : 0)};
       for (PartyId p : cfg_.tree->supreme_committee()) {
-        if (p != me_) out.push_back(Message{me_, p, tag_body(4, 0, bit)});
+        if (p != me_) out.push_back(Message{me_, p, tag_body(4, 0, bit), MsgKind::kInject});
       }
       if (in_committee_) injected_bit_ = input_;
     }

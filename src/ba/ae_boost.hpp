@@ -69,6 +69,13 @@ class AeBoostParty : public Party {
   /// First round of the boost phase (for phase-marked cost accounting).
   std::size_t boost_start() const { return boost_start_; }
 
+  // Full phase schedule (round indices), exposed so the harness can
+  // register phase marks with an observability TraceSink.
+  std::size_t ba_start() const { return ba_start_; }
+  std::size_t ct_start() const { return ct_start_; }
+  std::size_t dissem_start() const { return dissem_start_; }
+  std::size_t grace_start() const { return boost_start_ + boost_rounds(); }
+
   static constexpr std::uint32_t kBoostPhase = 10;
 
  protected:
@@ -97,8 +104,11 @@ class AeBoostParty : public Party {
     if (ae_y_.has_value()) output_ = *ae_y_;
   }
 
-  Message make_boost_message(PartyId to, std::uint64_t instance, BytesView body) const {
-    return Message{me_, to, tag_body(kBoostPhase, instance, body)};
+  /// `kind` labels the send for the observability layer's per-kind
+  /// breakdowns; it never affects delivery or protocol behavior.
+  Message make_boost_message(PartyId to, std::uint64_t instance, BytesView body,
+                             MsgKind kind = MsgKind::kUnknown) const {
+    return Message{me_, to, tag_body(kBoostPhase, instance, body), kind};
   }
 
   void set_output(bool y) { output_ = y; }

@@ -24,7 +24,7 @@ std::vector<Message> NaiveBoostParty::boost_step(std::size_t k,
     w.raw(config().registry->sign(me(), target).view());
     Bytes body = std::move(w).take();
     for (PartyId p = 0; p < n; ++p) {
-      if (p != me()) out.push_back(make_boost_message(p, 0, body));
+      if (p != me()) out.push_back(make_boost_message(p, 0, body, MsgKind::kBoostFlood));
     }
     votes_[y] += 1;  // my own vote
     return out;
@@ -91,7 +91,9 @@ std::vector<Message> MultisigBoostParty::boost_step(std::size_t k,
                                     tree.node(leaf).committee.end());
     std::sort(recipients.begin(), recipients.end());
     recipients.erase(std::unique(recipients.begin(), recipients.end()), recipients.end());
-    for (PartyId p : recipients) out.push_back(make_boost_message(p, leaf, body));
+    for (PartyId p : recipients) {
+      out.push_back(make_boost_message(p, leaf, body, MsgKind::kBoostSign));
+    }
     return out;
   }
 
@@ -137,7 +139,7 @@ std::vector<Message> MultisigBoostParty::boost_step(std::size_t k,
         recipients.erase(std::unique(recipients.begin(), recipients.end()),
                          recipients.end());
         for (PartyId p : recipients) {
-          out.push_back(make_boost_message(p, node.parent, body));
+          out.push_back(make_boost_message(p, node.parent, body, MsgKind::kBoostAggregate));
         }
       }
     }
@@ -170,7 +172,7 @@ std::vector<Message> MultisigBoostParty::boost_step(std::size_t k,
       }
     }
     for (auto& [to, body] : cert_dissem_->step(sub, dissem_in)) {
-      out.push_back(make_boost_message(to, kDissemInstance, body));
+      out.push_back(make_boost_message(to, kDissemInstance, body, MsgKind::kBoostCert));
     }
     if (sub == h && cert_dissem_->value().has_value() &&
         !cert_dissem_->certificate().empty()) {
@@ -194,7 +196,8 @@ std::vector<Message> MultisigBoostParty::boost_step(std::size_t k,
     std::size_t fanout = std::min(tree.params().committee_size, n);
     for (std::size_t to : prf_subset(s, me(), n, fanout)) {
       if (to != me()) {
-        out.push_back(make_boost_message(static_cast<PartyId>(to), kPrfInstance, body));
+        out.push_back(make_boost_message(static_cast<PartyId>(to), kPrfInstance, body,
+                                         MsgKind::kBoostPrf));
       }
     }
     return out;
@@ -245,7 +248,10 @@ std::vector<Message> SamplingBoostParty::boost_step(std::size_t k,
   if (k == 0) {
     // Query a random sample.
     for (std::size_t to : rng_.subset(n, samples_)) {
-      if (to != me()) out.push_back(make_boost_message(to, 0, Bytes{std::uint8_t('q')}));
+      if (to != me()) {
+        out.push_back(
+            make_boost_message(to, 0, Bytes{std::uint8_t('q')}, MsgKind::kBoostQuery));
+      }
     }
     return out;
   }
@@ -260,7 +266,7 @@ std::vector<Message> SamplingBoostParty::boost_step(std::size_t k,
       if (r.u8() != 'q' || !r.done()) continue;
       if (msg.from >= n || replied[msg.from]) continue;
       replied[msg.from] = true;
-      out.push_back(make_boost_message(msg.from, 0, body));
+      out.push_back(make_boost_message(msg.from, 0, body, MsgKind::kBoostResponse));
     }
     return out;
   }
@@ -296,7 +302,7 @@ std::vector<Message> StarBoostParty::boost_step(std::size_t k,
     w.raw(config().registry->sign(me(), *ae_blob()).view());
     Bytes body = std::move(w).take();
     for (PartyId p = 0; p < n; ++p) {
-      if (p != me()) out.push_back(make_boost_message(p, 0, body));
+      if (p != me()) out.push_back(make_boost_message(p, 0, body, MsgKind::kBoostFlood));
     }
     if (ae_y().has_value()) set_output(*ae_y());
     return out;

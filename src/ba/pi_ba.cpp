@@ -72,7 +72,7 @@ std::vector<Message> PiBaParty::boost_step(std::size_t k,
     std::vector<Message> out;
     out.reserve(msgs.size());
     for (auto& [to, body] : msgs) {
-      out.push_back(make_boost_message(to, kDissemInstance, body));
+      out.push_back(make_boost_message(to, kDissemInstance, body, MsgKind::kBoostCert));
     }
     if (sub + 1 == dissem_rounds) {
       // Dissemination finished; fix my certified pair if valid.
@@ -106,7 +106,7 @@ std::vector<Message> PiBaParty::step_sign_and_send() {
     std::sort(recipients.begin(), recipients.end());
     recipients.erase(std::unique(recipients.begin(), recipients.end()), recipients.end());
     for (PartyId p : recipients) {
-      out.push_back(make_boost_message(p, leaf, sig));
+      out.push_back(make_boost_message(p, leaf, sig, MsgKind::kBoostSign));
     }
   }
   return out;
@@ -178,7 +178,7 @@ std::vector<Message> PiBaParty::step_aggregate(std::size_t level,
       recipients.erase(std::unique(recipients.begin(), recipients.end()),
                        recipients.end());
       for (PartyId p : recipients) {
-        out.push_back(make_boost_message(p, node.parent, sigma));
+        out.push_back(make_boost_message(p, node.parent, sigma, MsgKind::kBoostAggregate));
       }
     }
   }
@@ -200,7 +200,8 @@ std::vector<Message> PiBaParty::step_prf_send() {
   const std::size_t n = cfg2_.ae.tree->params().n;
   for (std::size_t to : prf_subset(s, me(), n, std::min(prf_fanout_, n))) {
     if (to == me()) continue;
-    out.push_back(make_boost_message(static_cast<PartyId>(to), kPrfInstance, body));
+    out.push_back(
+        make_boost_message(static_cast<PartyId>(to), kPrfInstance, body, MsgKind::kBoostPrf));
   }
   return out;
 }

@@ -1,5 +1,6 @@
 #include "ba/runner.hpp"
 
+#include <chrono>
 #include <memory>
 
 #include "ba/attack.hpp"
@@ -29,6 +30,21 @@ void accumulate(NetworkStats& into, const NetworkStats& add) {
     into.party[i].peers_in.insert(add.party[i].peers_in.begin(),
                                   add.party[i].peers_in.end());
   }
+}
+
+/// Time `fn()` and report it to `sink` (if any) as an off-network span.
+template <typename Fn>
+void timed_span(obs::TraceSink* sink, const char* name, Fn&& fn) {
+  if (!sink) {
+    fn();
+    return;
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  sink->on_span(name, static_cast<std::uint64_t>(
+                          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                              .count()));
 }
 
 }  // namespace
@@ -64,7 +80,9 @@ BaRunResult run_ba(const BaRunConfig& config) {
     tp.leaf_committee = scale(tp.leaf_committee);
     tp.root_committee = scale(tp.root_committee) | 1;
   }
-  auto tree = std::make_shared<const CommTree>(tp, rng.next());
+  std::shared_ptr<const CommTree> tree;
+  timed_span(config.trace, "tree-build",
+             [&] { tree = std::make_shared<const CommTree>(tp, rng.next()); });
   auto registry = std::make_shared<const SimSigRegistry>(config.n, rng.next());
 
   AeConfig ae;
@@ -103,8 +121,10 @@ BaRunResult run_ba(const BaRunConfig& config) {
     scheme = std::make_shared<SnarkSrds>(p, rng.next());
   }
   if (scheme) {
-    for (std::size_t i = 0; i < scheme->signer_count(); ++i) scheme->keygen(i);
-    scheme->finalize_keys();
+    timed_span(config.trace, "srds-keygen", [&] {
+      for (std::size_t i = 0; i < scheme->signer_count(); ++i) scheme->keygen(i);
+      scheme->finalize_keys();
+    });
   }
 
   std::shared_ptr<const MultisigRegistry> msig;
@@ -120,6 +140,7 @@ BaRunResult run_ba(const BaRunConfig& config) {
   std::vector<std::unique_ptr<Party>> parties(config.n);
   std::size_t total_rounds = 0;
   std::size_t boost_start = 0;
+  std::size_t ct_start = 0, dissem_start = 0;
   for (PartyId i = 0; i < config.n; ++i) {
     if (corrupt[i]) continue;
     std::unique_ptr<AeBoostParty> party;
@@ -149,6 +170,8 @@ BaRunResult run_ba(const BaRunConfig& config) {
     }
     total_rounds = party->total_rounds();
     boost_start = party->boost_start();
+    ct_start = party->ct_start();
+    dissem_start = party->dissem_start();
     parties[i] = std::move(party);
   }
 
@@ -169,6 +192,18 @@ BaRunResult run_ba(const BaRunConfig& config) {
   Simulator sim(std::move(parties), corrupt, std::move(adversary));
   sim.set_phase_mark(boost_start);
   if (chaos) sim.set_fault_plan(*config.faults);
+  if (config.trace) {
+    sim.set_trace_sink(config.trace);
+    // Register the public phase schedule so the tracer can attribute every
+    // round (and its traffic) to a protocol phase.
+    config.trace->on_phase(0, "f_ba");
+    config.trace->on_phase(ct_start, "f_ct");
+    config.trace->on_phase(dissem_start, "f_ae-dissem");
+    config.trace->on_phase(boost_start, "boost");
+    if (ae.grace_rounds > 0) {
+      config.trace->on_phase(total_rounds - ae.grace_rounds, "grace");
+    }
+  }
   BaRunResult result;
   result.rounds = sim.run(total_rounds + 2);
   result.stats = sim.stats();

@@ -9,6 +9,7 @@
 
 #include "net/faults.hpp"
 #include "net/stats.hpp"
+#include "obs/trace.hpp"
 #include "srds/srds.hpp"
 
 namespace srds {
@@ -54,6 +55,12 @@ struct BaRunConfig {
   /// Extra rounds appended after the boost phase for late traffic; 0 =
   /// derive from the fault plan (faults->suggested_grace(), 0 without one).
   std::size_t grace_rounds = 0;
+
+  /// Optional observability sink (non-owning; must outlive run_ba). The
+  /// harness installs it on the simulator, registers the protocol's phase
+  /// schedule (f_ba / f_ct / f_ae-dissem / boost / grace) as phase marks,
+  /// and reports setup work (tree build, SRDS keygen) as wall-clock spans.
+  obs::TraceSink* trace = nullptr;
 };
 
 struct BaRunResult {

@@ -22,6 +22,7 @@
 #include "net/faults.hpp"
 #include "net/protocol.hpp"
 #include "net/stats.hpp"
+#include "obs/trace.hpp"
 
 namespace srds {
 
@@ -39,6 +40,11 @@ class Simulator {
   /// counted in stats().faults.adversary_rejected). Honest parties are
   /// trusted code and exempt.
   void set_max_adversary_payload(std::size_t bytes) { max_adv_payload_ = bytes; }
+
+  /// Install an observability sink (non-owning; must outlive run()). The
+  /// sink sees round boundaries, every accepted send and every delivery
+  /// outcome — nullptr (the default) costs nothing. Call before run().
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
 
   /// Run until every live honest party reports done() or `max_rounds`
   /// elapse. Crash-stopped parties count as done. Returns the number of
@@ -76,6 +82,7 @@ class Simulator {
   std::vector<bool> crashed_;
   std::unique_ptr<Adversary> adversary_;
   std::unique_ptr<FaultInjector> injector_;
+  obs::TraceSink* trace_ = nullptr;
   std::size_t max_adv_payload_ = kDefaultMaxAdversaryPayload;
   NetworkStats stats_;
   NetworkStats phase_stats_;

@@ -27,11 +27,16 @@ struct PartyStats {
 
   bool operator==(const PartyStats&) const = default;
 
-  /// Locality: number of distinct parties this party exchanged messages with.
+  /// Locality: number of distinct parties this party exchanged messages
+  /// with. Computed without materializing the union — NetworkStats::
+  /// max_locality() calls this per party on every query, and rebuilding a
+  /// merged set made n=4096 sweeps pay O(n·deg) allocations repeatedly.
   std::size_t locality() const {
-    std::unordered_set<PartyId> u(peers_out.begin(), peers_out.end());
-    u.insert(peers_in.begin(), peers_in.end());
-    return u.size();
+    std::size_t extra = 0;
+    for (PartyId p : peers_in) {
+      if (!peers_out.contains(p)) ++extra;
+    }
+    return peers_out.size() + extra;
   }
 
   std::uint64_t bytes_total() const { return bytes_sent + bytes_recv; }

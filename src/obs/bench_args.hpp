@@ -1,0 +1,52 @@
+// bench::Args — the shared CLI surface of every bench binary, replacing
+// per-binary hardcoded parameter lists:
+//
+//   --n-list 64,128,256   override the binary's default sweep sizes
+//   --seed S              override the binary's default base seed
+//   --json-out DIR        directory for BENCH_*.json artifacts (default ".")
+//   --no-json             disable JSON artifacts
+//   --quiet               suppress the fixed-width text tables
+//   --help                usage
+//
+// `parse` consumes the flags it recognizes and compacts argv, so binaries
+// with their own flag parser downstream (the google-benchmark micro
+// suites) can hand the remainder over untouched.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace srds::bench {
+
+struct Args {
+  std::vector<std::size_t> n_list;  // empty = binary default
+  std::uint64_t seed = 0;           // 0 = binary default
+  std::string json_out = ".";       // artifact directory; empty = disabled
+  bool quiet = false;
+
+  /// Parse known flags out of argv (argc/argv are rewritten in place to the
+  /// unconsumed remainder). Prints usage and exits on --help; prints an
+  /// error and exits(2) on a malformed value for a known flag. Unknown
+  /// flags are left in argv for the caller.
+  static Args parse(int& argc, char** argv);
+
+  bool json_enabled() const { return !json_out.empty(); }
+
+  /// The sweep sizes: --n-list if given, otherwise the binary's defaults.
+  std::vector<std::size_t> sizes(std::vector<std::size_t> defaults) const {
+    return n_list.empty() ? std::move(defaults) : n_list;
+  }
+
+  /// Single-n convenience: first --n-list entry, or the default.
+  std::size_t n_or(std::size_t def) const { return n_list.empty() ? def : n_list.front(); }
+
+  std::uint64_t seed_or(std::uint64_t def) const { return seed == 0 ? def : seed; }
+};
+
+/// Global quiet flag consulted by the table printers in bench_util.hpp;
+/// set by Args::parse.
+bool quiet();
+void set_quiet(bool q);
+
+}  // namespace srds::bench

@@ -1,0 +1,116 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace srds::obs {
+
+std::size_t Histogram::bucket_of(std::uint64_t v) {
+  if (v <= 1) return 0;
+  std::size_t b = 0;
+  while (v >>= 1) ++b;
+  return std::min(b, kBuckets - 1);
+}
+
+void Histogram::record(std::uint64_t v) {
+  buckets_[bucket_of(v)] += 1;
+  count_ += 1;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+std::uint64_t Histogram::quantile_bound(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (static_cast<double>(seen) >= target) {
+      return b + 1 >= 64 ? ~0ull : (1ull << (b + 1));
+    }
+  }
+  return max_;
+}
+
+Registry::Key Registry::make_key(const std::string& name, Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return Key{name, std::move(labels)};
+}
+
+namespace {
+
+template <typename Deque, typename Key>
+auto& find_or_add(Deque& entries, Key key) {
+  for (auto& e : entries) {
+    if (e.key == key) return e.metric;
+  }
+  entries.push_back({std::move(key), {}});
+  return entries.back().metric;
+}
+
+}  // namespace
+
+Counter& Registry::counter(const std::string& name, Labels labels) {
+  return find_or_add(counters_, make_key(name, std::move(labels)));
+}
+
+Gauge& Registry::gauge(const std::string& name, Labels labels) {
+  return find_or_add(gauges_, make_key(name, std::move(labels)));
+}
+
+Histogram& Registry::histogram(const std::string& name, Labels labels) {
+  return find_or_add(histograms_, make_key(name, std::move(labels)));
+}
+
+Json Registry::labels_json(const Labels& labels) {
+  Json j = Json::object();
+  for (const auto& [k, v] : labels) j.set(k, v);
+  return j;
+}
+
+Json Registry::to_json() const {
+  Json counters = Json::array();
+  for (const auto& e : counters_) {
+    Json m = Json::object();
+    m.set("name", e.key.name);
+    m.set("labels", labels_json(e.key.labels));
+    m.set("value", e.metric.value());
+    counters.push_back(std::move(m));
+  }
+  Json gauges = Json::array();
+  for (const auto& e : gauges_) {
+    Json m = Json::object();
+    m.set("name", e.key.name);
+    m.set("labels", labels_json(e.key.labels));
+    m.set("value", e.metric.value());
+    gauges.push_back(std::move(m));
+  }
+  Json histograms = Json::array();
+  for (const auto& e : histograms_) {
+    Json m = Json::object();
+    m.set("name", e.key.name);
+    m.set("labels", labels_json(e.key.labels));
+    m.set("count", e.metric.count());
+    m.set("sum", e.metric.sum());
+    m.set("min", e.metric.min());
+    m.set("max", e.metric.max());
+    m.set("mean", e.metric.mean());
+    Json buckets = Json::object();
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      if (e.metric.bucket(b) == 0) continue;
+      buckets.set("2^" + std::to_string(b), e.metric.bucket(b));
+    }
+    m.set("buckets", std::move(buckets));
+    histograms.push_back(std::move(m));
+  }
+
+  Json out = Json::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+}  // namespace srds::obs

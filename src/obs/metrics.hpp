@@ -1,0 +1,116 @@
+// Structured metrics: a registry of named counters, gauges and log-scale
+// histograms with labeled dimensions.
+//
+// The registry gives every quantitative signal in the repo a stable,
+// machine-readable home: a metric is (name, sorted label set) -> storage,
+// and the whole registry exports as one JSON document. Labels carry the
+// experiment dimensions the paper's artifacts compare across — protocol,
+// n, seed, fault plan — so downstream tooling can pivot without parsing
+// fixed-width text tables.
+//
+// Handles returned by the registry are stable for the registry's lifetime
+// (storage is a deque; no reallocation moves a live metric).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace srds::obs {
+
+/// Label dimensions, e.g. {{"protocol","pi_ba"},{"n","512"}}. Order given
+/// by the caller is irrelevant: the registry canonicalizes by sorting.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Log2-bucketed histogram for long-tailed size/latency distributions.
+/// Bucket b counts samples v with 2^b <= v < 2^(b+1); bucket 0 also takes
+/// v in {0, 1}. Exact count/sum/min/max are kept alongside the buckets.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(std::uint64_t v);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double mean() const { return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0; }
+  /// Index of the bucket `v` falls into.
+  static std::size_t bucket_of(std::uint64_t v);
+  std::uint64_t bucket(std::size_t b) const { return buckets_[b]; }
+
+  /// Upper bound (exclusive) of a quantile q in [0, 1]: the smallest bucket
+  /// boundary 2^(b+1) such that at least q*count samples fall at or below
+  /// it. Log-scale resolution only — intended for reporting, not math.
+  std::uint64_t quantile_bound(double q) const;
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+};
+
+class Registry {
+ public:
+  Counter& counter(const std::string& name, Labels labels = {});
+  Gauge& gauge(const std::string& name, Labels labels = {});
+  Histogram& histogram(const std::string& name, Labels labels = {});
+
+  /// Export every metric:
+  ///   {"counters":[{name,labels{},value}...],
+  ///    "gauges":[...],
+  ///    "histograms":[{name,labels{},count,sum,min,max,mean,buckets{"2^b":c}}...]}
+  /// Metrics appear in registration order; labels in sorted order.
+  Json to_json() const;
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  struct Key {
+    std::string name;
+    Labels labels;  // sorted
+    bool operator==(const Key&) const = default;
+  };
+
+  template <typename T>
+  struct Entry {
+    Key key;
+    T metric;
+  };
+
+  static Key make_key(const std::string& name, Labels labels);
+  static Json labels_json(const Labels& labels);
+
+  std::deque<Entry<Counter>> counters_;
+  std::deque<Entry<Gauge>> gauges_;
+  std::deque<Entry<Histogram>> histograms_;
+};
+
+}  // namespace srds::obs

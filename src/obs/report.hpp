@@ -1,0 +1,62 @@
+// bench::Reporter — machine-readable benchmark output.
+//
+// Every bench binary routes its result rows through a Reporter alongside
+// the fixed-width text tables, producing a `BENCH_<name>.json` artifact:
+//
+//   {
+//     "bench": "<name>",
+//     "git_describe": "<git describe --always --dirty>",
+//     "timestamp": "<ISO 8601 UTC>",
+//     "params": { ... fixed experiment parameters ... },
+//     "series": [ {"x": <number>, "metrics": { ... }}, ... ]
+//   }
+//
+// `x` is the sweep coordinate (n, ell, drop rate, row index...); `metrics`
+// is a flat-ish object of numbers/strings (nested objects allowed, e.g. a
+// per-phase breakdown). Output is byte-deterministic for a deterministic
+// benchmark apart from the `timestamp` field — the determinism guard in
+// tests/trace_test.cpp enforces exactly that, so the perf trajectory
+// across PRs can be diffed mechanically.
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace srds::bench {
+
+class Reporter {
+ public:
+  explicit Reporter(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  const std::string& name() const { return bench_; }
+
+  /// Record a fixed experiment parameter (beta, seed, sizes...).
+  void set_param(const std::string& key, obs::Json value) {
+    params_.set(key, std::move(value));
+  }
+
+  /// Append one series row. `metrics` must be a JSON object.
+  void add_row(double x, obs::Json metrics);
+
+  std::size_t rows() const { return series_.items().size(); }
+
+  /// The full document. `with_timestamp=false` omits the timestamp field
+  /// (used by the determinism guard).
+  obs::Json to_json(bool with_timestamp = true) const;
+
+  /// Write BENCH_<name>.json under `dir` ("." = cwd). Returns the path, or
+  /// empty on I/O failure.
+  std::string write(const std::string& dir) const;
+
+  /// `git describe --always --dirty` of the working tree, or "unknown"
+  /// when git/repo is unavailable. Cached after the first call.
+  static std::string git_describe();
+
+ private:
+  std::string bench_;
+  obs::Json params_ = obs::Json::object();
+  obs::Json series_ = obs::Json::array();
+};
+
+}  // namespace srds::bench

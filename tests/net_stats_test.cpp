@@ -78,6 +78,31 @@ TEST(PartyStats, LocalityUnionsDirections) {
   EXPECT_EQ(s.bytes_total(), 0u);
 }
 
+TEST(PartyStats, LocalityEdgeCases) {
+  PartyStats s;
+  EXPECT_EQ(s.locality(), 0u);  // no traffic at all
+  s.peers_in.insert(1);
+  s.peers_in.insert(2);
+  EXPECT_EQ(s.locality(), 2u);  // receive-only
+  s.peers_in.clear();
+  s.peers_out.insert(7);
+  EXPECT_EQ(s.locality(), 1u);  // send-only
+  s.peers_in.insert(7);
+  EXPECT_EQ(s.locality(), 1u);  // full overlap counts once
+  // Repeated calls are pure reads: same answer, no state disturbed
+  // (regression for the old merged-set rebuild).
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(s.locality(), 1u);
+  EXPECT_EQ(s.peers_out.size(), 1u);
+  EXPECT_EQ(s.peers_in.size(), 1u);
+}
+
+TEST(PartyStats, LocalityDisjointSetsSum) {
+  PartyStats s;
+  for (PartyId p = 0; p < 10; ++p) s.peers_out.insert(p);
+  for (PartyId p = 10; p < 25; ++p) s.peers_in.insert(p);
+  EXPECT_EQ(s.locality(), 25u);
+}
+
 TEST(FaultCounters, DefaultIsAllZero) {
   FaultCounters c;
   EXPECT_EQ(c, FaultCounters{});

@@ -1,0 +1,269 @@
+// Tests for the observability primitives: the hand-rolled JSON writer
+// (validated against the independent parser in json_parser.hpp), the
+// metrics registry with log-scale histograms, and the shared bench CLI.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "json_parser.hpp"
+#include "obs/bench_args.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+
+namespace srds {
+namespace {
+
+using obs::Json;
+using testjson::PJson;
+
+TEST(JsonWriter, ScalarsRoundTrip) {
+  Json doc = Json::object();
+  doc.set("null", nullptr);
+  doc.set("true", true);
+  doc.set("false", false);
+  doc.set("int", -42);
+  doc.set("uint", 18446744073709551615ull);  // uint64 max stays exact
+  doc.set("double", 0.5);
+  doc.set("string", "hello");
+
+  PJson p = testjson::parse(doc.dump());
+  ASSERT_EQ(p.type, PJson::Type::kObject);
+  EXPECT_EQ(p.get("null")->type, PJson::Type::kNull);
+  EXPECT_TRUE(p.get("true")->boolean);
+  EXPECT_FALSE(p.get("false")->boolean);
+  EXPECT_EQ(p.get("int")->integer, -42);
+  EXPECT_EQ(p.get("double")->number, 0.5);
+  EXPECT_EQ(p.get("string")->string, "hello");
+  // Exactness check directly on the serialized text (the test parser only
+  // holds int64): uint64 max must not be rounded through a double.
+  EXPECT_NE(doc.dump().find("18446744073709551615"), std::string::npos);
+}
+
+TEST(JsonWriter, EscapingRoundTrips) {
+  const std::string nasty = "q\"b\\s/c\ncr\rtab\tnul\x01\x1f e";
+  Json doc = Json::object();
+  doc.set(nasty, nasty);
+
+  std::string text = doc.dump();
+  // Control characters must appear as \u00XX escapes, never raw.
+  EXPECT_EQ(text.find('\n'), std::string::npos);
+  EXPECT_NE(text.find("\\u0001"), std::string::npos);
+  EXPECT_NE(text.find("\\u001f"), std::string::npos);
+  EXPECT_NE(text.find("\\n"), std::string::npos);
+  EXPECT_NE(text.find("\\\""), std::string::npos);
+
+  PJson p = testjson::parse(text);
+  ASSERT_EQ(p.object.size(), 1u);
+  EXPECT_EQ(p.object[0].first, nasty);
+  EXPECT_EQ(p.object[0].second.string, nasty);
+}
+
+TEST(JsonWriter, NestedStructuresAndOrder) {
+  Json doc = Json::object();
+  doc.set("z", 1);  // insertion order, not alphabetical
+  doc.set("a", 2);
+  Json arr = Json::array();
+  arr.push_back(1);
+  Json inner = Json::object();
+  inner.set("k", "v");
+  arr.push_back(std::move(inner));
+  arr.push_back(Json::array());
+  doc.set("arr", std::move(arr));
+  doc.set("z", 3);  // overwrite keeps the original position
+
+  PJson p = testjson::parse(doc.dump());
+  ASSERT_EQ(p.object.size(), 3u);
+  EXPECT_EQ(p.object[0].first, "z");
+  EXPECT_EQ(p.object[0].second.integer, 3);
+  EXPECT_EQ(p.object[1].first, "a");
+  EXPECT_EQ(p.object[2].first, "arr");
+  const PJson& parr = p.object[2].second;
+  ASSERT_EQ(parr.array.size(), 3u);
+  EXPECT_EQ(parr.array[0].integer, 1);
+  EXPECT_EQ(parr.array[1].get("k")->string, "v");
+  EXPECT_TRUE(parr.array[2].array.empty());
+}
+
+TEST(JsonWriter, PrettyAndCompactAgree) {
+  Json doc = Json::object();
+  doc.set("a", 1);
+  Json arr = Json::array();
+  arr.push_back("x");
+  arr.push_back(2.25);
+  doc.set("b", std::move(arr));
+
+  PJson compact = testjson::parse(doc.dump(-1));
+  PJson pretty = testjson::parse(doc.dump(2));
+  ASSERT_EQ(pretty.object.size(), compact.object.size());
+  EXPECT_EQ(pretty.get("b")->array[1].number, compact.get("b")->array[1].number);
+  // Pretty output actually is pretty (has newlines); compact is one line.
+  EXPECT_NE(doc.dump(2).find('\n'), std::string::npos);
+  EXPECT_EQ(doc.dump(-1).find('\n'), std::string::npos);
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  Json doc = Json::array();
+  doc.push_back(std::numeric_limits<double>::quiet_NaN());
+  doc.push_back(std::numeric_limits<double>::infinity());
+  doc.push_back(1.5);
+  PJson p = testjson::parse(doc.dump());
+  EXPECT_EQ(p.array[0].type, PJson::Type::kNull);
+  EXPECT_EQ(p.array[1].type, PJson::Type::kNull);
+  EXPECT_EQ(p.array[2].number, 1.5);
+}
+
+TEST(JsonWriter, DumpIsDeterministic) {
+  auto build = [] {
+    Json doc = Json::object();
+    doc.set("x", 0.1);
+    doc.set("y", 3);
+    Json arr = Json::array();
+    arr.push_back("s");
+    doc.set("z", std::move(arr));
+    return doc.dump(2);
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(Histogram, BucketBoundaries) {
+  using obs::Histogram;
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 0u);
+  EXPECT_EQ(Histogram::bucket_of(2), 1u);
+  EXPECT_EQ(Histogram::bucket_of(3), 1u);
+  EXPECT_EQ(Histogram::bucket_of(4), 2u);
+  EXPECT_EQ(Histogram::bucket_of(7), 2u);
+  EXPECT_EQ(Histogram::bucket_of(8), 3u);
+  EXPECT_EQ(Histogram::bucket_of(1024), 10u);
+  EXPECT_EQ(Histogram::bucket_of(1025), 10u);
+  EXPECT_EQ(Histogram::bucket_of(2047), 10u);
+  EXPECT_EQ(Histogram::bucket_of(~0ull), 63u);
+}
+
+TEST(Histogram, RecordsStats) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  for (std::uint64_t v : {1ull, 2ull, 3ull, 100ull}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 106u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 26.5);
+  EXPECT_EQ(h.bucket(0), 1u);  // 1
+  EXPECT_EQ(h.bucket(1), 2u);  // 2, 3
+  EXPECT_EQ(h.bucket(6), 1u);  // 100 in [64,128)
+  // Quantiles: the 0.5 bound must cover buckets holding >= half the mass.
+  EXPECT_EQ(h.quantile_bound(0.5), 4u);    // buckets 0..1 hold 3/4
+  EXPECT_EQ(h.quantile_bound(1.0), 128u);  // everything below 2^7
+}
+
+TEST(Registry, LabelOrderIsCanonical) {
+  obs::Registry reg;
+  auto& a = reg.counter("msgs", {{"proto", "pi_ba"}, {"n", "64"}});
+  auto& b = reg.counter("msgs", {{"n", "64"}, {"proto", "pi_ba"}});
+  EXPECT_EQ(&a, &b);
+  a.inc(5);
+  EXPECT_EQ(b.value(), 5u);
+  auto& c = reg.counter("msgs", {{"n", "128"}, {"proto", "pi_ba"}});
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(Registry, ExportsAllMetricTypes) {
+  obs::Registry reg;
+  reg.counter("sends").inc(3);
+  reg.gauge("fill", {{"phase", "boost"}}).set(0.75);
+  reg.histogram("msg_bytes").record(100);
+  reg.histogram("msg_bytes").record(5000);
+
+  PJson p = testjson::parse(reg.to_json().dump());
+  ASSERT_NE(p.get("counters"), nullptr);
+  ASSERT_EQ(p.get("counters")->array.size(), 1u);
+  EXPECT_EQ(p.get("counters")->array[0].get("value")->integer, 3);
+  ASSERT_EQ(p.get("gauges")->array.size(), 1u);
+  EXPECT_EQ(p.get("gauges")->array[0].get("labels")->get("phase")->string, "boost");
+  const PJson& h = p.get("histograms")->array[0];
+  EXPECT_EQ(h.get("count")->integer, 2);
+  EXPECT_EQ(h.get("sum")->integer, 5100);
+  EXPECT_EQ(h.get("buckets")->get("2^6")->integer, 1);
+  EXPECT_EQ(h.get("buckets")->get("2^12")->integer, 1);
+}
+
+TEST(Reporter, SchemaAndParams) {
+  bench::Reporter rep("unit");
+  rep.set_param("n", 64);
+  Json m = Json::object();
+  m.set("bytes", 123);
+  rep.add_row(64.0, std::move(m));
+
+  PJson p = testjson::parse(rep.to_json().dump(2));
+  EXPECT_EQ(p.get("bench")->string, "unit");
+  EXPECT_NE(p.get("git_describe"), nullptr);
+  EXPECT_NE(p.get("timestamp"), nullptr);
+  EXPECT_EQ(p.get("params")->get("n")->integer, 64);
+  ASSERT_EQ(p.get("series")->array.size(), 1u);
+  EXPECT_EQ(p.get("series")->array[0].get("x")->number, 64.0);
+  EXPECT_EQ(p.get("series")->array[0].get("metrics")->get("bytes")->integer, 123);
+  // Determinism form: identical content, no timestamp field.
+  PJson q = testjson::parse(rep.to_json(false).dump());
+  EXPECT_EQ(q.get("timestamp"), nullptr);
+}
+
+TEST(Reporter, RejectsNonObjectMetrics) {
+  bench::Reporter rep("unit");
+  EXPECT_THROW(rep.add_row(1.0, Json(3)), std::invalid_argument);
+}
+
+TEST(BenchArgs, ParsesKnownFlagsAndCompactsRest) {
+  const char* raw[] = {"prog",   "--n-list", "64,128,256", "--quiet",
+                       "--seed", "7",        "--benchmark_filter=x",
+                       "--json-out", "/tmp/x", nullptr};
+  std::vector<char*> argv;
+  for (const char* a : raw) argv.push_back(const_cast<char*>(a));
+  int argc = static_cast<int>(argv.size()) - 1;
+
+  bench::Args args = bench::Args::parse(argc, argv.data());
+  EXPECT_EQ(args.n_list, (std::vector<std::size_t>{64, 128, 256}));
+  EXPECT_EQ(args.seed, 7u);
+  EXPECT_TRUE(args.quiet);
+  EXPECT_EQ(args.json_out, "/tmp/x");
+  EXPECT_TRUE(args.json_enabled());
+  // The unknown flag survives for a downstream parser.
+  ASSERT_EQ(argc, 2);
+  EXPECT_STREQ(argv[0], "prog");
+  EXPECT_STREQ(argv[1], "--benchmark_filter=x");
+  EXPECT_EQ(argv[2], nullptr);
+
+  EXPECT_TRUE(bench::quiet());
+  bench::set_quiet(false);  // do not leak into other tests
+}
+
+TEST(BenchArgs, DefaultsAndHelpers) {
+  const char* raw[] = {"prog", nullptr};
+  std::vector<char*> argv{const_cast<char*>(raw[0]), nullptr};
+  int argc = 1;
+  bench::Args args = bench::Args::parse(argc, argv.data());
+  EXPECT_TRUE(args.n_list.empty());
+  EXPECT_EQ(args.seed, 0u);
+  EXPECT_EQ(args.json_out, ".");
+  EXPECT_FALSE(args.quiet);
+  EXPECT_EQ(args.sizes({8, 16}), (std::vector<std::size_t>{8, 16}));
+  EXPECT_EQ(args.n_or(512), 512u);
+  EXPECT_EQ(args.seed_or(42), 42u);
+
+  const char* raw2[] = {"prog", "--n-list", "32", "--no-json", nullptr};
+  std::vector<char*> argv2;
+  for (const char* a : raw2) argv2.push_back(const_cast<char*>(a));
+  int argc2 = static_cast<int>(argv2.size()) - 1;
+  bench::Args args2 = bench::Args::parse(argc2, argv2.data());
+  EXPECT_FALSE(args2.json_enabled());
+  EXPECT_EQ(args2.sizes({8, 16}), (std::vector<std::size_t>{32}));
+  EXPECT_EQ(args2.n_or(512), 32u);
+}
+
+}  // namespace
+}  // namespace srds
