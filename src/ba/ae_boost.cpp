@@ -102,7 +102,7 @@ std::vector<Message> AeBoostParty::on_round(std::size_t round,
       default: break;
     }
     for (auto& [to, body] : msgs) {
-      out.push_back(Message{me_, to, tag_body(phase, 0, body), kind});
+      out.push_back(make_msg(me_, to, tag_body(phase, 0, body), kind));
     }
   };
 
@@ -112,7 +112,7 @@ std::vector<Message> AeBoostParty::on_round(std::size_t round,
     if (round == 0 && me_ == *cfg_.broadcaster) {
       Bytes bit{static_cast<std::uint8_t>(input_ ? 1 : 0)};
       for (PartyId p : cfg_.tree->supreme_committee()) {
-        if (p != me_) out.push_back(Message{me_, p, tag_body(4, 0, bit), MsgKind::kInject});
+        if (p != me_) out.push_back(make_msg(me_, p, tag_body(4, 0, bit), MsgKind::kInject));
       }
       if (in_committee_) injected_bit_ = input_;
     }

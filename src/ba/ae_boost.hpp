@@ -108,7 +108,7 @@ class AeBoostParty : public Party {
   /// breakdowns; it never affects delivery or protocol behavior.
   Message make_boost_message(PartyId to, std::uint64_t instance, BytesView body,
                              MsgKind kind = MsgKind::kUnknown) const {
-    return Message{me_, to, tag_body(kBoostPhase, instance, body), kind};
+    return make_msg(me_, to, tag_body(kBoostPhase, instance, body), kind);
   }
 
   void set_output(bool y) { output_ = y; }

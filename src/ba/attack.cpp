@@ -86,7 +86,8 @@ class PiBaAttacker final : public Adversary {
           w.raw(value);
           Bytes body = std::move(w).take();
           for (PartyId p : tree.node(child).committee) {
-            out.push_back(Message{member, p, tag_body(phase, 0, body)});
+            out.push_back(make_msg(member, p, tag_body(phase, 0, body),
+                                   MsgKind::kUnknown));
           }
         }
       } else {
@@ -96,8 +97,8 @@ class PiBaAttacker final : public Adversary {
         w.raw(value);
         Bytes body = std::move(w).take();
         for (std::uint64_t v = node.vmin; v <= node.vmax; ++v) {
-          out.push_back(
-              Message{member, tree.owner_of_virtual(v), tag_body(phase, 0, body)});
+          out.push_back(make_msg(member, tree.owner_of_virtual(v),
+                                 tag_body(phase, 0, body), MsgKind::kUnknown));
         }
       }
     });
@@ -132,14 +133,16 @@ class PiBaAttacker final : public Adversary {
         r.u64();  // original instance
         Bytes sig = r.raw(r.remaining());
         for (PartyId p : node.committee) {
-          out.push_back(Message{sender, p,
-                                tag_body(AeBoostParty::kBoostPhase, leaf, sig)});
+          out.push_back(make_msg(sender, p,
+                                 tag_body(AeBoostParty::kBoostPhase, leaf, sig),
+                                 MsgKind::kUnknown));
         }
       }
       Bytes junk = rng_.bytes(60);
       for (PartyId p : node.committee) {
-        out.push_back(
-            Message{sender, p, tag_body(AeBoostParty::kBoostPhase, leaf, junk)});
+        out.push_back(make_msg(sender, p,
+                               tag_body(AeBoostParty::kBoostPhase, leaf, junk),
+                               MsgKind::kUnknown));
       }
     }
   }
@@ -151,8 +154,9 @@ class PiBaAttacker final : public Adversary {
       if (node.parent == TreeNode::kNoParent) return;
       Bytes junk = rng_.bytes(80 + rng_.below(64));
       for (PartyId p : tree.node(node.parent).committee) {
-        out.push_back(Message{member, p,
-                              tag_body(AeBoostParty::kBoostPhase, node.parent, junk)});
+        out.push_back(make_msg(member, p,
+                               tag_body(AeBoostParty::kBoostPhase, node.parent, junk),
+                               MsgKind::kUnknown));
       }
     });
   }
@@ -170,9 +174,10 @@ class PiBaAttacker final : public Adversary {
         w.u64(nid);
         w.bytes(evil);
         w.bytes(fake_sigma);
-        out.push_back(Message{member, to,
-                              tag_body(AeBoostParty::kBoostPhase, 1ULL << 62,
-                                       std::move(w).take())});
+        out.push_back(make_msg(member, to,
+                               tag_body(AeBoostParty::kBoostPhase, 1ULL << 62,
+                                        std::move(w).take()),
+                               MsgKind::kUnknown));
       };
       if (level > 1) {
         for (std::size_t child : node.children) {
@@ -197,9 +202,10 @@ class PiBaAttacker final : public Adversary {
       if (!cfg_.corrupt[c]) continue;
       for (PartyId to = 0; to < n; ++to) {
         if (!cfg_.corrupt[to]) {
-          out.push_back(Message{c, to,
-                                tag_body(AeBoostParty::kBoostPhase, (1ULL << 62) + 1,
-                                         body)});
+          out.push_back(make_msg(c, to,
+                                 tag_body(AeBoostParty::kBoostPhase, (1ULL << 62) + 1,
+                                          body),
+                                 MsgKind::kUnknown));
         }
       }
     }

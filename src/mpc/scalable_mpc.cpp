@@ -82,7 +82,7 @@ class MpcParty final : public Party {
       recipients.erase(std::unique(recipients.begin(), recipients.end()),
                        recipients.end());
       for (PartyId p : recipients) {
-        out.push_back(Message{me_, p, tag_body(kPhaseInput, leaf, ct.serialize())});
+        out.push_back(make_msg(me_, p, tag_body(kPhaseInput, leaf, ct.serialize()), MsgKind::kMpc));
       }
       return out;
     }
@@ -102,7 +102,7 @@ class MpcParty final : public Party {
         w.raw(root_ct_->serialize());
         Bytes body = std::move(w).take();
         for (PartyId p : tree.supreme_committee()) {
-          if (p != me_) out.push_back(Message{me_, p, tag_body(kPhaseDecrypt, 0, body)});
+          if (p != me_) out.push_back(make_msg(me_, p, tag_body(kPhaseDecrypt, 0, body), MsgKind::kMpc));
         }
       }
       return out;
@@ -139,7 +139,7 @@ class MpcParty final : public Party {
         dissem_ = std::make_unique<DisseminationProto>(shared_->tree, me_, std::move(init));
       }
       for (auto& [to, body] : dissem_->step(sub, del_in)) {
-        out.push_back(Message{me_, to, tag_body(kPhaseDeliver, 0, body)});
+        out.push_back(make_msg(me_, to, tag_body(kPhaseDeliver, 0, body), MsgKind::kMpc));
       }
       if (sub == h && dissem_->output().has_value()) {
         Reader r(*dissem_->output());
@@ -249,7 +249,7 @@ class MpcParty final : public Party {
         recipients.erase(std::unique(recipients.begin(), recipients.end()),
                          recipients.end());
         for (PartyId p : recipients) {
-          out.push_back(Message{me_, p, tag_body(kPhaseAggregate, node.parent, body)});
+          out.push_back(make_msg(me_, p, tag_body(kPhaseAggregate, node.parent, body), MsgKind::kMpc));
         }
       }
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
 
 namespace srds::obs {
 
@@ -13,6 +14,7 @@ std::size_t Histogram::bucket_of(std::uint64_t v) {
 }
 
 void Histogram::record(std::uint64_t v) {
+  std::lock_guard<std::mutex> lk(mu_);
   buckets_[bucket_of(v)] += 1;
   count_ += 1;
   sum_ += v;
@@ -21,6 +23,7 @@ void Histogram::record(std::uint64_t v) {
 }
 
 std::uint64_t Histogram::quantile_bound(double q) const {
+  std::lock_guard<std::mutex> lk(mu_);
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(count_);
@@ -44,23 +47,27 @@ namespace {
 template <typename Deque, typename Key>
 auto& find_or_add(Deque& entries, Key key) {
   for (auto& e : entries) {
-    if (e.key == key) return e.metric;
+    if (e.key == key) return *e.metric;
   }
-  entries.push_back({std::move(key), {}});
-  return entries.back().metric;
+  using Metric = typename std::remove_reference_t<decltype(*entries.front().metric)>;
+  entries.push_back({std::move(key), std::make_unique<Metric>()});
+  return *entries.back().metric;
 }
 
 }  // namespace
 
 Counter& Registry::counter(const std::string& name, Labels labels) {
+  std::lock_guard<std::mutex> lk(mu_);
   return find_or_add(counters_, make_key(name, std::move(labels)));
 }
 
 Gauge& Registry::gauge(const std::string& name, Labels labels) {
+  std::lock_guard<std::mutex> lk(mu_);
   return find_or_add(gauges_, make_key(name, std::move(labels)));
 }
 
 Histogram& Registry::histogram(const std::string& name, Labels labels) {
+  std::lock_guard<std::mutex> lk(mu_);
   return find_or_add(histograms_, make_key(name, std::move(labels)));
 }
 
@@ -71,12 +78,13 @@ Json Registry::labels_json(const Labels& labels) {
 }
 
 Json Registry::to_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
   Json counters = Json::array();
   for (const auto& e : counters_) {
     Json m = Json::object();
     m.set("name", e.key.name);
     m.set("labels", labels_json(e.key.labels));
-    m.set("value", e.metric.value());
+    m.set("value", e.metric->value());
     counters.push_back(std::move(m));
   }
   Json gauges = Json::array();
@@ -84,7 +92,7 @@ Json Registry::to_json() const {
     Json m = Json::object();
     m.set("name", e.key.name);
     m.set("labels", labels_json(e.key.labels));
-    m.set("value", e.metric.value());
+    m.set("value", e.metric->value());
     gauges.push_back(std::move(m));
   }
   Json histograms = Json::array();
@@ -92,15 +100,15 @@ Json Registry::to_json() const {
     Json m = Json::object();
     m.set("name", e.key.name);
     m.set("labels", labels_json(e.key.labels));
-    m.set("count", e.metric.count());
-    m.set("sum", e.metric.sum());
-    m.set("min", e.metric.min());
-    m.set("max", e.metric.max());
-    m.set("mean", e.metric.mean());
+    m.set("count", e.metric->count());
+    m.set("sum", e.metric->sum());
+    m.set("min", e.metric->min());
+    m.set("max", e.metric->max());
+    m.set("mean", e.metric->mean());
     Json buckets = Json::object();
     for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
-      if (e.metric.bucket(b) == 0) continue;
-      buckets.set("2^" + std::to_string(b), e.metric.bucket(b));
+      if (e.metric->bucket(b) == 0) continue;
+      buckets.set("2^" + std::to_string(b), e.metric->bucket(b));
     }
     m.set("buckets", std::move(buckets));
     histograms.push_back(std::move(m));

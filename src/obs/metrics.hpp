@@ -9,11 +9,21 @@
 // fixed-width text tables.
 //
 // Handles returned by the registry are stable for the registry's lifetime
-// (storage is a deque; no reallocation moves a live metric).
+// (metrics are heap-allocated; nothing moves a live metric).
+//
+// Thread safety: registration, updates and export are safe to call from
+// concurrent threads (the TSan leg of the sanitizer matrix runs
+// tests/obs_threaded_test.cpp against exactly this). Counters and gauges
+// are relaxed atomics — they are statistics, not synchronization; nothing
+// may be ordered against them. Histograms take a per-histogram mutex
+// because record() updates five fields that must stay mutually consistent.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -28,20 +38,20 @@ using Labels = std::vector<std::pair<std::string, std::string>>;
 
 class Counter {
  public:
-  void inc(std::uint64_t delta = 1) { value_ += delta; }
-  std::uint64_t value() const { return value_; }
+  void inc(std::uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  double value() const { return value_; }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0;
+  std::atomic<double> value_{0};
 };
 
 /// Log2-bucketed histogram for long-tailed size/latency distributions.
@@ -53,14 +63,17 @@ class Histogram {
 
   void record(std::uint64_t v);
 
-  std::uint64_t count() const { return count_; }
-  std::uint64_t sum() const { return sum_; }
-  std::uint64_t min() const { return count_ ? min_ : 0; }
-  std::uint64_t max() const { return max_; }
-  double mean() const { return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0; }
+  std::uint64_t count() const { std::lock_guard<std::mutex> lk(mu_); return count_; }
+  std::uint64_t sum() const { std::lock_guard<std::mutex> lk(mu_); return sum_; }
+  std::uint64_t min() const { std::lock_guard<std::mutex> lk(mu_); return count_ ? min_ : 0; }
+  std::uint64_t max() const { std::lock_guard<std::mutex> lk(mu_); return max_; }
+  double mean() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
   /// Index of the bucket `v` falls into.
   static std::size_t bucket_of(std::uint64_t v);
-  std::uint64_t bucket(std::size_t b) const { return buckets_[b]; }
+  std::uint64_t bucket(std::size_t b) const { std::lock_guard<std::mutex> lk(mu_); return buckets_[b]; }
 
   /// Upper bound (exclusive) of a quantile q in [0, 1]: the smallest bucket
   /// boundary 2^(b+1) such that at least q*count samples fall at or below
@@ -68,6 +81,7 @@ class Histogram {
   std::uint64_t quantile_bound(double q) const;
 
  private:
+  mutable std::mutex mu_;
   std::uint64_t buckets_[kBuckets] = {};
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
@@ -89,6 +103,7 @@ class Registry {
   Json to_json() const;
 
   std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
@@ -99,15 +114,21 @@ class Registry {
     bool operator==(const Key&) const = default;
   };
 
+  // Metrics live behind unique_ptr so they can hold atomics/mutexes (non-
+  // movable) while entries are still appendable; handle stability follows
+  // from the heap allocation rather than from deque semantics.
   template <typename T>
   struct Entry {
     Key key;
-    T metric;
+    std::unique_ptr<T> metric;
   };
 
   static Key make_key(const std::string& name, Labels labels);
   static Json labels_json(const Labels& labels);
 
+  // Guards the entry lists (registration + export); the metrics themselves
+  // synchronize their own updates.
+  mutable std::mutex mu_;
   std::deque<Entry<Counter>> counters_;
   std::deque<Entry<Gauge>> gauges_;
   std::deque<Entry<Histogram>> histograms_;

@@ -17,8 +17,14 @@
 // benchmark apart from the `timestamp` field — the determinism guard in
 // tests/trace_test.cpp enforces exactly that, so the perf trajectory
 // across PRs can be diffed mechanically.
+//
+// Thread safety: add_row/set_param/to_json may be called from concurrent
+// worker threads (sweeps that parallelize over n); rows appear in call
+// order, so a bench that needs deterministic row order must either stay
+// single-threaded or add rows after joining its workers.
 #pragma once
 
+#include <mutex>
 #include <string>
 
 #include "obs/json.hpp"
@@ -33,13 +39,17 @@ class Reporter {
 
   /// Record a fixed experiment parameter (beta, seed, sizes...).
   void set_param(const std::string& key, obs::Json value) {
+    std::lock_guard<std::mutex> lk(mu_);
     params_.set(key, std::move(value));
   }
 
   /// Append one series row. `metrics` must be a JSON object.
   void add_row(double x, obs::Json metrics);
 
-  std::size_t rows() const { return series_.items().size(); }
+  std::size_t rows() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return series_.items().size();
+  }
 
   /// The full document. `with_timestamp=false` omits the timestamp field
   /// (used by the determinism guard).
@@ -54,6 +64,7 @@ class Reporter {
   static std::string git_describe();
 
  private:
+  mutable std::mutex mu_;  // guards params_ and series_
   std::string bench_;
   obs::Json params_ = obs::Json::object();
   obs::Json series_ = obs::Json::array();

@@ -21,7 +21,6 @@
 #pragma once
 
 #include <optional>
-#include <unordered_map>
 
 #include "common/rng.hpp"
 #include "crypto/wots.hpp"

@@ -1,0 +1,24 @@
+// srds-lint fixture: a fully clean protocol header — the linter must
+// report nothing for it under any logical path.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace fixture {
+
+struct Pair {
+  srds::Bytes serialize() const;
+  static bool deserialize(srds::BytesView data, Pair& out);
+};
+
+/// Deterministic iteration: ordered map, sorted recipients.
+inline std::vector<int> keys(const std::map<int, int>& m) {
+  std::vector<int> out;
+  for (const auto& [k, v] : m) out.push_back(k);
+  return out;
+}
+
+}  // namespace fixture

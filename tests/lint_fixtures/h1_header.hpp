@@ -1,0 +1,12 @@
+// srds-lint fixture: header hygiene violations (rule H1). Deliberately has
+// no #pragma once / include guard (finding reported at line 1), and drags
+// a namespace into every includer. Lines asserted by tests/lint_test.cpp.
+#include <vector>
+
+using namespace std;  // line 6: using-namespace in header
+
+namespace fixture {
+
+inline vector<int> numbers() { return {1, 2, 3}; }
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// srds-lint fixture: serialize/deserialize pairing (rule S1). Line numbers
+// are asserted exactly by tests/lint_test.cpp.
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace fixture {
+
+// Well-formed: both directions declared in the same type.
+struct RoundTrip {
+  srds::Bytes serialize() const;
+  static bool deserialize(srds::BytesView data, RoundTrip& out);
+};
+
+// Violation: one-way type.
+struct OneWay {
+  srds::Bytes serialize() const;  // line 17: serialize without deserialize
+};
+
+// Calls *named* serialize inside a member are not declarations — no finding.
+struct Caller {
+  void run(const RoundTrip& rt) { auto b = rt.serialize(); (void)b; }
+};
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// srds-lint fixture: suppression behavior. Lines asserted exactly by
+// tests/lint_test.cpp.
+
+namespace fixture {
+
+long trailing_ok() {
+  return time(nullptr);  // srds-lint: allow(D1): fixture exercises a justified trailing suppression
+}
+
+long line_above_ok() {
+  // srds-lint: allow(D1): fixture exercises a comment-line suppression covering the next code line
+  return time(nullptr);
+}
+
+long missing_justification() {
+  return time(nullptr);  // srds-lint: allow(D1)
+}
+
+long unknown_rule() {
+  return time(nullptr);  // srds-lint: allow(Z9): no such rule exists
+}
+
+}  // namespace fixture

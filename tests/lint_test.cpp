@@ -1,0 +1,226 @@
+// srds-lint engine tests: every rule against a fixture with known
+// violations (exact rule IDs and line numbers), suppression semantics,
+// severity overrides, path scoping, and — reusing the PR 2 determinism-
+// guard pattern — byte-identical JSON output across two runs.
+//
+// Fixtures live in tests/lint_fixtures/ and are linted under *logical*
+// paths (the engine scopes rules by repo-relative path, so the same bytes
+// can be checked as protocol code, network code, or rng-home code).
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace srds::lint {
+namespace {
+
+std::string fixture(const std::string& name) {
+  const std::string path = std::string(SRDS_LINT_FIXTURES) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "missing fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// (rule, line) pairs of unsuppressed findings, sorted.
+std::set<std::pair<std::string, std::size_t>> hits(const std::vector<Finding>& fs) {
+  std::set<std::pair<std::string, std::size_t>> out;
+  for (const Finding& f : fs) {
+    if (!f.suppressed) out.insert({f.rule, f.line});
+  }
+  return out;
+}
+
+TEST(LintD1, FlagsEveryNondeterminismSourceInProtocolDirs) {
+  const auto fs = lint_file("src/ba/d1_nondet.cpp", fixture("d1_nondet.cpp"), {});
+  const std::set<std::pair<std::string, std::size_t>> expected = {
+      {"D1", 5},   // #include <unordered_map>
+      {"D1", 12},  // rand()
+      {"D1", 13},  // std::random_device
+      {"D1", 14},  // time(nullptr)
+      {"D1", 15},  // chrono::system_clock
+      {"D1", 21},  // unordered_map
+      {"D1", 22},  // unordered_set
+  };
+  EXPECT_EQ(hits(fs), expected);
+}
+
+TEST(LintD1, UnorderedContainersAllowedOutsideProtocolDirs) {
+  const auto fs = lint_file("src/obs/d1_nondet.cpp", fixture("d1_nondet.cpp"), {});
+  const std::set<std::pair<std::string, std::size_t>> expected = {
+      {"D1", 12}, {"D1", 13}, {"D1", 14}, {"D1", 15},
+  };
+  EXPECT_EQ(hits(fs), expected);
+}
+
+TEST(LintD1, RngHomeIsExemptFromRandomnessChecks) {
+  const auto fs = lint_file("src/common/rng.cpp", fixture("d1_nondet.cpp"), {});
+  EXPECT_TRUE(hits(fs).empty());
+}
+
+TEST(LintB1, FlagsRawMessageConstructionOutsideNet) {
+  const auto fs =
+      lint_file("src/consensus/b1_raw_message.cpp", fixture("b1_raw_message.cpp"), {});
+  const std::set<std::pair<std::string, std::size_t>> expected = {
+      {"B1", 10},  // braced construction
+      {"B1", 14},  // functional cast
+  };
+  EXPECT_EQ(hits(fs), expected);
+}
+
+TEST(LintB1, NetLayerMayConstructMessages) {
+  const auto fs = lint_file("src/net/b1_raw_message.cpp", fixture("b1_raw_message.cpp"), {});
+  EXPECT_TRUE(hits(fs).empty());
+}
+
+TEST(LintS1, FlagsSerializeWithoutDeserialize) {
+  const auto fs = lint_file("src/srds/s1_serialize.hpp", fixture("s1_serialize.hpp"), {});
+  const std::set<std::pair<std::string, std::size_t>> expected = {
+      {"S1", 17},  // OneWay::serialize
+  };
+  EXPECT_EQ(hits(fs), expected);
+}
+
+TEST(LintS1, RequiresRoundTripTestReferenceWhenCorpusGiven) {
+  Config cfg;
+  cfg.test_corpus = "TEST(RoundTrip, Works) { fixture::RoundTrip x; }";
+  const auto fs = lint_file("src/srds/s1_serialize.hpp", fixture("s1_serialize.hpp"), cfg);
+  // RoundTrip is referenced; OneWay still lacks deserialize.
+  EXPECT_EQ(hits(fs), (std::set<std::pair<std::string, std::size_t>>{{"S1", 17}}));
+
+  Config empty_corpus;
+  empty_corpus.test_corpus = "TEST(Unrelated, Nothing) {}";
+  const auto fs2 =
+      lint_file("src/srds/s1_serialize.hpp", fixture("s1_serialize.hpp"), empty_corpus);
+  // Now RoundTrip (declared line 10) is also flagged: no test references it.
+  EXPECT_EQ(hits(fs2),
+            (std::set<std::pair<std::string, std::size_t>>{{"S1", 10}, {"S1", 17}}));
+}
+
+TEST(LintH1, FlagsMissingGuardAndUsingNamespace) {
+  const auto fs = lint_file("src/tree/h1_header.hpp", fixture("h1_header.hpp"), {});
+  const std::set<std::pair<std::string, std::size_t>> expected = {
+      {"H1", 1},  // no #pragma once / include guard
+      {"H1", 6},  // using namespace in header
+  };
+  EXPECT_EQ(hits(fs), expected);
+}
+
+TEST(LintH1, SourceFilesAreNotHeaderChecked) {
+  // Same bytes as a .cpp: H1 does not apply.
+  const auto fs = lint_file("src/tree/h1_header.cpp", fixture("h1_header.hpp"), {});
+  EXPECT_TRUE(hits(fs).empty());
+}
+
+TEST(LintClean, CleanFixtureHasNoFindingsAnywhere) {
+  const std::string content = fixture("clean.hpp");
+  Config cfg;
+  cfg.test_corpus = "fixture::Pair round trip";
+  for (const char* path : {"src/ba/clean.hpp", "src/consensus/clean.hpp",
+                           "src/net/clean.hpp", "src/obs/clean.hpp"}) {
+    const auto fs = lint_file(path, content, cfg);
+    EXPECT_TRUE(fs.empty()) << path << ": " << (fs.empty() ? "" : fs.front().message);
+  }
+}
+
+TEST(LintSuppress, JustifiedSuppressionsCoverTrailingAndNextLine) {
+  const auto fs = lint_file("src/obs/suppressed.cpp", fixture("suppressed.cpp"), {});
+  // Unsuppressed: the malformed allow() lines keep their D1 findings and
+  // gain A0 findings.
+  const std::set<std::pair<std::string, std::size_t>> expected = {
+      {"A0", 16},  // allow(D1) with no justification
+      {"A0", 20},  // allow(Z9): unknown rule
+      {"D1", 16},
+      {"D1", 20},
+  };
+  EXPECT_EQ(hits(fs), expected);
+
+  // Suppressed: the justified trailing comment (line 7) and the justified
+  // comment-only line covering the next code line (12).
+  std::set<std::pair<std::string, std::size_t>> suppressed;
+  for (const Finding& f : fs) {
+    if (f.suppressed) {
+      EXPECT_FALSE(f.justification.empty());
+      suppressed.insert({f.rule, f.line});
+    }
+  }
+  const std::set<std::pair<std::string, std::size_t>> expected_suppressed = {
+      {"D1", 7},
+      {"D1", 12},
+  };
+  EXPECT_EQ(suppressed, expected_suppressed);
+
+  EXPECT_TRUE(has_blocking(fs));  // the malformed ones still block
+}
+
+TEST(LintSeverity, OverridesDowngradeAndDisable) {
+  Config warn;
+  warn.overrides.emplace_back("D1", Severity::kWarn);
+  const auto fs = lint_file("src/ba/d1_nondet.cpp", fixture("d1_nondet.cpp"), warn);
+  EXPECT_FALSE(fs.empty());
+  EXPECT_FALSE(has_blocking(fs));  // warnings never block
+
+  Config off;
+  off.overrides.emplace_back("D1", Severity::kOff);
+  const auto fs2 = lint_file("src/ba/d1_nondet.cpp", fixture("d1_nondet.cpp"), off);
+  EXPECT_TRUE(fs2.empty());
+}
+
+TEST(LintEngine, RuleTableLooksUpEveryRule) {
+  for (const RuleInfo& r : rules()) {
+    const RuleInfo* found = find_rule(r.id);
+    ASSERT_NE(found, nullptr);
+    EXPECT_STREQ(found->id, r.id);
+  }
+  EXPECT_EQ(find_rule("Z9"), nullptr);
+}
+
+// The determinism guard, ported from tests/trace_test.cpp: two full runs
+// over the same inputs must produce byte-identical JSON artifacts (sorted
+// findings, no timestamps, no environment leakage).
+TEST(LintDeterminism, JsonIsByteIdenticalAcrossRuns) {
+  const std::vector<std::pair<std::string, std::string>> inputs = {
+      {"src/ba/d1_nondet.cpp", fixture("d1_nondet.cpp")},
+      {"src/consensus/b1_raw_message.cpp", fixture("b1_raw_message.cpp")},
+      {"src/srds/s1_serialize.hpp", fixture("s1_serialize.hpp")},
+      {"src/tree/h1_header.hpp", fixture("h1_header.hpp")},
+      {"src/obs/suppressed.cpp", fixture("suppressed.cpp")},
+      {"src/net/clean.hpp", fixture("clean.hpp")},
+  };
+  Config cfg;
+  cfg.test_corpus = "fixture::Pair fixture::RoundTrip";
+
+  const auto run = [&] {
+    const auto fs = lint_files(inputs, cfg);
+    return findings_json(fs, inputs.size()).dump(2);
+  };
+  const std::string a = run();
+  const std::string b = run();
+  EXPECT_EQ(a, b) << "lint JSON must be byte-identical across runs";
+  EXPECT_NE(a.find("\"tool\": \"srds-lint\""), std::string::npos);
+
+  // Sanity on the summary block: the fixture set has a known shape.
+  const auto fs = lint_files(inputs, cfg);
+  std::size_t suppressed = 0;
+  for (const Finding& f : fs) suppressed += f.suppressed ? 1 : 0;
+  EXPECT_EQ(suppressed, 2u);
+  EXPECT_TRUE(has_blocking(fs));
+}
+
+TEST(LintReport, HumanReportNamesRuleAndLocation) {
+  const auto fs = lint_file("src/ba/d1_nondet.cpp", fixture("d1_nondet.cpp"), {});
+  const std::string rep = human_report(fs, 1, /*verbose_suppressed=*/false);
+  EXPECT_NE(rep.find("src/ba/d1_nondet.cpp:12: error: [D1]"), std::string::npos);
+  EXPECT_NE(rep.find("1 files"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace srds::lint

@@ -1,0 +1,623 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <set>
+#include <tuple>
+
+namespace srds::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer. Produces identifier/punctuation/number/string tokens with line
+// numbers, plus the comment list (for suppressions) and preprocessor
+// directives (for include-guard and banned-include checks). Comment and
+// string *contents* never reach the token stream, so `// rand()` and
+// "system_clock" literals cannot trigger rules.
+// ---------------------------------------------------------------------------
+
+struct Tok {
+  enum Kind { kIdent, kPunct, kNum, kStr };
+  Kind kind;
+  std::string text;
+  std::size_t line;
+};
+
+struct Comment {
+  std::size_t line;  // line the comment starts on
+  std::string text;
+};
+
+struct PpDirective {
+  std::size_t line;
+  std::string text;  // full directive, continuations joined, '#' included
+};
+
+struct Lexed {
+  std::vector<Tok> toks;
+  std::vector<Comment> comments;
+  std::vector<PpDirective> directives;
+  std::set<std::size_t> code_lines;  // lines carrying at least one token
+};
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+Lexed lex(const std::string& s) {
+  Lexed out;
+  std::size_t i = 0, line = 1;
+  const std::size_t n = s.size();
+  bool at_line_start = true;  // only whitespace seen so far on this line
+
+  auto push = [&](Tok::Kind k, std::string text, std::size_t ln) {
+    out.code_lines.insert(ln);
+    out.toks.push_back(Tok{k, std::move(text), ln});
+  };
+
+  while (i < n) {
+    char c = s[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: '#' first on the line. Consumed wholesale
+    // (with backslash continuations); its tokens stay out of the stream.
+    if (c == '#' && at_line_start) {
+      std::size_t start_line = line;
+      std::string text;
+      while (i < n) {
+        if (s[i] == '\\' && i + 1 < n && (s[i + 1] == '\n' || (s[i + 1] == '\r' && i + 2 < n && s[i + 2] == '\n'))) {
+          i += (s[i + 1] == '\n') ? 2 : 3;
+          ++line;
+          text.push_back(' ');
+          continue;
+        }
+        if (s[i] == '\n') break;
+        text.push_back(s[i]);
+        ++i;
+      }
+      out.directives.push_back(PpDirective{start_line, std::move(text)});
+      at_line_start = true;  // the upcoming '\n' handler resets anyway
+      continue;
+    }
+    at_line_start = false;
+    // Comments.
+    if (c == '/' && i + 1 < n && s[i + 1] == '/') {
+      std::size_t start_line = line;
+      std::size_t j = i + 2;
+      while (j < n && s[j] != '\n') ++j;
+      out.comments.push_back(Comment{start_line, s.substr(i + 2, j - (i + 2))});
+      i = j;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && s[i + 1] == '*') {
+      std::size_t start_line = line;
+      std::size_t j = i + 2;
+      std::string text;
+      while (j + 1 < n && !(s[j] == '*' && s[j + 1] == '/')) {
+        if (s[j] == '\n') ++line;
+        text.push_back(s[j]);
+        ++j;
+      }
+      out.comments.push_back(Comment{start_line, std::move(text)});
+      i = (j + 1 < n) ? j + 2 : n;
+      continue;
+    }
+    // Raw strings: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && s[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && s[j] != '(') delim.push_back(s[j++]);
+      std::string close = ")" + delim + "\"";
+      std::size_t end = s.find(close, j);
+      std::size_t stop = (end == std::string::npos) ? n : end + close.size();
+      for (std::size_t k = i; k < stop; ++k) {
+        if (s[k] == '\n') ++line;
+      }
+      push(Tok::kStr, "", line);
+      i = stop;
+      continue;
+    }
+    // String / char literals.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && s[j] != quote) {
+        if (s[j] == '\\' && j + 1 < n) ++j;
+        if (s[j] == '\n') ++line;  // unterminated literal; stay line-accurate
+        ++j;
+      }
+      push(Tok::kStr, "", line);
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(s[j])) ++j;
+      push(Tok::kIdent, s.substr(i, j - i), line);
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (ident_char(s[j]) || s[j] == '.' || s[j] == '\'')) ++j;
+      push(Tok::kNum, s.substr(i, j - i), line);
+      i = j;
+      continue;
+    }
+    // Two-char puncts the rules care about; everything else single-char.
+    if (c == ':' && i + 1 < n && s[i + 1] == ':') {
+      push(Tok::kPunct, "::", line);
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && s[i + 1] == '>') {
+      push(Tok::kPunct, "->", line);
+      i += 2;
+      continue;
+    }
+    push(Tok::kPunct, std::string(1, c), line);
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Path scoping.
+// ---------------------------------------------------------------------------
+
+std::string normalize(std::string p) {
+  std::replace(p.begin(), p.end(), '\\', '/');
+  if (p.rfind("./", 0) == 0) p.erase(0, 2);
+  return p;
+}
+
+bool under(const std::string& path, const std::string& dir) {
+  // `dir` like "src/ba": match a leading or embedded directory prefix.
+  const std::string pre = dir + "/";
+  return path.rfind(pre, 0) == 0 || path.find("/" + pre) != std::string::npos;
+}
+
+bool is_header(const std::string& path) {
+  for (const char* ext : {".hpp", ".h", ".hh", ".hxx"}) {
+    std::string e = ext;
+    if (path.size() >= e.size() && path.compare(path.size() - e.size(), e.size(), e) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool in_protocol_dir(const std::string& path) {
+  return under(path, "src/ba") || under(path, "src/consensus") ||
+         under(path, "src/srds") || under(path, "src/tree");
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions.
+// ---------------------------------------------------------------------------
+
+struct Suppression {
+  std::string rule;
+  std::size_t comment_line = 0;
+  std::size_t target_line = 0;  // line the suppression covers
+  std::string justification;
+  bool valid = false;  // known rule + non-empty justification
+};
+
+std::string trim(const std::string& s) {
+  std::size_t a = s.find_first_not_of(" \t\r\n");
+  if (a == std::string::npos) return "";
+  std::size_t b = s.find_last_not_of(" \t\r\n");
+  return s.substr(a, b - a + 1);
+}
+
+std::vector<Suppression> parse_suppressions(const Lexed& lx) {
+  std::vector<Suppression> out;
+  for (const Comment& c : lx.comments) {
+    std::size_t pos = c.text.find("srds-lint:");
+    if (pos == std::string::npos) continue;
+    std::size_t a = c.text.find("allow(", pos);
+    if (a == std::string::npos) continue;
+    std::size_t close = c.text.find(')', a);
+    if (close == std::string::npos) continue;
+    Suppression sup;
+    sup.rule = trim(c.text.substr(a + 6, close - (a + 6)));
+    sup.comment_line = c.line;
+    // Mandatory justification: "): <text>".
+    std::size_t j = close + 1;
+    if (j < c.text.size() && c.text[j] == ':') {
+      sup.justification = trim(c.text.substr(j + 1));
+    }
+    sup.valid = find_rule(sup.rule) != nullptr && !sup.justification.empty();
+    // Trailing comment covers its own line; a comment-only line covers the
+    // next line that carries code.
+    if (lx.code_lines.count(c.line)) {
+      sup.target_line = c.line;
+    } else {
+      auto it = lx.code_lines.upper_bound(c.line);
+      sup.target_line = (it == lx.code_lines.end()) ? 0 : *it;
+    }
+    out.push_back(std::move(sup));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule checks. Each takes the lexed file and appends raw findings (before
+// severity/suppression post-processing). One function per invariant — new
+// rules slot in here and in the table below.
+// ---------------------------------------------------------------------------
+
+void add(std::vector<Finding>& out, const std::string& file, std::size_t line,
+         const char* rule, std::string msg) {
+  Finding f;
+  f.file = file;
+  f.line = line;
+  f.rule = rule;
+  f.message = std::move(msg);
+  out.push_back(std::move(f));
+}
+
+void check_d1(const std::string& path, const Lexed& lx, std::vector<Finding>& out) {
+  const bool rng_home = under(path, "src/common") &&
+                        path.find("/rng.") != std::string::npos;
+  const bool proto = in_protocol_dir(path);
+  static const std::set<std::string> kBannedCalls = {"rand", "srand", "time", "clock",
+                                                     "gettimeofday"};
+  static const std::set<std::string> kUnordered = {
+      "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+  for (std::size_t i = 0; i < lx.toks.size(); ++i) {
+    const Tok& t = lx.toks[i];
+    if (t.kind != Tok::kIdent) continue;
+    const Tok* prev = i ? &lx.toks[i - 1] : nullptr;
+    const Tok* next = (i + 1 < lx.toks.size()) ? &lx.toks[i + 1] : nullptr;
+    const bool member_access = prev && (prev->text == "." || prev->text == "->");
+    if (!rng_home) {
+      if (kBannedCalls.count(t.text) && next && next->text == "(" && !member_access) {
+        add(out, path, t.line, "D1",
+            t.text + "() reads a nondeterminism source; derive from the run seed via "
+                     "src/common/rng instead");
+        continue;
+      }
+      if (t.text == "random_device") {
+        add(out, path, t.line, "D1",
+            "std::random_device outside src/common/rng breaks seed-reproducibility");
+        continue;
+      }
+      if (t.text == "system_clock") {
+        add(out, path, t.line, "D1",
+            "chrono::system_clock is wall-clock time; protocol state must depend only "
+            "on the run seed");
+        continue;
+      }
+    }
+    if (proto && kUnordered.count(t.text)) {
+      add(out, path, t.line, "D1",
+          t.text + " in protocol code: hash-table iteration order is unspecified and "
+                   "would leak into message order; use std::map/std::set or a sorted "
+                   "vector");
+    }
+  }
+  if (proto) {
+    for (const PpDirective& d : lx.directives) {
+      if (d.text.find("include") == std::string::npos) continue;
+      if (d.text.find("unordered_") != std::string::npos) {
+        add(out, path, d.line, "D1",
+            "unordered container include in protocol code; use <map>/<set> or sorted "
+            "vectors");
+      }
+    }
+  }
+}
+
+void check_b1(const std::string& path, const Lexed& lx, std::vector<Finding>& out) {
+  if (under(path, "src/net")) return;  // the simulator API layer itself
+  for (std::size_t i = 0; i + 1 < lx.toks.size(); ++i) {
+    const Tok& t = lx.toks[i];
+    if (t.kind != Tok::kIdent || t.text != "Message") continue;
+    const std::string& nxt = lx.toks[i + 1].text;
+    if (nxt == "{" || nxt == "(") {
+      add(out, path, t.line, "B1",
+          "raw Message construction outside src/net; use make_msg (net/message.hpp) "
+          "so the MsgKind tag and byte accounting stay explicit");
+    }
+  }
+}
+
+void check_s1(const std::string& path, const Lexed& lx, const Config& cfg,
+              std::vector<Finding>& out) {
+  struct Scope {
+    std::string name;
+    std::size_t name_line = 0;
+    int open_depth = 0;
+    std::size_t serialize_line = 0;
+    bool has_serialize = false;
+    bool has_deserialize = false;
+  };
+  std::vector<Scope> stack;
+  int depth = 0;
+
+  // Pending class-head state: saw struct/class + name, scanning for '{'.
+  bool pending = false;
+  Scope pend;
+
+  auto finalize = [&](const Scope& sc) {
+    if (sc.has_serialize && !sc.has_deserialize) {
+      add(out, path, sc.serialize_line, "S1",
+          "type '" + sc.name + "' declares serialize() without a matching deserialize()");
+    } else if (sc.has_serialize && sc.has_deserialize && !cfg.test_corpus.empty() &&
+               cfg.test_corpus.find(sc.name) == std::string::npos) {
+      add(out, path, sc.name_line, "S1",
+          "serializable type '" + sc.name +
+              "' has no round-trip test reference in the test corpus");
+    }
+  };
+
+  for (std::size_t i = 0; i < lx.toks.size(); ++i) {
+    const Tok& t = lx.toks[i];
+    if (pending) {
+      if (t.text == "{") {
+        // Class body opens: this really is a type definition.
+        pending = false;
+        ++depth;
+        pend.open_depth = depth;
+        stack.push_back(pend);
+        continue;
+      }
+      // Tokens that may appear in a class head (final, base clause,
+      // template arguments). Anything else means this was a forward
+      // declaration, an elaborated-type use, a function, an alias... —
+      // cancel and let the token fall through to generic handling.
+      const bool head_token = t.kind == Tok::kIdent || t.kind == Tok::kNum ||
+                              t.text == ":" || t.text == "::" || t.text == "<" ||
+                              t.text == ">" || t.text == ",";
+      if (head_token) continue;
+      pending = false;  // fall through
+    }
+    if (t.kind == Tok::kIdent && (t.text == "struct" || t.text == "class")) {
+      const Tok* prev = i ? &lx.toks[i - 1] : nullptr;
+      if (prev && prev->kind == Tok::kIdent && prev->text == "enum") continue;
+      if (i + 1 < lx.toks.size() && lx.toks[i + 1].kind == Tok::kIdent) {
+        pend = Scope{};
+        pend.name = lx.toks[i + 1].text;
+        pend.name_line = lx.toks[i + 1].line;
+        pending = true;
+        ++i;  // consume the name
+      }
+      continue;
+    }
+    if (t.text == "{") {
+      ++depth;
+      continue;
+    }
+    if (t.text == "}") {
+      if (!stack.empty() && stack.back().open_depth == depth) {
+        finalize(stack.back());
+        stack.pop_back();
+      }
+      if (depth > 0) --depth;
+      continue;
+    }
+    if (t.kind == Tok::kIdent && (t.text == "serialize" || t.text == "deserialize") &&
+        !stack.empty() && depth == stack.back().open_depth) {
+      const Tok* prev = i ? &lx.toks[i - 1] : nullptr;
+      const Tok* next = (i + 1 < lx.toks.size()) ? &lx.toks[i + 1] : nullptr;
+      if (next && next->text == "(" && !(prev && (prev->text == "." || prev->text == "->"))) {
+        if (t.text == "serialize") {
+          stack.back().has_serialize = true;
+          stack.back().serialize_line = t.line;
+        } else {
+          stack.back().has_deserialize = true;
+        }
+      }
+      continue;
+    }
+  }
+  while (!stack.empty()) {  // unbalanced braces: finalize what we saw
+    finalize(stack.back());
+    stack.pop_back();
+  }
+}
+
+void check_h1(const std::string& path, const Lexed& lx, std::vector<Finding>& out) {
+  if (!is_header(path)) return;
+  // Guard: the first directive must be `#pragma once`, or an
+  // `#ifndef X` / `#define X` pair.
+  bool guarded = false;
+  for (const PpDirective& d : lx.directives) {
+    if (d.text.find("pragma") != std::string::npos &&
+        d.text.find("once") != std::string::npos) {
+      guarded = true;
+      break;
+    }
+  }
+  if (!guarded && lx.directives.size() >= 2) {
+    const std::string& a = lx.directives[0].text;
+    const std::string& b = lx.directives[1].text;
+    guarded = a.find("ifndef") != std::string::npos && b.find("define") != std::string::npos;
+  }
+  if (!guarded) {
+    add(out, path, 1, "H1", "header lacks #pragma once (or an include guard)");
+  }
+  for (std::size_t i = 0; i + 1 < lx.toks.size(); ++i) {
+    if (lx.toks[i].kind == Tok::kIdent && lx.toks[i].text == "using" &&
+        lx.toks[i + 1].kind == Tok::kIdent && lx.toks[i + 1].text == "namespace") {
+      add(out, path, lx.toks[i].line, "H1",
+          "'using namespace' in a header leaks the namespace into every includer");
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Rule table & engine plumbing.
+// ---------------------------------------------------------------------------
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kOff: return "off";
+    case Severity::kWarn: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"D1", "nondeterminism source in protocol code", Severity::kError},
+      {"B1", "raw Message construction outside the network layer", Severity::kError},
+      {"S1", "serialize without matching deserialize / round-trip test", Severity::kError},
+      {"H1", "header hygiene (#pragma once, no using-namespace)", Severity::kError},
+      {"A0", "malformed srds-lint suppression", Severity::kError},
+  };
+  return kRules;
+}
+
+const RuleInfo* find_rule(const std::string& id) {
+  for (const RuleInfo& r : rules()) {
+    if (id == r.id) return &r;
+  }
+  return nullptr;
+}
+
+Severity Config::severity_of(const std::string& rule) const {
+  for (const auto& [id, sev] : overrides) {
+    if (id == rule) return sev;
+  }
+  const RuleInfo* r = find_rule(rule);
+  return r ? r->default_severity : Severity::kError;
+}
+
+std::vector<Finding> lint_file(const std::string& raw_path, const std::string& content,
+                               const Config& cfg) {
+  const std::string path = normalize(raw_path);
+  const Lexed lx = lex(content);
+
+  std::vector<Finding> raw;
+  check_d1(path, lx, raw);
+  check_b1(path, lx, raw);
+  check_s1(path, lx, cfg, raw);
+  check_h1(path, lx, raw);
+
+  // Apply suppressions; malformed ones become A0 findings and keep the
+  // original finding alive.
+  const std::vector<Suppression> sups = parse_suppressions(lx);
+  for (const Suppression& s : sups) {
+    if (s.valid) {
+      for (Finding& f : raw) {
+        if (f.rule == s.rule && f.line == s.target_line) {
+          f.suppressed = true;
+          f.justification = s.justification;
+        }
+      }
+    } else {
+      std::string why = find_rule(s.rule) == nullptr
+                            ? "unknown rule '" + s.rule + "'"
+                            : "missing justification (write `srds-lint: allow(" + s.rule +
+                                  "): <why this is safe>`)";
+      add(raw, path, s.comment_line, "A0", "malformed suppression: " + why);
+    }
+  }
+
+  // Severity resolution; kOff findings vanish.
+  std::vector<Finding> out;
+  for (Finding& f : raw) {
+    Severity sev = cfg.severity_of(f.rule);
+    if (sev == Severity::kOff) continue;
+    f.severity = sev;
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::vector<Finding> lint_files(
+    const std::vector<std::pair<std::string, std::string>>& files, const Config& cfg) {
+  std::vector<Finding> all;
+  for (const auto& [path, content] : files) {
+    std::vector<Finding> fs = lint_file(path, content, cfg);
+    all.insert(all.end(), std::make_move_iterator(fs.begin()),
+               std::make_move_iterator(fs.end()));
+  }
+  std::sort(all.begin(), all.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule, a.message) <
+           std::tie(b.file, b.line, b.rule, b.message);
+  });
+  return all;
+}
+
+bool has_blocking(const std::vector<Finding>& findings) {
+  for (const Finding& f : findings) {
+    if (!f.suppressed && f.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+obs::Json findings_json(const std::vector<Finding>& findings, std::size_t files_scanned) {
+  std::size_t errors = 0, warnings = 0, suppressed = 0;
+  obs::Json arr = obs::Json::array();
+  for (const Finding& f : findings) {
+    if (f.suppressed) {
+      ++suppressed;
+    } else if (f.severity == Severity::kError) {
+      ++errors;
+    } else {
+      ++warnings;
+    }
+    obs::Json j = obs::Json::object();
+    j.set("file", f.file);
+    j.set("line", static_cast<unsigned long long>(f.line));
+    j.set("rule", f.rule);
+    j.set("severity", severity_name(f.severity));
+    j.set("message", f.message);
+    j.set("suppressed", f.suppressed);
+    if (f.suppressed) j.set("justification", f.justification);
+    arr.push_back(std::move(j));
+  }
+  obs::Json summary = obs::Json::object();
+  summary.set("files", static_cast<unsigned long long>(files_scanned));
+  summary.set("errors", static_cast<unsigned long long>(errors));
+  summary.set("warnings", static_cast<unsigned long long>(warnings));
+  summary.set("suppressed", static_cast<unsigned long long>(suppressed));
+
+  obs::Json out = obs::Json::object();
+  out.set("tool", "srds-lint");
+  out.set("schema", 1);
+  out.set("summary", std::move(summary));
+  out.set("findings", std::move(arr));
+  return out;
+}
+
+std::string human_report(const std::vector<Finding>& findings, std::size_t files_scanned,
+                         bool verbose_suppressed) {
+  std::string out;
+  std::size_t errors = 0, warnings = 0, suppressed = 0;
+  for (const Finding& f : findings) {
+    if (f.suppressed) {
+      ++suppressed;
+      if (verbose_suppressed) {
+        out += f.file + ":" + std::to_string(f.line) + ": suppressed: [" + f.rule + "] " +
+               f.message + " (justification: " + f.justification + ")\n";
+      }
+      continue;
+    }
+    (f.severity == Severity::kError ? errors : warnings) += 1;
+    out += f.file + ":" + std::to_string(f.line) + ": " + severity_name(f.severity) +
+           ": [" + f.rule + "] " + f.message + "\n";
+  }
+  out += "srds-lint: " + std::to_string(files_scanned) + " files, " +
+         std::to_string(errors) + " errors, " + std::to_string(warnings) + " warnings, " +
+         std::to_string(suppressed) + " suppressed\n";
+  return out;
+}
+
+}  // namespace srds::lint

@@ -1,0 +1,121 @@
+// srds-lint — repo-specific protocol-invariant static analysis.
+//
+// The paper's quantitative claims survive reproduction only under two
+// source-level disciplines that ordinary compilers never check:
+//
+//   * determinism — every protocol path must be a pure function of the run
+//     seed (the determinism guard in tests/trace_test.cpp checks one trace
+//     at runtime; rule D1 checks every path at the source level), and
+//   * accounted communication — every byte a party emits must flow through
+//     the simulator's accounting channel with an explicit MsgKind tag, or
+//     the per-kind breakdowns behind the Table 1 comparison silently leak
+//     traffic into the untagged bucket (rule B1).
+//
+// The checker is a token-level scanner (no libclang): C++ is lexed into
+// identifiers/punctuation with line numbers, comments and strings are
+// stripped (so `// rand()` never fires), and each rule is one function over
+// the token stream plus the file's repo-relative path. That is deliberately
+// AST-free — the invariants are lexical enough that token context (the
+// neighboring token, the directory) decides, and the zero-dependency build
+// keeps the linter cheap enough to run on every CI push.
+//
+// Rules (see docs/static_analysis.md for the paper-level rationale):
+//   D1  nondeterminism sources in protocol code: rand()/srand(),
+//       std::random_device outside src/common/rng, wall-clock reads
+//       (time(), clock(), gettimeofday(), chrono::system_clock), and any
+//       unordered_map/unordered_set use inside src/ba, src/consensus,
+//       src/srds, src/tree (iteration order would leak into round order).
+//   B1  raw `Message` construction outside src/net: protocol code must use
+//       the make_msg factory (net/message.hpp) so the MsgKind tag is always
+//       an explicit, reviewed decision.
+//   S1  every type declaring `serialize` must declare a matching
+//       `deserialize` in the same type, and (when a test corpus is given)
+//       be referenced by at least one test (the round-trip coverage rule).
+//   H1  header hygiene: headers start with `#pragma once` (or a classic
+//       include guard) and never contain `using namespace`.
+//   A0  malformed suppression: `srds-lint: allow(...)` without the
+//       mandatory justification text, or naming an unknown rule. A
+//       malformed suppression never suppresses.
+//
+// Suppressions: `// srds-lint: allow(D1): <justification>` suppresses rule
+// D1 on the same line (trailing comment) or, for a comment-only line, on
+// the next line containing code. The justification after "):" is mandatory.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace srds::lint {
+
+enum class Severity { kOff, kWarn, kError };
+
+const char* severity_name(Severity s);
+
+/// One rule of the engine. The table lives in rules(); adding an invariant
+/// means adding a row there and one check function in lint.cpp.
+struct RuleInfo {
+  const char* id;       // "D1"
+  const char* title;    // one-line summary for --list-rules
+  Severity default_severity;
+};
+
+/// The rule table, in report order.
+const std::vector<RuleInfo>& rules();
+
+/// nullptr when `id` names no rule.
+const RuleInfo* find_rule(const std::string& id);
+
+struct Finding {
+  std::string file;  // repo-relative path, '/'-separated
+  std::size_t line = 0;
+  std::string rule;
+  Severity severity = Severity::kError;
+  std::string message;
+  bool suppressed = false;
+  std::string justification;  // non-empty iff suppressed
+};
+
+struct Config {
+  /// Per-rule severity overrides (rule id -> severity), e.g. from
+  /// `--severity D1=warn`. Unlisted rules keep their default.
+  std::vector<std::pair<std::string, Severity>> overrides;
+
+  /// Concatenated contents of the test corpus. When non-empty, S1
+  /// additionally requires every serializable type name to appear in it
+  /// (the round-trip test reference check).
+  std::string test_corpus;
+
+  Severity severity_of(const std::string& rule) const;
+};
+
+/// Lint a single file. `path` is the repo-relative logical path — rule
+/// scoping (protocol dirs, src/net, src/common/rng, header rules) is
+/// decided from it, so tests can present fixture content under any path.
+std::vector<Finding> lint_file(const std::string& path, const std::string& content,
+                               const Config& cfg);
+
+/// Lint many (path, content) pairs; findings sorted by (file, line, rule).
+std::vector<Finding> lint_files(
+    const std::vector<std::pair<std::string, std::string>>& files, const Config& cfg);
+
+/// True if any finding is an unsuppressed error (the CI gate / exit code).
+bool has_blocking(const std::vector<Finding>& findings);
+
+/// Deterministic JSON artifact:
+///   {"tool":"srds-lint","schema":1,
+///    "summary":{"files":F,"errors":E,"warnings":W,"suppressed":S},
+///    "findings":[{"file","line","rule","severity","message","suppressed",
+///                 "justification"?}...]}
+/// Byte-identical across runs on identical input (no timestamps; findings
+/// pre-sorted by lint_files).
+obs::Json findings_json(const std::vector<Finding>& findings, std::size_t files_scanned);
+
+/// Human report, one `path:line: severity: [RULE] message` per finding
+/// plus a one-line summary.
+std::string human_report(const std::vector<Finding>& findings, std::size_t files_scanned,
+                         bool verbose_suppressed);
+
+}  // namespace srds::lint

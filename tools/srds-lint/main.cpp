@@ -1,0 +1,190 @@
+// srds-lint CLI. Scans C++ sources for protocol-invariant violations.
+//
+// Usage:
+//   srds-lint [options] <file-or-dir>...
+//     --json FILE          write the machine-readable findings artifact
+//     --tests-dir DIR      enable the S1 round-trip-reference check against
+//                          the test sources under DIR
+//     --severity R=LEVEL   override a rule (LEVEL: error|warn|off); repeatable
+//     --show-suppressed    list suppressed findings (with justifications)
+//     --list-rules         print the rule table and exit
+//     --quiet              summary line only
+//
+// Exit code: 0 when no unsuppressed error-severity findings, 1 otherwise,
+// 2 on usage/IO errors. Paths are reported relative to the invocation
+// directory, '/'-separated, so CI output is stable across checkouts.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool has_source_ext(const fs::path& p) {
+  const std::string e = p.extension().string();
+  return e == ".cpp" || e == ".cc" || e == ".cxx" || e == ".hpp" || e == ".h" ||
+         e == ".hh" || e == ".hxx";
+}
+
+bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+/// Collect source files under `root` (or `root` itself), sorted for
+/// deterministic report and JSON ordering.
+bool collect(const fs::path& root, std::vector<fs::path>& out) {
+  std::error_code ec;
+  if (fs::is_directory(root, ec)) {
+    for (fs::recursive_directory_iterator it(root, ec), end; it != end && !ec;
+         it.increment(ec)) {
+      if (it->is_regular_file(ec) && has_source_ext(it->path())) out.push_back(it->path());
+    }
+    return !ec;
+  }
+  if (fs::is_regular_file(root, ec)) {
+    out.push_back(root);
+    return true;
+  }
+  return false;
+}
+
+bool parse_severity(const std::string& arg, srds::lint::Config& cfg) {
+  std::size_t eq = arg.find('=');
+  if (eq == std::string::npos) return false;
+  const std::string rule = arg.substr(0, eq);
+  const std::string level = arg.substr(eq + 1);
+  if (!srds::lint::find_rule(rule)) return false;
+  srds::lint::Severity sev;
+  if (level == "error") {
+    sev = srds::lint::Severity::kError;
+  } else if (level == "warn" || level == "warning") {
+    sev = srds::lint::Severity::kWarn;
+  } else if (level == "off") {
+    sev = srds::lint::Severity::kOff;
+  } else {
+    return false;
+  }
+  cfg.overrides.emplace_back(rule, sev);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::string json_path;
+  std::string tests_dir;
+  bool quiet = false, show_suppressed = false;
+  srds::lint::Config cfg;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "srds-lint: " << flag << " requires a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--json") {
+      json_path = need_value("--json");
+    } else if (a == "--tests-dir") {
+      tests_dir = need_value("--tests-dir");
+    } else if (a == "--severity") {
+      if (!parse_severity(need_value("--severity"), cfg)) {
+        std::cerr << "srds-lint: bad --severity (want RULE=error|warn|off)\n";
+        return 2;
+      }
+    } else if (a == "--list-rules") {
+      for (const auto& r : srds::lint::rules()) {
+        std::printf("%-4s %-8s %s\n", r.id, srds::lint::severity_name(r.default_severity),
+                    r.title);
+      }
+      return 0;
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (a == "--show-suppressed") {
+      show_suppressed = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "srds-lint: unknown option '" << a << "'\n";
+      return 2;
+    } else {
+      roots.push_back(a);
+    }
+  }
+  if (roots.empty()) {
+    std::cerr << "usage: srds-lint [--json FILE] [--tests-dir DIR] [--severity R=LEVEL]\n"
+                 "                 [--show-suppressed] [--list-rules] [--quiet] <path>...\n";
+    return 2;
+  }
+
+  if (!tests_dir.empty()) {
+    std::vector<fs::path> test_files;
+    if (!collect(tests_dir, test_files)) {
+      std::cerr << "srds-lint: cannot read tests dir '" << tests_dir << "'\n";
+      return 2;
+    }
+    std::sort(test_files.begin(), test_files.end());
+    for (const fs::path& p : test_files) {
+      std::string content;
+      if (read_file(p, content)) cfg.test_corpus += content;
+    }
+  }
+
+  std::vector<fs::path> files;
+  for (const std::string& r : roots) {
+    if (!collect(fs::path(r), files)) {
+      std::cerr << "srds-lint: cannot read '" << r << "'\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<std::pair<std::string, std::string>> inputs;
+  inputs.reserve(files.size());
+  for (const fs::path& p : files) {
+    std::string content;
+    if (!read_file(p, content)) {
+      std::cerr << "srds-lint: cannot read '" << p.string() << "'\n";
+      return 2;
+    }
+    inputs.emplace_back(p.lexically_normal().generic_string(), std::move(content));
+  }
+
+  const std::vector<srds::lint::Finding> findings = srds::lint::lint_files(inputs, cfg);
+
+  if (!quiet) {
+    std::fputs(srds::lint::human_report(findings, inputs.size(), show_suppressed).c_str(),
+               stdout);
+  } else {
+    const std::string rep = srds::lint::human_report(findings, inputs.size(), false);
+    const std::size_t nl = rep.rfind('\n', rep.size() - 2);
+    std::fputs(rep.substr(nl == std::string::npos ? 0 : nl + 1).c_str(), stdout);
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "srds-lint: cannot write '" << json_path << "'\n";
+      return 2;
+    }
+    out << srds::lint::findings_json(findings, inputs.size()).dump(2) << "\n";
+  }
+
+  return srds::lint::has_blocking(findings) ? 1 : 0;
+}
