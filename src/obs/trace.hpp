@@ -13,7 +13,7 @@
 #include <cstdint>
 #include <string>
 
-#include "net/message.hpp"
+#include "common/message.hpp"
 
 namespace srds::obs {
 

@@ -1,0 +1,13 @@
+// L1 fixture: one half of a two-module include cycle. Presented as
+// src/net/l1_cycle_a.hpp; together with l1_cycle_b.hpp (presented as
+// src/crypto/l1_cycle_b.hpp) it forms net -> crypto -> net. The manifest
+// permits neither direction (net = ["common"], crypto = ["common"]), so
+// both edges are L1 findings and each message names the shortest module
+// cycle the edge closes.
+#pragma once
+
+#include "crypto/l1_cycle_b.hpp"  // expect: L1 (line 9)
+
+namespace srds {
+inline int l1_cycle_a_fixture() { return 1; }
+}  // namespace srds

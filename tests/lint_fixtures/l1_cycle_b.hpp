@@ -1,0 +1,9 @@
+// L1 fixture: the other half of the net <-> crypto cycle; see
+// l1_cycle_a.hpp. Presented as src/crypto/l1_cycle_b.hpp.
+#pragma once
+
+#include "net/l1_cycle_a.hpp"  // expect: L1 (line 5)
+
+namespace srds {
+inline int l1_cycle_b_fixture() { return 1; }
+}  // namespace srds

@@ -1,0 +1,8 @@
+// L1 fixture: an illegal layering edge. Presented to the engine as
+// src/crypto/l1_illegal_edge.cpp; crypto declares deps = ["common"] only,
+// so including from ba is a back-edge up the stack.
+#include "ba/ae_boost.hpp"  // expect: L1 (line 4)
+
+namespace srds {
+int l1_illegal_edge_fixture() { return 1; }
+}  // namespace srds

@@ -1,0 +1,8 @@
+// L1 fixture: a legal layering edge. Presented to the engine as
+// src/ba/l1_legal_edge.cpp alongside the stock layers manifest; ba declares
+// a dependency on crypto, so this include produces no finding.
+#include "crypto/sig.hpp"
+
+namespace srds {
+int l1_legal_edge_fixture() { return 1; }
+}  // namespace srds

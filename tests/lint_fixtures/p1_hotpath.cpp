@@ -1,0 +1,40 @@
+// P1 fixture: hot-path hygiene. Functions marked `// srds-lint: hotpath`
+// must not throw, allocate with new, or build a std::function; unmarked
+// functions may do all three. Presented as src/net/p1_hotpath.cpp.
+#include <functional>
+#include <stdexcept>
+
+namespace srds {
+
+// srds-lint: hotpath
+int p1_marked_throw(int x) {
+  if (x < 0) throw std::runtime_error("bad");  // expect: P1 (line 11)
+  return x;
+}
+
+// srds-lint: hotpath
+int* p1_marked_new() {
+  return new int(7);  // expect: P1 (line 17)
+}
+
+// srds-lint: hotpath
+int p1_marked_type_erase(int x) {
+  std::function<int(int)> f = [](int v) { return v + 1; };  // expect: P1 (line 22)
+  return f(x);
+}
+
+// srds-lint: hotpath
+int p1_marked_clean(int x) {
+  int acc = 0;
+  for (int i = 0; i < x; ++i) acc += i;
+  return acc;
+}
+
+int p1_unmarked(int x) {
+  // No marker: throw/new/std::function are all allowed here.
+  if (x < 0) throw std::runtime_error("bad");
+  std::function<int(int)> f = [](int v) { return v + 1; };
+  return f(*new int(x));
+}
+
+}  // namespace srds

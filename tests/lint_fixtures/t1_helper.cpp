@@ -1,0 +1,18 @@
+// T1 fixture: the read hides behind a helper that takes the raw payload.
+// Presented as src/ba/t1_helper.cpp. The rule is per-function: the caller
+// passing m.payload through is fine, but the helper that indexes the bytes
+// without validating is flagged — exactly where the bounds check belongs.
+#include "common/message.hpp"
+
+namespace srds {
+
+std::size_t t1_peek_helper(const Bytes& payload) {
+  return static_cast<std::size_t>(payload[0]);  // expect: T1 (line 10)
+}
+
+std::size_t t1_caller(const Message& m) {
+  if (m.payload.empty()) return 0;
+  return t1_peek_helper(m.payload);  // passing through: no finding here
+}
+
+}  // namespace srds

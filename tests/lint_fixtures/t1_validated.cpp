@@ -1,0 +1,36 @@
+// T1 fixture: payload bytes read only after validation. Presented as
+// src/ba/t1_validated.cpp. Every function here validates (deserialize /
+// untag_body / a Reader) before touching Message::payload bytes, so T1
+// reports nothing.
+#include <cstring>
+
+#include "common/message.hpp"
+#include "common/serial.hpp"
+
+namespace srds {
+
+std::size_t t1_after_deserialize(const Message& m) {
+  Header h;
+  if (!deserialize_header(m.payload, h)) return 0;
+  return static_cast<std::size_t>(m.payload[0]);  // validated above
+}
+
+std::size_t t1_via_reader(const Message& m) {
+  Reader r(m.payload);
+  const unsigned char* p = m.payload.data();
+  return static_cast<std::size_t>(*p);
+}
+
+std::size_t t1_size_only(const Message& m) {
+  // .size()/.empty() are not byte reads; no validation needed.
+  if (m.payload.empty()) return 0;
+  return m.payload.size();
+}
+
+void t1_pass_whole(const Message& m, Bytes& out) {
+  // Handing the whole payload to another function is not a byte read at
+  // this site; the callee is responsible for validating.
+  out = m.payload;
+}
+
+}  // namespace srds

@@ -16,7 +16,13 @@
 #include <utility>
 #include <vector>
 
+#include <cstdio>
+#include <filesystem>
+
+#include "baseline.hpp"
+#include "graph.hpp"
 #include "lint.hpp"
+#include "taint.hpp"
 
 namespace srds::lint {
 namespace {
@@ -220,6 +226,370 @@ TEST(LintReport, HumanReportNamesRuleAndLocation) {
   const std::string rep = human_report(fs, 1, /*verbose_suppressed=*/false);
   EXPECT_NE(rep.find("src/ba/d1_nondet.cpp:12: error: [D1]"), std::string::npos);
   EXPECT_NE(rep.find("1 files"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// L1: cross-TU layering (graph.hpp). Tests use a reduced manifest with the
+// same shape as tools/srds-lint/layers.toml.
+
+const char* kTestManifest =
+    "# test manifest\n"
+    "[layers]\n"
+    "common = []\n"
+    "obs = [\"common\"]\n"
+    "crypto = [\"common\"]\n"
+    "net = [\"common\"]\n"
+    "ba = [\"common\", \"crypto\", \"net\"]\n"
+    "[open]\n"
+    "modules = [\"obs\"]\n"
+    "[unrestricted]\n"
+    "modules = [\"tests\", \"bench\"]\n";
+
+Config layered_cfg() {
+  Config cfg;
+  cfg.layers_manifest = kTestManifest;
+  cfg.layers_manifest_path = "test-layers.toml";
+  return cfg;
+}
+
+TEST(LintLayersManifest, ParsesTheCheckedInShape) {
+  LayerManifest m;
+  std::string error;
+  ASSERT_TRUE(parse_layers(kTestManifest, m, error)) << error;
+  ASSERT_NE(m.deps_of("ba"), nullptr);
+  EXPECT_EQ(*m.deps_of("ba"), (std::vector<std::string>{"common", "crypto", "net"}));
+  ASSERT_NE(m.deps_of("common"), nullptr);
+  EXPECT_TRUE(m.deps_of("common")->empty());
+  EXPECT_TRUE(m.is_open("obs"));
+  EXPECT_FALSE(m.is_open("net"));
+  EXPECT_TRUE(m.is_unrestricted("tests"));
+  EXPECT_FALSE(m.declares("snark"));
+}
+
+TEST(LintLayersManifest, RejectsMalformedInput) {
+  LayerManifest m;
+  std::string error;
+  EXPECT_FALSE(parse_layers("[layers]\nnet = [\"common\"\n", m, error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+
+  EXPECT_FALSE(parse_layers("[nope]\n", m, error));
+  EXPECT_NE(error.find("unknown section"), std::string::npos) << error;
+
+  EXPECT_FALSE(parse_layers("net = []\n", m, error));
+  EXPECT_NE(error.find("before any"), std::string::npos) << error;
+
+  EXPECT_FALSE(parse_layers("[layers]\nnet = []\nnet = []\n", m, error));
+  EXPECT_NE(error.find("duplicate module 'net'"), std::string::npos) << error;
+
+  EXPECT_FALSE(parse_layers("[layers]\nnet = [\"ghost\"]\n", m, error));
+  EXPECT_NE(error.find("undeclared module 'ghost'"), std::string::npos) << error;
+}
+
+TEST(LintLayersManifest, RejectsDeclaredDependencyCycle) {
+  LayerManifest m;
+  std::string error;
+  const char* cyclic =
+      "[layers]\n"
+      "a = [\"b\"]\n"
+      "b = [\"c\"]\n"
+      "c = [\"a\"]\n";
+  EXPECT_FALSE(parse_layers(cyclic, m, error));
+  EXPECT_NE(error.find("declared dependencies form a cycle"), std::string::npos) << error;
+  EXPECT_NE(error.find("a -> b -> c -> a"), std::string::npos) << error;
+}
+
+TEST(LintLayersGraph, ModuleOfMapsRepoPaths) {
+  EXPECT_EQ(module_of("src/ba/ae_boost.cpp"), "ba");
+  EXPECT_EQ(module_of("src/common/message.hpp"), "common");
+  EXPECT_EQ(module_of("src/version.hpp"), "src");
+  EXPECT_EQ(module_of("tests/lint_test.cpp"), "tests");
+  EXPECT_EQ(module_of("bench/bench_main.cpp"), "bench");
+}
+
+TEST(LintL1, LegalEdgeProducesNoFinding) {
+  const auto fs = lint_files({{"src/ba/l1_legal_edge.cpp", fixture("l1_legal_edge.cpp")}},
+                             layered_cfg());
+  EXPECT_TRUE(hits(fs).empty()) << (fs.empty() ? "" : fs.front().message);
+}
+
+TEST(LintL1, IllegalEdgeNamesTheOffendingInclude) {
+  const auto fs = lint_files(
+      {{"src/crypto/l1_illegal_edge.cpp", fixture("l1_illegal_edge.cpp")}}, layered_cfg());
+  EXPECT_EQ(hits(fs), (std::set<std::pair<std::string, std::size_t>>{{"L1", 4}}));
+  ASSERT_FALSE(fs.empty());
+  EXPECT_NE(fs.front().message.find("crypto -> ba"), std::string::npos);
+  EXPECT_NE(fs.front().message.find("#include \"ba/ae_boost.hpp\""), std::string::npos);
+  // No back-edge ba -> crypto in this file set: no cycle text.
+  EXPECT_EQ(fs.front().message.find("cycle"), std::string::npos);
+}
+
+TEST(LintL1, CycleIsReportedOnBothEdgesWithShortestPath) {
+  const auto fs = lint_files({{"src/net/l1_cycle_a.hpp", fixture("l1_cycle_a.hpp")},
+                              {"src/crypto/l1_cycle_b.hpp", fixture("l1_cycle_b.hpp")}},
+                             layered_cfg());
+  const std::set<std::pair<std::string, std::size_t>> expected = {
+      {"L1", 9},  // net -> crypto in l1_cycle_a.hpp
+      {"L1", 5},  // crypto -> net in l1_cycle_b.hpp
+  };
+  EXPECT_EQ(hits(fs), expected);
+  for (const Finding& f : fs) {
+    EXPECT_NE(f.message.find("closes module cycle"), std::string::npos) << f.message;
+  }
+}
+
+TEST(LintL1, OpenAndUnrestrictedModulesAreExempt) {
+  const auto fs = lint_files(
+      {
+          // obs is [open]: includable from any module.
+          {"src/crypto/uses_obs.cpp", "#include \"obs/trace.hpp\"\n"},
+          // tests/ is [unrestricted]: may include anything.
+          {"tests/top_test.cpp", "#include \"ba/ae_boost.hpp\"\n"},
+          // an include naming no declared module is third-party, not an edge.
+          {"src/net/uses_vendor.cpp", "#include \"vendor/lib.hpp\"\n"},
+      },
+      layered_cfg());
+  EXPECT_TRUE(hits(fs).empty()) << (fs.empty() ? "" : fs.front().message);
+}
+
+TEST(LintL1, UndeclaredSrcModuleIsFlagged) {
+  const auto fs = lint_files({{"src/zzz/new_module.cpp", "#include \"net/message.hpp\"\n"}},
+                             layered_cfg());
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs.front().rule, "L1");
+  EXPECT_NE(fs.front().message.find("module 'zzz'"), std::string::npos);
+  EXPECT_NE(fs.front().message.find("not declared in layers.toml"), std::string::npos);
+}
+
+TEST(LintL1, BadManifestIsItselfAFinding) {
+  Config cfg;
+  cfg.layers_manifest = "[layers]\nnet = [broken\n";
+  cfg.layers_manifest_path = "test-layers.toml";
+  const auto fs = lint_files({{"src/net/x.cpp", "int x;\n"}}, cfg);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs.front().rule, "L1");
+  EXPECT_EQ(fs.front().file, "test-layers.toml");
+  EXPECT_NE(fs.front().message.find("bad layers manifest"), std::string::npos);
+}
+
+TEST(LintGraphDot, DotExportIsDeterministic) {
+  const std::vector<std::pair<std::string, std::string>> inputs = {
+      {"src/net/l1_cycle_a.hpp", fixture("l1_cycle_a.hpp")},
+      {"src/crypto/l1_cycle_b.hpp", fixture("l1_cycle_b.hpp")},
+      {"src/ba/l1_legal_edge.cpp", fixture("l1_legal_edge.cpp")},
+  };
+  const std::string a = dep_graph_dot(build_dep_graph(inputs));
+  const std::string b = dep_graph_dot(build_dep_graph(inputs));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("digraph srds_modules"), std::string::npos);
+  EXPECT_NE(a.find("\"ba\" -> \"crypto\";"), std::string::npos);
+  EXPECT_NE(a.find("\"net\" -> \"crypto\";"), std::string::npos);
+  EXPECT_NE(a.find("\"crypto\" -> \"net\";"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// T1: adversarial-input taint (taint.hpp).
+
+TEST(LintT1, RawPayloadReadsAreFlagged) {
+  const auto fs = lint_file("src/ba/t1_raw_read.cpp", fixture("t1_raw_read.cpp"), {});
+  const std::set<std::pair<std::string, std::size_t>> expected = {
+      {"T1", 10},  // indexing
+      {"T1", 14},  // .data() pointer escape
+      {"T1", 19},  // memcpy over the buffer
+      {"T1", 23},  // read *before* the validate call
+  };
+  EXPECT_EQ(hits(fs), expected);
+}
+
+TEST(LintT1, ValidatedReadsPass) {
+  const auto fs = lint_file("src/ba/t1_validated.cpp", fixture("t1_validated.cpp"), {});
+  EXPECT_TRUE(hits(fs).empty()) << (fs.empty() ? "" : fs.front().message);
+}
+
+TEST(LintT1, HelperReadIsFlaggedInTheHelperOnly) {
+  const auto fs = lint_file("src/ba/t1_helper.cpp", fixture("t1_helper.cpp"), {});
+  EXPECT_EQ(hits(fs), (std::set<std::pair<std::string, std::size_t>>{{"T1", 10}}));
+  ASSERT_FALSE(fs.empty());
+  EXPECT_NE(fs.front().message.find("t1_peek_helper"), std::string::npos);
+}
+
+TEST(LintT1, OnlyProtocolDirsAreInScope) {
+  // Same bytes under src/net (the layer that owns raw delivery): no T1.
+  const auto fs = lint_file("src/net/t1_raw_read.cpp", fixture("t1_raw_read.cpp"), {});
+  EXPECT_TRUE(hits(fs).empty());
+}
+
+// ---------------------------------------------------------------------------
+// P1: hot-path hygiene (taint.hpp).
+
+TEST(LintP1, MarkedFunctionsRejectThrowNewAndTypeErasure) {
+  const auto fs = lint_file("src/net/p1_hotpath.cpp", fixture("p1_hotpath.cpp"), {});
+  const std::set<std::pair<std::string, std::size_t>> expected = {
+      {"P1", 11},  // throw
+      {"P1", 17},  // new
+      {"P1", 22},  // std::function
+  };
+  EXPECT_EQ(hits(fs), expected);
+}
+
+TEST(LintP1, UnmatchedMarkerIsItselfFlagged) {
+  const std::string content =
+      "// srds-lint: hotpath\n"
+      "int kNotAFunction = 3;\n";
+  const auto fs = lint_file("src/net/p1_dangling.cpp", content, {});
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs.front().rule, "P1");
+  EXPECT_NE(fs.front().message.find("matches no function body"), std::string::npos);
+}
+
+TEST(LintP1, FunctionBodyMapFindsDeclarators) {
+  const Lexed lx = lex(fixture("p1_hotpath.cpp"));
+  const std::vector<FuncBody> bodies = function_bodies(lx);
+  std::vector<std::string> names;
+  for (const FuncBody& b : bodies) names.push_back(b.name);
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"p1_marked_throw", "p1_marked_new",
+                                      "p1_marked_type_erase", "p1_marked_clean",
+                                      "p1_unmarked"}));
+}
+
+// ---------------------------------------------------------------------------
+// Baseline ratchet (baseline.hpp).
+
+std::vector<Finding> baseline_fixture_findings() {
+  return lint_file("src/ba/d1_nondet.cpp", fixture("d1_nondet.cpp"), {});
+}
+
+TEST(LintBaseline, IdenticalTreePasses) {
+  const auto fs = baseline_fixture_findings();
+  const Baseline b = make_baseline(fs);
+  EXPECT_EQ(b.entries.size(), hits(fs).size());
+  const BaselineDiff d = diff_baseline(fs, b);
+  EXPECT_TRUE(d.fresh.empty());
+  EXPECT_TRUE(d.stale.empty());
+}
+
+TEST(LintBaseline, NewViolationIsFresh) {
+  auto fs = baseline_fixture_findings();
+  const Baseline b = make_baseline(fs);
+  Finding extra;
+  extra.file = "src/ba/other.cpp";
+  extra.line = 3;
+  extra.rule = "T1";
+  extra.severity = Severity::kError;
+  extra.message = "new";
+  fs.push_back(extra);
+  const BaselineDiff d = diff_baseline(fs, b);
+  ASSERT_EQ(d.fresh.size(), 1u);
+  EXPECT_EQ(d.fresh.front().file, "src/ba/other.cpp");
+  EXPECT_TRUE(d.stale.empty());
+}
+
+TEST(LintBaseline, FixedViolationIsStale) {
+  const auto fs = baseline_fixture_findings();
+  const Baseline b = make_baseline(fs);
+  auto fixed = fs;
+  fixed.pop_back();  // one finding fixed, baseline entry kept
+  const BaselineDiff d = diff_baseline(fixed, b);
+  EXPECT_TRUE(d.fresh.empty());
+  ASSERT_EQ(d.stale.size(), 1u);
+  EXPECT_EQ(d.stale.front().rule, fs.back().rule);
+  EXPECT_EQ(d.stale.front().line, fs.back().line);
+}
+
+TEST(LintBaseline, MovedViolationIsFreshPlusStale) {
+  auto fs = baseline_fixture_findings();
+  const Baseline b = make_baseline(fs);
+  fs.back().line += 1;  // same violation, new line: forces a refresh
+  const BaselineDiff d = diff_baseline(fs, b);
+  EXPECT_EQ(d.fresh.size(), 1u);
+  EXPECT_EQ(d.stale.size(), 1u);
+}
+
+TEST(LintBaseline, SuppressedAndWarningFindingsNeverEnterTheBaseline) {
+  auto fs = baseline_fixture_findings();
+  fs.front().suppressed = true;
+  fs.back().severity = Severity::kWarn;
+  const Baseline b = make_baseline(fs);
+  EXPECT_EQ(b.entries.size(), fs.size() - 2);
+}
+
+TEST(LintBaseline, JsonRoundTrips) {
+  const Baseline b = make_baseline(baseline_fixture_findings());
+  ASSERT_FALSE(b.entries.empty());
+  const std::string doc = baseline_json(b).dump(2);
+  // Byte-deterministic like every artifact.
+  EXPECT_EQ(doc, baseline_json(b).dump(2));
+
+  Baseline parsed;
+  std::string error;
+  ASSERT_TRUE(parse_baseline(doc, parsed, error)) << error;
+  ASSERT_EQ(parsed.entries.size(), b.entries.size());
+  for (std::size_t i = 0; i < b.entries.size(); ++i) {
+    EXPECT_EQ(parsed.entries[i].file, b.entries[i].file);
+    EXPECT_EQ(parsed.entries[i].line, b.entries[i].line);
+    EXPECT_EQ(parsed.entries[i].rule, b.entries[i].rule);
+    EXPECT_EQ(parsed.entries[i].message, b.entries[i].message);
+  }
+}
+
+TEST(LintBaseline, ParseRejectsGarbage) {
+  Baseline parsed;
+  std::string error;
+  EXPECT_FALSE(parse_baseline("not json", parsed, error));
+  EXPECT_FALSE(parse_baseline("{\"tool\": \"srds-lint\"}", parsed, error));
+  EXPECT_NE(error.find("baseline"), std::string::npos);
+}
+
+// Regression: artifact writes into a directory that does not exist yet must
+// create the parents instead of failing (fresh CI workspace handing the
+// linter artifacts/LINT_x.json before anything created artifacts/).
+TEST(LintBaseline, WriteTextFileCreatesMissingParentDirs) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::temp_directory_path() / "srds_lint_test_artifacts" / "nested" / "deep";
+  fs::remove_all(root.parent_path().parent_path());
+  const fs::path target = root / "LINT_x.json";
+  ASSERT_FALSE(fs::exists(root));
+  EXPECT_TRUE(write_text_file(target.string(), "{}\n"));
+  std::ifstream in(target);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "{}\n");
+  fs::remove_all(root.parent_path().parent_path());
+}
+
+// ---------------------------------------------------------------------------
+// Extended determinism: the full engine (graph + taint passes, stats block)
+// still emits byte-identical JSON across runs.
+
+TEST(LintDeterminism, GraphAndTaintPassesKeepJsonByteIdentical) {
+  const std::vector<std::pair<std::string, std::string>> inputs = {
+      {"src/crypto/l1_illegal_edge.cpp", fixture("l1_illegal_edge.cpp")},
+      {"src/net/l1_cycle_a.hpp", fixture("l1_cycle_a.hpp")},
+      {"src/crypto/l1_cycle_b.hpp", fixture("l1_cycle_b.hpp")},
+      {"src/ba/t1_raw_read.cpp", fixture("t1_raw_read.cpp")},
+      {"src/ba/t1_validated.cpp", fixture("t1_validated.cpp")},
+      {"src/net/p1_hotpath.cpp", fixture("p1_hotpath.cpp")},
+  };
+  const auto run = [&] {
+    const auto fs = lint_files(inputs, layered_cfg());
+    obs::Json stats = obs::Json::object();
+    stats.set("files", static_cast<unsigned long long>(inputs.size()));
+    return findings_json(fs, inputs.size(), &stats).dump(2);
+  };
+  const std::string a = run();
+  EXPECT_EQ(a, run());
+  EXPECT_NE(a.find("\"schema\": 2"), std::string::npos);
+  EXPECT_NE(a.find("\"stats\""), std::string::npos);
+  EXPECT_NE(a.find("\"rule\": \"L1\""), std::string::npos);
+  EXPECT_NE(a.find("\"rule\": \"T1\""), std::string::npos);
+
+  const auto fs = lint_files(inputs, layered_cfg());
+  std::set<std::string> rules_seen;
+  for (const Finding& f : fs) rules_seen.insert(f.rule);
+  EXPECT_TRUE(rules_seen.count("L1"));
+  EXPECT_TRUE(rules_seen.count("T1"));
+  EXPECT_TRUE(rules_seen.count("P1"));
 }
 
 }  // namespace

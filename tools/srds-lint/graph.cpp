@@ -1,0 +1,305 @@
+#include "graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <tuple>
+
+#include "lex.hpp"
+
+namespace srds::lint {
+
+namespace {
+
+/// One logical manifest line with its 1-based line number.
+struct ManifestLine {
+  std::size_t line;
+  std::string text;  // trimmed, comment stripped
+};
+
+std::string strip_comment(const std::string& s) {
+  bool in_str = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '"') in_str = !in_str;
+    if (s[i] == '#' && !in_str) return s.substr(0, i);
+  }
+  return s;
+}
+
+/// Parse `["a", "b"]` (possibly empty). Returns false on syntax errors.
+bool parse_string_array(const std::string& s, std::vector<std::string>& out) {
+  std::string t = trim(s);
+  if (t.size() < 2 || t.front() != '[' || t.back() != ']') return false;
+  t = trim(t.substr(1, t.size() - 2));
+  if (t.empty()) return true;
+  std::size_t i = 0;
+  while (i < t.size()) {
+    while (i < t.size() && (t[i] == ' ' || t[i] == '\t')) ++i;
+    if (i >= t.size() || t[i] != '"') return false;
+    std::size_t close = t.find('"', i + 1);
+    if (close == std::string::npos) return false;
+    out.push_back(t.substr(i + 1, close - (i + 1)));
+    i = close + 1;
+    while (i < t.size() && (t[i] == ' ' || t[i] == '\t')) ++i;
+    if (i < t.size()) {
+      if (t[i] != ',') return false;
+      ++i;
+    }
+  }
+  return true;
+}
+
+bool contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+}  // namespace
+
+const std::vector<std::string>* LayerManifest::deps_of(const std::string& m) const {
+  for (const auto& [name, deps] : layers) {
+    if (name == m) return &deps;
+  }
+  return nullptr;
+}
+
+bool LayerManifest::is_open(const std::string& m) const { return contains(open, m); }
+
+bool LayerManifest::is_unrestricted(const std::string& m) const {
+  return contains(unrestricted, m);
+}
+
+bool parse_layers(const std::string& text, LayerManifest& out, std::string& error) {
+  out = LayerManifest{};
+  enum class Section { kNone, kLayers, kOpen, kUnrestricted };
+  Section section = Section::kNone;
+
+  std::size_t lineno = 0;
+  std::size_t pos = 0;
+  auto fail = [&](const std::string& why) {
+    error = "line " + std::to_string(lineno) + ": " + why;
+    return false;
+  };
+
+  while (pos <= text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    std::string raw = text.substr(pos, nl == std::string::npos ? std::string::npos : nl - pos);
+    pos = (nl == std::string::npos) ? text.size() + 1 : nl + 1;
+    ++lineno;
+
+    const std::string line = trim(strip_comment(raw));
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line == "[layers]") {
+        section = Section::kLayers;
+      } else if (line == "[open]") {
+        section = Section::kOpen;
+      } else if (line == "[unrestricted]") {
+        section = Section::kUnrestricted;
+      } else {
+        return fail("unknown section " + line);
+      }
+      continue;
+    }
+
+    std::size_t eq = line.find('=');
+    if (eq == std::string::npos) return fail("expected `name = [...]`");
+    const std::string key = trim(line.substr(0, eq));
+    std::vector<std::string> values;
+    if (!parse_string_array(line.substr(eq + 1), values)) {
+      return fail("bad string array for '" + key + "'");
+    }
+
+    switch (section) {
+      case Section::kNone:
+        return fail("entry before any [section]");
+      case Section::kLayers:
+        if (out.declares(key)) return fail("duplicate module '" + key + "'");
+        out.layers.emplace_back(key, std::move(values));
+        break;
+      case Section::kOpen:
+        if (key != "modules") return fail("[open] takes only `modules = [...]`");
+        out.open = std::move(values);
+        break;
+      case Section::kUnrestricted:
+        if (key != "modules") return fail("[unrestricted] takes only `modules = [...]`");
+        out.unrestricted = std::move(values);
+        break;
+    }
+  }
+
+  // Every declared dependency must itself be a declared module (open
+  // modules are declared too — their own deps are still constrained).
+  for (const auto& [name, deps] : out.layers) {
+    for (const std::string& d : deps) {
+      if (!out.declares(d)) {
+        lineno = 0;
+        return fail("module '" + name + "' depends on undeclared module '" + d + "'");
+      }
+      if (d == name) {
+        lineno = 0;
+        return fail("module '" + name + "' depends on itself");
+      }
+    }
+  }
+
+  // The manifest is the DAG: reject declared cycles outright. DFS coloring;
+  // on a back edge, report the cycle path.
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> path;
+  std::string cycle;
+  auto dfs = [&](auto&& self, const std::string& m) -> bool {
+    color[m] = 1;
+    path.push_back(m);
+    for (const std::string& d : *out.deps_of(m)) {
+      if (color[d] == 1) {
+        cycle = d;
+        for (auto it = std::find(path.begin(), path.end(), d); it != path.end(); ++it) {
+          if (*it != d) cycle += " -> " + *it;
+        }
+        cycle += " -> " + d;
+        return false;
+      }
+      if (color[d] == 0 && !self(self, d)) return false;
+    }
+    path.pop_back();
+    color[m] = 2;
+    return true;
+  };
+  for (const auto& [name, deps] : out.layers) {
+    (void)deps;
+    if (color[name] == 0 && !dfs(dfs, name)) {
+      lineno = 0;
+      return fail("declared dependencies form a cycle: " + cycle);
+    }
+  }
+  return true;
+}
+
+std::string module_of(const std::string& raw) {
+  const std::string path = normalize_path(raw);
+  std::vector<std::string> parts;
+  std::size_t i = 0;
+  while (i < path.size()) {
+    std::size_t slash = path.find('/', i);
+    if (slash == std::string::npos) {
+      parts.push_back(path.substr(i));
+      break;
+    }
+    parts.push_back(path.substr(i, slash - i));
+    i = slash + 1;
+  }
+  if (parts.empty()) return "";
+  if (parts[0] == "src") {
+    // "src/ba/x.cpp" -> "ba"; a file directly in src/ -> "src".
+    return parts.size() >= 3 ? parts[1] : "src";
+  }
+  return parts[0];
+}
+
+DepGraph build_dep_graph(const std::vector<std::pair<std::string, std::string>>& files) {
+  DepGraph g;
+  for (const auto& [raw_path, content] : files) {
+    const std::string path = normalize_path(raw_path);
+    g.files.push_back(path);
+    const std::string from = module_of(path);
+    const Lexed lx = lex(content);
+    for (const PpDirective& d : lx.directives) {
+      const std::string target = quoted_include_target(d);
+      if (target.empty()) continue;
+      std::size_t slash = target.find('/');
+      if (slash == std::string::npos) continue;  // same-directory include
+      const std::string to = target.substr(0, slash);
+      if (to == from) continue;
+      g.edges.push_back(IncludeEdge{path, d.line, target, from, to});
+      g.module_edges[from].insert(to);
+    }
+  }
+  std::sort(g.files.begin(), g.files.end());
+  std::sort(g.edges.begin(), g.edges.end(), [](const IncludeEdge& a, const IncludeEdge& b) {
+    return std::tie(a.from_file, a.line, a.target) < std::tie(b.from_file, b.line, b.target);
+  });
+  return g;
+}
+
+std::string dep_graph_dot(const DepGraph& g) {
+  std::string out = "digraph srds_modules {\n  rankdir=BT;\n";
+  for (const auto& [from, tos] : g.module_edges) {
+    for (const std::string& to : tos) {
+      out += "  \"" + from + "\" -> \"" + to + "\";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+/// Shortest module path from -> ... -> to over the actual edges (BFS);
+/// empty when unreachable.
+std::vector<std::string> shortest_path(const DepGraph& g, const std::string& from,
+                                       const std::string& to) {
+  std::map<std::string, std::string> parent;
+  std::deque<std::string> queue{from};
+  parent[from] = from;
+  while (!queue.empty()) {
+    std::string m = queue.front();
+    queue.pop_front();
+    if (m == to) {
+      std::vector<std::string> path{to};
+      while (path.back() != from) path.push_back(parent[path.back()]);
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    auto it = g.module_edges.find(m);
+    if (it == g.module_edges.end()) continue;
+    for (const std::string& next : it->second) {
+      if (!parent.count(next)) {
+        parent[next] = m;
+        queue.push_back(next);
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<Finding> check_layers(const DepGraph& g, const LayerManifest& m) {
+  std::vector<Finding> out;
+  for (const IncludeEdge& e : g.edges) {
+    if (m.is_unrestricted(e.from_module)) continue;
+    if (m.is_open(e.to_module)) continue;
+    // Include targets that name no declared/open/unrestricted module are
+    // third-party paths, not layer edges.
+    if (!m.declares(e.to_module) && !m.is_unrestricted(e.to_module)) continue;
+
+    Finding f;
+    f.file = e.from_file;
+    f.line = e.line;
+    f.rule = "L1";
+    if (!m.declares(e.from_module)) {
+      f.message = "module '" + e.from_module + "' (for " + e.from_file +
+                  ") is not declared in layers.toml; add it to [layers] with its "
+                  "allowed dependencies (see docs/static_analysis.md)";
+      out.push_back(std::move(f));
+      continue;
+    }
+    const std::vector<std::string>& deps = *m.deps_of(e.from_module);
+    if (contains(deps, e.to_module)) continue;
+
+    f.message = "illegal layering edge " + e.from_module + " -> " + e.to_module +
+                " (#include \"" + e.target + "\"): not in '" + e.from_module +
+                "' deps in layers.toml";
+    // If this edge closes a module cycle, the back path to_module ->* from_module
+    // exists; append the shortest full cycle — that is the refactor target.
+    const std::vector<std::string> back = shortest_path(g, e.to_module, e.from_module);
+    if (!back.empty()) {
+      f.message += "; closes module cycle: " + e.from_module;
+      for (const std::string& step : back) f.message += " -> " + step;
+    }
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace srds::lint

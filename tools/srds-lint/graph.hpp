@@ -1,0 +1,84 @@
+// Cross-TU dependency graph + L1 layering pass.
+//
+// The paper's protocol stack composes in one direction (common -> crypto ->
+// net -> {srds,tree,snark,lb} -> {consensus,ba,mpc}); rule L1 makes that an
+// enforced property of the include graph rather than a convention. The
+// checked-in manifest tools/srds-lint/layers.toml declares, per module, the
+// modules it may include directly; every quoted #include crossing a module
+// boundary is checked against it. A violation is reported as the offending
+// include edge (file:line, from-module -> to-module) and, when the edge
+// lies on a module cycle, the shortest such cycle is appended — cycles are
+// the failure mode that silently dissolves the layering under refactors.
+//
+// L1 has no inline allow(): a deliberately-kept back-edge is recorded in
+// layers.toml next to a justification comment, so every exception lives in
+// one reviewed file instead of being scattered through the tree.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace srds::lint {
+
+struct LayerManifest {
+  /// module -> allowed direct dependencies, in declaration order.
+  std::vector<std::pair<std::string, std::vector<std::string>>> layers;
+  /// Modules includable from anywhere (the observability layer).
+  std::vector<std::string> open;
+  /// Top-level directories with no layering constraints (bench, tests...).
+  std::vector<std::string> unrestricted;
+
+  const std::vector<std::string>* deps_of(const std::string& m) const;
+  bool is_open(const std::string& m) const;
+  bool is_unrestricted(const std::string& m) const;
+  bool declares(const std::string& m) const { return deps_of(m) != nullptr; }
+};
+
+/// Parse the layers.toml subset used by the manifest:
+///   [layers]           module = ["dep", ...] lines
+///   [open]             modules = [...]
+///   [unrestricted]     modules = [...]
+/// '#' comments, blank lines. Rejects unknown sections/syntax, duplicate
+/// modules, deps on undeclared modules, and — since the manifest *is* the
+/// DAG — any cycle in the declared dependency relation. On failure returns
+/// false with `error` = "line N: why".
+bool parse_layers(const std::string& text, LayerManifest& out, std::string& error);
+
+/// Module of a repo-relative path: "src/ba/x.cpp" -> "ba", "src/x.hpp" ->
+/// "src", otherwise the first path component ("bench", "tests", "tools").
+std::string module_of(const std::string& path);
+
+/// One quoted include crossing a module boundary.
+struct IncludeEdge {
+  std::string from_file;
+  std::size_t line = 0;
+  std::string target;  // include text, e.g. "crypto/sha256.hpp"
+  std::string from_module;
+  std::string to_module;
+};
+
+struct DepGraph {
+  std::vector<std::string> files;   // scanned paths, sorted
+  std::vector<IncludeEdge> edges;   // cross-module edges, sorted by (file, line)
+  /// module -> modules it includes (every edge, allowed or not).
+  std::map<std::string, std::set<std::string>> module_edges;
+};
+
+/// Build the graph from (path, content) pairs. Only quoted includes whose
+/// first path component differs from the including file's module become
+/// edges; angle-bracket and same-module includes are ignored.
+DepGraph build_dep_graph(const std::vector<std::pair<std::string, std::string>>& files);
+
+/// Deterministic Graphviz DOT of the module graph (CI artifact).
+std::string dep_graph_dot(const DepGraph& g);
+
+/// The L1 check. Findings carry rule "L1" and are unsorted/unsuppressed raw
+/// findings; the engine applies severity and ordering.
+std::vector<Finding> check_layers(const DepGraph& g, const LayerManifest& m);
+
+}  // namespace srds::lint

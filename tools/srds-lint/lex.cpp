@@ -1,0 +1,184 @@
+#include "lex.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace srds::lint {
+
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+}  // namespace
+
+Lexed lex(const std::string& s) {
+  Lexed out;
+  std::size_t i = 0, line = 1;
+  const std::size_t n = s.size();
+  bool at_line_start = true;  // only whitespace seen so far on this line
+
+  auto push = [&](Tok::Kind k, std::string text, std::size_t ln) {
+    out.code_lines.insert(ln);
+    out.toks.push_back(Tok{k, std::move(text), ln});
+  };
+
+  while (i < n) {
+    char c = s[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: '#' first on the line. Consumed wholesale
+    // (with backslash continuations); its tokens stay out of the stream.
+    if (c == '#' && at_line_start) {
+      std::size_t start_line = line;
+      std::string text;
+      while (i < n) {
+        if (s[i] == '\\' && i + 1 < n && (s[i + 1] == '\n' || (s[i + 1] == '\r' && i + 2 < n && s[i + 2] == '\n'))) {
+          i += (s[i + 1] == '\n') ? 2 : 3;
+          ++line;
+          text.push_back(' ');
+          continue;
+        }
+        if (s[i] == '\n') break;
+        text.push_back(s[i]);
+        ++i;
+      }
+      out.directives.push_back(PpDirective{start_line, std::move(text)});
+      at_line_start = true;  // the upcoming '\n' handler resets anyway
+      continue;
+    }
+    at_line_start = false;
+    // Comments.
+    if (c == '/' && i + 1 < n && s[i + 1] == '/') {
+      std::size_t start_line = line;
+      std::size_t j = i + 2;
+      while (j < n && s[j] != '\n') ++j;
+      out.comments.push_back(Comment{start_line, s.substr(i + 2, j - (i + 2))});
+      i = j;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && s[i + 1] == '*') {
+      std::size_t start_line = line;
+      std::size_t j = i + 2;
+      std::string text;
+      while (j + 1 < n && !(s[j] == '*' && s[j + 1] == '/')) {
+        if (s[j] == '\n') ++line;
+        text.push_back(s[j]);
+        ++j;
+      }
+      out.comments.push_back(Comment{start_line, std::move(text)});
+      i = (j + 1 < n) ? j + 2 : n;
+      continue;
+    }
+    // Raw strings: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && s[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && s[j] != '(') delim.push_back(s[j++]);
+      std::string close = ")" + delim + "\"";
+      std::size_t end = s.find(close, j);
+      std::size_t stop = (end == std::string::npos) ? n : end + close.size();
+      for (std::size_t k = i; k < stop; ++k) {
+        if (s[k] == '\n') ++line;
+      }
+      push(Tok::kStr, "", line);
+      i = stop;
+      continue;
+    }
+    // String / char literals.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && s[j] != quote) {
+        if (s[j] == '\\' && j + 1 < n) ++j;
+        if (s[j] == '\n') ++line;  // unterminated literal; stay line-accurate
+        ++j;
+      }
+      push(Tok::kStr, "", line);
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(s[j])) ++j;
+      push(Tok::kIdent, s.substr(i, j - i), line);
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (ident_char(s[j]) || s[j] == '.' || s[j] == '\'')) ++j;
+      push(Tok::kNum, s.substr(i, j - i), line);
+      i = j;
+      continue;
+    }
+    // Two-char puncts the rules care about; everything else single-char.
+    if (c == ':' && i + 1 < n && s[i + 1] == ':') {
+      push(Tok::kPunct, "::", line);
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && s[i + 1] == '>') {
+      push(Tok::kPunct, "->", line);
+      i += 2;
+      continue;
+    }
+    push(Tok::kPunct, std::string(1, c), line);
+    ++i;
+  }
+  return out;
+}
+
+std::string normalize_path(std::string p) {
+  std::replace(p.begin(), p.end(), '\\', '/');
+  if (p.rfind("./", 0) == 0) p.erase(0, 2);
+  return p;
+}
+
+bool path_under(const std::string& path, const std::string& dir) {
+  // `dir` like "src/ba": match a leading or embedded directory prefix.
+  const std::string pre = dir + "/";
+  return path.rfind(pre, 0) == 0 || path.find("/" + pre) != std::string::npos;
+}
+
+bool is_header_path(const std::string& path) {
+  for (const char* ext : {".hpp", ".h", ".hh", ".hxx"}) {
+    std::string e = ext;
+    if (path.size() >= e.size() && path.compare(path.size() - e.size(), e.size(), e) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool in_protocol_dir(const std::string& path) {
+  return path_under(path, "src/ba") || path_under(path, "src/consensus") ||
+         path_under(path, "src/srds") || path_under(path, "src/tree");
+}
+
+std::string trim(const std::string& s) {
+  std::size_t a = s.find_first_not_of(" \t\r\n");
+  if (a == std::string::npos) return "";
+  std::size_t b = s.find_last_not_of(" \t\r\n");
+  return s.substr(a, b - a + 1);
+}
+
+std::string quoted_include_target(const PpDirective& d) {
+  std::size_t inc = d.text.find("include");
+  if (inc == std::string::npos) return "";
+  std::size_t open = d.text.find('"', inc);
+  if (open == std::string::npos) return "";
+  std::size_t close = d.text.find('"', open + 1);
+  if (close == std::string::npos) return "";
+  return d.text.substr(open + 1, close - (open + 1));
+}
+
+}  // namespace srds::lint

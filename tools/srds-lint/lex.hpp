@@ -1,0 +1,65 @@
+// srds-lint internal lexer and path-scoping helpers.
+//
+// Shared by the per-file rule passes (lint.cpp), the adversarial-input
+// taint / hot-path passes (taint.cpp) and the cross-TU dependency graph
+// (graph.cpp). C++ is lexed into identifiers/punctuation with line
+// numbers; comments and strings are stripped from the token stream (so
+// `// rand()` never fires a rule) but kept on the side — comments carry
+// suppressions and `srds-lint: hotpath` markers, preprocessor directives
+// carry the include edges the layering pass walks.
+//
+// This header is tool-internal: nothing under src/ may include it.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace srds::lint {
+
+struct Tok {
+  enum Kind { kIdent, kPunct, kNum, kStr };
+  Kind kind;
+  std::string text;
+  std::size_t line;
+};
+
+struct Comment {
+  std::size_t line;  // line the comment starts on
+  std::string text;
+};
+
+struct PpDirective {
+  std::size_t line;
+  std::string text;  // full directive, continuations joined, '#' included
+};
+
+struct Lexed {
+  std::vector<Tok> toks;
+  std::vector<Comment> comments;
+  std::vector<PpDirective> directives;
+  std::set<std::size_t> code_lines;  // lines carrying at least one token
+};
+
+Lexed lex(const std::string& s);
+
+/// '\\' -> '/', leading "./" stripped.
+std::string normalize_path(std::string p);
+
+/// True when `path` lies under directory `dir` (e.g. under("src/ba/x.cpp",
+/// "src/ba")), matching a leading or embedded directory prefix.
+bool path_under(const std::string& path, const std::string& dir);
+
+bool is_header_path(const std::string& path);
+
+/// The protocol directories rule D1/T1 scope to.
+bool in_protocol_dir(const std::string& path);
+
+std::string trim(const std::string& s);
+
+/// Quoted-include target of a preprocessor directive: `#include "x/y.hpp"`
+/// -> "x/y.hpp"; empty for angle-bracket and non-include directives.
+std::string quoted_include_target(const PpDirective& d);
+
+}  // namespace srds::lint

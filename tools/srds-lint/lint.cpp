@@ -6,200 +6,13 @@
 #include <set>
 #include <tuple>
 
+#include "graph.hpp"
+#include "lex.hpp"
+#include "taint.hpp"
+
 namespace srds::lint {
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Lexer. Produces identifier/punctuation/number/string tokens with line
-// numbers, plus the comment list (for suppressions) and preprocessor
-// directives (for include-guard and banned-include checks). Comment and
-// string *contents* never reach the token stream, so `// rand()` and
-// "system_clock" literals cannot trigger rules.
-// ---------------------------------------------------------------------------
-
-struct Tok {
-  enum Kind { kIdent, kPunct, kNum, kStr };
-  Kind kind;
-  std::string text;
-  std::size_t line;
-};
-
-struct Comment {
-  std::size_t line;  // line the comment starts on
-  std::string text;
-};
-
-struct PpDirective {
-  std::size_t line;
-  std::string text;  // full directive, continuations joined, '#' included
-};
-
-struct Lexed {
-  std::vector<Tok> toks;
-  std::vector<Comment> comments;
-  std::vector<PpDirective> directives;
-  std::set<std::size_t> code_lines;  // lines carrying at least one token
-};
-
-bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
-bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
-
-Lexed lex(const std::string& s) {
-  Lexed out;
-  std::size_t i = 0, line = 1;
-  const std::size_t n = s.size();
-  bool at_line_start = true;  // only whitespace seen so far on this line
-
-  auto push = [&](Tok::Kind k, std::string text, std::size_t ln) {
-    out.code_lines.insert(ln);
-    out.toks.push_back(Tok{k, std::move(text), ln});
-  };
-
-  while (i < n) {
-    char c = s[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      at_line_start = true;
-      continue;
-    }
-    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
-      ++i;
-      continue;
-    }
-    // Preprocessor directive: '#' first on the line. Consumed wholesale
-    // (with backslash continuations); its tokens stay out of the stream.
-    if (c == '#' && at_line_start) {
-      std::size_t start_line = line;
-      std::string text;
-      while (i < n) {
-        if (s[i] == '\\' && i + 1 < n && (s[i + 1] == '\n' || (s[i + 1] == '\r' && i + 2 < n && s[i + 2] == '\n'))) {
-          i += (s[i + 1] == '\n') ? 2 : 3;
-          ++line;
-          text.push_back(' ');
-          continue;
-        }
-        if (s[i] == '\n') break;
-        text.push_back(s[i]);
-        ++i;
-      }
-      out.directives.push_back(PpDirective{start_line, std::move(text)});
-      at_line_start = true;  // the upcoming '\n' handler resets anyway
-      continue;
-    }
-    at_line_start = false;
-    // Comments.
-    if (c == '/' && i + 1 < n && s[i + 1] == '/') {
-      std::size_t start_line = line;
-      std::size_t j = i + 2;
-      while (j < n && s[j] != '\n') ++j;
-      out.comments.push_back(Comment{start_line, s.substr(i + 2, j - (i + 2))});
-      i = j;
-      continue;
-    }
-    if (c == '/' && i + 1 < n && s[i + 1] == '*') {
-      std::size_t start_line = line;
-      std::size_t j = i + 2;
-      std::string text;
-      while (j + 1 < n && !(s[j] == '*' && s[j + 1] == '/')) {
-        if (s[j] == '\n') ++line;
-        text.push_back(s[j]);
-        ++j;
-      }
-      out.comments.push_back(Comment{start_line, std::move(text)});
-      i = (j + 1 < n) ? j + 2 : n;
-      continue;
-    }
-    // Raw strings: R"delim( ... )delim".
-    if (c == 'R' && i + 1 < n && s[i + 1] == '"') {
-      std::size_t j = i + 2;
-      std::string delim;
-      while (j < n && s[j] != '(') delim.push_back(s[j++]);
-      std::string close = ")" + delim + "\"";
-      std::size_t end = s.find(close, j);
-      std::size_t stop = (end == std::string::npos) ? n : end + close.size();
-      for (std::size_t k = i; k < stop; ++k) {
-        if (s[k] == '\n') ++line;
-      }
-      push(Tok::kStr, "", line);
-      i = stop;
-      continue;
-    }
-    // String / char literals.
-    if (c == '"' || c == '\'') {
-      char quote = c;
-      std::size_t j = i + 1;
-      while (j < n && s[j] != quote) {
-        if (s[j] == '\\' && j + 1 < n) ++j;
-        if (s[j] == '\n') ++line;  // unterminated literal; stay line-accurate
-        ++j;
-      }
-      push(Tok::kStr, "", line);
-      i = (j < n) ? j + 1 : n;
-      continue;
-    }
-    if (ident_start(c)) {
-      std::size_t j = i;
-      while (j < n && ident_char(s[j])) ++j;
-      push(Tok::kIdent, s.substr(i, j - i), line);
-      i = j;
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      std::size_t j = i;
-      while (j < n && (ident_char(s[j]) || s[j] == '.' || s[j] == '\'')) ++j;
-      push(Tok::kNum, s.substr(i, j - i), line);
-      i = j;
-      continue;
-    }
-    // Two-char puncts the rules care about; everything else single-char.
-    if (c == ':' && i + 1 < n && s[i + 1] == ':') {
-      push(Tok::kPunct, "::", line);
-      i += 2;
-      continue;
-    }
-    if (c == '-' && i + 1 < n && s[i + 1] == '>') {
-      push(Tok::kPunct, "->", line);
-      i += 2;
-      continue;
-    }
-    push(Tok::kPunct, std::string(1, c), line);
-    ++i;
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Path scoping.
-// ---------------------------------------------------------------------------
-
-std::string normalize(std::string p) {
-  std::replace(p.begin(), p.end(), '\\', '/');
-  if (p.rfind("./", 0) == 0) p.erase(0, 2);
-  return p;
-}
-
-bool under(const std::string& path, const std::string& dir) {
-  // `dir` like "src/ba": match a leading or embedded directory prefix.
-  const std::string pre = dir + "/";
-  return path.rfind(pre, 0) == 0 || path.find("/" + pre) != std::string::npos;
-}
-
-bool is_header(const std::string& path) {
-  for (const char* ext : {".hpp", ".h", ".hh", ".hxx"}) {
-    std::string e = ext;
-    if (path.size() >= e.size() && path.compare(path.size() - e.size(), e.size(), e) == 0) {
-      return true;
-    }
-  }
-  return false;
-}
-
-bool in_protocol_dir(const std::string& path) {
-  return under(path, "src/ba") || under(path, "src/consensus") ||
-         under(path, "src/srds") || under(path, "src/tree");
-}
 
 // ---------------------------------------------------------------------------
 // Suppressions.
@@ -212,13 +25,6 @@ struct Suppression {
   std::string justification;
   bool valid = false;  // known rule + non-empty justification
 };
-
-std::string trim(const std::string& s) {
-  std::size_t a = s.find_first_not_of(" \t\r\n");
-  if (a == std::string::npos) return "";
-  std::size_t b = s.find_last_not_of(" \t\r\n");
-  return s.substr(a, b - a + 1);
-}
 
 std::vector<Suppression> parse_suppressions(const Lexed& lx) {
   std::vector<Suppression> out;
@@ -254,7 +60,8 @@ std::vector<Suppression> parse_suppressions(const Lexed& lx) {
 // ---------------------------------------------------------------------------
 // Rule checks. Each takes the lexed file and appends raw findings (before
 // severity/suppression post-processing). One function per invariant — new
-// rules slot in here and in the table below.
+// per-file rules slot in here; cross-TU passes live in graph.cpp, the
+// taint/hot-path passes in taint.cpp.
 // ---------------------------------------------------------------------------
 
 void add(std::vector<Finding>& out, const std::string& file, std::size_t line,
@@ -268,7 +75,7 @@ void add(std::vector<Finding>& out, const std::string& file, std::size_t line,
 }
 
 void check_d1(const std::string& path, const Lexed& lx, std::vector<Finding>& out) {
-  const bool rng_home = under(path, "src/common") &&
+  const bool rng_home = path_under(path, "src/common") &&
                         path.find("/rng.") != std::string::npos;
   const bool proto = in_protocol_dir(path);
   static const std::set<std::string> kBannedCalls = {"rand", "srand", "time", "clock",
@@ -320,14 +127,15 @@ void check_d1(const std::string& path, const Lexed& lx, std::vector<Finding>& ou
 }
 
 void check_b1(const std::string& path, const Lexed& lx, std::vector<Finding>& out) {
-  if (under(path, "src/net")) return;  // the simulator API layer itself
+  if (path_under(path, "src/net")) return;  // the simulator API layer itself
+  if (path == "src/common/message.hpp") return;  // the factory's own home
   for (std::size_t i = 0; i + 1 < lx.toks.size(); ++i) {
     const Tok& t = lx.toks[i];
     if (t.kind != Tok::kIdent || t.text != "Message") continue;
     const std::string& nxt = lx.toks[i + 1].text;
     if (nxt == "{" || nxt == "(") {
       add(out, path, t.line, "B1",
-          "raw Message construction outside src/net; use make_msg (net/message.hpp) "
+          "raw Message construction outside src/net; use make_msg (common/message.hpp) "
           "so the MsgKind tag and byte accounting stay explicit");
     }
   }
@@ -429,7 +237,7 @@ void check_s1(const std::string& path, const Lexed& lx, const Config& cfg,
 }
 
 void check_h1(const std::string& path, const Lexed& lx, std::vector<Finding>& out) {
-  if (!is_header(path)) return;
+  if (!is_header_path(path)) return;
   // Guard: the first directive must be `#pragma once`, or an
   // `#ifndef X` / `#define X` pair.
   bool guarded = false;
@@ -457,6 +265,13 @@ void check_h1(const std::string& path, const Lexed& lx, std::vector<Finding>& ou
   }
 }
 
+void sort_findings(std::vector<Finding>& all) {
+  std::sort(all.begin(), all.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule, a.message) <
+           std::tie(b.file, b.line, b.rule, b.message);
+  });
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -478,6 +293,9 @@ const std::vector<RuleInfo>& rules() {
       {"B1", "raw Message construction outside the network layer", Severity::kError},
       {"S1", "serialize without matching deserialize / round-trip test", Severity::kError},
       {"H1", "header hygiene (#pragma once, no using-namespace)", Severity::kError},
+      {"L1", "include edge violating the layers.toml module DAG", Severity::kError},
+      {"T1", "payload-byte read without prior deserialize/validate", Severity::kError},
+      {"P1", "throw/new/std::function inside a hotpath-marked function", Severity::kError},
       {"A0", "malformed srds-lint suppression", Severity::kError},
   };
   return kRules;
@@ -500,7 +318,14 @@ Severity Config::severity_of(const std::string& rule) const {
 
 std::vector<Finding> lint_file(const std::string& raw_path, const std::string& content,
                                const Config& cfg) {
-  const std::string path = normalize(raw_path);
+  const std::string path = normalize_path(raw_path);
+
+  // Per-file rules are protocol-code rules: they apply to src/ only. Files
+  // outside it (tests building adversarial raw Messages, bench drivers, the
+  // linter's own sources, whose doc comments *mention* markers) still join
+  // the scan set for the cross-TU L1 graph, but carry none of the per-file
+  // obligations.
+  if (!path_under(path, "src")) return {};
   const Lexed lx = lex(content);
 
   std::vector<Finding> raw;
@@ -508,6 +333,8 @@ std::vector<Finding> lint_file(const std::string& raw_path, const std::string& c
   check_b1(path, lx, raw);
   check_s1(path, lx, cfg, raw);
   check_h1(path, lx, raw);
+  check_t1(path, lx, raw);
+  check_p1(path, lx, raw);
 
   // Apply suppressions; malformed ones become A0 findings and keep the
   // original finding alive.
@@ -548,10 +375,33 @@ std::vector<Finding> lint_files(
     all.insert(all.end(), std::make_move_iterator(fs.begin()),
                std::make_move_iterator(fs.end()));
   }
-  std::sort(all.begin(), all.end(), [](const Finding& a, const Finding& b) {
-    return std::tie(a.file, a.line, a.rule, a.message) <
-           std::tie(b.file, b.line, b.rule, b.message);
-  });
+
+  // Cross-TU layering pass. L1 has no inline suppression (kept back-edges
+  // are declared in the manifest itself), so its findings only go through
+  // severity resolution.
+  if (!cfg.layers_manifest.empty()) {
+    std::vector<Finding> raw;
+    LayerManifest manifest;
+    std::string error;
+    if (!parse_layers(cfg.layers_manifest, manifest, error)) {
+      Finding f;
+      f.file = normalize_path(cfg.layers_manifest_path);
+      f.line = 0;
+      f.rule = "L1";
+      f.message = "bad layers manifest: " + error;
+      raw.push_back(std::move(f));
+    } else {
+      raw = check_layers(build_dep_graph(files), manifest);
+    }
+    for (Finding& f : raw) {
+      Severity sev = cfg.severity_of(f.rule);
+      if (sev == Severity::kOff) continue;
+      f.severity = sev;
+      all.push_back(std::move(f));
+    }
+  }
+
+  sort_findings(all);
   return all;
 }
 
@@ -562,7 +412,8 @@ bool has_blocking(const std::vector<Finding>& findings) {
   return false;
 }
 
-obs::Json findings_json(const std::vector<Finding>& findings, std::size_t files_scanned) {
+obs::Json findings_json(const std::vector<Finding>& findings, std::size_t files_scanned,
+                        const obs::Json* stats) {
   std::size_t errors = 0, warnings = 0, suppressed = 0;
   obs::Json arr = obs::Json::array();
   for (const Finding& f : findings) {
@@ -591,9 +442,10 @@ obs::Json findings_json(const std::vector<Finding>& findings, std::size_t files_
 
   obs::Json out = obs::Json::object();
   out.set("tool", "srds-lint");
-  out.set("schema", 1);
+  out.set("schema", 2);
   out.set("summary", std::move(summary));
   out.set("findings", std::move(arr));
+  if (stats) out.set("stats", *stats);
   return out;
 }
 

@@ -1,0 +1,250 @@
+#include "taint.hpp"
+
+#include <set>
+
+namespace srds::lint {
+
+namespace {
+
+bool is_control_keyword(const std::string& s) {
+  static const std::set<std::string> kControl = {"if",     "for",   "while", "switch",
+                                                "catch",  "return", "sizeof", "alignof",
+                                                "decltype"};
+  return kControl.count(s) != 0;
+}
+
+/// Tokens that may sit between a declarator's ')' and the body '{':
+/// cv-qualifiers, noexcept, override/final (all idents), trailing return
+/// types and member-initializer lists.
+bool is_trailer_token(const Tok& t) {
+  if (t.kind == Tok::kIdent || t.kind == Tok::kNum) return true;
+  return t.text == "::" || t.text == "->" || t.text == "<" || t.text == ">" ||
+         t.text == "," || t.text == "*" || t.text == "&" || t.text == ":";
+}
+
+}  // namespace
+
+std::vector<FuncBody> function_bodies(const Lexed& lx) {
+  const std::vector<Tok>& toks = lx.toks;
+  // Matching ')' -> '(' indices.
+  std::vector<std::size_t> open_of(toks.size(), static_cast<std::size_t>(-1));
+  {
+    std::vector<std::size_t> stack;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].text == "(") {
+        stack.push_back(i);
+      } else if (toks[i].text == ")" && !stack.empty()) {
+        open_of[i] = stack.back();
+        stack.pop_back();
+      }
+    }
+  }
+
+  std::vector<FuncBody> out;
+  int depth = 0;
+  bool in_func = false;
+  int func_open_depth = 0;
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Tok& t = toks[i];
+    if (t.text == "{") {
+      ++depth;
+      if (in_func) continue;
+      // Walk back over declarator trailer tokens to the ')' (if any). A
+      // member-initializer list may contain (...) groups of its own; jump
+      // over each to its '(' and keep walking.
+      std::size_t j = i;
+      std::size_t close = static_cast<std::size_t>(-1);
+      while (j > 0) {
+        const Tok& p = toks[j - 1];
+        if (p.text == ")") {
+          close = j - 1;
+          break;
+        }
+        if (!is_trailer_token(p)) break;
+        --j;
+      }
+      // Init-list hop: Foo::Foo() : a_(1), b_(2) { — the ')' we found may
+      // belong to an initializer; hop groups until the one whose '(' is
+      // preceded by the parameter-list context. One declarator heuristic
+      // covers both: take the *first* ')' scanning left, then identify the
+      // name before its matching '('. For init lists the name is a member
+      // ("a_"), which still marks a constructor body — good enough, the
+      // passes care about the body extent, not the pretty name.
+      if (close == static_cast<std::size_t>(-1)) continue;
+      const std::size_t open = open_of[close];
+      if (open == static_cast<std::size_t>(-1) || open == 0) continue;
+      const Tok& before = toks[open - 1];
+      if (before.text == "]") continue;  // lambda at namespace scope
+      if (before.kind != Tok::kIdent || is_control_keyword(before.text)) continue;
+      FuncBody fb;
+      fb.name = before.text;
+      fb.open_line = t.line;
+      fb.open_tok = i;
+      fb.close_tok = toks.size() ? toks.size() - 1 : 0;
+      fb.close_line = toks.empty() ? t.line : toks.back().line;
+      out.push_back(fb);
+      in_func = true;
+      func_open_depth = depth;
+      continue;
+    }
+    if (t.text == "}") {
+      if (in_func && depth == func_open_depth) {
+        out.back().close_tok = i;
+        out.back().close_line = t.line;
+        in_func = false;
+      }
+      if (depth > 0) --depth;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool is_validation_ident(const std::string& s) {
+  if (s == "untag_body" || s == "Reader") return true;
+  return s.find("deserialize") != std::string::npos || s.find("validate") != std::string::npos;
+}
+
+bool is_byte_read_member(const std::string& s) {
+  static const std::set<std::string> kReads = {"data",  "begin", "end",  "front",
+                                               "back",  "rbegin", "rend", "cbegin",
+                                               "cend"};
+  return kReads.count(s) != 0;
+}
+
+bool in_taint_scope(const std::string& path) {
+  return path_under(path, "src/ba") || path_under(path, "src/consensus") ||
+         path_under(path, "src/srds") || path_under(path, "src/mpc");
+}
+
+}  // namespace
+
+void check_t1(const std::string& path, const Lexed& lx, std::vector<Finding>& out) {
+  if (!in_taint_scope(path)) return;
+  const std::vector<Tok>& toks = lx.toks;
+  const std::vector<FuncBody> funcs = function_bodies(lx);
+
+  for (const FuncBody& fb : funcs) {
+    // First validation point in the body, as a token index.
+    std::size_t first_valid = static_cast<std::size_t>(-1);
+    for (std::size_t i = fb.open_tok; i <= fb.close_tok && i < toks.size(); ++i) {
+      if (toks[i].kind == Tok::kIdent && is_validation_ident(toks[i].text)) {
+        first_valid = i;
+        break;
+      }
+    }
+
+    std::set<std::size_t> flagged_lines;
+    auto flag = [&](std::size_t tok_idx, const std::string& how) {
+      if (first_valid != static_cast<std::size_t>(-1) && first_valid <= tok_idx) return;
+      if (!flagged_lines.insert(toks[tok_idx].line).second) return;
+      Finding f;
+      f.file = path;
+      f.line = toks[tok_idx].line;
+      f.rule = "T1";
+      f.message = "function '" + fb.name + "' reads Message::payload bytes (" + how +
+                  ") without a prior deserialize/validate/untag_body/Reader call in the "
+                  "same body; adversary-controlled bytes must pass a bounds-checked "
+                  "parse before protocol logic acts on them";
+      out.push_back(std::move(f));
+    };
+
+    for (std::size_t i = fb.open_tok; i <= fb.close_tok && i < toks.size(); ++i) {
+      const Tok& t = toks[i];
+      if (t.kind != Tok::kIdent) continue;
+      if (t.text == "payload") {
+        const Tok* n1 = (i + 1 < toks.size()) ? &toks[i + 1] : nullptr;
+        const Tok* n2 = (i + 2 < toks.size()) ? &toks[i + 2] : nullptr;
+        if (n1 && n1->text == "[") {
+          flag(i, "indexing");
+        } else if (n1 && (n1->text == "." || n1->text == "->") && n2 &&
+                   n2->kind == Tok::kIdent && is_byte_read_member(n2->text)) {
+          flag(i, "." + n2->text + "()");
+        }
+        continue;
+      }
+      // memcpy/memmove/memcmp with the payload buffer as any argument.
+      if ((t.text == "memcpy" || t.text == "memmove" || t.text == "memcmp") &&
+          i + 1 < toks.size() && toks[i + 1].text == "(") {
+        int pdepth = 0;
+        for (std::size_t j = i + 1; j <= fb.close_tok && j < toks.size(); ++j) {
+          if (toks[j].text == "(") ++pdepth;
+          if (toks[j].text == ")" && --pdepth == 0) break;
+          if (toks[j].kind == Tok::kIdent && toks[j].text == "payload") {
+            flag(i, t.text + " over the buffer");
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+void check_p1(const std::string& path, const Lexed& lx, std::vector<Finding>& out) {
+  // Collect hotpath markers; each marks the function whose body contains
+  // it, or else the next function opening at/after the marker line.
+  std::vector<std::size_t> markers;
+  for (const Comment& c : lx.comments) {
+    if (c.text.find("srds-lint: hotpath") != std::string::npos) markers.push_back(c.line);
+  }
+  if (markers.empty()) return;
+
+  const std::vector<FuncBody> funcs = function_bodies(lx);
+  const std::vector<Tok>& toks = lx.toks;
+  std::set<std::size_t> marked;  // indices into funcs
+
+  for (std::size_t mline : markers) {
+    std::size_t target = static_cast<std::size_t>(-1);
+    for (std::size_t fi = 0; fi < funcs.size(); ++fi) {
+      if (funcs[fi].open_line <= mline && mline <= funcs[fi].close_line) {
+        target = fi;
+        break;
+      }
+      if (funcs[fi].open_line >= mline) {
+        target = fi;
+        break;
+      }
+    }
+    if (target == static_cast<std::size_t>(-1)) {
+      Finding f;
+      f.file = path;
+      f.line = mline;
+      f.rule = "P1";
+      f.message = "srds-lint: hotpath marker matches no function body";
+      out.push_back(std::move(f));
+      continue;
+    }
+    marked.insert(target);
+  }
+
+  for (std::size_t fi : marked) {
+    const FuncBody& fb = funcs[fi];
+    for (std::size_t i = fb.open_tok; i <= fb.close_tok && i < toks.size(); ++i) {
+      const Tok& t = toks[i];
+      if (t.kind != Tok::kIdent) continue;
+      std::string what;
+      if (t.text == "throw") {
+        what = "'throw'";
+      } else if (t.text == "new") {
+        what = "'new'";
+      } else if (t.text == "std" && i + 2 < toks.size() && toks[i + 1].text == "::" &&
+                 toks[i + 2].text == "function") {
+        what = "std::function construction";
+      } else {
+        continue;
+      }
+      Finding f;
+      f.file = path;
+      f.line = t.line;
+      f.rule = "P1";
+      f.message = what + " in hotpath function '" + fb.name +
+                  "': the delivery/aggregation path runs per message; it must not "
+                  "allocate, unwind, or type-erase";
+      out.push_back(std::move(f));
+    }
+  }
+}
+
+}  // namespace srds::lint

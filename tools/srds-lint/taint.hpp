@@ -1,0 +1,48 @@
+// T1 (adversarial-input taint) and P1 (hot-path hygiene) passes.
+//
+// T1 — every byte a party acts on is adversary-controlled until it has
+// passed a bounds-checked deserialization (the Reader contract in
+// common/serial.hpp, untag_body, a deserialize()/validate() routine).
+// Within the protocol directories (src/ba, src/consensus, src/srds,
+// src/mpc) any function that reads `payload` *bytes* — indexing,
+// .data()/.begin()/iteration, or mem* calls over the buffer — without a
+// prior validation call in the same function body is flagged. Reading
+// .size()/.empty() and handing the payload to a helper (whose own body T1
+// checks when it is in scope) are not byte reads.
+//
+// P1 — functions marked `// srds-lint: hotpath` (the simulator delivery
+// loop, SRDS aggregation) must not `throw`, use `new`, or construct a
+// `std::function`: those allocate or unwind on the per-message path that
+// the per-party communication accounting multiplies by n.
+//
+// Both passes run on the shared token-level function-body map below —
+// a brace-matching heuristic, not an AST: a '{' opening after a ')' (with
+// only declarator trailer tokens between) starts a function body unless
+// the call-ish name is a control keyword or a lambda introducer. Lambda
+// bodies are attributed to their enclosing function.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lex.hpp"
+#include "lint.hpp"
+
+namespace srds::lint {
+
+struct FuncBody {
+  std::string name;        // best-effort declarator name ("deliver")
+  std::size_t open_line;   // line of the body '{'
+  std::size_t open_tok;    // token index of '{'
+  std::size_t close_tok;   // token index of the matching '}' (or last token)
+  std::size_t close_line;  // line of that token
+};
+
+/// All top-level function bodies of a lexed file, in order.
+std::vector<FuncBody> function_bodies(const Lexed& lx);
+
+void check_t1(const std::string& path, const Lexed& lx, std::vector<Finding>& out);
+void check_p1(const std::string& path, const Lexed& lx, std::vector<Finding>& out);
+
+}  // namespace srds::lint
