@@ -25,21 +25,26 @@ void redundancy_ablation(Reporter& rep) {
   // so this ablation drives the config directly via the runner's defaults
   // at rho=3 and brackets it with direct comparisons below.
   for (std::size_t rho : {1u, 2u, 3u, 6u}) {
+    obs::Ledger ledger;
     BaRunConfig cfg;
     cfg.n = 256;
     cfg.beta = 0.2;
     cfg.seed = 500 + rho;
     cfg.protocol = BoostProtocol::kPiBaSnark;
     cfg.certificate_redundancy = rho;
+    cfg.ledger = &ledger;
     auto r = run_ba(cfg);
+    const obs::PartyStat pp =
+        ledger.stat(obs::LedgerField::kBytesTotal, ledger.phase_index("boost"));
     print_row({std::to_string(rho), fmt(100.0 * r.decided_fraction(), 1) + "%",
-               fmt_bytes(static_cast<double>(r.boost_stats.max_bytes_total())),
+               fmt_bytes(static_cast<double>(pp.max)),
                r.agreement ? "yes" : "NO"},
               widths);
     obs::Json m = obs::Json::object();
     m.set("ablation", "redundancy");
     m.set("decided_fraction", r.decided_fraction());
-    m.set("max_boost_bytes", r.boost_stats.max_bytes_total());
+    m.set("max_boost_bytes", pp.max);
+    m.set("p50_boost_bytes", pp.p50);
     m.set("agreement", r.agreement);
     rep.add_row(static_cast<double>(rho), std::move(m));
   }
@@ -116,24 +121,29 @@ void committee_ablation(Reporter& rep) {
   std::vector<int> widths{22, 12, 12, 18};
   print_row({"committee size", "decided", "rounds", "max boost bytes"}, widths);
   for (double factor : {1.0, 2.0, 3.0}) {
+    obs::Ledger ledger;
     BaRunConfig cfg;
     cfg.n = 256;
     cfg.beta = 0.2;
     cfg.seed = 1300;
     cfg.protocol = BoostProtocol::kPiBaSnark;
     cfg.committee_factor = factor;
+    cfg.ledger = &ledger;
     auto r = run_ba(cfg);
+    const obs::PartyStat pp =
+        ledger.stat(obs::LedgerField::kBytesTotal, ledger.phase_index("boost"));
     char label[32];
     std::snprintf(label, sizeof label, "%.0fx log n", 2 * factor);
     print_row({label, fmt(100.0 * r.decided_fraction(), 1) + "%",
                std::to_string(r.rounds),
-               fmt_bytes(static_cast<double>(r.boost_stats.max_bytes_total()))},
+               fmt_bytes(static_cast<double>(pp.max))},
               widths);
     obs::Json m = obs::Json::object();
     m.set("ablation", "committee-factor");
     m.set("decided_fraction", r.decided_fraction());
     m.set("rounds", r.rounds);
-    m.set("max_boost_bytes", r.boost_stats.max_bytes_total());
+    m.set("max_boost_bytes", pp.max);
+    m.set("p50_boost_bytes", pp.p50);
     rep.add_row(factor, std::move(m));
   }
   say("Expected: bigger committees buy corruption margin with a superlinear\n"

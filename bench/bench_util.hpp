@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "obs/bench_args.hpp"
+#include "obs/budget.hpp"
+#include "obs/ledger.hpp"
 #include "obs/report.hpp"
 #include "obs/tracer.hpp"
 
@@ -50,6 +52,48 @@ inline obs::Json phase_metrics(const obs::RoundTracer& tracer) {
     out.set(p.name, std::move(j));
   }
   return out;
+}
+
+/// Per-party distribution block for Reporter metrics, from the ledger: one
+/// {max, argmax, p50, p90, total} stat of bytes sent+received per party for
+/// the whole run and for each recorded protocol phase — "boost" is the
+/// Table 1 axis (max communication per party in the boost step).
+inline obs::Json perparty_metrics(const obs::Ledger& ledger) {
+  auto block = [&](std::size_t phase) {
+    obs::PartyStat s = ledger.stat(obs::LedgerField::kBytesTotal, phase);
+    obs::Json j = obs::Json::object();
+    j.set("max", s.max);
+    j.set("argmax", s.argmax);
+    j.set("p50", s.p50);
+    j.set("p90", s.p90);
+    j.set("total", s.total);
+    return j;
+  };
+  obs::Json out = obs::Json::object();
+  out.set("run", block(obs::Ledger::kAllPhases));
+  for (std::size_t p = 0; p < ledger.phase_count(); ++p) {
+    out.set(ledger.phase_name(p), block(p));
+  }
+  return out;
+}
+
+/// Print budget findings (failed evaluations) to stderr; returns how many
+/// there were. Benches running with --strict-budgets exit(3) on > 0 — but
+/// run_ba already throws BudgetViolation under cfg.strict_budgets, so this
+/// is for the non-strict "record and continue" path.
+inline std::size_t report_budget_findings(const std::vector<obs::BudgetEval>& evals) {
+  std::size_t findings = 0;
+  for (const auto& e : evals) {
+    if (e.skipped || e.ok) continue;
+    ++findings;
+    std::fprintf(stderr,
+                 "budget FINDING: %s phase '%s' n=%zu: max %llu bits > bound %.0f "
+                 "(%llu/%zu parties over)\n",
+                 e.protocol.c_str(), e.phase.c_str(), e.n,
+                 static_cast<unsigned long long>(e.max_bits), e.bound_bits,
+                 static_cast<unsigned long long>(e.violators), e.audited);
+  }
+  return findings;
 }
 
 /// Write the Reporter artifact (if --json-out is active) and tell the user

@@ -26,13 +26,16 @@ int main(int argc, char** argv) {
   print_row({"ell", "max bytes/party", "per-broadcast", "delivered"}, widths);
 
   for (std::size_t ell : {1u, 2u, 4u, 8u, 16u}) {
+    obs::Ledger ledger;
     BroadcastRunConfig cfg;
     cfg.n = n_fixed;
     cfg.ell = ell;
     cfg.beta = 0.1;
     cfg.seed = seed;
+    cfg.ledger = &ledger;
     auto r = run_broadcast_service(cfg);
-    double total = static_cast<double>(r.stats.max_bytes_total());
+    const obs::PartyStat pp = ledger.stat(obs::LedgerField::kBytesTotal);
+    double total = static_cast<double>(pp.max);
     double delivered = static_cast<double>(r.delivered) / static_cast<double>(r.possible);
     print_row({std::to_string(ell), fmt_bytes(total),
                fmt_bytes(total / static_cast<double>(ell)),
@@ -40,7 +43,8 @@ int main(int argc, char** argv) {
               widths);
     obs::Json m = obs::Json::object();
     m.set("sweep", "ell");
-    m.set("max_bytes_per_party", r.stats.max_bytes_total());
+    m.set("max_bytes_per_party", pp.max);
+    m.set("p50_bytes_per_party", pp.p50);
     m.set("per_broadcast_bytes", total / static_cast<double>(ell));
     m.set("delivered_fraction", delivered);
     m.set("agreement", r.agreement);
@@ -52,13 +56,16 @@ int main(int argc, char** argv) {
   print_row({"n", "per-broadcast/party"}, w2);
   std::vector<double> xs, ys;
   for (std::size_t n : args.sizes({128, 256, 512, 1024})) {
+    obs::Ledger ledger;
     BroadcastRunConfig cfg;
     cfg.n = n;
     cfg.ell = 4;
     cfg.beta = 0.1;
     cfg.seed = seed + 1;
+    cfg.ledger = &ledger;
     auto r = run_broadcast_service(cfg);
-    double per = static_cast<double>(r.stats.max_bytes_total()) / 4.0;
+    (void)r;
+    double per = static_cast<double>(ledger.stat(obs::LedgerField::kBytesTotal).max) / 4.0;
     xs.push_back(static_cast<double>(n));
     ys.push_back(per);
     print_row({std::to_string(n), fmt_bytes(per)}, w2);

@@ -45,18 +45,33 @@ int main(int argc, char** argv) {
     std::vector<std::string> cells{label};
     std::vector<double> xs, ys;
     for (std::size_t i = 0; i < sizes.size(); ++i) {
+      obs::Ledger ledger;
       BaRunConfig cfg;
       cfg.n = sizes[i];
       cfg.beta = 0.2;
       cfg.seed = seed;
       cfg.protocol = proto;
-      auto r = run_ba(cfg);
+      cfg.ledger = &ledger;
+      cfg.strict_budgets = args.strict_budgets;
+      BaRunResult r;
+      try {
+        r = run_ba(cfg);
+      } catch (const BudgetViolation& v) {
+        std::fprintf(stderr, "%s\n", v.what());
+        report_budget_findings(v.findings);
+        return 3;
+      }
+      report_budget_findings(r.budget_evals);
       xs.push_back(static_cast<double>(sizes[i]));
       ys.push_back(static_cast<double>(r.boost_stats.max_locality()));
       cells.push_back(std::to_string(r.boost_stats.max_locality()));
+      const obs::PartyStat boost_pp =
+          ledger.stat(obs::LedgerField::kBytesTotal, ledger.phase_index("boost"));
       obs::Json m = obs::Json::object();
       m.set("locality", r.boost_stats.max_locality());
       m.set("decided_fraction", r.decided_fraction());
+      m.set("max_comm_per_party_bytes", boost_pp.max);
+      m.set("p50_comm_per_party_bytes", boost_pp.p50);
       per_n[i].set(label, std::move(m));
     }
     const double slope = loglog_slope(xs, ys);

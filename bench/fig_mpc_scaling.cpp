@@ -25,26 +25,30 @@ int main(int argc, char** argv) {
 
   std::vector<double> xs, total_ys, max_ys;
   for (std::size_t n : args.sizes({64, 128, 256, 512, 1024})) {
+    obs::Ledger ledger;
     MpcRunConfig cfg;
     cfg.n = n;
     cfg.beta = 0.15;
     cfg.seed = seed;
+    cfg.trace = &ledger;
     auto r = run_scalable_sum_mpc(cfg);
+    const obs::PartyStat pp = ledger.stat(obs::LedgerField::kBytesTotal);
     xs.push_back(static_cast<double>(n));
     total_ys.push_back(static_cast<double>(r.stats.total_bytes()));
-    max_ys.push_back(static_cast<double>(r.stats.max_bytes_total()));
+    max_ys.push_back(static_cast<double>(pp.max));
     bool sum_ok = r.output.has_value() && *r.output <= r.expected_sum &&
                   *r.output * 10 >= r.expected_sum * 9;
     double decided = static_cast<double>(r.decided) / static_cast<double>(r.honest);
     print_row({std::to_string(n),
                fmt_bytes(static_cast<double>(r.stats.total_bytes())),
-               fmt_bytes(static_cast<double>(r.stats.max_bytes_total())),
+               fmt_bytes(static_cast<double>(pp.max)),
                sum_ok ? "yes" : "NO", fmt(100.0 * decided, 1) + "%"},
               widths);
 
     obs::Json m = obs::Json::object();
     m.set("total_comm_bytes", r.stats.total_bytes());
-    m.set("max_bytes_per_party", r.stats.max_bytes_total());
+    m.set("max_bytes_per_party", pp.max);
+    m.set("p50_bytes_per_party", pp.p50);
     m.set("sum_correct", sum_ok);
     m.set("decided_fraction", decided);
     rep.add_row(static_cast<double>(n), std::move(m));

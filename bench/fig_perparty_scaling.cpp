@@ -60,25 +60,42 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < sizes.size(); ++i) {
       const std::size_t n = sizes[i];
       obs::RoundTracer tracer;
+      obs::Ledger ledger;
       BaRunConfig cfg;
       cfg.n = n;
       cfg.beta = 0.2;
       cfg.seed = seed;
       cfg.protocol = proto;
       cfg.trace = &tracer;
-      auto r = run_ba(cfg);
-      double v = static_cast<double>(r.boost_stats.max_bytes_total());
+      cfg.ledger = &ledger;
+      cfg.strict_budgets = args.strict_budgets;
+      BaRunResult r;
+      try {
+        r = run_ba(cfg);
+      } catch (const BudgetViolation& v) {
+        std::fprintf(stderr, "%s\n", v.what());
+        report_budget_findings(v.findings);
+        return 3;
+      }
+      report_budget_findings(r.budget_evals);
+      const obs::PartyStat boost_pp =
+          ledger.stat(obs::LedgerField::kBytesTotal, ledger.phase_index("boost"));
+      double v = static_cast<double>(boost_pp.max);
       xs.push_back(static_cast<double>(n));
       ys.push_back(v);
       cells.push_back(fmt_bytes(v));
 
       obs::Json m = obs::Json::object();
-      m.set("max_comm_per_party_bytes", r.boost_stats.max_bytes_total());
+      m.set("max_comm_per_party_bytes", boost_pp.max);
+      m.set("p50_comm_per_party_bytes", boost_pp.p50);
+      m.set("p90_comm_per_party_bytes", boost_pp.p90);
       m.set("total_comm_bytes", r.boost_stats.total_bytes());
       m.set("locality", r.boost_stats.max_locality());
       m.set("rounds", r.rounds);
       m.set("decided_fraction", r.decided_fraction());
       m.set("phases", phase_metrics(tracer));
+      m.set("per_party", perparty_metrics(ledger));
+      m.set("budgets", obs::BudgetAuditor::to_json(r.budget_evals));
       per_n[i].set(label, std::move(m));
     }
     const double slope = loglog_slope(xs, ys);

@@ -34,13 +34,18 @@ int main(int argc, char** argv) {
   rep.set_param("seed", seed);
   double row_idx = 0;
 
-  auto run_with = [&](BoostProtocol proto, const FaultPlan& plan) {
+  // Chaos runs carry a ledger for the per-party series, but budgets are
+  // never enforced here: the bounds are calibrated on the paper's fault-free
+  // schedule, and chaos hardening (retransmits, grace traffic) is allowed to
+  // exceed them — availability is the quantity under test.
+  auto run_with = [&](BoostProtocol proto, const FaultPlan& plan, obs::Ledger& ledger) {
     BaRunConfig cfg;
     cfg.n = kN;
     cfg.beta = kBeta;
     cfg.seed = seed;
     cfg.protocol = proto;
     cfg.faults = plan;
+    cfg.ledger = &ledger;
     return run_ba(cfg);
   };
 
@@ -75,13 +80,20 @@ int main(int argc, char** argv) {
       bool all_agree = true;
       std::size_t extra = 0;
       obs::Json by_rate = obs::Json::object();
+      obs::Json pp_by_rate = obs::Json::object();
       for (double rate : drop_rates) {
         FaultPlan plan;
         plan.seed = 2026;
         plan.drop_prob = rate;
-        auto r = run_with(proto, plan);
+        obs::Ledger ledger;
+        auto r = run_with(proto, plan, ledger);
         cells.push_back(fmt(r.decided_fraction(), 3));
         by_rate.set(fmt(rate, 2), r.decided_fraction());
+        const obs::PartyStat pp = ledger.stat(obs::LedgerField::kBytesTotal);
+        obs::Json ppj = obs::Json::object();
+        ppj.set("max", pp.max);
+        ppj.set("p50", pp.p50);
+        pp_by_rate.set(fmt(rate, 2), std::move(ppj));
         all_agree = all_agree && r.agreement;
         extra = r.rounds > base_rounds[pi] ? r.rounds - base_rounds[pi] : 0;
       }
@@ -93,6 +105,7 @@ int main(int argc, char** argv) {
       m.set("sweep", "drop");
       m.set("protocol", label);
       m.set("decided_fraction_by_drop", std::move(by_rate));
+      m.set("per_party_bytes_by_drop", std::move(pp_by_rate));
       m.set("agreement", all_agree);
       m.set("extra_rounds", extra);
       rep.add_row(row_idx++, std::move(m));
@@ -120,14 +133,21 @@ int main(int argc, char** argv) {
       bool all_agree = true;
       std::size_t extra = 0;
       obs::Json by_delay = obs::Json::object();
+      obs::Json pp_by_delay = obs::Json::object();
       for (auto d : delays) {
         FaultPlan plan;
         plan.seed = 2027;
         plan.delay_prob = 0.25;
         plan.max_delay = d;
-        auto r = run_with(proto, plan);
+        obs::Ledger ledger;
+        auto r = run_with(proto, plan, ledger);
         cells.push_back(fmt(r.decided_fraction(), 3));
         by_delay.set(std::to_string(d), r.decided_fraction());
+        const obs::PartyStat pp = ledger.stat(obs::LedgerField::kBytesTotal);
+        obs::Json ppj = obs::Json::object();
+        ppj.set("max", pp.max);
+        ppj.set("p50", pp.p50);
+        pp_by_delay.set(std::to_string(d), std::move(ppj));
         all_agree = all_agree && r.agreement;
         extra = r.rounds > base_rounds[pi] ? r.rounds - base_rounds[pi] : 0;
       }
@@ -139,6 +159,7 @@ int main(int argc, char** argv) {
       m.set("sweep", "delay");
       m.set("protocol", label);
       m.set("decided_fraction_by_delay", std::move(by_delay));
+      m.set("per_party_bytes_by_delay", std::move(pp_by_delay));
       m.set("agreement", all_agree);
       m.set("extra_rounds", extra);
       rep.add_row(row_idx++, std::move(m));

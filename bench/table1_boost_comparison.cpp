@@ -61,15 +61,30 @@ int main(int argc, char** argv) {
   double row_idx = 0;
   for (const Row& row : kRows) {
     obs::RoundTracer tracer;
+    obs::Ledger ledger;
     BaRunConfig cfg;
     cfg.n = n;
     cfg.beta = beta;
     cfg.seed = seed;
     cfg.protocol = row.protocol;
     cfg.trace = &tracer;
-    auto r = run_ba(cfg);
+    cfg.ledger = &ledger;
+    cfg.strict_budgets = args.strict_budgets;
+    BaRunResult r;
+    try {
+      r = run_ba(cfg);
+    } catch (const BudgetViolation& v) {
+      std::fprintf(stderr, "%s\n", v.what());
+      report_budget_findings(v.findings);
+      return 3;
+    }
+    // Per-party numbers now come from the shared ledger (identical to the
+    // old NetworkStats walk on a fault-free run, plus distribution stats).
+    const obs::PartyStat boost_pp =
+        ledger.stat(obs::LedgerField::kBytesTotal, ledger.phase_index("boost"));
+    report_budget_findings(r.budget_evals);
     print_row({row.paper_row, std::to_string(r.boost_rounds),
-               fmt_bytes(static_cast<double>(r.boost_stats.max_bytes_total())),
+               fmt_bytes(static_cast<double>(boost_pp.max)),
                std::to_string(r.boost_stats.max_locality()),
                fmt_bytes(static_cast<double>(r.boost_stats.total_bytes())), row.setup,
                row.assumptions, fmt(100.0 * r.decided_fraction(), 1) + "%"},
@@ -81,7 +96,9 @@ int main(int argc, char** argv) {
     m.set("paper_row", row.paper_row);
     m.set("boost_rounds", r.boost_rounds);
     m.set("rounds", r.rounds);
-    m.set("max_comm_per_party_bytes", r.boost_stats.max_bytes_total());
+    m.set("max_comm_per_party_bytes", boost_pp.max);
+    m.set("p50_comm_per_party_bytes", boost_pp.p50);
+    m.set("p90_comm_per_party_bytes", boost_pp.p90);
     m.set("locality", r.boost_stats.max_locality());
     m.set("total_comm_bytes", r.boost_stats.total_bytes());
     m.set("decided_fraction", r.decided_fraction());
@@ -89,6 +106,8 @@ int main(int argc, char** argv) {
     m.set("setup", row.setup);
     m.set("assumptions", row.assumptions);
     m.set("phases", phase_metrics(tracer));
+    m.set("per_party", perparty_metrics(ledger));
+    m.set("budgets", obs::BudgetAuditor::to_json(r.budget_evals));
     rep.add_row(row_idx, std::move(m));
     row_idx += 1;
 

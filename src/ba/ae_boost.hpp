@@ -24,6 +24,7 @@
 #include "crypto/simsig.hpp"
 #include "net/protocol.hpp"
 #include "net/subproto.hpp"
+#include "obs/budget.hpp"
 #include "tree/comm_tree.hpp"
 #include "tree/dissemination.hpp"
 
@@ -75,6 +76,12 @@ class AeBoostParty : public Party {
   std::size_t ct_start() const { return ct_start_; }
   std::size_t dissem_start() const { return dissem_start_; }
   std::size_t grace_start() const { return boost_start_ + boost_rounds(); }
+
+  /// The protocol's declared per-party communication budget for its boost
+  /// phase — the Table 1 asymptotic, as an executable claim the harness
+  /// registers with an obs::BudgetAuditor (docs/observability.md). Bounds
+  /// bits sent+received per honest party during the "boost" ledger phase.
+  virtual obs::Budget boost_budget() const = 0;
 
   static constexpr std::uint32_t kBoostPhase = 10;
 

@@ -33,6 +33,9 @@ class NaiveBoostParty final : public AeBoostParty {
   NaiveBoostParty(AeConfig config, PartyId me, bool input)
       : AeBoostParty(std::move(config), me, input) {}
 
+  /// Θ(n): everyone sends (and receives) a signed value to/from everyone.
+  obs::Budget boost_budget() const override { return {.c = 900, .k = 0, .n_exp = 1}; }
+
  protected:
   std::size_t boost_rounds() const override { return 2; }  // send + ingest
   std::vector<Message> boost_step(std::size_t k,
@@ -47,6 +50,13 @@ class MultisigBoostParty final : public AeBoostParty {
   MultisigBoostParty(AeConfig config, std::shared_ptr<const MultisigRegistry> registry,
                      PartyId me, bool input)
       : AeBoostParty(std::move(config), me, input), msig_(std::move(registry)) {}
+
+  /// Θ(n): every multisig ships the n-bit signer bitmap (§1.2's culprit).
+  /// Below the validity floor the additive committee/certificate constants
+  /// dominate the linear term, so the claim is only audited from n = 256.
+  obs::Budget boost_budget() const override {
+    return {.c = 4200, .k = 0, .n_exp = 1, .min_n = 256};
+  }
 
  protected:
   std::size_t boost_rounds() const override;
@@ -76,6 +86,12 @@ class SamplingBoostParty final : public AeBoostParty {
   /// when 0 is passed).
   SamplingBoostParty(AeConfig config, PartyId me, bool input, std::size_t samples = 0);
 
+  /// Õ(√n): each party polls Θ(√n·log n) random peers (and answers a
+  /// comparable number of polls in expectation).
+  obs::Budget boost_budget() const override {
+    return {.c = 600, .k = 1, .n_exp = 0.5};
+  }
+
  protected:
   std::size_t boost_rounds() const override { return 3; }  // query/respond/ingest
   std::vector<Message> boost_step(std::size_t k,
@@ -91,6 +107,10 @@ class StarBoostParty final : public AeBoostParty {
  public:
   StarBoostParty(AeConfig config, PartyId me, bool input)
       : AeBoostParty(std::move(config), me, input) {}
+
+  /// Θ(n) *max* per party: supreme-committee members each push to all n
+  /// parties (the unbalanced star — amortized Õ(1), worst-case Θ(n)).
+  obs::Budget boost_budget() const override { return {.c = 1100, .k = 0, .n_exp = 1}; }
 
  protected:
   std::size_t boost_rounds() const override { return 2; }  // push + ingest

@@ -45,6 +45,13 @@ class PiBaParty final : public AeBoostParty {
   /// Whether this party ended with a verifying certificate (diagnostics).
   bool has_certificate() const { return !certificate_.empty(); }
 
+  /// Õ(1) = polylog(n) bits per party — the paper's Theorem 1.1 claim.
+  /// Constants differ per SRDS instantiation (SNARK aggregates are compact;
+  /// OWF-SRDS ships sortition proofs); both are c·log²(n) with a validity
+  /// floor of n = 512, below which ceil(log)-quantized committee sizes
+  /// dominate every asymptotic separation (docs/observability.md).
+  obs::Budget boost_budget() const override;
+
  protected:
   std::size_t boost_rounds() const override;
   std::vector<Message> boost_step(std::size_t k, const std::vector<TaggedMsg>& inbox)

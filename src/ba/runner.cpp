@@ -141,6 +141,7 @@ BaRunResult run_ba(const BaRunConfig& config) {
   std::size_t total_rounds = 0;
   std::size_t boost_start = 0;
   std::size_t ct_start = 0, dissem_start = 0;
+  obs::Budget boost_budget;  // the protocol's declared Table 1 claim
   for (PartyId i = 0; i < config.n; ++i) {
     if (corrupt[i]) continue;
     std::unique_ptr<AeBoostParty> party;
@@ -172,6 +173,7 @@ BaRunResult run_ba(const BaRunConfig& config) {
     boost_start = party->boost_start();
     ct_start = party->ct_start();
     dissem_start = party->dissem_start();
+    boost_budget = party->boost_budget();
     parties[i] = std::move(party);
   }
 
@@ -192,16 +194,18 @@ BaRunResult run_ba(const BaRunConfig& config) {
   Simulator sim(std::move(parties), corrupt, std::move(adversary));
   sim.set_phase_mark(boost_start);
   if (chaos) sim.set_fault_plan(*config.faults);
-  if (config.trace) {
-    sim.set_trace_sink(config.trace);
-    // Register the public phase schedule so the tracer can attribute every
+  for (obs::TraceSink* sink : {static_cast<obs::TraceSink*>(config.trace),
+                               static_cast<obs::TraceSink*>(config.ledger)}) {
+    if (!sink) continue;
+    sim.add_trace_sink(sink);
+    // Register the public phase schedule so the sink can attribute every
     // round (and its traffic) to a protocol phase.
-    config.trace->on_phase(0, "f_ba");
-    config.trace->on_phase(ct_start, "f_ct");
-    config.trace->on_phase(dissem_start, "f_ae-dissem");
-    config.trace->on_phase(boost_start, "boost");
+    sink->on_phase(0, "f_ba");
+    sink->on_phase(ct_start, "f_ct");
+    sink->on_phase(dissem_start, "f_ae-dissem");
+    sink->on_phase(boost_start, "boost");
     if (ae.grace_rounds > 0) {
-      config.trace->on_phase(total_rounds - ae.grace_rounds, "grace");
+      sink->on_phase(total_rounds - ae.grace_rounds, "grace");
     }
   }
   BaRunResult result;
@@ -221,6 +225,34 @@ BaRunResult run_ba(const BaRunConfig& config) {
     if (result.value.has_value() && *result.value != y) result.agreement = false;
     result.value = y;
     if (y == config.input) ++result.correct;
+  }
+
+  // Audit the declared communication budgets over the honest parties (the
+  // paper's bounds quantify over honest parties; fail-silent corruptions
+  // receive protocol traffic but owe nothing).
+  if (config.ledger) {
+    obs::BudgetAuditor auditor;
+    auditor.require(protocol_name(config.protocol), "boost", boost_budget);
+    auditor.require("f_ba", "f_ba", CommitteeBaProto::phase_budget());
+    auditor.require("f_ct", "f_ct", CoinTossProto::phase_budget());
+    result.budget_evals = auditor.evaluate(*config.ledger, &corrupt);
+    if (config.strict_budgets) {
+      std::vector<obs::BudgetEval> findings;
+      for (const obs::BudgetEval& e : result.budget_evals) {
+        if (!e.skipped && !e.ok) findings.push_back(e);
+      }
+      if (!findings.empty()) {
+        const obs::BudgetEval& f = findings.front();
+        throw BudgetViolation(
+            "budget violation: " + f.protocol + " phase '" + f.phase + "' at n=" +
+                std::to_string(f.n) + ": party " + std::to_string(f.worst_party) +
+                " used " + std::to_string(f.max_bits) + " bits > bound " +
+                std::to_string(static_cast<std::uint64_t>(f.bound_bits)) + " (" +
+                std::to_string(f.violators) + "/" + std::to_string(f.audited) +
+                " parties over)",
+            std::move(findings));
+      }
+    }
   }
   return result;
 }
@@ -283,6 +315,10 @@ BroadcastRunResult run_broadcast_service(const BroadcastRunConfig& config) {
     }
 
     Simulator sim(std::move(parties), corrupt, nullptr);
+    if (config.ledger) {
+      config.ledger->set_accumulate(true);
+      sim.add_trace_sink(config.ledger);
+    }
     sim.run(total_rounds + 2);
     accumulate(result.stats, sim.stats());
 

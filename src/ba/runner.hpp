@@ -5,10 +5,14 @@
 #pragma once
 
 #include <optional>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "net/faults.hpp"
 #include "net/stats.hpp"
+#include "obs/budget.hpp"
+#include "obs/ledger.hpp"
 #include "obs/trace.hpp"
 #include "srds/srds.hpp"
 
@@ -61,6 +65,26 @@ struct BaRunConfig {
   /// schedule (f_ba / f_ct / f_ae-dissem / boost / grace) as phase marks,
   /// and reports setup work (tree build, SRDS keygen) as wall-clock spans.
   obs::TraceSink* trace = nullptr;
+
+  /// Optional per-party ledger (non-owning; must outlive run_ba), installed
+  /// alongside `trace` — both observe the same run. When set, the harness
+  /// additionally registers the protocol's declared communication budgets
+  /// (the boost phase's Table 1 claim plus the shared f_ba/f_ct front-end
+  /// bounds) and evaluates them over the honest parties after the run; the
+  /// evaluations land in BaRunResult::budget_evals.
+  obs::Ledger* ledger = nullptr;
+
+  /// Hard-fail (throw srds::BudgetViolation) when any registered budget is
+  /// violated. Requires `ledger`. This is the bench binaries'
+  /// --strict-budgets flag.
+  bool strict_budgets = false;
+};
+
+/// Thrown by run_ba under strict_budgets when an audited budget fails.
+struct BudgetViolation : std::runtime_error {
+  explicit BudgetViolation(const std::string& what, std::vector<obs::BudgetEval> f)
+      : std::runtime_error(what), findings(std::move(f)) {}
+  std::vector<obs::BudgetEval> findings;
 };
 
 struct BaRunResult {
@@ -77,6 +101,11 @@ struct BaRunResult {
   std::size_t crashed = 0;   // honest parties crash-stopped by the fault plan
   bool agreement = true;     // no two honest parties decided differently
   std::optional<bool> value; // the decided value (if any party decided)
+
+  /// Budget evaluations (one per registered claim, in registration order);
+  /// empty unless BaRunConfig::ledger was set. A *finding* is an entry with
+  /// skipped == false && ok == false.
+  std::vector<obs::BudgetEval> budget_evals;
 
   double decided_fraction() const {
     return honest ? static_cast<double>(decided) / static_cast<double>(honest) : 0.0;
@@ -104,6 +133,11 @@ struct BroadcastRunConfig {
   BoostProtocol protocol = BoostProtocol::kPiBaSnark;  // must be a π_ba variant
   BaseSigBackend backend = BaseSigBackend::kCompact;
   std::size_t expected_signers = 48;
+
+  /// Optional ledger (non-owning). Switched to accumulate mode and fed from
+  /// all ℓ executions, so its per-party totals are the corollary's
+  /// ℓ-execution quantity.
+  obs::Ledger* ledger = nullptr;
 };
 
 struct BroadcastRunResult {

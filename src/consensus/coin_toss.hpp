@@ -35,6 +35,7 @@
 #include "crypto/simsig.hpp"
 #include "net/parallel.hpp"
 #include "net/subproto.hpp"
+#include "obs/budget.hpp"
 
 namespace srds {
 
@@ -45,6 +46,13 @@ class CoinTossProto final : public SubProtocol {
 
   /// Block A (t+2 rounds) + block B (t+2 rounds).
   std::size_t rounds() const override { return 2 * (t_ + 2); }
+
+  /// Per-party communication budget for the f_ct phase: every member
+  /// Dolev-Strong-broadcasts a Θ(log n)-entry commitment vector and later
+  /// all received shares, each broadcast costing Θ(log² n) messages —
+  /// Θ(log⁴ n) bits per member, zero outside the committee. Constant
+  /// calibrated against seeded runs (tests/budget_test.cpp).
+  static obs::Budget phase_budget() { return {.c = 12'000, .k = 4}; }
 
   std::vector<std::pair<PartyId, Bytes>> step(
       std::size_t subround, const std::vector<TaggedMsg>& inbox) override;

@@ -15,6 +15,7 @@
 
 #include "consensus/dolev_strong.hpp"
 #include "net/parallel.hpp"
+#include "obs/budget.hpp"
 
 namespace srds {
 
@@ -22,6 +23,13 @@ class CommitteeBaProto final : public SubProtocol {
  public:
   CommitteeBaProto(SimSigRegistryPtr registry, std::vector<PartyId> members, std::size_t t,
                    Bytes domain, PartyId me, Bytes input);
+
+  /// Per-party communication budget for the f_ba phase: c parallel
+  /// Dolev-Strong broadcasts inside a committee of c = Θ(log n) members
+  /// with signature chains growing to t+1 = Θ(log n) entries — Θ(log³ n)
+  /// bits per member, zero for everyone else. Constant calibrated against
+  /// seeded runs (tests/budget_test.cpp).
+  static obs::Budget phase_budget() { return {.c = 5'000, .k = 3}; }
 
   std::size_t rounds() const override { return inner_.rounds(); }
 

@@ -23,6 +23,7 @@
 #include <optional>
 
 #include "net/stats.hpp"
+#include "obs/trace.hpp"
 
 namespace srds {
 
@@ -32,6 +33,9 @@ struct MpcRunConfig {
   std::uint64_t seed = 1;
   /// Each honest party's input (corrupted parties contribute nothing).
   std::uint64_t input_value = 1;
+  /// Optional observability sink (non-owning; e.g. an obs::Ledger for the
+  /// per-party byte distribution). Installed on the simulator for the run.
+  obs::TraceSink* trace = nullptr;
 };
 
 struct MpcRunResult {

@@ -35,11 +35,11 @@ void Simulator::set_fault_plan(const FaultPlan& plan) {
 void Simulator::deliver(std::size_t round, Message m,
                         std::vector<std::vector<Message>>& inboxes) {
   const bool in_phase = phase_mark_ && round >= *phase_mark_;
-  if (trace_) trace_->on_send(round, m);
+  for (obs::TraceSink* s : sinks_) s->on_send(round, m);
   if (!injector_) {
     stats_.record(m);
     if (in_phase) phase_stats_.record(m);
-    if (trace_) trace_->on_delivery(round, m, obs::Delivery::kDelivered);
+    for (obs::TraceSink* s : sinks_) s->on_delivery(round, m, obs::Delivery::kDelivered);
     inboxes[m.to].push_back(std::move(m));
     return;
   }
@@ -52,27 +52,27 @@ void Simulator::deliver(std::size_t round, Message m,
   if (!v.deliver) {
     if (v.partitioned) {
       stats_.faults.partitioned += 1;
-      if (trace_) trace_->on_delivery(round, m, obs::Delivery::kPartitioned);
+      for (obs::TraceSink* s : sinks_) s->on_delivery(round, m, obs::Delivery::kPartitioned);
     } else {
       stats_.faults.dropped += 1;
-      if (trace_) trace_->on_delivery(round, m, obs::Delivery::kDropped);
+      for (obs::TraceSink* s : sinks_) s->on_delivery(round, m, obs::Delivery::kDropped);
     }
     return;
   }
   if (v.delay > 0) {
     stats_.faults.delayed += 1;
-    if (trace_) trace_->on_delivery(round, m, obs::Delivery::kDelayed);
+    for (obs::TraceSink* s : sinks_) s->on_delivery(round, m, obs::Delivery::kDelayed);
     delayed_[round + 1 + v.delay].push_back(Pending{std::move(m), in_phase});
     return;
   }
   stats_.record_recv(m);
   if (in_phase) phase_stats_.record_recv(m);
-  if (trace_) trace_->on_delivery(round, m, obs::Delivery::kDelivered);
+  for (obs::TraceSink* s : sinks_) s->on_delivery(round, m, obs::Delivery::kDelivered);
   if (v.duplicate) {
     stats_.faults.duplicated += 1;
     stats_.record_recv(m);
     if (in_phase) phase_stats_.record_recv(m);
-    if (trace_) trace_->on_delivery(round, m, obs::Delivery::kDuplicated);
+    for (obs::TraceSink* s : sinks_) s->on_delivery(round, m, obs::Delivery::kDuplicated);
     inboxes[m.to].push_back(m);
   }
   inboxes[m.to].push_back(std::move(m));
@@ -83,7 +83,7 @@ std::size_t Simulator::run(std::size_t max_rounds) {
   // inboxes[i] = messages to deliver to party i at the start of this round.
   std::vector<std::vector<Message>> inboxes(n);
 
-  if (trace_) trace_->on_run_begin(n);
+  for (obs::TraceSink* s : sinks_) s->on_run_begin(n);
   for (std::size_t round = 0; round < max_rounds; ++round) {
     // Crash-stop faults trigger at the start of their scheduled round.
     if (injector_) {
@@ -91,7 +91,7 @@ std::size_t Simulator::run(std::size_t max_rounds) {
         if (!corrupt_[i] && !crashed_[i] && injector_->crashed(i, round)) {
           crashed_[i] = true;
           stats_.faults.crashed_parties += 1;
-          if (trace_) trace_->on_crash(round, i);
+          for (obs::TraceSink* s : sinks_) s->on_crash(round, i);
         }
       }
     }
@@ -102,7 +102,7 @@ std::size_t Simulator::run(std::size_t max_rounds) {
         stats_.faults.late_delivered += 1;
         stats_.record_recv(p.m);
         if (p.in_phase) phase_stats_.record_recv(p.m);
-        if (trace_) trace_->on_delivery(round, p.m, obs::Delivery::kLate);
+        for (obs::TraceSink* s : sinks_) s->on_delivery(round, p.m, obs::Delivery::kLate);
         inboxes[p.m.to].push_back(std::move(p.m));
       }
       delayed_.erase(it);
@@ -117,10 +117,10 @@ std::size_t Simulator::run(std::size_t max_rounds) {
     }
     if (all_done) {
       stats_.rounds = round;
-      if (trace_) trace_->on_run_end(round);
+      for (obs::TraceSink* s : sinks_) s->on_run_end(round);
       return round;
     }
-    if (trace_) trace_->on_round_begin(round);
+    for (obs::TraceSink* s : sinks_) s->on_round_begin(round);
 
     std::vector<Message> honest_out;
     for (PartyId i = 0; i < n; ++i) {
@@ -167,10 +167,10 @@ std::size_t Simulator::run(std::size_t max_rounds) {
       }
       deliver(round, std::move(m), inboxes);
     }
-    if (trace_) trace_->on_round_end(round);
+    for (obs::TraceSink* s : sinks_) s->on_round_end(round);
   }
   stats_.rounds = max_rounds;
-  if (trace_) trace_->on_run_end(max_rounds);
+  for (obs::TraceSink* s : sinks_) s->on_run_end(max_rounds);
   return max_rounds;
 }
 

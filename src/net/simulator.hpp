@@ -41,10 +41,21 @@ class Simulator {
   /// trusted code and exempt.
   void set_max_adversary_payload(std::size_t bytes) { max_adv_payload_ = bytes; }
 
-  /// Install an observability sink (non-owning; must outlive run()). The
-  /// sink sees round boundaries, every accepted send and every delivery
-  /// outcome — nullptr (the default) costs nothing. Call before run().
-  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+  /// Install an observability sink (non-owning; must outlive run()),
+  /// replacing any previously installed sinks. The sink sees round
+  /// boundaries, every accepted send and every delivery outcome — nullptr
+  /// clears the set and costs nothing. Call before run().
+  void set_trace_sink(obs::TraceSink* sink) {
+    sinks_.clear();
+    add_trace_sink(sink);
+  }
+
+  /// Add a sink alongside any already installed (e.g., a RoundTracer and an
+  /// obs::Ledger observing the same run). Events fan out to every sink in
+  /// installation order; nullptr is ignored. Call before run().
+  void add_trace_sink(obs::TraceSink* sink) {
+    if (sink) sinks_.push_back(sink);
+  }
 
   /// Run until every live honest party reports done() or `max_rounds`
   /// elapse. Crash-stopped parties count as done. Returns the number of
@@ -82,7 +93,7 @@ class Simulator {
   std::vector<bool> crashed_;
   std::unique_ptr<Adversary> adversary_;
   std::unique_ptr<FaultInjector> injector_;
-  obs::TraceSink* trace_ = nullptr;
+  std::vector<obs::TraceSink*> sinks_;  // fan-out set, installation order
   std::size_t max_adv_payload_ = kDefaultMaxAdversaryPayload;
   NetworkStats stats_;
   NetworkStats phase_stats_;

@@ -13,12 +13,13 @@ bool g_quiet = false;
 [[noreturn]] void usage(const char* prog, int code) {
   std::fprintf(code == 0 ? stdout : stderr,
                "usage: %s [--n-list N1,N2,...] [--seed S] [--json-out DIR | --no-json]\n"
-               "          [--quiet]\n"
+               "          [--quiet] [--strict-budgets]\n"
                "  --n-list   override the sweep sizes (comma-separated)\n"
                "  --seed     override the base RNG seed\n"
                "  --json-out directory for BENCH_*.json artifacts (default: .)\n"
                "  --no-json  do not write JSON artifacts\n"
-               "  --quiet    suppress the text tables\n",
+               "  --quiet    suppress the text tables\n"
+               "  --strict-budgets  abort (exit 3) on a communication-budget violation\n",
                prog);
   std::exit(code);
 }
@@ -82,6 +83,8 @@ Args Args::parse(int& argc, char** argv) {
       args.json_out.clear();
     } else if (std::strcmp(a, "--quiet") == 0) {
       args.quiet = true;
+    } else if (std::strcmp(a, "--strict-budgets") == 0) {
+      args.strict_budgets = true;
     } else {
       argv[out++] = argv[i];  // unknown: leave for the caller's parser
     }

@@ -6,6 +6,8 @@
 //   --json-out DIR        directory for BENCH_*.json artifacts (default ".")
 //   --no-json             disable JSON artifacts
 //   --quiet               suppress the fixed-width text tables
+//   --strict-budgets      hard-fail when a declared communication budget is
+//                         violated (simulator-driven benches only)
 //   --help                usage
 //
 // `parse` consumes the flags it recognizes and compacts argv, so binaries
@@ -24,6 +26,7 @@ struct Args {
   std::uint64_t seed = 0;           // 0 = binary default
   std::string json_out = ".";       // artifact directory; empty = disabled
   bool quiet = false;
+  bool strict_budgets = false;      // violations abort the binary (exit 3)
 
   /// Parse known flags out of argv (argc/argv are rewritten in place to the
   /// unconsumed remainder). Prints usage and exits on --help; prints an

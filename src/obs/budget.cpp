@@ -1,0 +1,110 @@
+#include "obs/budget.hpp"
+
+#include <cmath>
+
+namespace srds::obs {
+
+double Budget::bound_bits(std::size_t n) const {
+  const double nn = static_cast<double>(n < 2 ? 2 : n);
+  const double lg = std::log2(nn);
+  double bound = c;
+  for (int i = 0; i < k; ++i) bound *= lg;
+  if (n_exp != 0) bound *= std::pow(nn, n_exp);
+  return bound;
+}
+
+Json Budget::to_json() const {
+  Json j = Json::object();
+  j.set("c", c);
+  j.set("k", k);
+  if (n_exp != 0) j.set("n_exp", n_exp);
+  if (min_n != 0) j.set("min_n", min_n);
+  return j;
+}
+
+Json BudgetEval::to_json() const {
+  Json j = Json::object();
+  j.set("protocol", protocol);
+  j.set("phase", phase.empty() ? std::string("<run>") : phase);
+  j.set("budget", budget.to_json());
+  j.set("n", n);
+  if (skipped) {
+    j.set("skipped", true);
+    j.set("skip_reason", skip_reason);
+    return j;
+  }
+  j.set("bound_bits", bound_bits);
+  j.set("max_bits", max_bits);
+  j.set("worst_party", worst_party);
+  j.set("violators", violators);
+  j.set("audited", audited);
+  j.set("ok", ok);
+  return j;
+}
+
+void BudgetAuditor::require(std::string protocol, std::string phase, Budget budget) {
+  reqs_.push_back(Requirement{std::move(protocol), std::move(phase), budget});
+}
+
+std::vector<BudgetEval> BudgetAuditor::evaluate(const Ledger& ledger,
+                                                const std::vector<bool>* exclude) const {
+  std::vector<BudgetEval> out;
+  out.reserve(reqs_.size());
+  const std::size_t n = ledger.n_parties();
+  for (const Requirement& r : reqs_) {
+    BudgetEval e;
+    e.protocol = r.protocol;
+    e.phase = r.phase;
+    e.budget = r.budget;
+    e.n = n;
+    if (!r.budget.applicable(n)) {
+      e.skipped = true;
+      e.skip_reason = "n below the budget's validity floor";
+      out.push_back(std::move(e));
+      continue;
+    }
+    std::size_t phase = Ledger::kAllPhases;
+    if (!r.phase.empty()) {
+      phase = ledger.phase_index(r.phase);
+      if (phase == Ledger::kAllPhases) {
+        e.skipped = true;
+        e.skip_reason = "phase not present in the ledger";
+        out.push_back(std::move(e));
+        continue;
+      }
+    }
+    e.bound_bits = r.budget.bound_bits(n);
+    for (PartyId i = 0; i < n; ++i) {
+      if (exclude && i < exclude->size() && (*exclude)[i]) continue;
+      const PartyTally& t = phase == Ledger::kAllPhases ? ledger.total(i)
+                                                        : ledger.phase_total(phase, i);
+      const std::uint64_t bits = 8 * t.bytes_total();
+      ++e.audited;
+      if (bits > e.max_bits) {
+        e.max_bits = bits;
+        e.worst_party = i;
+      }
+      if (static_cast<double>(bits) > e.bound_bits) ++e.violators;
+    }
+    e.ok = e.violators == 0;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::vector<BudgetEval> BudgetAuditor::audit(const Ledger& ledger,
+                                             const std::vector<bool>* exclude) const {
+  std::vector<BudgetEval> findings;
+  for (BudgetEval& e : evaluate(ledger, exclude)) {
+    if (!e.skipped && !e.ok) findings.push_back(std::move(e));
+  }
+  return findings;
+}
+
+Json BudgetAuditor::to_json(const std::vector<BudgetEval>& evals) {
+  Json arr = Json::array();
+  for (const BudgetEval& e : evals) arr.push_back(e.to_json());
+  return arr;
+}
+
+}  // namespace srds::obs

@@ -1,0 +1,100 @@
+// obs::Budget / obs::BudgetAuditor — executable complexity claims.
+//
+// Every protocol row in Table 1 comes with an asymptotic per-party
+// communication bound (Õ(1) for the SRDS boosts, Õ(√n) for sampling, Θ(n)
+// for naive/BGT'13/star). The auditor turns those Theorem-level statements
+// into assertions that run on every traced execution: a protocol registers
+// a declarative Budget for each phase it owns, the auditor evaluates the
+// Ledger's per-party bit counts against the bound, and violations surface
+// as structured findings — recorded into the BENCH_*.json artifacts, and
+// fatal under `--strict-budgets`.
+//
+// A Budget bounds bits := 8 * (bytes_sent + bytes_recv) per audited party:
+//
+//   bound_bits(n) = c * log2(n)^k * n^n_exp
+//
+// with n_exp = 0 the paper's polylog claim, 1 a Θ(n) claim, 0.5 a Θ(√n)
+// claim. `min_n` is the claim's validity floor: below it the bound is not
+// audited (committee sizes are ceil(log)-quantized, so at small n the
+// additive committee constants dominate every asymptotic separation — the
+// measured crossover between the SRDS rows and BGT'13 sits near n = 2048).
+// Skipped audits are reported as evaluations with `skipped = true`, never
+// silently dropped.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/ledger.hpp"
+
+namespace srds::obs {
+
+struct Budget {
+  double c = 0;          // leading constant, in bits
+  int k = 0;             // polylog exponent (log2(n)^k)
+  double n_exp = 0;      // polynomial exponent (n^n_exp); 0 = pure polylog
+  std::size_t min_n = 0; // validity floor; audits below it are skipped
+
+  /// The bound in bits for a system of n parties.
+  double bound_bits(std::size_t n) const;
+  bool applicable(std::size_t n) const { return n >= min_n; }
+
+  Json to_json() const;
+};
+
+/// One evaluated (protocol, phase, budget) registration. `ok` is only
+/// meaningful when `skipped` is false; a *finding* is an evaluation with
+/// skipped == false && ok == false.
+struct BudgetEval {
+  std::string protocol;
+  std::string phase;          // "" = whole-run totals
+  Budget budget;
+  std::size_t n = 0;
+  double bound_bits = 0;
+  std::uint64_t max_bits = 0; // worst audited party's sent+received bits
+  PartyId worst_party = 0;
+  std::uint64_t violators = 0;  // audited parties over the bound
+  std::size_t audited = 0;      // parties the audit ranged over
+  bool ok = false;
+  bool skipped = false;       // n below the budget's validity floor, or
+                              // the phase never appeared in the ledger
+  std::string skip_reason;
+
+  Json to_json() const;
+};
+
+class BudgetAuditor {
+ public:
+  /// Register a claim: `protocol` labels the registrant, `phase` names the
+  /// ledger phase the bound covers ("" = the whole run).
+  void require(std::string protocol, std::string phase, Budget budget);
+
+  bool empty() const { return reqs_.empty(); }
+  std::size_t size() const { return reqs_.size(); }
+
+  /// Evaluate every registered claim against the ledger. Parties with
+  /// exclude[i] == true are left out (corrupted parties — the paper's
+  /// bounds quantify over honest parties); nullptr audits everyone.
+  std::vector<BudgetEval> evaluate(const Ledger& ledger,
+                                   const std::vector<bool>* exclude = nullptr) const;
+
+  /// The violations only (evaluations that ran and failed).
+  std::vector<BudgetEval> audit(const Ledger& ledger,
+                                const std::vector<bool>* exclude = nullptr) const;
+
+  /// JSON array of evaluations (one object per registration, in
+  /// registration order) — the bench artifacts' "budgets" block.
+  static Json to_json(const std::vector<BudgetEval>& evals);
+
+ private:
+  struct Requirement {
+    std::string protocol;
+    std::string phase;
+    Budget budget;
+  };
+  std::vector<Requirement> reqs_;
+};
+
+}  // namespace srds::obs

@@ -9,12 +9,14 @@
 //   * integers are kept exact (separate from doubles) and doubles render
 //     via the shortest round-trip representation (std::to_chars),
 //   * non-finite doubles serialize as null (JSON has no NaN/Inf).
-// Parsing is intentionally out of scope; the tests round-trip the writer
-// against a tiny independent parser to validate conformance.
+// Json::parse reads the subset the writer emits (tools/bench-diff loads
+// BENCH_*.json artifacts through it); the tests additionally round-trip the
+// writer against a tiny independent parser as a conformance check.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -67,6 +69,20 @@ class Json {
 
   const std::vector<Json>& items() const { return array_; }
   const std::vector<std::pair<std::string, Json>>& members() const { return object_; }
+
+  /// Scalar accessors with coercion across the numeric kinds; the fallback
+  /// value is returned on type mismatch (readers of bench artifacts treat
+  /// absent/mistyped fields as missing data, not errors).
+  bool as_bool(bool fallback = false) const;
+  std::int64_t as_int(std::int64_t fallback = 0) const;
+  std::uint64_t as_uint(std::uint64_t fallback = 0) const;
+  double as_double(double fallback = 0) const;
+  const std::string& as_string() const { return string_; }
+
+  /// Parse `text` into `out`. Accepts standard JSON (the writer's output is
+  /// a subset). Returns false and fills *err (when non-null) with a
+  /// byte-offset message on malformed input.
+  static bool parse(std::string_view text, Json& out, std::string* err = nullptr);
 
   /// Serialize. indent < 0 = compact single line; indent >= 0 = pretty,
   /// `indent` spaces per nesting level.

@@ -1,0 +1,219 @@
+#include "obs/ledger.hpp"
+
+#include <algorithm>
+
+namespace srds::obs {
+
+void Ledger::on_run_begin(std::size_t n_parties) {
+  const bool carry = accumulate_ && n_ == n_parties && !totals_.empty();
+  n_ = n_parties;
+  if (!carry) {
+    totals_.assign(n_, PartyTally{});
+    kinds_.assign(static_cast<std::size_t>(MsgKind::kCount), {});
+    for (auto& k : kinds_) k.assign(n_, PartyTally{});
+    rounds_run_ = 0;
+  }
+  // Phase marks describe one run's schedule; they restart either way (an
+  // accumulating ledger keeps whole-run and per-kind totals only).
+  if (phases_.empty() || phases_.front().start > 0) {
+    phases_.insert(phases_.begin(), Phase{"pre", 0, {}});
+  }
+  for (Phase& p : phases_) p.parties.assign(n_, PartyTally{});
+  // Re-anchor onto round 0's phase: marks surviving from a previous
+  // accumulated execution may place it past the implicit "pre" entry.
+  cur_phase_ = 0;
+  advance_phase(0);
+}
+
+void Ledger::on_phase(std::size_t start_round, const std::string& name) {
+  // Re-registering an existing mark is a no-op: an accumulating ledger sees
+  // the same schedule once per execution, and piling up duplicate entries
+  // would leave phase_index() pointing at a stale copy.
+  for (const Phase& existing : phases_) {
+    if (existing.start == start_round && existing.name == name) return;
+  }
+  Phase p{name, start_round, {}};
+  if (n_ > 0) p.parties.assign(n_, PartyTally{});
+  auto pos = std::upper_bound(
+      phases_.begin(), phases_.end(), start_round,
+      [](std::size_t r, const Phase& ph) { return r < ph.start; });
+  phases_.insert(pos, std::move(p));
+  // A mark registered mid-run at or before the current round re-anchors the
+  // current phase; recompute from scratch (cold path, phases are few).
+  cur_phase_ = 0;
+  advance_phase(cur_round_);
+}
+
+void Ledger::advance_phase(std::size_t round) {
+  cur_round_ = round;
+  while (cur_phase_ + 1 < phases_.size() && phases_[cur_phase_ + 1].start <= round) {
+    ++cur_phase_;
+  }
+}
+
+// srds-lint: hotpath — one call per accepted send; indexes preallocated
+// tallies only (no allocation, unwinding, or type erasure; rule P1).
+void Ledger::on_send(std::size_t round, const Message& m) {
+  if (m.from >= n_) return;
+  if (round != cur_round_) advance_phase(round);
+  const std::uint64_t bytes = m.payload.size();
+  auto charge = [&](PartyTally& t) {
+    t.bytes_sent += bytes;
+    t.msgs_sent += 1;
+  };
+  charge(totals_[m.from]);
+  charge(phases_[cur_phase_].parties[m.from]);
+  auto k = static_cast<std::size_t>(m.kind);
+  if (k >= kinds_.size()) k = 0;
+  charge(kinds_[k][m.from]);
+}
+
+// srds-lint: hotpath — one call per delivery outcome; same constraints as
+// on_send.
+void Ledger::on_delivery(std::size_t round, const Message& m, Delivery outcome) {
+  switch (outcome) {
+    case Delivery::kDelivered:
+    case Delivery::kDuplicated:
+    case Delivery::kLate:
+      break;
+    case Delivery::kDropped:
+    case Delivery::kPartitioned:
+    case Delivery::kDelayed:
+      return;  // nobody received anything
+  }
+  if (m.to >= n_) return;
+  if (round != cur_round_) advance_phase(round);
+  const std::uint64_t bytes = m.payload.size();
+  auto charge = [&](PartyTally& t) {
+    t.bytes_recv += bytes;
+    t.msgs_recv += 1;
+  };
+  charge(totals_[m.to]);
+  charge(phases_[cur_phase_].parties[m.to]);
+  auto k = static_cast<std::size_t>(m.kind);
+  if (k >= kinds_.size()) k = 0;
+  charge(kinds_[k][m.to]);
+}
+
+void Ledger::on_run_end(std::size_t rounds) {
+  rounds_run_ = std::max(rounds_run_, rounds);
+}
+
+std::size_t Ledger::phase_index(const std::string& name) const {
+  for (std::size_t p = 0; p < phases_.size(); ++p) {
+    if (phases_[p].name == name) return p;
+  }
+  return kAllPhases;
+}
+
+namespace {
+
+std::uint64_t field_of(const PartyTally& t, LedgerField f) {
+  switch (f) {
+    case LedgerField::kBytesSent: return t.bytes_sent;
+    case LedgerField::kBytesRecv: return t.bytes_recv;
+    case LedgerField::kBytesTotal: return t.bytes_total();
+    case LedgerField::kMsgsSent: return t.msgs_sent;
+    case LedgerField::kMsgsRecv: return t.msgs_recv;
+  }
+  return 0;
+}
+
+}  // namespace
+
+PartyStat Ledger::stat_of(const std::vector<PartyTally>& tallies, LedgerField field,
+                          const std::vector<bool>* exclude) const {
+  PartyStat s;
+  std::vector<std::uint64_t> values;
+  values.reserve(tallies.size());
+  for (PartyId i = 0; i < tallies.size(); ++i) {
+    if (exclude && i < exclude->size() && (*exclude)[i]) continue;
+    const std::uint64_t v = field_of(tallies[i], field);
+    if (v > s.max) {
+      s.max = v;
+      s.argmax = i;
+    }
+    s.total += v;
+    values.push_back(v);
+  }
+  s.parties = values.size();
+  if (!values.empty()) {
+    std::sort(values.begin(), values.end());
+    s.p50 = values[values.size() / 2];
+    s.p90 = values[std::min(values.size() - 1, (values.size() * 9) / 10)];
+  }
+  return s;
+}
+
+PartyStat Ledger::stat(LedgerField field, std::size_t phase,
+                       const std::vector<bool>* exclude) const {
+  if (phase == kAllPhases) return stat_of(totals_, field, exclude);
+  return stat_of(phases_[phase].parties, field, exclude);
+}
+
+namespace {
+
+Json stat_json(const PartyStat& s) {
+  Json j = Json::object();
+  j.set("max", s.max);
+  j.set("argmax", s.argmax);
+  j.set("p50", s.p50);
+  j.set("p90", s.p90);
+  j.set("total", s.total);
+  return j;
+}
+
+}  // namespace
+
+Json Ledger::to_json(bool per_party) const {
+  Json out = Json::object();
+  out.set("n", n_);
+  out.set("rounds", rounds_run_);
+
+  Json totals = Json::object();
+  totals.set("bytes_sent", stat_json(stat(LedgerField::kBytesSent)));
+  totals.set("bytes_recv", stat_json(stat(LedgerField::kBytesRecv)));
+  totals.set("bytes_total", stat_json(stat(LedgerField::kBytesTotal)));
+  totals.set("msgs_sent", stat_json(stat(LedgerField::kMsgsSent)));
+  out.set("totals", std::move(totals));
+
+  Json phases = Json::array();
+  for (std::size_t p = 0; p < phases_.size(); ++p) {
+    Json j = Json::object();
+    j.set("name", phases_[p].name);
+    j.set("start", phases_[p].start);
+    j.set("bytes_total", stat_json(stat(LedgerField::kBytesTotal, p)));
+    j.set("bytes_sent", stat_json(stat(LedgerField::kBytesSent, p)));
+    j.set("msgs_sent", stat_json(stat(LedgerField::kMsgsSent, p)));
+    phases.push_back(std::move(j));
+  }
+  out.set("phases", std::move(phases));
+
+  Json kinds = Json::object();
+  for (std::size_t k = 0; k < kinds_.size(); ++k) {
+    PartyStat sent = stat_of(kinds_[k], LedgerField::kBytesSent, nullptr);
+    PartyStat msgs = stat_of(kinds_[k], LedgerField::kMsgsSent, nullptr);
+    if (sent.total == 0 && msgs.total == 0) continue;
+    Json j = Json::object();
+    j.set("bytes_sent", stat_json(sent));
+    j.set("msgs_sent", stat_json(msgs));
+    kinds.set(msg_kind_name(static_cast<MsgKind>(k)), std::move(j));
+  }
+  out.set("kinds", std::move(kinds));
+
+  if (per_party) {
+    Json parties = Json::array();
+    for (const PartyTally& t : totals_) {
+      Json j = Json::object();
+      j.set("bytes_sent", t.bytes_sent);
+      j.set("bytes_recv", t.bytes_recv);
+      j.set("msgs_sent", t.msgs_sent);
+      j.set("msgs_recv", t.msgs_recv);
+      parties.push_back(std::move(j));
+    }
+    out.set("per_party", std::move(parties));
+  }
+  return out;
+}
+
+}  // namespace srds::obs

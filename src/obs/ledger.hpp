@@ -1,0 +1,152 @@
+// obs::Ledger — the per-party accounting plane.
+//
+// The paper's headline claim is a *per-party* bound (every honest party
+// sends/receives only polylog(n) bits), but the RoundTracer aggregates per
+// round/kind only, and the one number Table 1 pivots on — max communication
+// per party — was recomputed ad hoc in every bench binary from
+// NetworkStats. The Ledger is a TraceSink that accounts every accepted
+// send and every actual delivery *per party*, split by protocol phase (the
+// same on_phase marks the RoundTracer consumes) and by MsgKind, so the
+// paper's Theorem-level claims can be audited on any traced run (see
+// obs/budget.hpp) and every bench binary reports per-party distribution
+// statistics from one shared implementation.
+//
+// Accounting conventions (identical to NetworkStats):
+//   * on_send charges the sender — whatever the network does next, the
+//     sender paid for the transmission;
+//   * kDelivered / kDuplicated / kLate charge the receiver at actual
+//     delivery; kDropped / kPartitioned / kDelayed charge nobody.
+// Phase attribution is by the round the event was observed in. For a
+// delayed message this differs from the simulator's phase_stats (which
+// attributes the late receive to the *send* round's phase); on fault-free
+// runs the two agree exactly, and tests/trace_test.cpp enforces it.
+//
+// The per-event paths are allocation-free: all storage is sized at
+// on_run_begin / on_phase, and on_send / on_delivery only index into it
+// (srds-lint rule P1 checks the markers below).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace srds::obs {
+
+/// Per-party byte/message tally (one protocol phase, or the whole run).
+struct PartyTally {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_recv = 0;
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_recv = 0;
+
+  std::uint64_t bytes_total() const { return bytes_sent + bytes_recv; }
+
+  bool operator==(const PartyTally&) const = default;
+};
+
+/// Distribution of one per-party quantity over the (optionally masked)
+/// party set: the paper's "max com. per party" plus median/p90 context.
+struct PartyStat {
+  std::uint64_t max = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t total = 0;
+  std::size_t parties = 0;  // parties the stat ranges over
+  PartyId argmax = 0;       // a party attaining max
+};
+
+/// Which per-party quantity a PartyStat summarizes.
+enum class LedgerField : std::uint8_t {
+  kBytesSent,
+  kBytesRecv,
+  kBytesTotal,
+  kMsgsSent,
+  kMsgsRecv,
+};
+
+class Ledger final : public TraceSink {
+ public:
+  /// Sentinel phase index: the whole-run totals rather than one phase.
+  static constexpr std::size_t kAllPhases = static_cast<std::size_t>(-1);
+
+  /// Accumulate across simulator runs instead of resetting at each
+  /// on_run_begin (same n required): the ℓ-execution services (broadcast,
+  /// Cor 1.2(1)) account their per-party totals over all executions, which
+  /// is exactly the quantity the corollary bounds. Phase marks still reset
+  /// per run. Default off.
+  void set_accumulate(bool on) { accumulate_ = on; }
+
+  void on_run_begin(std::size_t n_parties) override;
+  void on_send(std::size_t round, const Message& m) override;
+  void on_delivery(std::size_t round, const Message& m, Delivery outcome) override;
+  void on_run_end(std::size_t rounds) override;
+  void on_phase(std::size_t start_round, const std::string& name) override;
+
+  std::size_t n_parties() const { return n_; }
+  std::size_t rounds_run() const { return rounds_run_; }
+
+  /// Phase names in start-round order (an implicit "pre" phase covers
+  /// rounds before the first registered mark, exactly like the tracer).
+  std::size_t phase_count() const { return phases_.size(); }
+  const std::string& phase_name(std::size_t p) const { return phases_[p].name; }
+  std::size_t phase_start(std::size_t p) const { return phases_[p].start; }
+  /// Index of the named phase, or kAllPhases when absent.
+  std::size_t phase_index(const std::string& name) const;
+
+  /// Whole-run tally for one party.
+  const PartyTally& total(PartyId i) const { return totals_[i]; }
+  /// One phase's tally for one party.
+  const PartyTally& phase_total(std::size_t phase, PartyId i) const {
+    return phases_[phase].parties[i];
+  }
+  /// Sent/received tally of one MsgKind for one party (whole run).
+  const PartyTally& kind_total(MsgKind k, PartyId i) const {
+    return kinds_[static_cast<std::size_t>(k)][i];
+  }
+
+  /// Distribution of `field` over parties, for one phase (kAllPhases = the
+  /// whole run). `exclude` masks parties out (e.g., corrupted parties —
+  /// the paper's bounds quantify over honest parties); nullptr = everyone.
+  PartyStat stat(LedgerField field, std::size_t phase = kAllPhases,
+                 const std::vector<bool>* exclude = nullptr) const;
+
+  /// Structured summary:
+  ///   {n, rounds,
+  ///    totals:  {bytes_sent/bytes_recv/bytes_total/msgs_sent: stat...},
+  ///    phases:  [{name, start, bytes_total: stat, bytes_sent: stat, ...}],
+  ///    kinds:   {kind: {bytes_sent: stat, msgs_sent: stat}},
+  ///    per_party: [{bytes_sent, bytes_recv, msgs_sent, msgs_recv}...]}
+  /// where stat = {max, argmax, p50, p90, total}. per_party only with
+  /// `per_party=true` (it is O(n) artifact bytes). Deterministic for a
+  /// deterministic run — the ledger records no wall-clock at all.
+  Json to_json(bool per_party = false) const;
+
+  /// Reset to a fresh ledger (phase marks cleared too).
+  void clear() { *this = Ledger{}; }
+
+ private:
+  struct Phase {
+    std::string name;
+    std::size_t start = 0;
+    std::vector<PartyTally> parties;
+  };
+
+  void advance_phase(std::size_t round);
+  PartyStat stat_of(const std::vector<PartyTally>& tallies, LedgerField field,
+                    const std::vector<bool>* exclude) const;
+
+  std::size_t n_ = 0;
+  std::size_t rounds_run_ = 0;
+  bool accumulate_ = false;
+  std::vector<PartyTally> totals_;
+  std::vector<Phase> phases_;       // sorted by start round
+  std::size_t cur_phase_ = 0;       // phase of the last observed round
+  std::size_t cur_round_ = 0;
+  // kinds_[kind][party]: sent/recv tallies per message kind.
+  std::vector<std::vector<PartyTally>> kinds_;
+};
+
+}  // namespace srds::obs

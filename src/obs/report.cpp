@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <ctime>
+#include <filesystem>
 #include <stdexcept>
 
 #include "obs/tracer.hpp"
@@ -22,6 +23,7 @@ void Reporter::add_row(double x, obs::Json metrics) {
 obs::Json Reporter::to_json(bool with_timestamp) const {
   std::lock_guard<std::mutex> lk(mu_);
   obs::Json out = obs::Json::object();
+  out.set("schema", 2);  // v2: rows may carry per_party/budgets blocks
   out.set("bench", bench_);
   out.set("git_describe", git_describe());
   if (with_timestamp) {
@@ -42,6 +44,12 @@ std::string Reporter::write(const std::string& dir) const {
   std::string path = dir.empty() ? std::string(".") : dir;
   if (path.back() != '/') path.push_back('/');
   path += "BENCH_" + bench_ + ".json";
+  // CI points --json-out at not-yet-existing artifact directories; create
+  // missing parents instead of failing the write (same convention as the
+  // lint baseline artifacts).
+  std::error_code ec;
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path(), ec);
   if (!obs::write_text_file(path, to_json().dump(2) + "\n")) return {};
   return path;
 }

@@ -4,6 +4,7 @@
 // the fixed-width text tables, producing a `BENCH_<name>.json` artifact:
 //
 //   {
+//     "schema": 2,
 //     "bench": "<name>",
 //     "git_describe": "<git describe --always --dirty>",
 //     "timestamp": "<ISO 8601 UTC>",
@@ -13,7 +14,10 @@
 //
 // `x` is the sweep coordinate (n, ell, drop rate, row index...); `metrics`
 // is a flat-ish object of numbers/strings (nested objects allowed, e.g. a
-// per-phase breakdown). Output is byte-deterministic for a deterministic
+// per-phase breakdown). Schema v2 adds per-party distribution blocks
+// (obs::Ledger stats under "per_party") and "budgets" evaluation arrays to
+// the simulator-driven benches; tools/bench-diff consumes these documents
+// and compares any two of them metric-by-metric. Output is byte-deterministic for a deterministic
 // benchmark apart from the `timestamp` field — the determinism guard in
 // tests/trace_test.cpp enforces exactly that, so the perf trajectory
 // across PRs can be diffed mechanically.

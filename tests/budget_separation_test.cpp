@@ -1,0 +1,112 @@
+// The acceptance demonstration for the complexity-budget auditor: at
+// n = 2048 (past the measured SRDS/BGT'13 crossover) a seeded fault-free
+// run of the SNARK-SRDS boost satisfies its own polylog(n) budget under
+// --strict-budgets semantics, while the BGT'13 multisig baseline satisfies
+// its declared Θ(n) budget but *fails* the SRDS polylog budget — i.e. the
+// paper's Table 1 separation is not just visible in the bench series, it is
+// machine-checked on a live run.
+//
+// This is deliberately a big-n test (~2-3 minutes): below the SRDS budgets'
+// validity floor (min_n = 512) the ceil(log)-quantized committee constants
+// drown the asymptotic gap and the audits would be skipped, not proven.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ba/runner.hpp"
+
+namespace srds {
+namespace {
+
+constexpr std::size_t kN = 2048;
+constexpr std::uint64_t kSeed = 42;
+constexpr double kBeta = 0.2;
+
+const obs::BudgetEval* find_eval(const std::vector<obs::BudgetEval>& evals,
+                                 const std::string& phase) {
+  for (const auto& e : evals) {
+    if (e.phase == phase) return &e;
+  }
+  return nullptr;
+}
+
+TEST(BudgetSeparation, SnarkSrdsMeetsPolylogBudgetStrictly) {
+  obs::Ledger ledger;
+  BaRunConfig cfg;
+  cfg.n = kN;
+  cfg.beta = kBeta;
+  cfg.seed = kSeed;
+  cfg.protocol = BoostProtocol::kPiBaSnark;
+  cfg.ledger = &ledger;
+  cfg.strict_budgets = true;  // a violation would throw BudgetViolation
+
+  BaRunResult r;
+  ASSERT_NO_THROW(r = run_ba(cfg));
+  ASSERT_TRUE(r.agreement);
+  EXPECT_EQ(r.decided, r.honest);
+
+  // Every registered claim (boost + the shared f_ba/f_ct front end) was
+  // audited — none skipped at this n — and every one held.
+  ASSERT_GE(r.budget_evals.size(), 3u);
+  for (const auto& e : r.budget_evals) {
+    EXPECT_FALSE(e.skipped) << e.protocol << "/" << e.phase << ": " << e.skip_reason;
+    EXPECT_TRUE(e.ok) << e.protocol << "/" << e.phase << ": max " << e.max_bits
+                      << " bits vs bound " << e.bound_bits;
+  }
+
+  const obs::BudgetEval* boost = find_eval(r.budget_evals, "boost");
+  ASSERT_NE(boost, nullptr);
+  // The boost claim is pure polylog: no polynomial factor registered.
+  EXPECT_EQ(boost->budget.n_exp, 0.0);
+  EXPECT_GT(boost->budget.k, 0);
+  EXPECT_GT(boost->max_bits, 0u);
+}
+
+TEST(BudgetSeparation, Bgt13MeetsLinearButFailsPolylogBudget) {
+  // First recover the SRDS polylog budget exactly as registered. A cheap
+  // n = 64 run suffices: the boost evaluation is *skipped* there (below the
+  // validity floor) but still records the declared Budget.
+  obs::Budget polylog;
+  {
+    obs::Ledger ledger;
+    BaRunConfig cfg;
+    cfg.n = 64;
+    cfg.beta = kBeta;
+    cfg.seed = kSeed;
+    cfg.protocol = BoostProtocol::kPiBaSnark;
+    cfg.ledger = &ledger;
+    auto r = run_ba(cfg);
+    const obs::BudgetEval* boost = find_eval(r.budget_evals, "boost");
+    ASSERT_NE(boost, nullptr);
+    polylog = boost->budget;
+    ASSERT_EQ(polylog.n_exp, 0.0);  // it really is a polylog claim
+  }
+
+  obs::Ledger ledger;
+  BaRunConfig cfg;
+  cfg.n = kN;
+  cfg.beta = kBeta;
+  cfg.seed = kSeed;
+  cfg.protocol = BoostProtocol::kMultisig;
+  cfg.ledger = &ledger;
+  auto r = run_ba(cfg);
+  ASSERT_TRUE(r.agreement);
+
+  // BGT'13 honors the budget it declares for itself — a Θ(n) bound...
+  const obs::BudgetEval* own = find_eval(r.budget_evals, "boost");
+  ASSERT_NE(own, nullptr);
+  EXPECT_FALSE(own->skipped);
+  EXPECT_TRUE(own->ok) << "max " << own->max_bits << " bits vs Θ(n) bound "
+                       << own->bound_bits;
+  EXPECT_DOUBLE_EQ(own->budget.n_exp, 1.0);
+
+  // ...but its measured worst honest party breaks the SRDS polylog budget
+  // at the same n: the Õ(n)-vs-Õ(1) separation, as a runtime assertion.
+  ASSERT_TRUE(polylog.applicable(kN));
+  EXPECT_GT(static_cast<double>(own->max_bits), polylog.bound_bits(kN))
+      << "BGT'13 fits the polylog budget at n=" << kN
+      << " — the Table 1 separation claim no longer holds on this seed";
+}
+
+}  // namespace
+}  // namespace srds

@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <limits>
+#include <sstream>
 
 #include "json_parser.hpp"
 #include "obs/bench_args.hpp"
@@ -161,6 +164,35 @@ TEST(Histogram, RecordsStats) {
   EXPECT_EQ(h.quantile_bound(1.0), 128u);  // everything below 2^7
 }
 
+TEST(Histogram, QuantileBoundEdgeCases) {
+  obs::Histogram empty;
+  EXPECT_EQ(empty.quantile_bound(0.5), 0u);  // no samples: 0, not a boundary
+  EXPECT_EQ(empty.quantile_bound(0.0), 0u);
+  EXPECT_EQ(empty.quantile_bound(1.0), 0u);
+
+  // A single sample: every positive quantile lands in its bucket.
+  obs::Histogram one;
+  one.record(5);  // bucket 2 = [4, 8)
+  EXPECT_EQ(one.quantile_bound(0.5), 8u);
+  EXPECT_EQ(one.quantile_bound(1.0), 8u);
+  // q = 0 has target mass 0, satisfied by the very first bucket boundary.
+  EXPECT_EQ(one.quantile_bound(0.0), 2u);
+  // Out-of-range q clamps rather than misbehaving.
+  EXPECT_EQ(one.quantile_bound(-1.0), one.quantile_bound(0.0));
+  EXPECT_EQ(one.quantile_bound(2.0), one.quantile_bound(1.0));
+
+  // Exact power of two sits at the *bottom* of its bucket: the reported
+  // bound is the bucket's exclusive upper boundary, one power higher.
+  obs::Histogram pow2;
+  pow2.record(8);  // bucket 3 = [8, 16)
+  EXPECT_EQ(pow2.quantile_bound(1.0), 16u);
+
+  // Samples in the top bucket cannot report 2^64; the bound saturates.
+  obs::Histogram huge;
+  huge.record(~0ull);
+  EXPECT_EQ(huge.quantile_bound(1.0), ~0ull);
+}
+
 TEST(Registry, LabelOrderIsCanonical) {
   obs::Registry reg;
   auto& a = reg.counter("msgs", {{"proto", "pi_ba"}, {"n", "64"}});
@@ -216,6 +248,97 @@ TEST(Reporter, SchemaAndParams) {
 TEST(Reporter, RejectsNonObjectMetrics) {
   bench::Reporter rep("unit");
   EXPECT_THROW(rep.add_row(1.0, Json(3)), std::invalid_argument);
+}
+
+TEST(Reporter, WriteCreatesMissingParentDirectories) {
+  // CI points --json-out at artifact directories that do not exist yet;
+  // Reporter::write must create the whole chain instead of failing.
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path("obs_test_artifacts");
+  fs::remove_all(root);
+  bench::Reporter rep("nested_dir_unit");
+  rep.set_param("n", 8);
+
+  const std::string out = rep.write((root / "deeply" / "nested").string());
+  ASSERT_FALSE(out.empty());
+  EXPECT_TRUE(fs::exists(root / "deeply" / "nested" / "BENCH_nested_dir_unit.json"));
+
+  std::ifstream in(out);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  PJson doc = testjson::parse(ss.str());
+  EXPECT_EQ(doc.get("bench")->string, "nested_dir_unit");
+  EXPECT_EQ(doc.get("schema")->integer, 2);
+  fs::remove_all(root);
+}
+
+TEST(JsonParser, RoundTripsWriterOutputByteIdentically) {
+  Json doc = Json::object();
+  doc.set("uint", 18446744073709551615ull);
+  doc.set("int", -42);
+  doc.set("double", 0.125);
+  doc.set("bool", true);
+  doc.set("null", nullptr);
+  doc.set("s", "q\"b\\s\nnul\x01 e");
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back(Json::object());
+  doc.set("arr", std::move(arr));
+
+  for (int indent : {-1, 2}) {
+    Json back;
+    std::string err;
+    ASSERT_TRUE(Json::parse(doc.dump(indent), back, &err)) << err;
+    // The parser preserves the writer's number kinds and key order, so
+    // re-serialization is byte-identical — what lets bench-diff compare
+    // and re-write baseline artifacts without churn.
+    EXPECT_EQ(back.dump(indent), doc.dump(indent));
+  }
+}
+
+TEST(JsonParser, NumberKindsMatchTheWriter) {
+  Json v;
+  ASSERT_TRUE(Json::parse("42", v));
+  EXPECT_EQ(v.type(), Json::Type::kUint);
+  EXPECT_EQ(v.as_uint(), 42u);
+  ASSERT_TRUE(Json::parse("-42", v));
+  EXPECT_EQ(v.type(), Json::Type::kInt);
+  EXPECT_EQ(v.as_int(), -42);
+  ASSERT_TRUE(Json::parse("4.5", v));
+  EXPECT_EQ(v.type(), Json::Type::kDouble);
+  EXPECT_EQ(v.as_double(), 4.5);
+  ASSERT_TRUE(Json::parse("1e3", v));
+  EXPECT_EQ(v.type(), Json::Type::kDouble);
+  EXPECT_EQ(v.as_double(), 1000.0);
+  // The numeric accessors coerce across kinds with a fallback on mismatch.
+  ASSERT_TRUE(Json::parse("7", v));
+  EXPECT_EQ(v.as_double(), 7.0);
+  EXPECT_EQ(v.as_string(), "");
+  ASSERT_TRUE(Json::parse("-1", v));
+  EXPECT_EQ(v.as_uint(123), 123u);  // negative cannot coerce to unsigned
+}
+
+TEST(JsonParser, DecodesEscapes) {
+  Json v;
+  ASSERT_TRUE(Json::parse(R"("a\"b\\c\ndAé")", v));
+  EXPECT_EQ(v.as_string(), "a\"b\\c\ndA\xc3\xa9");  // é = é in UTF-8
+}
+
+TEST(JsonParser, RejectsMalformedInputWithOffset) {
+  Json v;
+  std::string err;
+  EXPECT_FALSE(Json::parse("{\"a\": 1,", v, &err));
+  EXPECT_NE(err.find("at byte"), std::string::npos);
+  EXPECT_FALSE(Json::parse("[1, 2] trailing", v, &err));
+  EXPECT_FALSE(Json::parse("tru", v, &err));
+  EXPECT_FALSE(Json::parse("", v, &err));
+  EXPECT_FALSE(Json::parse("{\"a\" 1}", v, &err));
+
+  // Pathological nesting is bounded, not a stack overflow.
+  std::string deep(512, '[');
+  deep += std::string(512, ']');
+  EXPECT_FALSE(Json::parse(deep, v, &err));
+  EXPECT_NE(err.find("deep"), std::string::npos);
 }
 
 TEST(BenchArgs, ParsesKnownFlagsAndCompactsRest) {

@@ -137,6 +137,70 @@ TEST(RoundTracer, PiBaSmokeAgreesWithNetworkStats) {
   EXPECT_GE(tracer.to_json(false).find("spans")->items().size(), 2u);
 }
 
+TEST(Ledger, AgreesWithNetworkStatsAndTracerOnSeededRun) {
+  // Three independent accounting planes observe one seeded fault-free run:
+  // NetworkStats (the simulator's own books), the RoundTracer (per-round
+  // aggregates) and the Ledger (per-party, per-phase). They must agree
+  // exactly — party by party against NetworkStats, and phase by phase
+  // against the tracer (attribution by observed round coincides with
+  // attribution by send round only on fault-free runs, which is why this
+  // guard pins a run without a fault plan).
+  obs::RoundTracer tracer;
+  obs::Ledger ledger;
+  BaRunConfig cfg;
+  cfg.n = 64;
+  cfg.beta = 0.2;
+  cfg.seed = 7;
+  cfg.protocol = BoostProtocol::kPiBaSnark;
+  cfg.trace = &tracer;
+  cfg.ledger = &ledger;
+  auto r = run_ba(cfg);
+  ASSERT_TRUE(r.agreement);
+
+  // Party-level: the ledger's books equal the network's, field for field.
+  ASSERT_EQ(ledger.n_parties(), r.stats.party.size());
+  for (PartyId i = 0; i < r.stats.party.size(); ++i) {
+    const auto& net = r.stats.party[i];
+    const obs::PartyTally& led = ledger.total(i);
+    ASSERT_EQ(led.bytes_sent, net.bytes_sent) << "party " << i;
+    ASSERT_EQ(led.bytes_recv, net.bytes_recv) << "party " << i;
+    ASSERT_EQ(led.msgs_sent, net.msgs_sent) << "party " << i;
+    ASSERT_EQ(led.msgs_recv, net.msgs_recv) << "party " << i;
+  }
+
+  // Round-level: the tracer's per-round sent totals sum to the ledger's.
+  std::uint64_t traced_bytes = 0;
+  for (const auto& rec : tracer.rounds()) traced_bytes += rec.bytes_sent;
+  std::uint64_t ledger_sent = 0;
+  for (PartyId i = 0; i < ledger.n_parties(); ++i) {
+    ledger_sent += ledger.total(i).bytes_sent;
+  }
+  EXPECT_EQ(traced_bytes, ledger_sent);
+
+  // Phase-level: both sinks consumed the same on_phase marks; on a
+  // fault-free run each phase's sent bytes/messages must match too.
+  const auto phases = tracer.phase_totals();
+  ASSERT_EQ(phases.size(), ledger.phase_count());
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    EXPECT_EQ(phases[p].name, ledger.phase_name(p));
+    std::uint64_t phase_bytes = 0, phase_msgs = 0;
+    for (PartyId i = 0; i < ledger.n_parties(); ++i) {
+      phase_bytes += ledger.phase_total(p, i).bytes_sent;
+      phase_msgs += ledger.phase_total(p, i).msgs_sent;
+    }
+    EXPECT_EQ(phase_bytes, phases[p].bytes_sent) << phases[p].name;
+    EXPECT_EQ(phase_msgs, phases[p].msgs_sent) << phases[p].name;
+  }
+
+  // The harness audited the run: the registered budgets all evaluated, and
+  // the boost-phase stat the bench binaries report comes from the ledger.
+  ASSERT_GE(r.budget_evals.size(), 3u);
+  const obs::PartyStat boost =
+      ledger.stat(obs::LedgerField::kBytesTotal, ledger.phase_index("boost"));
+  EXPECT_GT(boost.max, 0u);
+  EXPECT_GE(boost.max, boost.p50);
+}
+
 TEST(RoundTracer, ChromeTraceIsWellFormedJson) {
   obs::RoundTracer tracer;
   BaRunConfig cfg;
