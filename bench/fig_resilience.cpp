@@ -5,7 +5,17 @@
 // the fault-free run. The headline series the acceptance criteria pin down:
 // pi_ba/snark at n=256 must keep agreement at every drop rate in
 // {0, 0.01, 0.05, 0.10} while availability degrades gracefully.
+//
+// Fig R3 is the resilience *frontier*: every attack campaign of the
+// adaptive-adversary engine (net/campaign.hpp) over a corruption-rate x
+// drop-rate grid at --frontier-n (default 1024). The claim it charts:
+// pi_ba/snark keeps agreement across the whole grid while at least one
+// baseline breaks (acd19-star loses agreement under the supreme-committee
+// takeover and under the eclipse), so the frontier separation is a property
+// of the certificate discipline, not of favourable schedules.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "ba/runner.hpp"
 #include "bench_util.hpp"
@@ -15,6 +25,14 @@ int main(int argc, char** argv) {
   using namespace srds::bench;
 
   Args args = Args::parse(argc, argv);
+  // Binary-local flag: the frontier's party count (the R1/R2 sweeps keep
+  // their own --n-list-driven size). 0 skips the frontier entirely.
+  std::size_t frontier_n = 1024;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--frontier-n") == 0) {
+      frontier_n = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
   const std::vector<std::pair<BoostProtocol, const char*>> protocols{
       {BoostProtocol::kNaive, "naive"},
       {BoostProtocol::kMultisig, "bgt13-multisig"},
@@ -50,6 +68,8 @@ int main(int argc, char** argv) {
   };
 
   // Fault-free baseline rounds per protocol (for the extra-rounds column).
+  // These are the paper-schedule runs, so the declared communication budgets
+  // apply — under --strict-budgets a violation here aborts the binary.
   std::vector<std::size_t> base_rounds;
   for (auto [proto, label] : protocols) {
     BaRunConfig cfg;
@@ -57,6 +77,9 @@ int main(int argc, char** argv) {
     cfg.beta = kBeta;
     cfg.seed = seed;
     cfg.protocol = proto;
+    obs::Ledger base_ledger;
+    cfg.ledger = &base_ledger;
+    cfg.strict_budgets = args.strict_budgets;
     base_rounds.push_back(run_ba(cfg).rounds);
   }
 
@@ -164,6 +187,90 @@ int main(int argc, char** argv) {
       m.set("extra_rounds", extra);
       rep.add_row(row_idx++, std::move(m));
     }
+  }
+
+  if (frontier_n > 0) {
+    print_header("Fig R3: resilience frontier  [n=" + std::to_string(frontier_n) +
+                 ", campaign x corruption-rate x drop-rate]");
+    const std::vector<std::pair<BoostProtocol, const char*>> frontier_protocols{
+        {BoostProtocol::kNaive, "naive"},
+        {BoostProtocol::kStar, "acd19-star"},
+        {BoostProtocol::kSampling, "ks11-sampling"},
+        {BoostProtocol::kPiBaSnark, "pi_ba/snark"},
+    };
+    const CampaignKind campaigns[] = {CampaignKind::kTakeover, CampaignKind::kEclipse,
+                                      CampaignKind::kPartitionHeal};
+    const std::vector<double> rates{0.0, 0.05, 0.30};
+    const std::vector<double> drops{0.0, 0.05};
+
+    std::vector<int> widths{15, 15};
+    std::vector<std::string> head{"protocol", "campaign"};
+    for (double rate : rates) {
+      for (double drop : drops) {
+        head.push_back("r" + fmt(rate, 2) + "/d" + fmt(drop, 2));
+        widths.push_back(12);
+      }
+    }
+    head.push_back("agreement");
+    widths.push_back(11);
+    print_row(head, widths);
+
+    for (auto [proto, label] : frontier_protocols) {
+      for (CampaignKind kind : campaigns) {
+        std::vector<std::string> cells{label, campaign_name(kind)};
+        bool all_agree = true;
+        obs::Json decided = obs::Json::object();
+        obs::Json agreement = obs::Json::object();
+        obs::Json granted = obs::Json::object();
+        for (double rate : rates) {
+          for (double drop : drops) {
+            BaRunConfig cfg;
+            cfg.n = frontier_n;
+            cfg.beta = 0.0;
+            cfg.seed = seed;
+            cfg.protocol = proto;
+            cfg.campaign = kind;
+            cfg.corruption_rate = rate;
+            if (drop > 0.0) {
+              FaultPlan plan;
+              plan.seed = 2028;
+              plan.drop_prob = drop;
+              cfg.faults = plan;
+            }
+            auto r = run_ba(cfg);
+            const std::string key = "r" + fmt(rate, 2) + "_d" + fmt(drop, 2);
+            // The frontier metric: a cell is "held" only if agreement did —
+            // a decided fraction reached by deciding *differently* is worse
+            // than not deciding, so it renders as BROKE, not as a number.
+            cells.push_back(r.agreement ? fmt(r.decided_fraction(), 3) : "BROKE");
+            decided.set(key, r.decided_fraction());
+            agreement.set(key, r.agreement);
+            granted.set(key, r.adaptively_corrupted);
+            all_agree = all_agree && r.agreement;
+          }
+        }
+        cells.push_back(all_agree ? "yes" : "NO");
+        print_row(cells, widths);
+
+        obs::Json m = obs::Json::object();
+        m.set("sweep", "frontier");
+        m.set("protocol", label);
+        m.set("campaign", campaign_name(kind));
+        m.set("frontier_n", frontier_n);
+        m.set("decided_fraction_by_cell", std::move(decided));
+        m.set("agreement_by_cell", std::move(agreement));
+        m.set("corruptions_by_cell", std::move(granted));
+        m.set("agreement", all_agree);
+        rep.add_row(row_idx++, std::move(m));
+      }
+    }
+    say("\nFrontier shape: pi_ba/snark reads \"yes\" in every campaign row (its\n"
+        "decided fraction may dip -- the certificate discipline trades liveness,\n"
+        "never safety), while acd19-star reads NO under takeover (a seized slim\n"
+        "majority of the supreme committee split-pushes conflicting signed\n"
+        "values) and under eclipse (victims decide on a forged dissemination\n"
+        "feed). That separation is the resilience frontier the bench-diff gate\n"
+        "ratchets.\n");
   }
 
   say("\nExpected shape: agreement must read \"yes\" in every row of both tables\n"

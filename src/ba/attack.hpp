@@ -17,11 +17,18 @@
 // π_ba must decide correctly despite all of this; the integration tests
 // assert it (safety rests on SRDS unforgeability + the range checks + the
 // per-sender vote dedup, all exercised here).
+// This file also hosts the protocol-aware *adaptive* campaigns (see
+// net/campaign.hpp for the protocol-agnostic base): eclipse, takeover and
+// partition-then-heal. They need the communication tree, the committee
+// election and the signature registry, so they live here in the ba layer.
 #pragma once
 
 #include <functional>
 #include <memory>
 
+#include "crypto/simsig.hpp"
+#include "net/campaign.hpp"
+#include "net/faults.hpp"
 #include "net/protocol.hpp"
 #include "srds/srds.hpp"
 #include "tree/comm_tree.hpp"
@@ -39,5 +46,33 @@ struct PiBaAttackConfig {
 };
 
 std::unique_ptr<Adversary> make_pi_ba_attacker(PiBaAttackConfig config);
+
+/// Everything a campaign needs to plan its moves: the public protocol
+/// schedule, the tree (committee election results are public), the static
+/// corruption mask it starts from, and the adaptive budget the harness will
+/// hand the simulator (floor(corruption_rate * n) in run_ba).
+struct CampaignConfig {
+  CampaignKind kind = CampaignKind::kNone;
+  std::shared_ptr<const CommTree> tree;
+  SimSigRegistryPtr registry;
+  std::vector<bool> corrupt;     // static mask (fail-silent seed corruptions)
+  std::size_t budget = 0;        // adaptive corruptions the simulator will grant
+  std::uint64_t seed = 1;
+  std::size_t dissem_start = 0;  // schedule anchors (same for all parties)
+  std::size_t boost_start = 0;
+  std::size_t total_rounds = 0;
+};
+
+/// A campaign instance: the adversary to install plus the partition windows
+/// the campaign relies on (merged into the run's fault plan by the harness —
+/// partitions are a network capability, not an adversary message).
+struct CampaignSetup {
+  std::unique_ptr<Adversary> adversary;
+  std::vector<PartitionWindow> partitions;
+};
+
+/// Build the named campaign. kNone returns a silent adversary and no
+/// partitions. All target choices derive from campaign_hash(seed, ·, ·).
+CampaignSetup make_campaign(CampaignConfig config);
 
 }  // namespace srds

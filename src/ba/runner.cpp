@@ -90,14 +90,16 @@ BaRunResult run_ba(const BaRunConfig& config) {
   ae.registry = registry;
   ae.seed = rng.next();
 
-  // Chaos hardening: under a fault plan, budget a grace window for late
-  // traffic and retransmit certificate shares during π_ba's step 6. Both
-  // knobs derive from public configuration, so all parties agree on the
-  // stretched schedule.
-  const bool chaos = config.faults.has_value() && config.faults->any();
+  // Chaos hardening: under a fault plan or an adaptive campaign, budget a
+  // grace window for late traffic and retransmit certificate shares during
+  // π_ba's step 6. Both knobs derive from public configuration, so all
+  // parties agree on the stretched schedule.
+  const bool chaos = (config.faults.has_value() && config.faults->any()) ||
+                     config.campaign != CampaignKind::kNone;
   ae.grace_rounds = config.grace_rounds;
   if (ae.grace_rounds == 0 && chaos) {
-    ae.grace_rounds = std::max<std::size_t>(config.faults->suggested_grace(), 2);
+    ae.grace_rounds = std::max<std::size_t>(
+        config.faults ? config.faults->suggested_grace() : 0, 2);
   }
   std::size_t dissem_retries = 0;
   if (chaos && config.certificate_redundancy > 1) {
@@ -178,7 +180,25 @@ BaRunResult run_ba(const BaRunConfig& config) {
   }
 
   std::unique_ptr<Adversary> adversary;
-  if (config.active_adversary && scheme) {
+  std::vector<PartitionWindow> campaign_partitions;
+  std::size_t corruption_budget = 0;
+  if (config.campaign != CampaignKind::kNone) {
+    corruption_budget = static_cast<std::size_t>(config.corruption_rate *
+                                                 static_cast<double>(config.n));
+    CampaignConfig cc;
+    cc.kind = config.campaign;
+    cc.tree = tree;
+    cc.registry = registry;
+    cc.corrupt = corrupt;
+    cc.budget = corruption_budget;
+    cc.seed = rng.next();  // drawn only on this path: kNone runs keep their streams
+    cc.dissem_start = dissem_start;
+    cc.boost_start = boost_start;
+    cc.total_rounds = total_rounds;
+    CampaignSetup setup = make_campaign(std::move(cc));
+    adversary = std::move(setup.adversary);
+    campaign_partitions = std::move(setup.partitions);
+  } else if (config.active_adversary && scheme) {
     const std::size_t h = tree->height();
     PiBaAttackConfig attack;
     attack.tree = tree;
@@ -191,9 +211,22 @@ BaRunResult run_ba(const BaRunConfig& config) {
     adversary = make_pi_ba_attacker(std::move(attack));
   }
 
+  // Effective fault plan = the configured one plus the campaign's partition
+  // windows (a campaign without faults still gets a plan to carry them).
+  std::optional<FaultPlan> plan = config.faults;
+  if (!campaign_partitions.empty()) {
+    if (!plan.has_value()) {
+      plan.emplace();
+      plan->seed = config.seed ^ 0x63616d706169676eULL;
+    }
+    plan->partitions.insert(plan->partitions.end(), campaign_partitions.begin(),
+                            campaign_partitions.end());
+  }
+
   Simulator sim(std::move(parties), corrupt, std::move(adversary));
   sim.set_phase_mark(boost_start);
-  if (chaos) sim.set_fault_plan(*config.faults);
+  sim.set_corruption_budget(corruption_budget);
+  if (plan.has_value() && plan->any()) sim.set_fault_plan(*plan);
   for (obs::TraceSink* sink : {static_cast<obs::TraceSink*>(config.trace),
                                static_cast<obs::TraceSink*>(config.ledger)}) {
     if (!sink) continue;
@@ -209,13 +242,21 @@ BaRunResult run_ba(const BaRunConfig& config) {
     }
   }
   BaRunResult result;
+  result.corruption_budget = corruption_budget;
   result.rounds = sim.run(total_rounds + 2);
   result.stats = sim.stats();
   result.boost_stats = sim.phase_stats();
   result.boost_rounds = total_rounds - boost_start;
+  result.adaptively_corrupted = sim.stats().faults.adaptive_corruptions;
+  result.plan_issues = sim.plan_issues();
+
+  // Account over the FINAL corruption mask: a party the campaign flipped
+  // mid-run is the adversary's, not a data point about honest behavior.
+  std::vector<bool> final_corrupt(config.n, false);
+  for (PartyId i = 0; i < config.n; ++i) final_corrupt[i] = sim.is_corrupt(i);
 
   for (PartyId i = 0; i < config.n; ++i) {
-    if (corrupt[i]) continue;
+    if (final_corrupt[i]) continue;
     ++result.honest;
     if (sim.is_crashed(i)) ++result.crashed;
     const auto* party = dynamic_cast<const AeBoostParty*>(sim.party(i));
@@ -229,13 +270,14 @@ BaRunResult run_ba(const BaRunConfig& config) {
 
   // Audit the declared communication budgets over the honest parties (the
   // paper's bounds quantify over honest parties; fail-silent corruptions
-  // receive protocol traffic but owe nothing).
+  // receive protocol traffic but owe nothing, and adaptively seized slots
+  // carry adversary traffic that no honest budget governs).
   if (config.ledger) {
     obs::BudgetAuditor auditor;
     auditor.require(protocol_name(config.protocol), "boost", boost_budget);
     auditor.require("f_ba", "f_ba", CommitteeBaProto::phase_budget());
     auditor.require("f_ct", "f_ct", CoinTossProto::phase_budget());
-    result.budget_evals = auditor.evaluate(*config.ledger, &corrupt);
+    result.budget_evals = auditor.evaluate(*config.ledger, &final_corrupt);
     if (config.strict_budgets) {
       std::vector<obs::BudgetEval> findings;
       for (const obs::BudgetEval& e : result.budget_evals) {

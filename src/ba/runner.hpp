@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "net/campaign.hpp"
 #include "net/faults.hpp"
 #include "net/stats.hpp"
 #include "obs/budget.hpp"
@@ -44,7 +45,18 @@ struct BaRunConfig {
   bool input = true;
   /// Drive corrupted parties with the active π_ba attacker (ba/attack.hpp)
   /// instead of fail-silence. Only meaningful for the π_ba protocols.
+  /// Ignored when `campaign` is set — a campaign brings its own adversary.
   bool active_adversary = false;
+
+  /// Adaptive attack campaign (ba/attack.hpp). When not kNone, the harness
+  /// installs the campaign's adversary, merges its partition windows into
+  /// the effective fault plan, and hands the simulator an adaptive
+  /// corruption budget of floor(corruption_rate * n). The run counts as a
+  /// chaos run (grace window, certificate retransmits) even without a
+  /// FaultPlan of its own.
+  CampaignKind campaign = CampaignKind::kNone;
+  /// Fraction of n the campaign may adaptively corrupt mid-run.
+  double corruption_rate = 0.0;
   /// Sparse-σ redundancy of the certified dissemination (π_ba step 6).
   std::size_t certificate_redundancy = 3;
   /// Multiplier on the scaled tree committee sizes (ablation knob).
@@ -95,12 +107,24 @@ struct BaRunResult {
   NetworkStats boost_stats{0};
   std::size_t boost_rounds = 0;
   std::size_t rounds = 0;
+  /// Parties that finished the run honest — statically corrupted slots and
+  /// adaptive mid-run corruptions are both excluded (the paper's guarantees
+  /// quantify over parties honest at the end of the execution).
   std::size_t honest = 0;
   std::size_t decided = 0;   // honest parties with an output
   std::size_t correct = 0;   // honest parties whose output == input
   std::size_t crashed = 0;   // honest parties crash-stopped by the fault plan
   bool agreement = true;     // no two honest parties decided differently
   std::optional<bool> value; // the decided value (if any party decided)
+
+  /// Adaptive-campaign accounting (zero without a campaign): the budget the
+  /// simulator was given and the corruptions actually granted from it.
+  std::size_t corruption_budget = 0;
+  std::size_t adaptively_corrupted = 0;
+
+  /// Validation findings for the effective fault plan (config.faults plus
+  /// any campaign partitions) — warnings only; errors throw out of run_ba.
+  std::vector<FaultPlanIssue> plan_issues;
 
   /// Budget evaluations (one per registered claim, in registration order);
   /// empty unless BaRunConfig::ledger was set. A *finding* is an entry with

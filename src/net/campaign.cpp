@@ -1,0 +1,19 @@
+#include "net/campaign.hpp"
+
+#include "common/rng.hpp"
+
+namespace srds {
+
+// srds-lint: hotpath — every adaptive decision a campaign makes (victim
+// choice, corruption schedule, child targeting) draws through this hash,
+// queried per (round, party); must not allocate or unwind (rule P1).
+std::uint64_t campaign_hash(std::uint64_t seed, std::uint64_t round, std::uint64_t party) {
+  std::uint64_t s = seed;
+  std::uint64_t a = round ^ 0x9e3779b97f4a7c15ULL;
+  std::uint64_t b = party ^ 0xbf58476d1ce4e5b9ULL;
+  s ^= splitmix64(a);
+  s ^= splitmix64(b);
+  return splitmix64(s);
+}
+
+}  // namespace srds

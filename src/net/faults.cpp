@@ -1,5 +1,7 @@
 #include "net/faults.hpp"
 
+#include <algorithm>
+
 #include "common/rng.hpp"
 
 namespace srds {
@@ -27,6 +29,102 @@ double to_unit(std::uint64_t v) {
 }
 
 }  // namespace
+
+std::vector<FaultPlanIssue> validate_fault_plan(const FaultPlan& plan, std::size_t n,
+                                                const std::vector<bool>* corrupt) {
+  std::vector<FaultPlanIssue> issues;
+  auto error = [&](std::string what) {
+    issues.push_back(FaultPlanIssue{FaultPlanIssue::Severity::kError, std::move(what)});
+  };
+  auto warn = [&](std::string what) {
+    issues.push_back(FaultPlanIssue{FaultPlanIssue::Severity::kWarning, std::move(what)});
+  };
+  auto is_corrupt = [&](PartyId p) {
+    return corrupt && p < corrupt->size() && (*corrupt)[p];
+  };
+
+  auto check_prob = [&](double p, const char* name) {
+    if (p < 0.0 || p > 1.0) {
+      error(std::string(name) + " = " + std::to_string(p) + " outside [0, 1]");
+    }
+  };
+  check_prob(plan.drop_prob, "drop_prob");
+  check_prob(plan.delay_prob, "delay_prob");
+  check_prob(plan.duplicate_prob, "duplicate_prob");
+  if (plan.delay_prob > 0.0 && plan.max_delay == 0) {
+    warn("delay_prob > 0 with max_delay == 0: delay faults are inactive");
+  }
+
+  for (const auto& o : plan.link_drops) {
+    if (o.from >= n || o.to >= n) {
+      error("link_drop override names out-of-range party " +
+            std::to_string(o.from >= n ? o.from : o.to) + " (n = " + std::to_string(n) + ")");
+    }
+    check_prob(o.drop_prob, "link_drop.drop_prob");
+  }
+
+  for (const auto& c : plan.crashes) {
+    if (c.party >= n) {
+      error("crash entry names out-of-range party " + std::to_string(c.party) +
+            " (n = " + std::to_string(n) + ")");
+    } else if (is_corrupt(c.party)) {
+      warn("crash entry for corrupt party " + std::to_string(c.party) +
+           ": the adversary already controls that slot; the entry is inert");
+    }
+  }
+
+  // Partitions: range-check every group member, and flag windows that are
+  // degenerate (empty cut) or that overlap in time on the same cut — the
+  // combined drop semantics of two identical concurrent cuts is well-defined
+  // but almost certainly an authoring mistake.
+  std::vector<std::pair<std::vector<PartyId>, std::size_t>> cuts;  // sorted group -> index
+  for (std::size_t i = 0; i < plan.partitions.size(); ++i) {
+    const PartitionWindow& w = plan.partitions[i];
+    if (w.until_round <= w.from_round) {
+      warn("partition window " + std::to_string(i) + " has until_round <= from_round; inert");
+    }
+    std::size_t in_range = 0;
+    for (PartyId p : w.group) {
+      if (p >= n) {
+        error("partition window " + std::to_string(i) + " contains out-of-range party " +
+              std::to_string(p) + " (n = " + std::to_string(n) + ")");
+      } else {
+        ++in_range;
+      }
+    }
+    if (in_range == 0 || in_range >= n) {
+      warn("partition window " + std::to_string(i) +
+           " cuts nothing (group empty or covers every party)");
+    }
+    std::vector<PartyId> key(w.group.begin(), w.group.end());
+    std::sort(key.begin(), key.end());
+    key.erase(std::unique(key.begin(), key.end()), key.end());
+    for (const auto& [other_key, j] : cuts) {
+      if (other_key != key) continue;
+      const PartitionWindow& o = plan.partitions[j];
+      if (w.from_round < o.until_round && o.from_round < w.until_round) {
+        warn("partition windows " + std::to_string(j) + " and " + std::to_string(i) +
+             " overlap on the same cut; merge them into one window");
+      }
+    }
+    cuts.emplace_back(std::move(key), i);
+  }
+
+  for (std::size_t i = 0; i < plan.churn.size(); ++i) {
+    const ChurnWindow& w = plan.churn[i];
+    if (w.party >= n) {
+      error("churn window " + std::to_string(i) + " names out-of-range party " +
+            std::to_string(w.party) + " (n = " + std::to_string(n) + ")");
+    } else if (is_corrupt(w.party)) {
+      warn("churn window " + std::to_string(i) + " for corrupt party " +
+           std::to_string(w.party) + ": the adversary already controls that slot");
+    }
+    if (w.until_round <= w.from_round) {
+      error("churn window " + std::to_string(i) + " has until_round <= from_round");
+    }
+  }
+  return issues;
+}
 
 FaultInjector::FaultInjector(FaultPlan plan, std::size_t n)
     : plan_(std::move(plan)), n_(n), crash_round_(n) {
@@ -56,6 +154,12 @@ double FaultInjector::link_drop_prob(PartyId from, PartyId to) const {
 }
 
 bool FaultInjector::crosses_partition(std::size_t round, PartyId from, PartyId to) const {
+  // A crash-stopped party leaves every partition group: it has no network
+  // position left to be on either side of a cut, so traffic addressed to
+  // its (dead) mailbox is ordinary delivery, not a partition loss. Without
+  // this, a crash inside a partitioned group kept attributing drops to the
+  // cut for the rest of the window.
+  if (crashed(from, round) || crashed(to, round)) return false;
   for (std::size_t i = 0; i < plan_.partitions.size(); ++i) {
     const auto& w = plan_.partitions[i];
     if (round < w.from_round || round >= w.until_round) continue;

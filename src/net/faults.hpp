@@ -4,9 +4,10 @@
 // deployment does not get that luxury. A `FaultPlan` describes how the
 // network misbehaves — per-message drop probability (globally or per link),
 // bounded delay (messages arrive up to `max_delay` rounds late instead of
-// being lost), duplication, crash-stop faults at a scheduled round, and
-// round-windowed partitions between party sets. The `Simulator` consults a
-// `FaultInjector` built from the plan on every delivery.
+// being lost), duplication, crash-stop faults at a scheduled round,
+// round-windowed partitions between party sets, and party churn (leave /
+// rejoin windows during which a party is offline). The `Simulator` consults
+// a `FaultInjector` built from the plan on every delivery.
 //
 // Determinism: every per-message decision is derived by hashing
 // (plan seed, send round, from, to, per-link sequence number) through
@@ -20,6 +21,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -51,6 +53,18 @@ struct LinkDropOverride {
   double drop_prob = 0.0;
 };
 
+/// Churn: the party is offline during send rounds [from_round, until_round).
+/// While offline it neither executes nor sends, and messages that would be
+/// delivered to it are lost (counted in FaultCounters::churn_dropped); at
+/// `until_round` it rejoins with its protocol state intact — the leave /
+/// rejoin model of the long-lived broadcast service (ROADMAP item 2). A
+/// crash-stop dominates: a crashed party never rejoins.
+struct ChurnWindow {
+  PartyId party = 0;
+  std::size_t from_round = 0;
+  std::size_t until_round = 0;
+};
+
 struct FaultPlan {
   /// Seed for all randomized fault decisions (drop/delay/duplicate).
   std::uint64_t seed = 1;
@@ -71,18 +85,39 @@ struct FaultPlan {
   std::vector<LinkDropOverride> link_drops;
   std::vector<CrashFault> crashes;
   std::vector<PartitionWindow> partitions;
+  std::vector<ChurnWindow> churn;
 
   /// True if the plan can affect any delivery at all.
   bool any() const {
     return drop_prob > 0.0 || (delay_prob > 0.0 && max_delay > 0) ||
            duplicate_prob > 0.0 || !link_drops.empty() || !crashes.empty() ||
-           !partitions.empty();
+           !partitions.empty() || !churn.empty();
   }
 
   /// Extra protocol rounds a harness should budget so that delayed traffic
   /// can still be ingested (see BaRunConfig::grace_rounds).
   std::size_t suggested_grace() const { return max_delay ? max_delay + 1 : 0; }
 };
+
+/// One finding from validate_fault_plan. Errors describe plans that are
+/// ill-defined (out-of-range PartyIds, invalid probabilities, inverted
+/// windows) and make Simulator::set_fault_plan throw; warnings describe
+/// plans that are well-defined but probably not what the author meant
+/// (crash entries for corrupt parties, overlapping windows on the same
+/// cut). Warnings are surfaced — never silently ignored — through
+/// Simulator::plan_issues() and BaRunResult::plan_issues.
+struct FaultPlanIssue {
+  enum class Severity { kWarning, kError };
+  Severity severity = Severity::kWarning;
+  std::string what;
+};
+
+/// Structural validation of a plan against a network of `n` parties.
+/// `corrupt` (optional) enables the corrupt-party checks: crash or churn
+/// entries naming corrupted parties are operationally inert (the adversary
+/// already controls those slots) and come back as warnings.
+std::vector<FaultPlanIssue> validate_fault_plan(const FaultPlan& plan, std::size_t n,
+                                                const std::vector<bool>* corrupt = nullptr);
 
 /// Per-delivery verdict of the injector.
 struct FaultVerdict {
@@ -108,6 +143,18 @@ class FaultInjector {
   bool crashed(PartyId i, std::size_t round) const {
     return i < crash_round_.size() && crash_round_[i].has_value() &&
            *crash_round_[i] <= round;
+  }
+
+  // srds-lint: hotpath — consulted once per delivery and once per party per
+  // round under a churn-bearing plan; must not allocate or unwind (rule P1).
+  /// Is party `i` churned offline during round `round`? Offline parties do
+  /// not execute, and deliveries to them at that round are lost. A crashed
+  /// party is reported through crashed(), not here.
+  bool offline(PartyId i, std::size_t round) const {
+    for (const ChurnWindow& w : plan_.churn) {
+      if (w.party == i && round >= w.from_round && round < w.until_round) return true;
+    }
+    return false;
   }
 
   const FaultPlan& plan() const { return plan_; }

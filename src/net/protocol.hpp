@@ -31,6 +31,14 @@ class Party {
 /// The adversary controls all corrupted parties jointly and is *rushing*:
 /// in each round it sees the honest parties' outgoing messages for that round
 /// (full-information network) before choosing the corrupted parties' messages.
+///
+/// An *adaptive* adversary may additionally corrupt honest parties mid-run,
+/// subject to the simulator's corruption budget (Simulator::
+/// set_corruption_budget): at the start of each round the simulator asks for
+/// `corruption_requests(round)` and grants them in order while budget
+/// remains; each grant flips the party's slot to corrupt and hands the
+/// seized party logic to `on_corrupted`. All requests must be derived
+/// deterministically from (seed, round, party) so runs stay reproducible.
 class Adversary {
  public:
   virtual ~Adversary() = default;
@@ -42,6 +50,27 @@ class Adversary {
   virtual std::vector<Message> on_round(std::size_t round,
                                         const std::vector<Message>& corrupt_inbox,
                                         const std::vector<Message>& honest_outbox) = 0;
+
+  /// Parties this adversary wants to corrupt at the start of `round`,
+  /// in priority order. Only consulted when a corruption budget is set;
+  /// requests beyond the budget (or naming already-corrupt / crashed /
+  /// out-of-range parties) are denied and counted, never granted.
+  virtual std::vector<PartyId> corruption_requests(std::size_t round) {
+    (void)round;
+    return {};
+  }
+
+  /// A corruption request was granted: from `round` on, `party` is
+  /// adversarial. `seized` is the party's protocol logic — its entire
+  /// internal state is now visible to the adversary (read-only by
+  /// convention; the simulator will never step it again). Messages already
+  /// in flight to the party from earlier rounds still arrive — into the
+  /// adversary's inbox.
+  virtual void on_corrupted(std::size_t round, PartyId party, Party* seized) {
+    (void)round;
+    (void)party;
+    (void)seized;
+  }
 };
 
 /// An adversary whose corrupted parties stay silent (fail-stop-like).

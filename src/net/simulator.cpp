@@ -9,11 +9,16 @@ Simulator::Simulator(std::vector<std::unique_ptr<Party>> parties, std::vector<bo
     : parties_(std::move(parties)),
       corrupt_(std::move(corrupt)),
       crashed_(parties_.size(), false),
+      offline_(parties_.size(), false),
       adversary_(std::move(adversary)),
       stats_(parties_.size()) {
   if (corrupt_.size() != parties_.size()) {
     throw std::invalid_argument("Simulator: corrupt mask size mismatch");
   }
+  // Construction-time invariant only: a slot that is *statically* corrupt
+  // never holds honest logic. Adaptive corruption later flips corrupt_[i]
+  // while parties_[i] keeps the seized logic (never stepped again, but its
+  // outputs stay readable through party()).
   for (PartyId i = 0; i < parties_.size(); ++i) {
     if (corrupt_[i] && parties_[i]) {
       throw std::invalid_argument("Simulator: corrupted slot must not hold honest logic");
@@ -27,6 +32,12 @@ Simulator::Simulator(std::vector<std::unique_ptr<Party>> parties, std::vector<bo
 }
 
 void Simulator::set_fault_plan(const FaultPlan& plan) {
+  plan_issues_ = validate_fault_plan(plan, parties_.size(), &corrupt_);
+  for (const auto& issue : plan_issues_) {
+    if (issue.severity == FaultPlanIssue::Severity::kError) {
+      throw std::invalid_argument("Simulator::set_fault_plan: " + issue.what);
+    }
+  }
   injector_ = std::make_unique<FaultInjector>(plan, parties_.size());
 }
 
@@ -41,6 +52,17 @@ void Simulator::deliver(std::size_t round, Message m,
     if (in_phase) phase_stats_.record(m);
     for (obs::TraceSink* s : sinks_) s->on_delivery(round, m, obs::Delivery::kDelivered);
     inboxes[m.to].push_back(std::move(m));
+    return;
+  }
+
+  // A receiver churned offline at the delivery round (round + 1) loses the
+  // message outright; this is deterministic, so it consumes no fault
+  // randomness. Corrupt slots are exempt — the adversary always receives.
+  if (!corrupt_[m.to] && injector_->offline(m.to, round + 1)) {
+    stats_.record_send(m);
+    if (in_phase) phase_stats_.record_send(m);
+    stats_.faults.churn_dropped += 1;
+    for (obs::TraceSink* s : sinks_) s->on_delivery(round, m, obs::Delivery::kOffline);
     return;
   }
 
@@ -96,9 +118,47 @@ std::size_t Simulator::run(std::size_t max_rounds) {
       }
     }
 
-    // Deferred messages whose delay expires this round join the inbox.
+    // Churn transitions (leave/rejoin) observed at round boundaries. A
+    // crashed party never transitions; a corrupt slot's churn is inert.
+    if (injector_ && !injector_->plan().churn.empty()) {
+      for (PartyId i = 0; i < n; ++i) {
+        if (corrupt_[i] || crashed_[i]) continue;
+        const bool off = injector_->offline(i, round);
+        if (off != static_cast<bool>(offline_[i])) {
+          offline_[i] = off;
+          for (obs::TraceSink* s : sinks_) s->on_churn(round, i, !off);
+        }
+      }
+    }
+
+    // Adaptive corruption: grant the adversary's requests, in its priority
+    // order, while budget remains. A grant flips the slot for the rest of
+    // the run; the seized honest logic is handed to the adversary and never
+    // stepped again. Denied requests (budget gone, bad/already-flipped/
+    // crashed target) are counted, never retried by us.
+    if (corruption_budget_ > 0 && adversary_) {
+      for (PartyId p : adversary_->corruption_requests(round)) {
+        if (p >= n || corrupt_[p] || crashed_[p] ||
+            stats_.faults.adaptive_corruptions >= corruption_budget_) {
+          stats_.faults.corruptions_denied += 1;
+          continue;
+        }
+        corrupt_[p] = true;
+        stats_.faults.adaptive_corruptions += 1;
+        for (obs::TraceSink* s : sinks_) s->on_corrupt(round, p);
+        adversary_->on_corrupted(round, p, parties_[p].get());
+      }
+    }
+
+    // Deferred messages whose delay expires this round join the inbox —
+    // unless the receiver is churned offline at the (re)delivery round.
     if (auto it = delayed_.find(round); it != delayed_.end()) {
       for (auto& p : it->second) {
+        if (injector_ && !corrupt_[p.m.to] && injector_->offline(p.m.to, round)) {
+          stats_.faults.churn_dropped += 1;
+          for (obs::TraceSink* s : sinks_) s->on_delivery(round, p.m, obs::Delivery::kOffline);
+          continue;
+        }
         stats_.faults.late_delivered += 1;
         stats_.record_recv(p.m);
         if (p.in_phase) phase_stats_.record_recv(p.m);
@@ -125,6 +185,9 @@ std::size_t Simulator::run(std::size_t max_rounds) {
     std::vector<Message> honest_out;
     for (PartyId i = 0; i < n; ++i) {
       if (corrupt_[i] || crashed_[i]) continue;
+      // Churned-offline parties neither execute nor send this round; their
+      // protocol state is frozen until they rejoin.
+      if (offline_[i]) continue;
       auto out = parties_[i]->on_round(round, inboxes[i]);
       for (auto& m : out) {
         if (m.from != i || m.to >= n) {

@@ -5,12 +5,18 @@
 // identity — the standard model of the paper; cryptographic authentication
 // *within* payloads is still needed for transferable authentication, e.g.,
 // Dolev-Strong). The adversary statically corrupts a subset of parties and is
-// rushing. All communication costs are accounted in `NetworkStats`.
+// rushing; with `set_corruption_budget` it becomes *adaptive* and may flip
+// honest parties mid-run (the seized party's state becomes visible to it,
+// future traffic to the slot is rerouted into the adversary's inbox, and
+// messages already in flight from earlier rounds still arrive). All
+// communication costs are accounted in `NetworkStats`.
 //
 // Optionally the network itself misbehaves: `set_fault_plan` installs a
 // seeded, deterministic fault-injection layer (drops, bounded delays,
-// duplication, crash-stop faults, partitions — see net/faults.hpp). Without
-// a plan, delivery is perfect and behavior is identical to the paper's model.
+// duplication, crash-stop faults, partitions, churn — see net/faults.hpp).
+// Without a plan, delivery is perfect and behavior is identical to the
+// paper's model. Plans are validated on installation: structurally invalid
+// plans throw, suspicious-but-legal ones surface findings via plan_issues().
 #pragma once
 
 #include <functional>
@@ -33,8 +39,23 @@ class Simulator {
   Simulator(std::vector<std::unique_ptr<Party>> parties, std::vector<bool> corrupt,
             std::unique_ptr<Adversary> adversary);
 
-  /// Install a fault plan. Call before run().
+  /// Install a fault plan. Call before run(). The plan is validated against
+  /// this network first (see validate_fault_plan): a structurally invalid
+  /// plan throws std::invalid_argument naming the first error; warnings are
+  /// retained and queryable via plan_issues() — never silently ignored.
   void set_fault_plan(const FaultPlan& plan);
+
+  /// Findings from validating the most recently installed fault plan
+  /// (warnings only — errors threw out of set_fault_plan).
+  const std::vector<FaultPlanIssue>& plan_issues() const { return plan_issues_; }
+
+  /// Enable adaptive corruption: the adversary's corruption_requests() are
+  /// consulted at the start of every round and granted — flipping the named
+  /// honest party to corrupt for the rest of the run — until `budget` grants
+  /// have been spent. 0 (the default) disables adaptive corruption entirely;
+  /// requests are then never solicited. Call before run().
+  void set_corruption_budget(std::size_t budget) { corruption_budget_ = budget; }
+  std::size_t corruption_budget() const { return corruption_budget_; }
 
   /// Cap on adversary message payloads; larger payloads are rejected (and
   /// counted in stats().faults.adversary_rejected). Honest parties are
@@ -71,6 +92,10 @@ class Simulator {
   /// Stats restricted to rounds >= the phase mark (empty if no mark set).
   const NetworkStats& phase_stats() const { return phase_stats_; }
   std::size_t n() const { return parties_.size(); }
+  /// True if party i is adversarial *now* — statically corrupted at
+  /// construction, or adaptively corrupted during the run. Query after run()
+  /// for the final mask (honest-cost accounting must use this, not the
+  /// static mask the run started from).
   bool is_corrupt(PartyId i) const { return corrupt_[i]; }
   /// True if party i crash-stopped during the run (always false without a
   /// fault plan).
@@ -91,8 +116,11 @@ class Simulator {
   std::vector<std::unique_ptr<Party>> parties_;
   std::vector<bool> corrupt_;
   std::vector<bool> crashed_;
+  std::vector<bool> offline_;  // churn state last observed, for transitions
   std::unique_ptr<Adversary> adversary_;
   std::unique_ptr<FaultInjector> injector_;
+  std::vector<FaultPlanIssue> plan_issues_;
+  std::size_t corruption_budget_ = 0;
   std::vector<obs::TraceSink*> sinks_;  // fan-out set, installation order
   std::size_t max_adv_payload_ = kDefaultMaxAdversaryPayload;
   NetworkStats stats_;

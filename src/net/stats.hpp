@@ -54,6 +54,12 @@ struct FaultCounters {
   std::uint64_t duplicated = 0;      // extra copies injected at receivers
   std::uint64_t crashed_parties = 0; // honest parties that crash-stopped
   std::uint64_t adversary_rejected = 0;
+  std::uint64_t churn_dropped = 0;   // deliveries lost to an offline receiver
+  // Adaptive corruption (docs/fault_model.md): grants consumed from the
+  // simulator's corruption budget, and adversary requests that were refused
+  // (budget exhausted, or the target was already corrupt/crashed/invalid).
+  std::uint64_t adaptive_corruptions = 0;
+  std::uint64_t corruptions_denied = 0;
 
   bool operator==(const FaultCounters&) const = default;
 };

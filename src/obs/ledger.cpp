@@ -79,6 +79,7 @@ void Ledger::on_delivery(std::size_t round, const Message& m, Delivery outcome) 
     case Delivery::kDropped:
     case Delivery::kPartitioned:
     case Delivery::kDelayed:
+    case Delivery::kOffline:
       return;  // nobody received anything
   }
   if (m.to >= n_) return;

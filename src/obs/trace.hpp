@@ -25,6 +25,7 @@ enum class Delivery : std::uint8_t {
   kDropped,      // lost to a random/link drop fault
   kPartitioned,  // lost crossing an active partition cut
   kDelayed,      // deferred by a delay fault (a kLate event follows, or not)
+  kOffline,      // lost because the receiver was churned offline
 };
 
 inline const char* delivery_name(Delivery d) {
@@ -35,6 +36,7 @@ inline const char* delivery_name(Delivery d) {
     case Delivery::kDropped: return "dropped";
     case Delivery::kPartitioned: return "partitioned";
     case Delivery::kDelayed: return "delayed";
+    case Delivery::kOffline: return "offline";
   }
   return "?";
 }
@@ -65,6 +67,22 @@ class TraceSink {
   virtual void on_crash(std::size_t round, PartyId party) {
     (void)round;
     (void)party;
+  }
+
+  /// The adversary's corruption request for `party` was granted from the
+  /// simulator's corruption budget at the start of `round`: the party is
+  /// adversarial from this round on (docs/fault_model.md, adaptive model).
+  virtual void on_corrupt(std::size_t round, PartyId party) {
+    (void)round;
+    (void)party;
+  }
+
+  /// Churn transition at the start of `round`: `online` false = the party
+  /// left the network, true = it rejoined with its state intact.
+  virtual void on_churn(std::size_t round, PartyId party, bool online) {
+    (void)round;
+    (void)party;
+    (void)online;
   }
 
   virtual void on_round_end(std::size_t round) { (void)round; }

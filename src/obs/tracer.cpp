@@ -40,6 +40,7 @@ void RoundTracer::on_delivery(std::size_t round, const Message& m, Delivery outc
       break;
     case Delivery::kDropped:
     case Delivery::kPartitioned:
+    case Delivery::kOffline:
       r.dropped += 1;
       break;
     case Delivery::kDelayed:

@@ -1,0 +1,165 @@
+// Attack-campaign suite: end-to-end BA runs against the adaptive adversary
+// engine (net/campaign.hpp + ba/attack.hpp make_campaign). The invariants:
+//   * the SNARK-SRDS protocol keeps AGREEMENT across every campaign in the
+//     grid, below and above each baseline's breaking point;
+//   * at least one baseline demonstrably degrades earlier (the resilience
+//     frontier bench/fig_resilience.cpp charts is not vacuous);
+//   * adaptive corruption respects the budget, and every adaptive decision
+//     is a pure function of (seed, round, party) — same seed, byte-identical
+//     NetworkStats and per-party Ledger;
+//   * churned parties rejoin mid-protocol with state intact and the run
+//     still agrees.
+// ctest label: chaos (run with `ctest -L chaos`, e.g. under sanitizers).
+#include <gtest/gtest.h>
+
+#include "ba/runner.hpp"
+#include "obs/ledger.hpp"
+
+namespace srds {
+namespace {
+
+BaRunResult campaign_run(BoostProtocol proto, CampaignKind kind, double rate,
+                         std::size_t n = 64, std::uint64_t seed = 7,
+                         obs::Ledger* ledger = nullptr) {
+  BaRunConfig cfg;
+  cfg.n = n;
+  cfg.beta = 0.0;
+  cfg.seed = seed;
+  cfg.protocol = proto;
+  cfg.campaign = kind;
+  cfg.corruption_rate = rate;
+  cfg.ledger = ledger;
+  return run_ba(cfg);
+}
+
+// --- Determinism guard -----------------------------------------------------
+
+TEST(CampaignDeterminism, SameSeedIsByteIdentical) {
+  for (auto kind : {CampaignKind::kTakeover, CampaignKind::kEclipse,
+                    CampaignKind::kPartitionHeal}) {
+    obs::Ledger la, lb;
+    auto a = campaign_run(BoostProtocol::kPiBaSnark, kind, 0.30, 64, 7, &la);
+    auto b = campaign_run(BoostProtocol::kPiBaSnark, kind, 0.30, 64, 7, &lb);
+    EXPECT_EQ(a.stats, b.stats) << campaign_name(kind);
+    EXPECT_EQ(a.stats.faults, b.stats.faults) << campaign_name(kind);
+    EXPECT_EQ(a.adaptively_corrupted, b.adaptively_corrupted) << campaign_name(kind);
+    // The per-party ledger serialisation is the strongest determinism
+    // witness we have: every send/recv of every party, byte-for-byte.
+    EXPECT_EQ(la.to_json(true).dump(), lb.to_json(true).dump()) << campaign_name(kind);
+  }
+}
+
+TEST(CampaignDeterminism, CampaignHashIsAPureFunction) {
+  EXPECT_EQ(campaign_hash(7, 3, 11), campaign_hash(7, 3, 11));
+  // Each argument perturbs the output (whitened before mixing).
+  EXPECT_NE(campaign_hash(7, 3, 11), campaign_hash(8, 3, 11));
+  EXPECT_NE(campaign_hash(7, 3, 11), campaign_hash(7, 4, 11));
+  EXPECT_NE(campaign_hash(7, 3, 11), campaign_hash(7, 3, 12));
+}
+
+// --- Budget accounting -----------------------------------------------------
+
+TEST(CampaignBudget, GrantsNeverExceedTheBudget) {
+  // Takeover self-limits to a slim majority of the supreme committee even
+  // when the rate would allow more; partition-heal spends everything.
+  auto takeover = campaign_run(BoostProtocol::kPiBaSnark, CampaignKind::kTakeover, 0.30);
+  EXPECT_EQ(takeover.corruption_budget, static_cast<std::size_t>(0.30 * 64));
+  EXPECT_GT(takeover.adaptively_corrupted, 0u);
+  EXPECT_LT(takeover.adaptively_corrupted, takeover.corruption_budget);
+  EXPECT_EQ(takeover.stats.faults.adaptive_corruptions, takeover.adaptively_corrupted);
+
+  auto heal = campaign_run(BoostProtocol::kPiBaSnark, CampaignKind::kPartitionHeal, 0.30);
+  EXPECT_EQ(heal.adaptively_corrupted, heal.corruption_budget);
+
+  // Honest counting excludes every adaptively-flipped slot.
+  EXPECT_EQ(heal.honest, 64u - heal.adaptively_corrupted);
+}
+
+TEST(CampaignBudget, ZeroRateMeansNoCorruptions) {
+  auto r = campaign_run(BoostProtocol::kStar, CampaignKind::kTakeover, 0.0);
+  EXPECT_EQ(r.corruption_budget, 0u);
+  EXPECT_EQ(r.adaptively_corrupted, 0u);
+  EXPECT_TRUE(r.agreement);
+  EXPECT_EQ(r.correct, r.honest);
+}
+
+// --- Per-campaign safety outcomes ------------------------------------------
+
+TEST(CampaignTakeover, BelowThresholdEveryoneAgrees) {
+  for (auto proto : {BoostProtocol::kPiBaSnark, BoostProtocol::kStar,
+                     BoostProtocol::kSampling, BoostProtocol::kNaive}) {
+    auto r = campaign_run(proto, CampaignKind::kTakeover, 0.05);
+    EXPECT_TRUE(r.agreement) << protocol_name(proto);
+    EXPECT_EQ(r.correct, r.honest) << protocol_name(proto);
+  }
+}
+
+TEST(CampaignTakeover, AboveThresholdStarBreaksSnarkHolds) {
+  // Seizing a slim majority of the supreme committee and split-pushing
+  // conflicting signed values shatters the star topology's single-hub
+  // trust; the SNARK certificate quorum is out of the adversary's reach.
+  auto star = campaign_run(BoostProtocol::kStar, CampaignKind::kTakeover, 0.30);
+  EXPECT_FALSE(star.agreement);
+
+  auto snark = campaign_run(BoostProtocol::kPiBaSnark, CampaignKind::kTakeover, 0.30);
+  EXPECT_TRUE(snark.agreement);
+  EXPECT_EQ(snark.correct, snark.honest);
+  EXPECT_DOUBLE_EQ(snark.decided_fraction(), 1.0);
+}
+
+TEST(CampaignEclipse, VictimsAreFooledOnlyWithoutCertificates) {
+  // Eclipsed victims hear a forged dissemination feed that out-votes their
+  // own leaf self-votes, then lose all partition-cut traffic. Baselines let
+  // the victim decide on the forged value (agreement breaks); π_ba's
+  // certificate discipline leaves the victim safely undecided.
+  const std::size_t n = 128;
+  auto star = campaign_run(BoostProtocol::kStar, CampaignKind::kEclipse, 0.05, n);
+  EXPECT_FALSE(star.agreement);
+
+  auto snark = campaign_run(BoostProtocol::kPiBaSnark, CampaignKind::kEclipse, 0.05, n);
+  EXPECT_TRUE(snark.agreement);
+  EXPECT_LT(snark.decided, snark.honest);            // victims undecided...
+  EXPECT_GE(snark.decided_fraction(), 0.95);         // ...and only victims
+  EXPECT_EQ(snark.correct, snark.decided);           // deciders all correct
+}
+
+TEST(CampaignPartitionHeal, SnarkTradesLivenessForSafety) {
+  // A front-end partition (healed before the boost) plus fail-silencing of
+  // the majority side starves π_ba of certificate shares: it refuses to
+  // decide rather than guess (agreement intact). The baselines' grace
+  // fallback adopts the almost-everywhere value and recovers fully.
+  auto snark = campaign_run(BoostProtocol::kPiBaSnark, CampaignKind::kPartitionHeal, 0.30);
+  EXPECT_TRUE(snark.agreement);
+  EXPECT_LT(snark.decided_fraction(), 0.60);
+
+  auto star = campaign_run(BoostProtocol::kStar, CampaignKind::kPartitionHeal, 0.30);
+  EXPECT_TRUE(star.agreement);
+  EXPECT_DOUBLE_EQ(star.decided_fraction(), 1.0);
+  EXPECT_EQ(star.correct, star.honest);
+}
+
+// --- Churn through the full protocol stack ---------------------------------
+
+TEST(CampaignChurn, PartiesRejoinMidProtocolAndAgree)  {
+  // Two parties drop out for a stretch of the front end and rejoin with
+  // state intact; the run must keep agreement and lose at most the churned
+  // parties from the decided set.
+  BaRunConfig cfg;
+  cfg.n = 64;
+  cfg.beta = 0.0;
+  cfg.seed = 9;
+  cfg.protocol = BoostProtocol::kPiBaSnark;
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.churn.push_back(ChurnWindow{5, 2, 8});
+  plan.churn.push_back(ChurnWindow{23, 4, 10});
+  cfg.faults = plan;
+  auto r = run_ba(cfg);
+  EXPECT_TRUE(r.agreement);
+  EXPECT_GT(r.stats.faults.churn_dropped, 0u);
+  EXPECT_GE(r.decided, r.honest - 2);
+  EXPECT_EQ(r.correct, r.decided);
+}
+
+}  // namespace
+}  // namespace srds

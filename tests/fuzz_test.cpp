@@ -210,5 +210,47 @@ TEST_P(ChaosFuzz, RandomFaultPlansNeverBreakAgreement) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosFuzz, ::testing::Range<std::uint64_t>(0, 6));
 
+// Campaign fuzz: randomized attack-campaign schedules (kind x corruption
+// rate, optionally overlaid with drop faults and churn windows) driven
+// through full SNARK-SRDS runs. Safety is absolute: whatever the adaptive
+// adversary seizes within its budget, no two finally-honest parties may
+// decide differently — a hostile-enough campaign may only cost liveness.
+class CampaignFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CampaignFuzz, RandomCampaignSchedulesNeverBreakSnarkAgreement) {
+  Rng rng(GetParam() * 173 + 5);
+  const std::size_t n = 48;
+  const CampaignKind kinds[] = {CampaignKind::kTakeover, CampaignKind::kEclipse,
+                                CampaignKind::kPartitionHeal};
+  for (int trial = 0; trial < 3; ++trial) {
+    BaRunConfig cfg;
+    cfg.n = n;
+    cfg.beta = 0.0;
+    cfg.seed = rng.next();
+    cfg.protocol = BoostProtocol::kPiBaSnark;
+    cfg.campaign = kinds[rng.below(3)];
+    cfg.corruption_rate = static_cast<double>(rng.below(41)) / 100.0;  // 0..0.40
+    if (rng.below(2) == 0) {
+      FaultPlan plan;
+      plan.seed = rng.next();
+      plan.drop_prob = static_cast<double>(rng.below(11)) / 100.0;
+      if (rng.below(2) == 0) {
+        std::size_t from = rng.below(8);
+        plan.churn.push_back(ChurnWindow{static_cast<PartyId>(rng.below(n)), from,
+                                         from + 1 + rng.below(6)});
+      }
+      cfg.faults = plan;
+    }
+    auto r = run_ba(cfg);  // must not crash/throw
+    EXPECT_TRUE(r.agreement)
+        << campaign_name(cfg.campaign) << " rate=" << cfg.corruption_rate
+        << " seed=" << cfg.seed << " faults=" << cfg.faults.has_value();
+    EXPECT_LE(r.adaptively_corrupted, r.corruption_budget);
+    EXPECT_LE(r.decided, r.honest);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CampaignFuzz, ::testing::Range<std::uint64_t>(0, 6));
+
 }  // namespace
 }  // namespace srds

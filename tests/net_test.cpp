@@ -361,6 +361,181 @@ TEST(FaultInjection, SpoofedAdversaryMessagesAreCounted) {
   EXPECT_EQ(sim.stats().faults.adversary_rejected, 2u);
 }
 
+// --- Fault-plan validation (errors reject, warnings surface) ---------------
+
+TEST(FaultPlanValidation, ErrorsRejectThePlanAtInstall) {
+  {
+    auto sim = make_flood_sim(4, 2);
+    FaultPlan plan;
+    plan.drop_prob = 1.5;  // not a probability
+    EXPECT_THROW(sim->set_fault_plan(plan), std::invalid_argument);
+  }
+  {
+    auto sim = make_flood_sim(4, 2);
+    FaultPlan plan;
+    PartitionWindow w;
+    w.from_round = 0;
+    w.until_round = 5;
+    w.group = {0, 99};  // 99 out of range for n = 4
+    plan.partitions.push_back(w);
+    EXPECT_THROW(sim->set_fault_plan(plan), std::invalid_argument);
+  }
+  {
+    auto sim = make_flood_sim(4, 2);
+    FaultPlan plan;
+    plan.churn.push_back(ChurnWindow{1, 5, 3});  // until_round <= from_round
+    EXPECT_THROW(sim->set_fault_plan(plan), std::invalid_argument);
+  }
+}
+
+TEST(FaultPlanValidation, WarningsAreSurfacedNotSilent) {
+  FaultPlan plan;
+  plan.delay_prob = 0.5;  // inert without max_delay
+  plan.crashes.push_back(CrashFault{2, 1});  // party 2 will be corrupt below
+  PartitionWindow a;
+  a.from_round = 0;
+  a.until_round = 6;
+  a.group = {0, 1};
+  PartitionWindow b = a;  // same cut, overlapping in time
+  b.from_round = 4;
+  b.until_round = 9;
+  plan.partitions.push_back(a);
+  plan.partitions.push_back(b);
+
+  std::vector<bool> corrupt{false, false, true, false};
+  auto issues = validate_fault_plan(plan, 4, &corrupt);
+  ASSERT_EQ(issues.size(), 3u);
+  for (const auto& i : issues) {
+    EXPECT_EQ(i.severity, FaultPlanIssue::Severity::kWarning) << i.what;
+  }
+  EXPECT_NE(issues[0].what.find("delay_prob"), std::string::npos);
+  EXPECT_NE(issues[1].what.find("corrupt party 2"), std::string::npos);
+  EXPECT_NE(issues[2].what.find("overlap"), std::string::npos);
+
+  // Installing a warnings-only plan succeeds and keeps the findings
+  // queryable — the simulator never swallows them.
+  std::vector<std::unique_ptr<Party>> parties;
+  for (int i = 0; i < 3; ++i) parties.push_back(std::make_unique<SinkParty>(2));
+  parties.push_back(nullptr);
+  std::vector<bool> mask{false, false, false, true};
+  Simulator sim(std::move(parties), mask, std::make_unique<SpoofingAdversary>());
+  FaultPlan ok;
+  ok.delay_prob = 0.5;  // warning only
+  sim.set_fault_plan(ok);
+  ASSERT_EQ(sim.plan_issues().size(), 1u);
+  EXPECT_EQ(sim.plan_issues()[0].severity, FaultPlanIssue::Severity::kWarning);
+}
+
+TEST(FaultInjection, CrashedPartyLeavesPartitionGroups) {
+  // Party 0 sits inside a partitioned group and crashes mid-window. From the
+  // crash round on, traffic to/from it must not be attributed to the cut:
+  // the dead mailbox is ordinary (non-partition) delivery.
+  FaultPlan plan;
+  PartitionWindow w;
+  w.from_round = 0;
+  w.until_round = 10;
+  w.group = {0, 1};
+  plan.partitions.push_back(w);
+  plan.crashes.push_back(CrashFault{0, 3});
+  FaultInjector inj(plan, 4);
+  Message cross{0, 2, Bytes{1}};
+  EXPECT_FALSE(inj.on_message(2, cross).deliver);  // pre-crash: cut applies
+  EXPECT_TRUE(inj.on_message(2, cross).partitioned);
+  EXPECT_TRUE(inj.on_message(3, cross).deliver);  // post-crash: no cut
+  EXPECT_FALSE(inj.on_message(3, cross).partitioned);
+  Message inbound{2, 0, Bytes{1}};
+  EXPECT_FALSE(inj.on_message(3, inbound).partitioned);
+  // The surviving pair keeps the cut for the rest of the window.
+  Message live{1, 2, Bytes{1}};
+  EXPECT_TRUE(inj.on_message(3, live).partitioned);
+}
+
+// --- Adaptive corruption (budgeted mid-run party seizure) ------------------
+
+/// Adversary that asks to corrupt a fixed request list at round 0 and
+/// records every party actually handed over.
+class GrabbyAdversary final : public Adversary {
+ public:
+  explicit GrabbyAdversary(std::vector<PartyId> wants) : wants_(std::move(wants)) {}
+  std::vector<Message> on_round(std::size_t, const std::vector<Message>&,
+                                const std::vector<Message>&) override {
+    return {};
+  }
+  std::vector<PartyId> corruption_requests(std::size_t round) override {
+    requests_solicited_ = true;
+    return round == 0 ? wants_ : std::vector<PartyId>{};
+  }
+  void on_corrupted(std::size_t, PartyId p, Party* seized) override {
+    EXPECT_NE(seized, nullptr);
+    granted_.push_back(p);
+  }
+  std::vector<PartyId> granted_;
+  bool requests_solicited_ = false;
+
+ private:
+  std::vector<PartyId> wants_;
+};
+
+TEST(AdaptiveCorruption, BudgetGrantsInOrderAndCountsDenials) {
+  std::vector<std::unique_ptr<Party>> parties;
+  for (int i = 0; i < 3; ++i) parties.push_back(std::make_unique<SinkParty>(3));
+  parties.push_back(nullptr);  // slot 3 statically corrupt
+  std::vector<bool> corrupt{false, false, false, true};
+  // Requests: honest, out-of-range, already-corrupt, honest, honest.
+  auto adv = std::make_unique<GrabbyAdversary>(std::vector<PartyId>{0, 99, 3, 1, 2});
+  auto* advp = adv.get();
+  Simulator sim(std::move(parties), corrupt, std::move(adv));
+  sim.set_corruption_budget(2);
+  EXPECT_EQ(sim.corruption_budget(), 2u);
+  sim.run(10);
+  // Grants follow the adversary's priority order until the budget runs out.
+  ASSERT_EQ(advp->granted_, (std::vector<PartyId>{0, 1}));
+  EXPECT_TRUE(sim.is_corrupt(0));
+  EXPECT_TRUE(sim.is_corrupt(1));
+  EXPECT_FALSE(sim.is_corrupt(2));
+  EXPECT_EQ(sim.stats().faults.adaptive_corruptions, 2u);
+  // Denied: 99 (out of range), 3 (already corrupt), 2 (budget exhausted).
+  EXPECT_EQ(sim.stats().faults.corruptions_denied, 3u);
+}
+
+TEST(AdaptiveCorruption, ZeroBudgetNeverSolicitsRequests) {
+  std::vector<std::unique_ptr<Party>> parties;
+  for (int i = 0; i < 2; ++i) parties.push_back(std::make_unique<SinkParty>(2));
+  parties.push_back(nullptr);
+  std::vector<bool> corrupt{false, false, true};
+  auto adv = std::make_unique<GrabbyAdversary>(std::vector<PartyId>{0, 1});
+  auto* advp = adv.get();
+  Simulator sim(std::move(parties), corrupt, std::move(adv));
+  sim.run(10);  // default budget = 0: static-corruption model unchanged
+  EXPECT_FALSE(advp->requests_solicited_);
+  EXPECT_EQ(sim.stats().faults.adaptive_corruptions, 0u);
+  EXPECT_FALSE(sim.is_corrupt(0));
+}
+
+// --- Churn (leave / rejoin windows) ----------------------------------------
+
+TEST(Churn, OfflineWindowDropsDeliveriesAndFreezesParty) {
+  // Party 0 floods party 1 with one round-tagged byte per round; party 1 is
+  // churned offline during rounds [2, 4). Sends from rounds 1 and 2 would be
+  // delivered in rounds 2 and 3 — both lost to churn; everything else
+  // arrives, and party 1 resumes with its state intact.
+  std::vector<std::unique_ptr<Party>> parties;
+  parties.push_back(std::make_unique<FloodParty>(0, std::vector<PartyId>{1}, 6));
+  parties.push_back(std::make_unique<CountingReceiver>(4, 30));
+  Simulator sim(std::move(parties), std::vector<bool>{false, false}, nullptr);
+  FaultPlan plan;
+  plan.churn.push_back(ChurnWindow{1, 2, 4});
+  sim.set_fault_plan(plan);
+  sim.run(40);
+  EXPECT_EQ(sim.stats().faults.churn_dropped, 2u);
+  EXPECT_EQ(sim.stats().faults.dropped, 0u);
+  auto* rx = dynamic_cast<CountingReceiver*>(sim.party(1));
+  ASSERT_NE(rx, nullptr);
+  std::vector<std::uint8_t> tags;
+  for (const auto& m : rx->received()) tags.push_back(m.payload[0]);
+  EXPECT_EQ(tags, (std::vector<std::uint8_t>{0, 3, 4, 5}));
+}
+
 TEST(SubProto, TagRoundTrip) {
   Bytes body = to_bytes("payload");
   Bytes tagged = tag_body(7, 123456789ULL, body);
