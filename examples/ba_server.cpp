@@ -1,0 +1,187 @@
+// Scenario: a long-lived BA service daemon (ROADMAP item 2, Corollary 1.2).
+//
+// One daemon owns one comm tree + supreme committee for a 256-node
+// deployment and serves a *stream* of one-bit agreement requests: clients
+// open sessions, submit bits, and receive decisions in submission order
+// while many π_ba instances run staggered over the same network.
+//
+// Two front doors are demonstrated back to back:
+//   1. real TCP sockets on 127.0.0.1 (svc/tcp_transport.hpp) — the framed
+//      protocol over an actual kernel byte stream;
+//   2. the deterministic in-process loopback, with an eclipse campaign
+//      adaptively attacking the daemon mid-stream (the chaos engine applies
+//      to the service unchanged).
+// Both legs run with strict budgets: shutdown audits Corollary 1.2's
+// amortized ℓ·polylog(n) bits-per-party claim and the demo fails if any
+// decision lost agreement or the audit fails.
+//
+// Usage: ba_server [n] [eclipse_ell] [tcp_ell]   (defaults 256, 48, 16)
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/ledger.hpp"
+#include "svc/service.hpp"
+#include "svc/tcp_transport.hpp"
+#include "svc/transport.hpp"
+
+namespace {
+
+using namespace srds;
+using namespace srds::svc;
+
+/// Drive one client against the daemon until `ell` decisions arrive,
+/// honoring the backpressure protocol (retry rejected seqs, lowest first).
+/// Returns the number of decisions whose honest parties agreed.
+std::size_t serve(BaServiceDaemon& daemon, ServiceClient& client, std::size_t ell,
+                  bool oversubscribe) {
+  std::size_t submitted = 0, agreed = 0, received = 0;
+  bool overridden = false;
+  for (std::size_t iter = 0; iter < 1000000 && received < ell; ++iter) {
+    if (oversubscribe && client.opened() && !overridden) {
+      // Optimistic client: run ahead of the granted window so the server's
+      // reject-with-retry-after backpressure path is exercised for real.
+      client.override_window(client.window() * 2 + 2);
+      overridden = true;
+    }
+    client.retry();
+    while (submitted < ell && client.can_submit()) {
+      client.submit(submitted % 3 != 0);
+      ++submitted;
+    }
+    daemon.poll();
+    daemon.step();
+    client.poll();
+    for (const auto& d : client.take_decisions()) {
+      ++received;
+      if (d.decision.agreement) ++agreed;
+    }
+  }
+  return agreed;
+}
+
+struct LegConfig {
+  const char* label = "";
+  std::size_t n = 256;
+  std::size_t ell = 16;
+  bool tcp = false;
+  CampaignKind campaign = CampaignKind::kNone;
+  double corruption_rate = 0.0;
+  bool oversubscribe = false;
+};
+
+bool run_leg(const LegConfig& leg) {
+  std::printf("\n--- %s: n=%zu, %zu decisions ---\n", leg.label, leg.n, leg.ell);
+
+  obs::Ledger ledger;
+  ServiceConfig cfg;
+  cfg.n = leg.n;
+  cfg.beta = 0.1;
+  cfg.seed = 20210727;  // PODC'21
+  cfg.campaign = leg.campaign;
+  cfg.corruption_rate = leg.corruption_rate;
+  cfg.ledger = &ledger;
+  cfg.strict_budgets = true;
+  BaServiceDaemon daemon(std::move(cfg));
+
+  // Either front door feeds the same framed protocol into the same daemon.
+  LoopbackTransport loopback;
+  std::unique_ptr<TcpListener> tcp;
+  std::unique_ptr<Connection> conn;
+  if (leg.tcp) {
+    tcp = std::make_unique<TcpListener>();  // ephemeral 127.0.0.1 port
+    daemon.add_listener(tcp.get());
+    std::printf("listening on 127.0.0.1:%u\n", tcp->port());
+    conn = connect_tcp(tcp->port());
+  } else {
+    daemon.add_listener(loopback.listener());
+    conn = loopback.connect();
+  }
+
+  ServiceClient client(std::move(conn));
+  client.open();
+  const std::size_t agreed = serve(daemon, client, leg.ell, leg.oversubscribe);
+  client.close();
+
+  bool audit_ok = true;
+  std::string audit_msg = "ok";
+  try {
+    daemon.shutdown();  // drains, then audits (strict: throws on violation)
+  } catch (const BudgetViolation& v) {
+    audit_ok = false;
+    audit_msg = v.what();
+  }
+
+  const ServiceStats& s = daemon.stats();
+  std::printf("decisions             : %zu (%zu agreed, %zu delivered)\n",
+              s.decisions, s.agreed, s.delivered);
+  std::printf("rounds                : %zu simulated (%.1f decisions per 100 rounds)\n",
+              s.rounds,
+              s.rounds ? 100.0 * static_cast<double>(s.decisions) /
+                             static_cast<double>(s.rounds)
+                       : 0.0);
+  std::printf("backpressure rejects  : %zu (client retried each)\n",
+              s.rejected_backpressure);
+  if (leg.campaign != CampaignKind::kNone) {
+    std::printf("adaptive corruptions  : %zu granted to the campaign\n",
+                s.adaptively_corrupted);
+  }
+  // Re-evaluate for the printout; under strict a violation throws again, so
+  // harvest the findings from the exception instead.
+  std::vector<obs::BudgetEval> evals;
+  try {
+    evals = daemon.audit();
+  } catch (const BudgetViolation& v) {
+    evals = v.findings;
+  }
+  for (const obs::BudgetEval& e : evals) {
+    if (e.skipped) {
+      std::printf("amortized budget      : skipped (%s)\n", e.skip_reason.c_str());
+      continue;
+    }
+    std::printf("amortized budget      : worst party %.1f KiB vs bound %.1f KiB "
+                "(%zu decisions x polylog) -- %s\n",
+                static_cast<double>(e.max_bits) / 8.0 / 1024.0,
+                e.bound_bits / 8.0 / 1024.0, s.decisions, e.ok ? "ok" : "VIOLATED");
+  }
+  if (!audit_ok) std::printf("audit                 : FAILED: %s\n", audit_msg.c_str());
+
+  const bool ok = audit_ok && agreed == leg.ell && s.decisions == leg.ell;
+  std::printf("leg result            : %s\n", ok ? "ok" : "FAILED");
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 256;
+  const std::size_t eclipse_ell =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 48;
+  const std::size_t tcp_ell =
+      argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 16;
+
+  std::printf("BA service daemon demo: one tree + supreme committee, "
+              "a stream of %zu agreement requests\n",
+              eclipse_ell + tcp_ell);
+
+  LegConfig tcp_leg;
+  tcp_leg.label = "TCP loopback";
+  tcp_leg.n = n;
+  tcp_leg.ell = tcp_ell;
+  tcp_leg.tcp = true;
+
+  LegConfig eclipse;
+  eclipse.label = "simulator loopback + eclipse campaign";
+  eclipse.n = n;
+  eclipse.ell = eclipse_ell;
+  eclipse.campaign = CampaignKind::kEclipse;
+  eclipse.corruption_rate = 0.15;
+  eclipse.oversubscribe = true;  // exercise the backpressure protocol too
+
+  const bool ok = run_leg(tcp_leg) & run_leg(eclipse);
+  std::printf("\n%s\n", ok ? "service demo: all decisions agreed, budgets audited"
+                           : "service demo: FAILURE (see legs above)");
+  return ok ? 0 : 1;
+}

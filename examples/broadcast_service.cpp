@@ -34,15 +34,25 @@ int main() {
 
   // Honest framing: at this fleet size the polylog committee machinery has
   // chunky constants (the supreme committee's Dolev-Strong rounds dominate),
-  // so a naive Θ(n)-per-node flood (~64 B x n) is still cheaper in absolute
-  // bytes. The committee cost is flat in n while the flood grows linearly —
-  // the measured numbers below put the crossover within fleet reach.
+  // so a naive Θ(n)-per-node all-to-all exchange is still cheaper in
+  // absolute bytes. Measure it rather than guessing: one kNaive decision at
+  // the same fleet size and fault fraction, through the same harness.
   double per_decision = max_total / static_cast<double>(config.ell);
-  double naive_per_decision = static_cast<double>(config.n) * 64.0;
-  std::printf("naive flood estimate  : %.1f KiB per node per decision (Θ(n))\n",
+  BaRunConfig naive;
+  naive.n = config.n;
+  naive.beta = config.beta;
+  naive.seed = config.seed;
+  naive.protocol = BoostProtocol::kNaive;
+  auto naive_result = run_ba(naive);
+  double naive_per_decision =
+      static_cast<double>(naive_result.stats.max_bytes_total());
+  std::printf("naive flood (measured): %.1f KiB per node per decision (Θ(n))\n",
               naive_per_decision / 1024.0);
-  std::printf("estimated crossover   : fleets larger than ~%.0fk nodes favour this\n"
+  // The naive cost grows linearly in fleet size while the committee cost is
+  // ~flat, so extrapolate the measured naive run to find where they cross.
+  double naive_bytes_per_peer = naive_per_decision / static_cast<double>(naive.n);
+  std::printf("estimated crossover   : fleets larger than ~%.1fk nodes favour this\n"
               "                        service per decision (its cost is ~flat in n)\n",
-              per_decision / 64.0 / 1000.0);
+              per_decision / naive_bytes_per_peer / 1000.0);
   return result.agreement ? 0 : 1;
 }

@@ -67,7 +67,10 @@ std::vector<Message> AeBoostParty::on_round(std::size_t round,
     std::uint32_t phase;
     std::uint64_t instance;
     Bytes body;
-    if (!untag_body(m.payload, phase, instance, body)) continue;
+    if (!untag_body(m.payload, phase, instance, body)) {
+      malformed_ += 1;
+      continue;
+    }
     switch (phase) {
       case 1:
         ba_in.push_back(TaggedMsg{m.from, std::move(body)});

@@ -70,6 +70,16 @@ class AeBoostParty : public Party {
   /// First round of the boost phase (for phase-marked cost accounting).
   std::size_t boost_start() const { return boost_start_; }
 
+  /// Payloads this party received but could not frame-parse (its own phase
+  /// demux plus the committee sub-protocols' child-index demux). run_ba sums
+  /// this over the surviving honest parties into stats.faults.malformed_frames.
+  std::uint64_t malformed_frames() const {
+    std::uint64_t total = malformed_;
+    if (ba_) total += ba_->malformed_frames();
+    if (ct_) total += ct_->malformed_frames();
+    return total;
+  }
+
   // Full phase schedule (round indices), exposed so the harness can
   // register phase marks with an observability TraceSink.
   std::size_t ba_start() const { return ba_start_; }
@@ -157,6 +167,7 @@ class AeBoostParty : public Party {
 
   std::optional<bool> output_;
   bool done_ = false;
+  std::uint64_t malformed_ = 0;
 };
 
 /// Encode/decode the (y, s) pair disseminated in P3 and signed by the SRDS.

@@ -260,7 +260,12 @@ BaRunResult run_ba(const BaRunConfig& config) {
     ++result.honest;
     if (sim.is_crashed(i)) ++result.crashed;
     const auto* party = dynamic_cast<const AeBoostParty*>(sim.party(i));
-    if (!party || !party->output().has_value()) continue;
+    if (!party) continue;
+    // Frame-parse failures are tallied by the parties themselves (the
+    // network cannot read framing); surface the honest total next to the
+    // network-level fault counters.
+    result.stats.faults.malformed_frames += party->malformed_frames();
+    if (!party->output().has_value()) continue;
     ++result.decided;
     bool y = *party->output();
     if (result.value.has_value() && *result.value != y) result.agreement = false;
@@ -329,21 +334,9 @@ BroadcastRunResult run_broadcast_service(const BroadcastRunConfig& config) {
     // One-time signatures: a fresh SRDS key set per broadcast execution
     // (the ℓ sets would be pre-published on the bulletin board in one shot;
     // key generation is local and costs no communication either way).
-    SrdsSchemePtr scheme;
-    if (config.protocol == BoostProtocol::kPiBaOwf) {
-      OwfSrdsParams p;
-      p.n_signers = tree->virtual_count();
-      p.expected_signers = std::min(config.expected_signers, p.n_signers);
-      p.backend = config.backend;
-      scheme = std::make_shared<OwfSrds>(p, rng.next());
-    } else {
-      SnarkSrdsParams p;
-      p.n_signers = tree->virtual_count();
-      p.backend = config.backend;
-      scheme = std::make_shared<SnarkSrds>(p, rng.next());
-    }
-    for (std::size_t i = 0; i < scheme->signer_count(); ++i) scheme->keygen(i);
-    scheme->finalize_keys();
+    SrdsSchemePtr scheme =
+        make_instance_scheme(config.protocol, config.backend, config.expected_signers,
+                             tree->virtual_count(), rng.next());
 
     std::vector<std::unique_ptr<Party>> parties(config.n);
     std::size_t total_rounds = 0;
@@ -368,7 +361,9 @@ BroadcastRunResult run_broadcast_service(const BroadcastRunConfig& config) {
     for (PartyId i : honest_ids) {
       ++result.possible;
       const auto* party = dynamic_cast<const AeBoostParty*>(sim.party(i));
-      if (!party || !party->output().has_value()) continue;
+      if (!party) continue;
+      result.stats.faults.malformed_frames += party->malformed_frames();
+      if (!party->output().has_value()) continue;
       bool y = *party->output();
       if (agreed.has_value() && *agreed != y) result.agreement = false;
       agreed = y;
@@ -376,6 +371,43 @@ BroadcastRunResult run_broadcast_service(const BroadcastRunConfig& config) {
     }
   }
   return result;
+}
+
+ServiceEnv make_service_env(std::size_t n, double beta, std::uint64_t seed) {
+  Rng rng(seed ^ 0x73766320656e7600ULL);
+  ServiceEnv env;
+  env.tree = std::make_shared<const CommTree>(TreeParams::scaled(n), rng.next());
+  env.registry = std::make_shared<const SimSigRegistry>(n, rng.next());
+  env.corrupt.assign(n, false);
+  const std::size_t t = static_cast<std::size_t>(beta * static_cast<double>(n));
+  for (auto idx : rng.subset(n, t)) env.corrupt[idx] = true;
+  for (PartyId i = 0; i < n; ++i) {
+    if (!env.corrupt[i]) env.honest.push_back(i);
+  }
+  return env;
+}
+
+SrdsSchemePtr make_instance_scheme(BoostProtocol protocol, BaseSigBackend backend,
+                                   std::size_t expected_signers,
+                                   std::size_t virtual_count, std::uint64_t seed) {
+  SrdsSchemePtr scheme;
+  if (protocol == BoostProtocol::kPiBaOwf) {
+    OwfSrdsParams p;
+    p.n_signers = virtual_count;
+    p.expected_signers = std::min(expected_signers, p.n_signers);
+    p.backend = backend;
+    scheme = std::make_shared<OwfSrds>(p, seed);
+  } else if (protocol == BoostProtocol::kPiBaSnark) {
+    SnarkSrdsParams p;
+    p.n_signers = virtual_count;
+    p.backend = backend;
+    scheme = std::make_shared<SnarkSrds>(p, seed);
+  } else {
+    throw std::invalid_argument("make_instance_scheme: protocol is not a pi_ba variant");
+  }
+  for (std::size_t i = 0; i < scheme->signer_count(); ++i) scheme->keygen(i);
+  scheme->finalize_keys();
+  return scheme;
 }
 
 }  // namespace srds

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "crypto/simsig.hpp"
 #include "net/campaign.hpp"
 #include "net/faults.hpp"
 #include "net/stats.hpp"
@@ -16,6 +17,7 @@
 #include "obs/ledger.hpp"
 #include "obs/trace.hpp"
 #include "srds/srds.hpp"
+#include "tree/comm_tree.hpp"
 
 namespace srds {
 
@@ -172,5 +174,30 @@ struct BroadcastRunResult {
 };
 
 BroadcastRunResult run_broadcast_service(const BroadcastRunConfig& config);
+
+/// Long-lived environment shared by every execution of a BA service
+/// (Cor. 1.2): one comm tree + signature registry amortized over the ℓ
+/// agreement requests, plus the static fail-silent corruption mask drawn the
+/// same way run_ba draws it. The svc daemon builds this once at startup.
+struct ServiceEnv {
+  std::shared_ptr<const CommTree> tree;
+  SimSigRegistryPtr registry;
+  std::vector<bool> corrupt;
+  std::vector<PartyId> honest;  // ids with corrupt[i] == false
+};
+
+ServiceEnv make_service_env(std::size_t n, double beta, std::uint64_t seed);
+
+/// Build a fresh, fully keyed SRDS scheme for ONE broadcast execution over an
+/// existing comm tree (`virtual_count` = tree->virtual_count()). This is the
+/// Cor. 1.2 service pattern — one-time signatures need a fresh key set per
+/// execution; the ℓ sets would be pre-published on the bulletin board in one
+/// setup, and generation is local either way so it costs no communication.
+/// `protocol` must be a π_ba variant (kPiBaOwf or kPiBaSnark; anything else
+/// throws std::invalid_argument). Shared by run_broadcast_service and the
+/// long-lived svc daemon, which mints one scheme per admitted request.
+SrdsSchemePtr make_instance_scheme(BoostProtocol protocol, BaseSigBackend backend,
+                                   std::size_t expected_signers,
+                                   std::size_t virtual_count, std::uint64_t seed);
 
 }  // namespace srds

@@ -60,6 +60,13 @@ class CoinTossProto final : public SubProtocol {
   /// The 32-byte coin (engaged after the last step).
   const std::optional<Bytes>& output() const { return output_; }
 
+  std::uint64_t malformed_frames() const override {
+    std::uint64_t total = 0;
+    if (block_a_) total += block_a_->malformed_frames();
+    if (block_b_) total += block_b_->malformed_frames();
+    return total;
+  }
+
  private:
   struct ReceivedShare {
     bool has = false;

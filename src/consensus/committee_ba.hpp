@@ -40,6 +40,8 @@ class CommitteeBaProto final : public SubProtocol {
   /// broadcast failed, which cannot happen with at least one honest member).
   const std::optional<Bytes>& output() const { return output_; }
 
+  std::uint64_t malformed_frames() const override { return inner_.malformed_frames(); }
+
  private:
   std::vector<PartyId> members_;
   ParallelProto inner_;

@@ -25,14 +25,24 @@ class ParallelProto final : public SubProtocol {
 
   std::vector<std::pair<PartyId, Bytes>> step(
       std::size_t subround, const std::vector<TaggedMsg>& inbox) override {
-    // Demux inbox by child index.
+    // Demux inbox by child index. Frames whose index header is truncated or
+    // out of range are counted, not silently dropped — an adversary spraying
+    // garbage at a committee shows up in faults.malformed_frames. A frame
+    // addressed to a child whose schedule already ended is well-formed and is
+    // discarded without counting (children legitimately differ in rounds()).
     std::vector<std::vector<TaggedMsg>> per_child(children_.size());
     for (const auto& msg : inbox) {
       Reader r(msg.body);
       std::uint32_t idx = r.u32();
-      if (!r.ok() || idx >= children_.size()) continue;
+      if (!r.ok() || idx >= children_.size()) {
+        malformed_ += 1;
+        continue;
+      }
       Bytes inner = r.raw(r.remaining());
-      if (!r.ok()) continue;
+      if (!r.ok()) {
+        malformed_ += 1;
+        continue;
+      }
       per_child[idx].push_back(TaggedMsg{msg.from, std::move(inner)});
     }
     std::vector<std::pair<PartyId, Bytes>> out;
@@ -53,9 +63,18 @@ class ParallelProto final : public SubProtocol {
   const SubProtocol* child(std::size_t i) const { return children_[i].get(); }
   std::size_t size() const { return children_.size(); }
 
+  std::uint64_t malformed_frames() const override {
+    std::uint64_t total = malformed_;
+    for (const auto& c : children_) {
+      if (c) total += c->malformed_frames();
+    }
+    return total;
+  }
+
  private:
   std::vector<std::unique_ptr<SubProtocol>> children_;
   std::size_t rounds_ = 0;
+  std::uint64_t malformed_ = 0;
 };
 
 }  // namespace srds

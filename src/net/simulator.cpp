@@ -100,141 +100,155 @@ void Simulator::deliver(std::size_t round, Message m,
   inboxes[m.to].push_back(std::move(m));
 }
 
-std::size_t Simulator::run(std::size_t max_rounds) {
+void Simulator::begin_run() {
+  if (begun_) return;
+  begun_ = true;
+  inboxes_.resize(parties_.size());
+  for (obs::TraceSink* s : sinks_) s->on_run_begin(parties_.size());
+}
+
+bool Simulator::tick() {
+  begin_run();
   const std::size_t n = parties_.size();
-  // inboxes[i] = messages to deliver to party i at the start of this round.
-  std::vector<std::vector<Message>> inboxes(n);
+  const std::size_t round = cur_round_;
 
-  for (obs::TraceSink* s : sinks_) s->on_run_begin(n);
-  for (std::size_t round = 0; round < max_rounds; ++round) {
-    // Crash-stop faults trigger at the start of their scheduled round.
-    if (injector_) {
-      for (PartyId i = 0; i < n; ++i) {
-        if (!corrupt_[i] && !crashed_[i] && injector_->crashed(i, round)) {
-          crashed_[i] = true;
-          stats_.faults.crashed_parties += 1;
-          for (obs::TraceSink* s : sinks_) s->on_crash(round, i);
-        }
-      }
-    }
-
-    // Churn transitions (leave/rejoin) observed at round boundaries. A
-    // crashed party never transitions; a corrupt slot's churn is inert.
-    if (injector_ && !injector_->plan().churn.empty()) {
-      for (PartyId i = 0; i < n; ++i) {
-        if (corrupt_[i] || crashed_[i]) continue;
-        const bool off = injector_->offline(i, round);
-        if (off != static_cast<bool>(offline_[i])) {
-          offline_[i] = off;
-          for (obs::TraceSink* s : sinks_) s->on_churn(round, i, !off);
-        }
-      }
-    }
-
-    // Adaptive corruption: grant the adversary's requests, in its priority
-    // order, while budget remains. A grant flips the slot for the rest of
-    // the run; the seized honest logic is handed to the adversary and never
-    // stepped again. Denied requests (budget gone, bad/already-flipped/
-    // crashed target) are counted, never retried by us.
-    if (corruption_budget_ > 0 && adversary_) {
-      for (PartyId p : adversary_->corruption_requests(round)) {
-        if (p >= n || corrupt_[p] || crashed_[p] ||
-            stats_.faults.adaptive_corruptions >= corruption_budget_) {
-          stats_.faults.corruptions_denied += 1;
-          continue;
-        }
-        corrupt_[p] = true;
-        stats_.faults.adaptive_corruptions += 1;
-        for (obs::TraceSink* s : sinks_) s->on_corrupt(round, p);
-        adversary_->on_corrupted(round, p, parties_[p].get());
-      }
-    }
-
-    // Deferred messages whose delay expires this round join the inbox —
-    // unless the receiver is churned offline at the (re)delivery round.
-    if (auto it = delayed_.find(round); it != delayed_.end()) {
-      for (auto& p : it->second) {
-        if (injector_ && !corrupt_[p.m.to] && injector_->offline(p.m.to, round)) {
-          stats_.faults.churn_dropped += 1;
-          for (obs::TraceSink* s : sinks_) s->on_delivery(round, p.m, obs::Delivery::kOffline);
-          continue;
-        }
-        stats_.faults.late_delivered += 1;
-        stats_.record_recv(p.m);
-        if (p.in_phase) phase_stats_.record_recv(p.m);
-        for (obs::TraceSink* s : sinks_) s->on_delivery(round, p.m, obs::Delivery::kLate);
-        inboxes[p.m.to].push_back(std::move(p.m));
-      }
-      delayed_.erase(it);
-    }
-
-    bool all_done = true;
+  // Crash-stop faults trigger at the start of their scheduled round.
+  if (injector_) {
     for (PartyId i = 0; i < n; ++i) {
-      if (!corrupt_[i] && !crashed_[i] && !parties_[i]->done()) {
-        all_done = false;
-        break;
+      if (!corrupt_[i] && !crashed_[i] && injector_->crashed(i, round)) {
+        crashed_[i] = true;
+        stats_.faults.crashed_parties += 1;
+        for (obs::TraceSink* s : sinks_) s->on_crash(round, i);
       }
     }
-    if (all_done) {
-      stats_.rounds = round;
-      for (obs::TraceSink* s : sinks_) s->on_run_end(round);
-      return round;
-    }
-    for (obs::TraceSink* s : sinks_) s->on_round_begin(round);
+  }
 
-    std::vector<Message> honest_out;
+  // Churn transitions (leave/rejoin) observed at round boundaries. A
+  // crashed party never transitions; a corrupt slot's churn is inert.
+  if (injector_ && !injector_->plan().churn.empty()) {
     for (PartyId i = 0; i < n; ++i) {
       if (corrupt_[i] || crashed_[i]) continue;
-      // Churned-offline parties neither execute nor send this round; their
-      // protocol state is frozen until they rejoin.
-      if (offline_[i]) continue;
-      auto out = parties_[i]->on_round(round, inboxes[i]);
-      for (auto& m : out) {
-        if (m.from != i || m.to >= n) {
-          throw std::logic_error("Simulator: honest party emitted ill-addressed message");
-        }
-        honest_out.push_back(std::move(m));
+      const bool off = injector_->offline(i, round);
+      if (off != static_cast<bool>(offline_[i])) {
+        offline_[i] = off;
+        for (obs::TraceSink* s : sinks_) s->on_churn(round, i, !off);
       }
     }
+  }
 
-    // Rushing adversary: sees all honest traffic of this round, plus the
-    // corrupted parties' inboxes, before choosing its own messages.
-    std::vector<Message> corrupt_in;
-    for (PartyId i = 0; i < n; ++i) {
-      if (!corrupt_[i]) continue;
-      for (auto& m : inboxes[i]) corrupt_in.push_back(std::move(m));
-    }
-    std::vector<Message> adv_out =
-        adversary_->on_round(round, corrupt_in, honest_out);
-    for (auto& m : adv_out) {
-      // The adversary's messages are untrusted input to the network: it
-      // cannot spoof honest senders (channels are authenticated), address
-      // parties outside [0, n), or exceed the payload cap. Ill-formed
-      // messages are dropped and counted — never indexed into stats.
-      if (m.from >= n || !corrupt_[m.from] || m.to >= n ||
-          m.payload.size() > max_adv_payload_) {
-        stats_.faults.adversary_rejected += 1;
+  // Adaptive corruption: grant the adversary's requests, in its priority
+  // order, while budget remains. A grant flips the slot for the rest of
+  // the run; the seized honest logic is handed to the adversary and never
+  // stepped again. Denied requests (budget gone, bad/already-flipped/
+  // crashed target) are counted, never retried by us.
+  if (corruption_budget_ > 0 && adversary_) {
+    for (PartyId p : adversary_->corruption_requests(round)) {
+      if (p >= n || corrupt_[p] || crashed_[p] ||
+          stats_.faults.adaptive_corruptions >= corruption_budget_) {
+        stats_.faults.corruptions_denied += 1;
         continue;
+      }
+      corrupt_[p] = true;
+      stats_.faults.adaptive_corruptions += 1;
+      for (obs::TraceSink* s : sinks_) s->on_corrupt(round, p);
+      adversary_->on_corrupted(round, p, parties_[p].get());
+    }
+  }
+
+  // Deferred messages whose delay expires this round join the inbox —
+  // unless the receiver is churned offline at the (re)delivery round.
+  if (auto it = delayed_.find(round); it != delayed_.end()) {
+    for (auto& p : it->second) {
+      if (injector_ && !corrupt_[p.m.to] && injector_->offline(p.m.to, round)) {
+        stats_.faults.churn_dropped += 1;
+        for (obs::TraceSink* s : sinks_) s->on_delivery(round, p.m, obs::Delivery::kOffline);
+        continue;
+      }
+      stats_.faults.late_delivered += 1;
+      stats_.record_recv(p.m);
+      if (p.in_phase) phase_stats_.record_recv(p.m);
+      for (obs::TraceSink* s : sinks_) s->on_delivery(round, p.m, obs::Delivery::kLate);
+      inboxes_[p.m.to].push_back(std::move(p.m));
+    }
+    delayed_.erase(it);
+  }
+
+  bool all_done = true;
+  for (PartyId i = 0; i < n; ++i) {
+    if (!corrupt_[i] && !crashed_[i] && !parties_[i]->done()) {
+      all_done = false;
+      break;
+    }
+  }
+  if (all_done) return false;
+  for (obs::TraceSink* s : sinks_) s->on_round_begin(round);
+
+  std::vector<Message> honest_out;
+  for (PartyId i = 0; i < n; ++i) {
+    if (corrupt_[i] || crashed_[i]) continue;
+    // Churned-offline parties neither execute nor send this round; their
+    // protocol state is frozen until they rejoin.
+    if (offline_[i]) continue;
+    auto out = parties_[i]->on_round(round, inboxes_[i]);
+    for (auto& m : out) {
+      if (m.from != i || m.to >= n) {
+        throw std::logic_error("Simulator: honest party emitted ill-addressed message");
       }
       honest_out.push_back(std::move(m));
     }
-
-    for (auto& ib : inboxes) ib.clear();
-    for (auto& m : honest_out) {
-      // Loopback is free: a party "sending to itself" is local computation,
-      // not network communication (standard accounting convention). It is
-      // also exempt from network faults.
-      if (m.from == m.to) {
-        inboxes[m.to].push_back(std::move(m));
-        continue;
-      }
-      deliver(round, std::move(m), inboxes);
-    }
-    for (obs::TraceSink* s : sinks_) s->on_round_end(round);
   }
-  stats_.rounds = max_rounds;
-  for (obs::TraceSink* s : sinks_) s->on_run_end(max_rounds);
-  return max_rounds;
+
+  // Rushing adversary: sees all honest traffic of this round, plus the
+  // corrupted parties' inboxes, before choosing its own messages.
+  std::vector<Message> corrupt_in;
+  for (PartyId i = 0; i < n; ++i) {
+    if (!corrupt_[i]) continue;
+    for (auto& m : inboxes_[i]) corrupt_in.push_back(std::move(m));
+  }
+  std::vector<Message> adv_out =
+      adversary_->on_round(round, corrupt_in, honest_out);
+  for (auto& m : adv_out) {
+    // The adversary's messages are untrusted input to the network: it
+    // cannot spoof honest senders (channels are authenticated), address
+    // parties outside [0, n), or exceed the payload cap. Ill-formed
+    // messages are dropped and counted — never indexed into stats.
+    if (m.from >= n || !corrupt_[m.from] || m.to >= n ||
+        m.payload.size() > max_adv_payload_) {
+      stats_.faults.adversary_rejected += 1;
+      continue;
+    }
+    honest_out.push_back(std::move(m));
+  }
+
+  for (auto& ib : inboxes_) ib.clear();
+  for (auto& m : honest_out) {
+    // Loopback is free: a party "sending to itself" is local computation,
+    // not network communication (standard accounting convention). It is
+    // also exempt from network faults.
+    if (m.from == m.to) {
+      inboxes_[m.to].push_back(std::move(m));
+      continue;
+    }
+    deliver(round, std::move(m), inboxes_);
+  }
+  for (obs::TraceSink* s : sinks_) s->on_round_end(round);
+  cur_round_ += 1;
+  return true;
+}
+
+void Simulator::end_run() {
+  if (ended_) return;
+  ended_ = true;
+  stats_.rounds = cur_round_;
+  for (obs::TraceSink* s : sinks_) s->on_run_end(cur_round_);
+}
+
+std::size_t Simulator::run(std::size_t max_rounds) {
+  begin_run();
+  while (cur_round_ < max_rounds && tick()) {
+  }
+  end_run();
+  return stats_.rounds;
 }
 
 }  // namespace srds

@@ -80,8 +80,30 @@ class Simulator {
 
   /// Run until every live honest party reports done() or `max_rounds`
   /// elapse. Crash-stopped parties count as done. Returns the number of
-  /// rounds executed.
+  /// rounds executed. Implemented on top of the incremental API below;
+  /// behavior (stats, trace events, determinism) is identical to the
+  /// historical closed loop.
   std::size_t run(std::size_t max_rounds);
+
+  // --- Incremental driving -------------------------------------------------
+  //
+  // A long-lived caller (the svc daemon) interleaves its own work between
+  // rounds: mutate party state via party(i) (e.g. admit a new request into an
+  // InstancePipeline), then tick(). The round preamble — crash-stop faults,
+  // churn transitions, adaptive corruption grants, expired delayed
+  // redeliveries — runs inside tick() exactly as it does inside run().
+
+  /// Execute one round. Returns false — without executing — if every live
+  /// honest party is done() (the preamble for the round still runs first,
+  /// matching run()'s order); returns true after a round actually executed.
+  bool tick();
+
+  /// Stamp stats().rounds with the current round and emit on_run_end.
+  /// Idempotent. run() == { while tick() under max_rounds; end_run(); }.
+  void end_run();
+
+  /// Next round tick() would execute (== rounds executed so far).
+  std::size_t current_round() const { return cur_round_; }
 
   /// Additionally account messages sent from round `round` onward into a
   /// separate `phase_stats()` bucket (e.g., to isolate a protocol's boost
@@ -113,6 +135,9 @@ class Simulator {
   void deliver(std::size_t round, Message m,
                std::vector<std::vector<Message>>& inboxes);
 
+  /// First-tick setup: size the inboxes and emit on_run_begin (idempotent).
+  void begin_run();
+
   std::vector<std::unique_ptr<Party>> parties_;
   std::vector<bool> corrupt_;
   std::vector<bool> crashed_;
@@ -132,6 +157,13 @@ class Simulator {
     bool in_phase = false;  // sent at/after the phase mark
   };
   std::map<std::size_t, std::vector<Pending>> delayed_;  // delivery round -> msgs
+
+  // Incremental-driving state. inboxes_[i] = messages to deliver to party i
+  // at the start of the next tick.
+  std::vector<std::vector<Message>> inboxes_;
+  std::size_t cur_round_ = 0;
+  bool begun_ = false;
+  bool ended_ = false;
 };
 
 }  // namespace srds

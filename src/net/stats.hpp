@@ -60,6 +60,13 @@ struct FaultCounters {
   // (budget exhausted, or the target was already corrupt/crashed/invalid).
   std::uint64_t adaptive_corruptions = 0;
   std::uint64_t corruptions_denied = 0;
+  // Frames a multiplexing protocol layer (ParallelProto, the svc instance
+  // pipeline) received but could not parse — truncated child index, index out
+  // of range, or a bad instance header. These are accepted by the *network*
+  // (channels are authenticated) and rejected by the *protocol framing*, so
+  // they are counted here post-run from the honest parties' own tallies;
+  // eclipse-style garbage floods become visible instead of vanishing.
+  std::uint64_t malformed_frames = 0;
 
   bool operator==(const FaultCounters&) const = default;
 };

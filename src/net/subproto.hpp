@@ -42,6 +42,13 @@ class SubProtocol {
   /// Advance one round; returns (recipient, body) pairs.
   virtual std::vector<std::pair<PartyId, Bytes>> step(
       std::size_t subround, const std::vector<TaggedMsg>& inbox) = 0;
+
+  /// Frames this protocol (or any protocol it composes) received but could
+  /// not parse — e.g. a multiplexer's child-index header was truncated or out
+  /// of range. Leaf protocols that do their own body validation may leave the
+  /// default; composites must aggregate their children so the count surfaces
+  /// in NetworkStats::faults.malformed_frames after the run.
+  virtual std::uint64_t malformed_frames() const { return 0; }
 };
 
 /// Wrap a sub-protocol body with a channel tag.

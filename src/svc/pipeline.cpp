@@ -1,0 +1,91 @@
+#include "svc/pipeline.hpp"
+
+#include "common/serial.hpp"
+
+namespace srds::svc {
+
+void InstancePipeline::admit(std::uint64_t id, std::size_t base_round,
+                             const PiBaConfig& config, bool input) {
+  Slot s;
+  s.id = id;
+  s.base_round = base_round;
+  s.party = std::make_unique<PiBaParty>(config, me_, input);
+  slots_.push_back(std::move(s));
+}
+
+std::vector<InstancePipeline::Retired> InstancePipeline::take_retired() {
+  std::vector<Retired> out;
+  out.swap(retired_);
+  return out;
+}
+
+std::vector<Message> InstancePipeline::on_round(std::size_t round,
+                                                const std::vector<Message>& inbox) {
+  // Demux by instance id. Instance lookup is by linear scan over the (small,
+  // bounded by the daemon's max_inflight) active set.
+  std::vector<std::vector<Message>> per_slot(slots_.size());
+  for (const Message& m : inbox) {
+    Reader r(m.payload);
+    const std::uint64_t id = r.u64();
+    if (!r.ok()) {
+      malformed_ += 1;
+      continue;
+    }
+    Bytes inner = r.raw(r.remaining());
+    if (!r.ok()) {
+      malformed_ += 1;
+      continue;
+    }
+    bool routed = false;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].id == id) {
+        // Unwrapped copy with the original sender/kind: the instance's own
+        // demux (phase tags) sees exactly what it would in a standalone run.
+        per_slot[i].push_back(make_msg(m.from, m.to, std::move(inner), m.kind));
+        routed = true;
+        break;
+      }
+    }
+    if (!routed) stale_ += 1;  // retired or never-admitted instance
+  }
+
+  std::vector<Message> out;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = slots_[i];
+    const std::size_t local = round - s.base_round;
+    auto msgs = s.party->on_round(local, per_slot[i]);
+    for (Message& m : msgs) {
+      Writer w;
+      w.u64(s.id);
+      w.raw(m.payload);
+      out.push_back(make_msg(m.from, m.to, std::move(w).take(), m.kind));
+    }
+  }
+
+  // Retire finished instances (done() engages when the schedule — including
+  // grace rounds — has fully elapsed).
+  std::vector<Slot> live;
+  live.reserve(slots_.size());
+  for (Slot& s : slots_) {
+    if (s.party->done()) {
+      Retired r;
+      r.id = s.id;
+      r.retired_round = round;
+      r.output = s.party->output();
+      retired_malformed_ += s.party->malformed_frames();
+      retired_.push_back(std::move(r));
+    } else {
+      live.push_back(std::move(s));
+    }
+  }
+  slots_ = std::move(live);
+  return out;
+}
+
+std::uint64_t InstancePipeline::malformed_frames() const {
+  std::uint64_t total = malformed_ + retired_malformed_;
+  for (const Slot& s : slots_) total += s.party->malformed_frames();
+  return total;
+}
+
+}  // namespace srds::svc

@@ -1,0 +1,157 @@
+#include "svc/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace srds::svc {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+[[noreturn]] void raise_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+class TcpConnection final : public Connection {
+ public:
+  explicit TcpConnection(int fd) : fd_(fd) { set_nonblocking(fd_); }
+  ~TcpConnection() override { close(); }
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  void send(BytesView data) override {
+    if (fd_ < 0) return;
+    // Append to the outbox and flush opportunistically: the transport
+    // contract is non-blocking, so bytes the kernel will not take right now
+    // stay queued until the next send()/recv() call.
+    outbox_.insert(outbox_.end(), data.begin(), data.end());
+    flush();
+  }
+
+  Bytes recv() override {
+    Bytes got;
+    if (fd_ < 0) return got;
+    flush();
+    std::uint8_t chunk[4096];
+    while (true) {
+      const ssize_t r = ::read(fd_, chunk, sizeof(chunk));
+      if (r > 0) {
+        got.insert(got.end(), chunk, chunk + r);
+        continue;
+      }
+      if (r == 0) {  // orderly peer close
+        peer_closed_ = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      peer_closed_ = true;  // hard error — treat as closed
+      break;
+    }
+    return got;
+  }
+
+  bool closed() const override { return fd_ < 0 || peer_closed_; }
+
+  void close() override {
+    if (fd_ < 0) return;
+    // Best effort: push out whatever the kernel will still take.
+    flush();
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  void flush() {
+    while (!outbox_.empty()) {
+      const ssize_t w = ::write(fd_, outbox_.data(), outbox_.size());
+      if (w > 0) {
+        outbox_.erase(outbox_.begin(), outbox_.begin() + w);
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      peer_closed_ = true;
+      break;
+    }
+  }
+
+  int fd_;
+  Bytes outbox_;
+  bool peer_closed_ = false;
+};
+
+}  // namespace
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) raise_errno("TcpListener: socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    raise_errno("TcpListener: bind 127.0.0.1");
+  }
+  if (::listen(fd_, 16) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    raise_errno("TcpListener: listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  set_nonblocking(fd_);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<Connection> TcpListener::accept() {
+  if (fd_ < 0) return nullptr;
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) return nullptr;  // EAGAIN and friends: nothing pending
+  const int one = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::make_unique<TcpConnection>(client);
+}
+
+std::unique_ptr<Connection> connect_tcp(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) raise_errno("connect_tcp: socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    raise_errno("connect_tcp: connect 127.0.0.1:" + std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::make_unique<TcpConnection>(fd);
+}
+
+}  // namespace srds::svc

@@ -1,0 +1,46 @@
+// Real-socket backend of the svc Transport contract (svc/transport.hpp):
+// non-blocking TCP on the IPv4 loopback interface. The daemon's protocol
+// logic is byte-for-byte the one the deterministic loopback runs — only the
+// byte movement differs — so a TCP deployment exercises the exact framed
+// protocol the simulator-backed tests verify.
+//
+// Scope: loopback deployment (bench/smoke/demo). Binding is restricted to
+// 127.0.0.1; there is no TLS and no peer authentication — the service model
+// authenticates *parties* inside the simulated network, while transport
+// clients are untrusted request sources whose input is validated by the
+// frame codec and session layer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "svc/transport.hpp"
+
+namespace srds::svc {
+
+/// Listening socket on 127.0.0.1:`port` (0 = ephemeral; query port()).
+/// Throws std::runtime_error when the socket cannot be set up.
+class TcpListener final : public Listener {
+ public:
+  explicit TcpListener(std::uint16_t port = 0);
+  ~TcpListener() override;
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::unique_ptr<Connection> accept() override;
+
+  /// The bound port (resolved after an ephemeral bind).
+  std::uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connect to a TcpListener on 127.0.0.1:`port`. Blocks for the handshake
+/// (connect(2)), then the returned connection is non-blocking like every
+/// other Transport connection. Throws std::runtime_error on failure.
+std::unique_ptr<Connection> connect_tcp(std::uint16_t port);
+
+}  // namespace srds::svc

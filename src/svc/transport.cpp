@@ -1,0 +1,105 @@
+#include "svc/transport.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace srds::svc {
+
+namespace {
+
+/// One direction of a loopback connection: a byte queue plus close flags.
+struct Pipe {
+  Bytes buffered;
+  bool writer_closed = false;
+};
+
+/// Both directions of one loopback connection.
+struct Duplex {
+  Pipe client_to_server;
+  Pipe server_to_client;
+};
+
+class LoopbackConnection final : public Connection {
+ public:
+  LoopbackConnection(std::shared_ptr<Duplex> duplex, bool is_client)
+      : duplex_(std::move(duplex)), is_client_(is_client) {}
+
+  ~LoopbackConnection() override { close(); }
+
+  void send(BytesView data) override {
+    Pipe& out = outgoing();
+    if (out.writer_closed || peer_closed()) return;
+    out.buffered.insert(out.buffered.end(), data.begin(), data.end());
+  }
+
+  Bytes recv() override {
+    Pipe& in = incoming();
+    Bytes got = std::move(in.buffered);
+    in.buffered.clear();
+    return got;
+  }
+
+  bool closed() const override {
+    // Peer gone AND its backlog drained ⇒ nothing more will ever arrive.
+    const Duplex& d = *duplex_;
+    const Pipe& in = is_client_ ? d.server_to_client : d.client_to_server;
+    return in.writer_closed && in.buffered.empty();
+  }
+
+  void close() override { outgoing().writer_closed = true; }
+
+ private:
+  Pipe& outgoing() {
+    return is_client_ ? duplex_->client_to_server : duplex_->server_to_client;
+  }
+  Pipe& incoming() {
+    return is_client_ ? duplex_->server_to_client : duplex_->client_to_server;
+  }
+  bool peer_closed() const {
+    return is_client_ ? duplex_->client_to_server.writer_closed
+                      : duplex_->server_to_client.writer_closed;
+  }
+
+  std::shared_ptr<Duplex> duplex_;
+  bool is_client_;
+};
+
+}  // namespace
+
+struct LoopbackTransport::Shared {
+  std::deque<std::unique_ptr<Connection>> pending;  // server ends awaiting accept
+};
+
+namespace {
+
+class LoopbackListener final : public Listener {
+ public:
+  explicit LoopbackListener(std::shared_ptr<LoopbackTransport::Shared> shared)
+      : shared_(std::move(shared)) {}
+
+  std::unique_ptr<Connection> accept() override {
+    if (shared_->pending.empty()) return nullptr;
+    auto conn = std::move(shared_->pending.front());
+    shared_->pending.pop_front();
+    return conn;
+  }
+
+ private:
+  std::shared_ptr<LoopbackTransport::Shared> shared_;
+};
+
+}  // namespace
+
+LoopbackTransport::LoopbackTransport()
+    : shared_(std::make_shared<Shared>()),
+      listener_(std::make_unique<LoopbackListener>(shared_)) {}
+
+LoopbackTransport::~LoopbackTransport() = default;
+
+std::unique_ptr<Connection> LoopbackTransport::connect() {
+  auto duplex = std::make_shared<Duplex>();
+  shared_->pending.push_back(std::make_unique<LoopbackConnection>(duplex, false));
+  return std::make_unique<LoopbackConnection>(duplex, true);
+}
+
+}  // namespace srds::svc

@@ -1,0 +1,75 @@
+// Transport abstraction for the BA service front door (docs/service.md).
+//
+// The daemon's protocol logic (framing, sessions, pipelines) never touches a
+// socket: it speaks to clients through this minimal connection-oriented
+// byte-stream interface, so the deterministic in-process loopback (used by
+// tests, the simulator-backed demos and the benches — all fault/campaign
+// machinery applies unchanged) and the real TCP backend
+// (svc/tcp_transport.hpp) are interchangeable.
+//
+// Contract: ordered, reliable, non-blocking. send() enqueues the whole
+// buffer; recv() drains whatever has arrived (possibly empty, never blocks);
+// chunk boundaries carry no meaning (the FrameCodec reframes). closed()
+// reports the peer's close or a transport failure.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "common/bytes.hpp"
+
+namespace srds::svc {
+
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Enqueue bytes toward the peer (the full buffer; never partial).
+  virtual void send(BytesView data) = 0;
+
+  /// Drain everything that has arrived since the last call. Empty result
+  /// means "nothing yet" — never blocks.
+  virtual Bytes recv() = 0;
+
+  /// Peer closed or the transport failed. Bytes already received may still
+  /// be pending in recv().
+  virtual bool closed() const = 0;
+
+  /// Close this end (idempotent).
+  virtual void close() = 0;
+};
+
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Accept one pending connection, or nullptr if none — never blocks.
+  virtual std::unique_ptr<Connection> accept() = 0;
+};
+
+/// In-process transport: connect() hands back the client end of a fresh
+/// connection and queues the server end for the listener. Single-threaded
+/// by design — byte movement happens inside send()/recv() calls, so a
+/// scripted client + daemon loop is fully deterministic (no timing, no
+/// kernel buffers). This is the backend the Ledger-determinism test and the
+/// campaign demos run on.
+class LoopbackTransport {
+ public:
+  LoopbackTransport();
+  ~LoopbackTransport();
+
+  /// Client side of a new connection (server end becomes accept()-able).
+  std::unique_ptr<Connection> connect();
+
+  /// The daemon-facing listener (owned by the transport).
+  Listener* listener() { return listener_.get(); }
+
+  struct Shared;  // implementation detail (defined in transport.cpp)
+
+ private:
+  std::shared_ptr<Shared> shared_;
+  std::unique_ptr<Listener> listener_;
+};
+
+}  // namespace srds::svc

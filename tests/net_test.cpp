@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "common/serial.hpp"
+#include "net/parallel.hpp"
 #include "net/simulator.hpp"
 #include "net/subproto.hpp"
 
@@ -562,6 +563,68 @@ TEST(SubProto, EmptyBodyAllowed) {
   Bytes body;
   ASSERT_TRUE(untag_body(tagged, phase, inst, body));
   EXPECT_TRUE(body.empty());
+}
+
+/// Child double for ParallelProto: runs `rounds` subrounds, emits one tagged
+/// byte pair to party 0 each subround, records every body it is handed.
+class ProbeProto final : public SubProtocol {
+ public:
+  ProbeProto(std::size_t rounds, std::uint8_t tag) : rounds_(rounds), tag_(tag) {}
+
+  std::size_t rounds() const override { return rounds_; }
+
+  std::vector<std::pair<PartyId, Bytes>> step(
+      std::size_t subround, const std::vector<TaggedMsg>& inbox) override {
+    for (const auto& m : inbox) got_.push_back(m.body);
+    return {{0, Bytes{tag_, static_cast<std::uint8_t>(subround)}}};
+  }
+
+  const std::vector<Bytes>& got() const { return got_; }
+
+ private:
+  std::size_t rounds_;
+  std::uint8_t tag_;
+  std::vector<Bytes> got_;
+};
+
+TEST(ParallelProtoFraming, ChildrenMayDifferInRoundsAndGarbageIsCounted) {
+  std::vector<std::unique_ptr<SubProtocol>> children;
+  children.push_back(std::make_unique<ProbeProto>(1, 0xA));
+  children.push_back(std::make_unique<ProbeProto>(3, 0xB));
+  ParallelProto par(std::move(children));
+  EXPECT_EQ(par.rounds(), 3u);  // the composite runs as long as its longest child
+
+  auto out0 = par.step(0, {});
+  EXPECT_EQ(out0.size(), 2u);  // both children still running
+
+  // Subround 1: child 0's schedule has ended. A *well-formed* frame addressed
+  // to it is dropped silently (late traffic for a shorter child is
+  // legitimate); a truncated index header or an out-of-range index is an
+  // attack signal and must be counted as malformed.
+  std::vector<TaggedMsg> inbox;
+  {
+    Writer w;
+    w.u32(0);  // ended child — silent drop, NOT malformed
+    w.u8(0x7);
+    inbox.push_back(TaggedMsg{1, std::move(w).take()});
+  }
+  {
+    Writer w;
+    w.u32(9);  // out-of-range child index — malformed
+    w.u8(0x7);
+    inbox.push_back(TaggedMsg{1, std::move(w).take()});
+  }
+  inbox.push_back(TaggedMsg{1, Bytes{1, 2}});  // truncated index header — malformed
+
+  auto out1 = par.step(1, inbox);
+  ASSERT_EQ(out1.size(), 1u);  // only the 3-round child emits now
+  Reader r(out1[0].second);
+  EXPECT_EQ(r.u32(), 1u);  // and its frames carry its child index
+  EXPECT_EQ(par.malformed_frames(), 2u);
+
+  // The ended child never saw the late frame; the live child saw nothing.
+  EXPECT_TRUE(static_cast<const ProbeProto*>(par.child(0))->got().empty());
+  EXPECT_TRUE(static_cast<const ProbeProto*>(par.child(1))->got().empty());
 }
 
 }  // namespace

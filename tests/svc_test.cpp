@@ -1,0 +1,440 @@
+// Tests for the long-lived BA service subsystem (src/svc): frame codec,
+// session/backpressure semantics, the staggered instance pipeline, the
+// daemon over both transports, and the Ledger-determinism guarantee of the
+// loopback backend.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "obs/ledger.hpp"
+#include "svc/frame.hpp"
+#include "svc/service.hpp"
+#include "svc/session.hpp"
+#include "svc/tcp_transport.hpp"
+#include "svc/transport.hpp"
+
+namespace srds::svc {
+namespace {
+
+// --- Frame codec ------------------------------------------------------------
+
+TEST(FrameCodec, RoundTripsEveryTypeAcrossArbitraryChunking) {
+  std::vector<Frame> frames = {
+      make_hello(),
+      make_hello_ack(7, 8),
+      make_submit(7, 1, true),
+      make_submit(7, 2, false),
+      make_decision(7, 1, true, true, 68, 42),
+      make_reject(7, 3, 55),
+      make_close(7),
+      make_error(7, 9, "nope"),
+  };
+  Bytes wire;
+  for (const Frame& f : frames) {
+    Bytes one = encode_frame(f);
+    wire.insert(wire.end(), one.begin(), one.end());
+  }
+
+  // Feed in pathological chunk sizes (1, 2, 3, ... bytes).
+  FrameDecoder dec;
+  std::size_t pos = 0, chunk = 1;
+  while (pos < wire.size()) {
+    const std::size_t len = std::min(chunk, wire.size() - pos);
+    dec.feed(BytesView(wire.data() + pos, len));
+    pos += len;
+    chunk = chunk % 5 + 1;
+  }
+
+  std::vector<Frame> got;
+  while (auto f = dec.next()) got.push_back(*f);
+  ASSERT_EQ(got.size(), frames.size());
+  EXPECT_EQ(dec.malformed(), 0u);
+  EXPECT_FALSE(dec.poisoned());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(got[i].type, frames[i].type) << i;
+    EXPECT_EQ(got[i].session, frames[i].session) << i;
+    EXPECT_EQ(got[i].seq, frames[i].seq) << i;
+    EXPECT_EQ(got[i].payload, frames[i].payload) << i;
+  }
+
+  DecisionPayload d;
+  ASSERT_TRUE(parse_decision(got[4].payload, d));
+  EXPECT_TRUE(d.value);
+  EXPECT_TRUE(d.agreement);
+  EXPECT_EQ(d.round_span, 68u);
+  EXPECT_EQ(d.instance, 42u);
+  std::uint32_t retry = 0;
+  ASSERT_TRUE(parse_reject(got[5].payload, retry));
+  EXPECT_EQ(retry, 55u);
+  std::uint32_t window = 0;
+  ASSERT_TRUE(parse_hello_ack(got[1].payload, window));
+  EXPECT_EQ(window, 8u);
+}
+
+TEST(FrameCodec, UnknownTypeIsCountedAndStreamStaysInSync) {
+  Bytes wire = encode_frame(make_submit(1, 1, true));
+  wire[4] = 0xEE;  // corrupt the type byte (offset 4: right after the u32 len)
+  Bytes good = encode_frame(make_submit(1, 2, false));
+  wire.insert(wire.end(), good.begin(), good.end());
+
+  FrameDecoder dec;
+  dec.feed(wire);
+  auto f = dec.next();
+  ASSERT_TRUE(f.has_value());  // the bad frame was skipped, not fatal
+  EXPECT_EQ(f->seq, 2u);
+  EXPECT_EQ(dec.malformed(), 1u);
+  EXPECT_FALSE(dec.poisoned());
+}
+
+TEST(FrameCodec, TruncatedBodyIsCountedAndSkipped) {
+  // Claim a 4-byte frame (shorter than the 17-byte header): in-sync skip.
+  Writer w;
+  w.u32(4);
+  w.u8(1);
+  w.u8(2);
+  w.u8(3);
+  w.u8(4);
+  Bytes wire = std::move(w).take();
+  Bytes good = encode_frame(make_hello());
+  wire.insert(wire.end(), good.begin(), good.end());
+
+  FrameDecoder dec;
+  dec.feed(wire);
+  auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, FrameType::kHello);
+  EXPECT_EQ(dec.malformed(), 1u);
+}
+
+TEST(FrameCodec, OversizedLengthPoisonsTheStream) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(kMaxFrameLen + 1));
+  FrameDecoder dec;
+  dec.feed(std::move(w).take());
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_TRUE(dec.poisoned());
+  EXPECT_EQ(dec.malformed(), 1u);
+  // Poisoned decoders never yield again, even fed a valid frame.
+  dec.feed(encode_frame(make_hello()));
+  EXPECT_FALSE(dec.next().has_value());
+}
+
+// --- SessionManager ---------------------------------------------------------
+
+TEST(SessionManagerTest, WindowRejectionDoesNotConsumeTheSeq) {
+  SessionManager sm(2, 8);
+  const std::uint64_t s = sm.open();
+  EXPECT_EQ(sm.submit(s, 1, 30).status, SubmitStatus::kAccepted);
+  EXPECT_EQ(sm.submit(s, 2, 30).status, SubmitStatus::kAccepted);
+
+  const SubmitResult full = sm.submit(s, 3, 30);
+  EXPECT_EQ(full.status, SubmitStatus::kRejectedFull);
+  EXPECT_EQ(full.retry_after, 30u);
+  EXPECT_EQ(sm.rejected_full(), 1u);
+
+  // Free a slot, then the SAME seq must be accepted.
+  sm.track(s, 1, 100);
+  DecisionRecord rec;
+  rec.instance = 100;
+  auto rel = sm.complete(100, rec);
+  ASSERT_EQ(rel.size(), 1u);
+  EXPECT_EQ(rel[0].seq, 1u);
+  EXPECT_EQ(sm.submit(s, 3, 30).status, SubmitStatus::kAccepted);
+}
+
+TEST(SessionManagerTest, ReleasesInSubmissionOrderDespiteOutOfOrderCompletion) {
+  SessionManager sm(4, 8);
+  const std::uint64_t s = sm.open();
+  for (std::uint64_t seq = 1; seq <= 3; ++seq) {
+    ASSERT_EQ(sm.submit(s, seq, 10).status, SubmitStatus::kAccepted);
+    sm.track(s, seq, 100 + seq);
+  }
+  DecisionRecord rec;
+
+  // Completing seq 2 and 3 first releases nothing (seq 1 still in flight).
+  rec.instance = 102;
+  EXPECT_TRUE(sm.complete(102, rec).empty());
+  rec.instance = 103;
+  EXPECT_TRUE(sm.complete(103, rec).empty());
+
+  // Completing seq 1 unblocks all three, in seq order.
+  rec.instance = 101;
+  auto rel = sm.complete(101, rec);
+  ASSERT_EQ(rel.size(), 3u);
+  EXPECT_EQ(rel[0].seq, 1u);
+  EXPECT_EQ(rel[1].seq, 2u);
+  EXPECT_EQ(rel[2].seq, 3u);
+  EXPECT_EQ(rel[0].record.instance, 101u);
+  EXPECT_EQ(rel[2].record.instance, 103u);
+}
+
+TEST(SessionManagerTest, DuplicatesReplayFromTheBoundedCache) {
+  SessionManager sm(4, 2);  // cache only 2 decided records
+  const std::uint64_t s = sm.open();
+  for (std::uint64_t seq = 1; seq <= 3; ++seq) {
+    ASSERT_EQ(sm.submit(s, seq, 10).status, SubmitStatus::kAccepted);
+    sm.track(s, seq, 100 + seq);
+    DecisionRecord rec;
+    rec.instance = 100 + seq;
+    rec.value = (seq % 2) != 0;
+    sm.complete(100 + seq, rec);
+  }
+
+  // seq 3 is cached; seq 1 was evicted (cache holds the latest 2).
+  const SubmitResult dup3 = sm.submit(s, 3, 10);
+  EXPECT_EQ(dup3.status, SubmitStatus::kDuplicateDecided);
+  ASSERT_TRUE(dup3.cached.has_value());
+  EXPECT_EQ(dup3.cached->instance, 103u);
+  EXPECT_EQ(sm.submit(s, 1, 10).status, SubmitStatus::kDuplicateEvicted);
+}
+
+TEST(SessionManagerTest, BadSeqAndClosedSessionsAreRefused) {
+  SessionManager sm(4, 8);
+  const std::uint64_t s = sm.open();
+  EXPECT_EQ(sm.submit(s, 2, 10).status, SubmitStatus::kBadSeq);  // must start at 1
+  EXPECT_EQ(sm.submit(s + 9, 1, 10).status, SubmitStatus::kBadSession);
+  sm.close(s);
+  EXPECT_EQ(sm.submit(s, 1, 10).status, SubmitStatus::kBadSession);
+}
+
+// --- Router duplicate watermark --------------------------------------------
+
+class RecordingHandler final : public FrameHandler {
+ public:
+  void on_hello(std::uint64_t, const Frame&) override { ++hellos; }
+  void on_submit(std::uint64_t, const Frame& f) override { submits.push_back(f.seq); }
+  void on_duplicate_submit(std::uint64_t, const Frame& f) override {
+    duplicates.push_back(f.seq);
+  }
+  void on_close(std::uint64_t, const Frame&) override { ++closes; }
+
+  int hellos = 0, closes = 0;
+  std::vector<std::uint64_t> submits, duplicates;
+};
+
+TEST(FrameRouterTest, DuplicateSubmitsAreFlaggedAndUnforwardAllowsRetry) {
+  RecordingHandler h;
+  FrameRouter router(&h);
+  router.on_bytes(1, encode_frame(make_submit(5, 1, true)));
+  router.on_bytes(1, encode_frame(make_submit(5, 1, true)));  // resend
+  EXPECT_EQ(h.submits, (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(h.duplicates, (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(router.duplicates_rejected(), 1u);
+
+  // After unforward (a window rejection), the same seq goes through again.
+  router.unforward(5, 1);
+  router.on_bytes(1, encode_frame(make_submit(5, 1, true)));
+  EXPECT_EQ(h.submits, (std::vector<std::uint64_t>{1, 1}));
+}
+
+TEST(FrameRouterTest, ServerBoundStreamRejectsClientBoundTypes) {
+  RecordingHandler h;
+  FrameRouter router(&h);
+  router.on_bytes(1, encode_frame(make_decision(5, 1, true, true, 10, 1)));
+  router.on_bytes(1, encode_frame(make_reject(5, 2, 4)));
+  EXPECT_EQ(router.misdirected_frames(), 2u);
+  EXPECT_TRUE(h.submits.empty());
+}
+
+// --- Daemon over the loopback transport ------------------------------------
+
+struct ServiceRun {
+  ServiceStats stats;
+  std::vector<ServiceClient::ClientDecision> decisions;
+  std::uint64_t client_rejects = 0;
+  std::string ledger_json;
+};
+
+/// Drive one daemon + one client over the loopback transport until `ell`
+/// decisions arrive at the client: submit-as-fast-as-allowed, honoring the
+/// backpressure protocol (retry on reject). Void-returning (with an out
+/// parameter) because gtest's ASSERT_* macros require it.
+void run_loopback_service_into(ServiceRun& out, ServiceConfig cfg, std::size_t ell,
+                               bool oversubscribe = false,
+                               std::size_t max_rounds = 100000) {
+  obs::Ledger ledger;
+  cfg.ledger = &ledger;
+  BaServiceDaemon daemon(std::move(cfg));
+  LoopbackTransport transport;
+  daemon.add_listener(transport.listener());
+
+  ServiceClient client(transport.connect());
+  client.open();
+
+  out = ServiceRun{};
+  std::size_t submitted = 0;
+  std::size_t rounds = 0;
+  bool overridden = false;
+  while (out.decisions.size() < ell && rounds < max_rounds) {
+    if (oversubscribe && client.opened() && !overridden) {
+      // Optimistic client: run ahead of the granted window so the server's
+      // reject-with-retry-after path actually fires.
+      client.override_window(client.window() * 2 + 2);
+      overridden = true;
+    }
+    client.retry();
+    while (submitted < ell && client.can_submit()) {
+      ASSERT_NE(client.submit(submitted % 3 == 0), 0u) << "submit refused";
+      ++submitted;
+    }
+    daemon.poll();
+    if (daemon.step()) ++rounds;
+    client.poll();
+    for (auto& d : client.take_decisions()) out.decisions.push_back(d);
+  }
+  EXPECT_LT(rounds, max_rounds) << "service did not converge";
+  client.close();
+  daemon.shutdown();
+  out.stats = daemon.stats();
+  out.client_rejects = client.rejects_received();
+  out.ledger_json = ledger.to_json(true).dump();
+}
+
+ServiceConfig small_config() {
+  ServiceConfig cfg;
+  cfg.n = 64;
+  cfg.beta = 0.1;
+  cfg.seed = 7;
+  cfg.session_window = 4;
+  cfg.max_inflight = 8;
+  return cfg;
+}
+
+TEST(ServiceDaemon, PipelinedDecisionsArriveInOrderAndAgree) {
+  ServiceRun run;
+  run_loopback_service_into(run, small_config(), 10, /*oversubscribe=*/true);
+
+  ASSERT_EQ(run.decisions.size(), 10u);
+  for (std::size_t i = 0; i < run.decisions.size(); ++i) {
+    const auto& d = run.decisions[i];
+    EXPECT_EQ(d.seq, i + 1) << "decisions must arrive in submission order";
+    EXPECT_TRUE(d.decision.agreement) << "seq " << d.seq;
+    EXPECT_EQ(d.decision.value, i % 3 == 0) << "seq " << d.seq;
+  }
+  EXPECT_EQ(run.stats.decisions, 10u);
+  EXPECT_EQ(run.stats.agreed, 10u);
+  EXPECT_EQ(run.stats.delivered, 10u);
+  EXPECT_EQ(run.stats.sessions, 1u);
+
+  // The session window (4) is smaller than the request count, so the
+  // backpressure path must actually have fired — and been recovered from.
+  EXPECT_GT(run.stats.rejected_backpressure, 0u);
+  EXPECT_EQ(run.client_rejects, run.stats.rejected_backpressure);
+
+  // Staggering: 10 instances in one window of rounds must beat 10 back-to-
+  // back schedules (the whole point of the pipeline).
+  EXPECT_GT(run.stats.rounds, 0u);
+}
+
+TEST(ServiceDaemon, PipeliningBeatsSequentialRoundCount) {
+  ServiceConfig pipelined = small_config();
+  ServiceRun pipe_run;
+  run_loopback_service_into(pipe_run, pipelined, 8);
+
+  ServiceConfig sequential = small_config();
+  sequential.session_window = 1;  // one in flight: every request runs alone
+  sequential.max_inflight = 1;
+  ServiceRun seq_run;
+  run_loopback_service_into(seq_run, sequential, 8);
+
+  EXPECT_EQ(pipe_run.stats.decisions, 8u);
+  EXPECT_EQ(seq_run.stats.decisions, 8u);
+  // Not asserting a specific ratio here (that is the bench gate's job at
+  // real sizes), just the direction.
+  EXPECT_LT(pipe_run.stats.rounds, seq_run.stats.rounds);
+}
+
+TEST(ServiceDaemon, LoopbackRunsAreByteIdenticalInTheLedger) {
+  ServiceRun a, b;
+  run_loopback_service_into(a, small_config(), 6);
+  run_loopback_service_into(b, small_config(), 6);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+  EXPECT_EQ(a.stats.rejected_backpressure, b.stats.rejected_backpressure);
+  ASSERT_FALSE(a.ledger_json.empty());
+  EXPECT_EQ(a.ledger_json, b.ledger_json);
+}
+
+TEST(ServiceDaemon, SurvivesAnEclipseCampaignWithAgreement) {
+  ServiceConfig cfg = small_config();
+  cfg.campaign = CampaignKind::kEclipse;
+  cfg.corruption_rate = 0.15;
+  ServiceRun run;
+  run_loopback_service_into(run, cfg, 6);
+
+  ASSERT_EQ(run.decisions.size(), 6u);
+  for (const auto& d : run.decisions) {
+    EXPECT_TRUE(d.decision.agreement) << "seq " << d.seq;
+  }
+  EXPECT_EQ(run.stats.agreed, 6u);
+}
+
+TEST(ServiceDaemon, ClosedSessionDropsQueuedSubmissions) {
+  ServiceConfig cfg = small_config();
+  cfg.max_inflight = 1;  // force the admission queue to hold work
+  obs::Ledger ledger;
+  cfg.ledger = &ledger;
+  BaServiceDaemon daemon(std::move(cfg));
+  LoopbackTransport transport;
+  daemon.add_listener(transport.listener());
+
+  ServiceClient client(transport.connect());
+  client.open();
+  daemon.poll();
+  client.poll();
+  ASSERT_TRUE(client.opened());
+  ASSERT_NE(client.submit(true), 0u);
+  ASSERT_NE(client.submit(false), 0u);  // queued behind max_inflight=1
+  daemon.poll();
+  ASSERT_TRUE(daemon.step());
+  EXPECT_EQ(daemon.active_instances(), 1u);
+  EXPECT_EQ(daemon.queued_admissions(), 1u);
+
+  client.close();  // kClose: the queued submission must be dropped unminted
+  daemon.poll();
+  daemon.drain();
+  daemon.shutdown();
+  EXPECT_EQ(daemon.stats().accepted, 1u);
+  EXPECT_EQ(daemon.stats().decisions, 1u);
+}
+
+// --- TCP transport ----------------------------------------------------------
+
+TEST(TcpTransport, LoopbackSmoke) {
+  ServiceConfig cfg = small_config();
+  obs::Ledger ledger;
+  cfg.ledger = &ledger;
+  BaServiceDaemon daemon(std::move(cfg));
+  TcpListener listener;  // ephemeral 127.0.0.1 port
+  daemon.add_listener(&listener);
+
+  ServiceClient client(connect_tcp(listener.port()));
+  client.open();
+
+  std::vector<ServiceClient::ClientDecision> decisions;
+  std::size_t submitted = 0;
+  for (std::size_t iter = 0; iter < 100000 && decisions.size() < 3; ++iter) {
+    client.retry();
+    while (submitted < 3 && client.can_submit()) {
+      ASSERT_NE(client.submit(submitted % 2 == 0), 0u);
+      ++submitted;
+    }
+    daemon.poll();
+    daemon.step();
+    client.poll();
+    for (auto& d : client.take_decisions()) decisions.push_back(d);
+  }
+
+  ASSERT_EQ(decisions.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(decisions[i].seq, i + 1);
+    EXPECT_TRUE(decisions[i].decision.agreement);
+    EXPECT_EQ(decisions[i].decision.value, i % 2 == 0);
+  }
+  client.close();
+  daemon.shutdown();
+  EXPECT_EQ(daemon.stats().decisions, 3u);
+}
+
+}  // namespace
+}  // namespace srds::svc
