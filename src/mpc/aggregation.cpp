@@ -2,7 +2,7 @@
 
 namespace srds {
 
-// srds-lint: hotpath — the aggregation filter runs at every internal tree
+// srds-lint: hotpath(node_range_filter) — the aggregation filter runs at every internal tree
 // node per round; no throw/new/std::function on this path (rule P1).
 std::vector<Bytes> node_range_filter(const SrdsScheme& scheme, const CommTree& tree,
                                      const TreeNode& node, std::vector<Bytes> inputs) {
@@ -28,7 +28,7 @@ std::vector<Bytes> node_range_filter(const SrdsScheme& scheme, const CommTree& t
   return kept;
 }
 
-// srds-lint: hotpath
+// srds-lint: hotpath(f_aggr_sig)
 Bytes f_aggr_sig(const SrdsScheme& scheme, BytesView m, const std::vector<Bytes>& inputs) {
   return scheme.aggregate(m, inputs);
 }

@@ -4,7 +4,7 @@
 
 namespace srds {
 
-// srds-lint: hotpath — every adaptive decision a campaign makes (victim
+// srds-lint: hotpath(campaign_hash) — every adaptive decision a campaign makes (victim
 // choice, corruption schedule, child targeting) draws through this hash,
 // queried per (round, party); must not allocate or unwind (rule P1).
 std::uint64_t campaign_hash(std::uint64_t seed, std::uint64_t round, std::uint64_t party) {

@@ -145,7 +145,7 @@ class FaultInjector {
            *crash_round_[i] <= round;
   }
 
-  // srds-lint: hotpath — consulted once per delivery and once per party per
+  // srds-lint: hotpath(FaultInjector::offline) — consulted once per delivery and once per party per
   // round under a churn-bearing plan; must not allocate or unwind (rule P1).
   /// Is party `i` churned offline during round `round`? Offline parties do
   /// not execute, and deliveries to them at that round are lost. A crashed

@@ -41,7 +41,7 @@ void Simulator::set_fault_plan(const FaultPlan& plan) {
   injector_ = std::make_unique<FaultInjector>(plan, parties_.size());
 }
 
-// srds-lint: hotpath — runs once per message per round; must not allocate
+// srds-lint: hotpath(Simulator::deliver) — runs once per message per round; must not allocate
 // control structures, unwind, or type-erase (rule P1).
 void Simulator::deliver(std::size_t round, Message m,
                         std::vector<std::vector<Message>>& inboxes) {

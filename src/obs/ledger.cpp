@@ -51,7 +51,7 @@ void Ledger::advance_phase(std::size_t round) {
   }
 }
 
-// srds-lint: hotpath — one call per accepted send; indexes preallocated
+// srds-lint: hotpath(Ledger::on_send) — one call per accepted send; indexes preallocated
 // tallies only (no allocation, unwinding, or type erasure; rule P1).
 void Ledger::on_send(std::size_t round, const Message& m) {
   if (m.from >= n_) return;
@@ -68,7 +68,7 @@ void Ledger::on_send(std::size_t round, const Message& m) {
   charge(kinds_[k][m.from]);
 }
 
-// srds-lint: hotpath — one call per delivery outcome; same constraints as
+// srds-lint: hotpath(Ledger::on_delivery) — one call per delivery outcome; same constraints as
 // on_send.
 void Ledger::on_delivery(std::size_t round, const Message& m, Delivery outcome) {
   switch (outcome) {

@@ -102,7 +102,7 @@ bool parse_hello_ack(BytesView payload, std::uint32_t& window) {
   return r.done();
 }
 
-// srds-lint: hotpath — runs once per received chunk on the service front
+// srds-lint: hotpath(FrameDecoder::feed) — runs once per received chunk on the service front
 // door; must not throw or type-erase (rule P1).
 void FrameDecoder::feed(BytesView chunk) {
   if (poisoned_) return;
@@ -118,7 +118,7 @@ void FrameDecoder::feed(BytesView chunk) {
   buf_.insert(buf_.end(), chunk.begin(), chunk.end());
 }
 
-// srds-lint: hotpath — runs once per frame on the service front door; must
+// srds-lint: hotpath(FrameDecoder::next) — runs once per frame on the service front door; must
 // not throw or type-erase (rule P1).
 std::optional<Frame> FrameDecoder::next() {
   while (!poisoned_) {

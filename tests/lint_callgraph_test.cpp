@@ -1,0 +1,317 @@
+// srds-lint call-graph engine tests (callgraph.hpp): graph construction,
+// resolution fallback, cycle termination, the C1/P2/T2 interprocedural
+// passes, shard-roots manifest semantics (roots, allows, stale entries,
+// parse errors), stale markers, the census stats, and the DOT export.
+//
+// Fixtures live in tests/lint_fixtures/ next to the per-rule ones and are
+// linted under *logical* paths (the engine scopes rules by repo-relative
+// path); expected line numbers are pinned to the fixture sources.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "callgraph.hpp"
+#include "lint.hpp"
+#include "taint.hpp"
+
+namespace srds::lint {
+namespace {
+
+std::string fixture(const std::string& name) {
+  const std::string path = std::string(SRDS_LINT_FIXTURES) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "missing fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// (rule, line) pairs of unsuppressed findings for one rule, sorted.
+std::set<std::pair<std::string, std::size_t>> rule_hits(const std::vector<Finding>& fs,
+                                                        const std::string& rule) {
+  std::set<std::pair<std::string, std::size_t>> out;
+  for (const Finding& f : fs) {
+    if (!f.suppressed && f.rule == rule) out.insert({f.rule, f.line});
+  }
+  return out;
+}
+
+const Finding* find_at(const std::vector<Finding>& fs, const std::string& rule,
+                       std::size_t line) {
+  for (const Finding& f : fs) {
+    if (f.rule == rule && f.line == line) return &f;
+  }
+  return nullptr;
+}
+
+std::vector<std::pair<std::string, std::string>> shard_inputs() {
+  return {{"src/mpc/cg_shard_root.cpp", fixture("cg_shard_root.cpp")},
+          {"src/mpc/cg_shard_state.cpp", fixture("cg_shard_state.cpp")}};
+}
+
+// ---------------------------------------------------------------------------
+// Graph construction.
+// ---------------------------------------------------------------------------
+
+TEST(CallGraphBuild, FindsDefinitionsAndCrossFileEdges) {
+  const CallGraph cg = build_call_graph(shard_inputs());
+  ASSERT_EQ(cg.files.size(), 2u);
+  ASSERT_EQ(cg.defs.size(), 7u);  // on_round, prepare + 5 helpers
+
+  // on_round's `prepare(round)` resolves to the same-class member.
+  const FuncDef* on_round = nullptr;
+  for (const FuncDef& d : cg.defs) {
+    if (d.body.qual == "DemoParty::on_round") on_round = &d;
+  }
+  ASSERT_NE(on_round, nullptr);
+  bool prepare_edge = false;
+  for (const CallSite& cs : on_round->calls) {
+    for (std::size_t cal : cg.resolve(*on_round, cs)) {
+      if (cg.defs[cal].body.qual == "DemoParty::prepare") prepare_edge = true;
+    }
+  }
+  EXPECT_TRUE(prepare_edge);
+
+  // `Config::instance()` names no scanned definition: an external call.
+  EXPECT_GT(cg.external_calls, 0u);
+}
+
+TEST(CallGraphBuild, StlMemberCallsStayOpaque) {
+  // `out.push_back(x)` must not resolve into an unrelated class that
+  // happens to define push_back — it is not recorded as a call at all.
+  const CallGraph cg = build_call_graph(
+      {{"src/mpc/a.cpp", "void caller(std::vector<int>& out, int x) {\n"
+                         "  out.push_back(x);\n"
+                         "}\n"},
+       {"src/obs/b.cpp", "void Json::push_back(int v) {\n"
+                         "  static int n = 0;\n"
+                         "  ++n;\n"
+                         "}\n"}});
+  const FuncDef* caller = nullptr;
+  for (const FuncDef& d : cg.defs) {
+    if (d.body.qual == "caller") caller = &d;
+  }
+  ASSERT_NE(caller, nullptr);
+  EXPECT_TRUE(caller->calls.empty());
+}
+
+// ---------------------------------------------------------------------------
+// C1: concurrency readiness from shard roots.
+// ---------------------------------------------------------------------------
+
+TEST(LintC1, PlantedViolationsReportedWithCrossFileCallPath) {
+  const auto fs = lint_files(shard_inputs(), {});
+  const std::set<std::pair<std::string, std::size_t>> expected = {
+      {"C1", 12},  // file-scope mutable write in bump_counter
+      {"C1", 16},  // function-local static in cached_weight
+      {"C1", 23},  // unordered iteration in sum_votes
+      {"C1", 28},  // RNG engine in draw
+      {"C1", 33},  // singleton accessor in read_config
+  };
+  EXPECT_EQ(rule_hits(fs, "C1"), expected);
+
+  // The acceptance criterion: a shared-static write behind two hops of
+  // calls is reported with the full path from the root.
+  const Finding* f = find_at(fs, "C1", 12);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->file, "src/mpc/cg_shard_state.cpp");
+  EXPECT_NE(f->message.find("g_round_counter"), std::string::npos) << f->message;
+  EXPECT_NE(f->message.find(
+                "call path: DemoParty::on_round -> DemoParty::prepare -> bump_counter"),
+            std::string::npos)
+      << f->message;
+}
+
+TEST(LintC1, CycleTerminatesAndReportsOnce) {
+  const auto fs =
+      lint_files({{"src/consensus/cg_cycle.cpp", fixture("cg_cycle.cpp")}}, {});
+  const std::set<std::pair<std::string, std::size_t>> expected = {{"C1", 10}};
+  EXPECT_EQ(rule_hits(fs, "C1"), expected);
+  const Finding* f = find_at(fs, "C1", 10);
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("call path: ping -> pong"), std::string::npos) << f->message;
+}
+
+TEST(LintC1, UnresolvedCallFallsBackToEveryCandidate) {
+  const auto fs = lint_files({{"src/srds/cg_overload_a.cpp", fixture("cg_overload_a.cpp")},
+                              {"src/srds/cg_overload_b.cpp", fixture("cg_overload_b.cpp")},
+                              {"src/srds/cg_overload_c.cpp", fixture("cg_overload_c.cpp")}},
+                             {});
+  // Both same-name candidates are treated as reachable (over-approximation
+  // by design): the global write in b and the static in c.
+  const std::set<std::pair<std::string, std::size_t>> expected = {{"C1", 6}, {"C1", 4}};
+  EXPECT_EQ(rule_hits(fs, "C1"), expected);
+}
+
+TEST(LintC1, StaleMarkersOfBothKindsAreFindings) {
+  const auto fs =
+      lint_files({{"src/ba/cg_stale_markers.cpp", fixture("cg_stale_markers.cpp")}}, {});
+  EXPECT_EQ(rule_hits(fs, "P1"),
+            (std::set<std::pair<std::string, std::size_t>>{{"P1", 5}}));
+  EXPECT_EQ(rule_hits(fs, "C1"),
+            (std::set<std::pair<std::string, std::size_t>>{{"C1", 6}}));
+  const Finding* p1 = find_at(fs, "P1", 5);
+  ASSERT_NE(p1, nullptr);
+  EXPECT_NE(p1->message.find("RemovedFast::send"), std::string::npos) << p1->message;
+  const Finding* c1 = find_at(fs, "C1", 6);
+  ASSERT_NE(c1, nullptr);
+  EXPECT_NE(c1->message.find("RemovedParty::on_round"), std::string::npos) << c1->message;
+  EXPECT_NE(c1->message.find("deleted or renamed"), std::string::npos) << c1->message;
+}
+
+TEST(LintC1, QualifiedNameNeverMatchesADifferentClass) {
+  Lexed lx = lex("struct A { void run() { } };\nstruct B { void run() { } };\n");
+  const auto funcs = function_bodies(lx);
+  ASSERT_EQ(funcs.size(), 2u);
+  EXPECT_TRUE(marker_name_matches("A::run", funcs[0]));
+  EXPECT_FALSE(marker_name_matches("A::run", funcs[1]));
+  EXPECT_TRUE(marker_name_matches("run", funcs[1]));
+}
+
+// ---------------------------------------------------------------------------
+// The shard-roots manifest.
+// ---------------------------------------------------------------------------
+
+TEST(ShardManifest, ParsesRootsAndAllows) {
+  ShardManifest m;
+  std::string error;
+  ASSERT_TRUE(parse_shard_manifest("# comment\n"
+                                   "[roots]\n"
+                                   "functions = [\n"
+                                   "  \"A::run\",\n"
+                                   "  \"helper\",\n"
+                                   "]\n"
+                                   "[allow]\n"
+                                   "\"B::guard\" = \"cold error path\"\n",
+                                   m, error))
+      << error;
+  ASSERT_EQ(m.roots.size(), 2u);
+  EXPECT_EQ(m.roots[0], "A::run");
+  ASSERT_EQ(m.allows.size(), 1u);
+  EXPECT_EQ(m.allows[0].first, "B::guard");
+  EXPECT_EQ(m.allows[0].second, "cold error path");
+}
+
+TEST(ShardManifest, AllowWithoutJustificationIsAParseError) {
+  ShardManifest m;
+  std::string error;
+  EXPECT_FALSE(parse_shard_manifest("[allow]\n\"B::guard\" = \"\"\n", m, error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
+TEST(ShardManifest, ManifestRootsSeedTheTraversal) {
+  Config cfg;
+  cfg.shard_manifest = "[roots]\nfunctions = [\"helper\"]\n";
+  const auto fs = lint_files({{"src/srds/cg_overload_b.cpp", fixture("cg_overload_b.cpp")},
+                              {"src/srds/cg_overload_c.cpp", fixture("cg_overload_c.cpp")}},
+                             cfg);
+  const std::set<std::pair<std::string, std::size_t>> expected = {{"C1", 6}, {"C1", 4}};
+  EXPECT_EQ(rule_hits(fs, "C1"), expected);
+}
+
+TEST(ShardManifest, StaleEntriesAreFindingsAgainstTheManifest) {
+  Config cfg;
+  cfg.shard_manifest =
+      "[roots]\nfunctions = [\"gone_root\"]\n[allow]\n\"gone_guard\" = \"cold path\"\n";
+  cfg.shard_manifest_path = "tools/srds-lint/shard_roots.toml";
+  const auto fs =
+      lint_files({{"src/consensus/cg_cycle.cpp", fixture("cg_cycle.cpp")}}, cfg);
+  std::size_t stale = 0;
+  for (const Finding& f : fs) {
+    if (f.rule != "C1" || f.file != cfg.shard_manifest_path) continue;
+    ++stale;
+    EXPECT_TRUE(f.message.find("gone_root") != std::string::npos ||
+                f.message.find("gone_guard") != std::string::npos)
+        << f.message;
+  }
+  EXPECT_EQ(stale, 2u);
+}
+
+TEST(ShardManifest, AllowedFunctionStopsTheTraversal) {
+  Config cfg;
+  cfg.shard_manifest = "[allow]\n\"pong\" = \"recursion fixture: deliberately dirty\"\n";
+  const auto fs =
+      lint_files({{"src/consensus/cg_cycle.cpp", fixture("cg_cycle.cpp")}}, cfg);
+  EXPECT_TRUE(rule_hits(fs, "C1").empty());
+}
+
+TEST(ShardManifest, ParseFailureIsItselfAFinding) {
+  Config cfg;
+  cfg.shard_manifest = "[allow]\nB::guard = unquoted\n";
+  const auto fs =
+      lint_files({{"src/consensus/cg_cycle.cpp", fixture("cg_cycle.cpp")}}, cfg);
+  const Finding* f = nullptr;
+  for (const Finding& g : fs) {
+    if (g.rule == "C1" && g.file == cfg.shard_manifest_path) f = &g;
+  }
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("bad shard-roots manifest"), std::string::npos) << f->message;
+}
+
+// ---------------------------------------------------------------------------
+// P2 / T2: interprocedural discipline propagation.
+// ---------------------------------------------------------------------------
+
+TEST(LintP2, ThrowInCalleeReportedWithCallPath) {
+  const auto fs =
+      lint_files({{"src/net/cg_p2_chain.cpp", fixture("cg_p2_chain.cpp")}}, {});
+  EXPECT_TRUE(rule_hits(fs, "P1").empty());  // the marked body itself is clean
+  const std::set<std::pair<std::string, std::size_t>> expected = {{"P2", 10}};
+  EXPECT_EQ(rule_hits(fs, "P2"), expected);
+  const Finding* f = find_at(fs, "P2", 10);
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("call path: fast_path -> slow_helper"), std::string::npos)
+      << f->message;
+}
+
+TEST(LintT2, UnvalidatedHandoffReportedWithFlow) {
+  const auto fs =
+      lint_files({{"src/ba/cg_t2_handoff.cpp", fixture("cg_t2_handoff.cpp")}}, {});
+  const std::set<std::pair<std::string, std::size_t>> expected = {{"T2", 15}};
+  EXPECT_EQ(rule_hits(fs, "T2"), expected);
+  const Finding* f = find_at(fs, "T2", 15);
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("consume -> route -> forward"), std::string::npos)
+      << f->message;
+}
+
+TEST(LintT2, OutOfScopeFilesAreExempt) {
+  const auto fs =
+      lint_files({{"src/obs/cg_t2_handoff.cpp", fixture("cg_t2_handoff.cpp")}}, {});
+  EXPECT_TRUE(rule_hits(fs, "T2").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Census + DOT export.
+// ---------------------------------------------------------------------------
+
+TEST(CallGraphStatsTest, CensusCountsRootsAndReachability) {
+  CallGraphStats stats;
+  const auto fs = lint_files(shard_inputs(), {}, &stats);
+  (void)fs;
+  EXPECT_EQ(stats.functions, 7u);
+  EXPECT_EQ(stats.shard_roots, 1u);
+  EXPECT_EQ(stats.shard_reachable, 7u);  // the whole closure, root included
+  EXPECT_EQ(stats.hotpath_funcs, 0u);
+  EXPECT_GT(stats.call_edges, 0u);
+  EXPECT_GT(stats.external_calls, 0u);
+}
+
+TEST(CallGraphDot, RootsAreMarkedAndEdgesEmitted) {
+  const CallGraph cg =
+      build_call_graph({{"src/consensus/cg_cycle.cpp", fixture("cg_cycle.cpp")}});
+  const std::string dot = call_graph_dot(cg, nullptr);
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("ping"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("pong"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("->"), std::string::npos) << dot;
+}
+
+}  // namespace
+}  // namespace srds::lint

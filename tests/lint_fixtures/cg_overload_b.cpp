@@ -1,0 +1,7 @@
+// Call-graph fixture: first `helper` overload candidate (see
+// cg_overload_a.cpp). Planted: file-scope mutable state write.
+int g_votes = 0;
+
+void helper(int x) {
+  g_votes += x;
+}

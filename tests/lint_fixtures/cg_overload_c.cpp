@@ -1,0 +1,6 @@
+// Call-graph fixture: second `helper` overload candidate (see
+// cg_overload_a.cpp). Planted: function-local static.
+void helper(int x) {
+  static int calls = 0;
+  calls += x;
+}

@@ -1,0 +1,11 @@
+// Call-graph fixture: the hotpath-marked body is clean (no P1 finding),
+// but a callee throws — P2 must report it with the call path.
+
+// srds-lint: hotpath(fast_path)
+void fast_path(int n) {
+  slow_helper(n);
+}
+
+void slow_helper(int n) {
+  if (n < 0) throw 1;  // P2: unwind reachable from the hot path
+}

@@ -1,0 +1,18 @@
+// Call-graph fixture: a shard-root whose closure crosses into
+// cg_shard_state.cpp, where every planted C1 violation lives. The root
+// file itself is clean — findings must carry the cross-file call path.
+#include "ba/cg_shard_state.hpp"
+
+// srds-lint: shard-root(DemoParty::on_round)
+std::vector<int> DemoParty::on_round(std::size_t round) {
+  prepare(round);
+  return {};
+}
+
+void DemoParty::prepare(std::size_t round) {
+  bump_counter(round);
+  cached_weight(round);
+  sum_votes(votes_);
+  draw(round);
+  read_config();
+}

@@ -1,0 +1,34 @@
+// Call-graph fixture: one planted C1 violation per helper, all reachable
+// from the shard-root in cg_shard_root.cpp. Expected findings (rule, line)
+// are asserted by tests/lint_callgraph_test.cpp — renumbering lines here
+// means renumbering there.
+#include <cstddef>
+#include <random>
+#include <unordered_map>
+
+std::size_t g_round_counter = 0;
+
+void bump_counter(std::size_t round) {
+  g_round_counter += round;  // file-scope mutable state write
+}
+
+std::size_t cached_weight(std::size_t round) {
+  static std::size_t memo = 0;  // function-local static
+  memo += round;
+  return memo;
+}
+
+std::size_t sum_votes(const std::unordered_map<int, int>& votes) {
+  std::size_t s = 0;
+  for (const auto& kv : votes) s += kv.second;  // unordered iteration
+  return s;
+}
+
+std::size_t draw(std::size_t seed) {
+  std::mt19937 eng(seed);  // RNG engine outside the seeded chain
+  return eng();
+}
+
+std::size_t read_config() {
+  return Config::instance().limit;  // singleton escape
+}

@@ -1,0 +1,10 @@
+// Call-graph fixture: both marker kinds naming functions that no longer
+// exist. Stale markers are findings (P1 for hotpath, C1 for shard-root),
+// never silently dropped.
+
+// srds-lint: hotpath(RemovedFast::send)
+// srds-lint: shard-root(RemovedParty::on_round)
+
+void unrelated(int x) {
+  (void)x;
+}

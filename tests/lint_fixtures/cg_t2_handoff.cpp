@@ -1,0 +1,17 @@
+// Call-graph fixture: `payload` is handed through two helpers before the
+// caller validates; the innermost helper reads a byte before its own
+// validation. T2 must report the read with the full handoff flow.
+
+void consume(BytesView payload) {
+  route(payload);     // handoff before the Reader below
+  Reader r(payload);  // caller validates too late
+}
+
+void route(BytesView data) {
+  forward(data);
+}
+
+void forward(BytesView body) {
+  if (body[0] == 1) return;  // byte read before validation
+  Reader r(body);
+}

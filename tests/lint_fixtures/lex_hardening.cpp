@@ -1,0 +1,37 @@
+// Lexer-hardening fixture: every construct here once confused (or could
+// confuse) the token stream and the brace-matching body map — raw strings
+// holding braces and quotes, prefixed raw strings, backslash-continued
+// line comments, block-comment braces, and preprocessor-conditional
+// braces. tests/lint_test.cpp pins the expected body names and asserts no
+// rule fires anywhere in this file.
+#include <cstddef>
+
+const char* kRaw = R"(unbalanced { brace, rand() and a stray "quote)";
+const char* kPrefixed = u8R"delim(more } braces } and time(nullptr))delim";
+
+// A line comment with an unbalanced { brace, continued by a backslash \
+   so this line is still comment text: } rand() time(nullptr)
+
+/* a block comment with an { unbalanced brace */
+
+int braces_in_strings() {
+  const char* s = "{";
+  return s[0] == '{' ? 1 : 0;
+}
+
+#if SRDS_OPTION_A
+int branch_a(int x) {
+  return x + 1;
+#else
+int branch_b(int x) {
+  return rand();  // never lexed: only the first live branch is
+#endif
+}
+
+#if 0
+} } } // dead junk braces, rand(), std::random_device
+#endif
+
+int after_conditional() {
+  return 2;
+}

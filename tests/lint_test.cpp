@@ -453,6 +453,52 @@ TEST(LintP1, FunctionBodyMapFindsDeclarators) {
 }
 
 // ---------------------------------------------------------------------------
+// Lexer hardening (lex.hpp): constructs that must not desynchronize the
+// token stream or the brace-matching body map.
+
+TEST(LintLex, HardeningFixtureProducesNoFindings) {
+  // Raw strings (plain and prefixed) holding braces/quotes/rand(), a
+  // backslash-continued line comment, block-comment braces, and dead
+  // preprocessor branches: none of it is protocol code, so none of it may
+  // fire a rule even under the strictest path scope.
+  const auto fs = lint_file("src/ba/lex_hardening.cpp", fixture("lex_hardening.cpp"), {});
+  EXPECT_TRUE(hits(fs).empty());
+}
+
+TEST(LintLex, BodyMapSurvivesRawStringsCommentsAndConditionals) {
+  const Lexed lx = lex(fixture("lex_hardening.cpp"));
+  const std::vector<FuncBody> bodies = function_bodies(lx);
+  std::vector<std::string> names;
+  for (const FuncBody& b : bodies) names.push_back(b.name);
+  // branch_b lives in the dead #else arm and must be invisible; the junk
+  // braces under #if 0 must not split after_conditional off the map.
+  EXPECT_EQ(names, (std::vector<std::string>{"braces_in_strings", "branch_a",
+                                             "after_conditional"}));
+}
+
+TEST(LintLex, MalformedRawStringDelimiterFallsBackToNormalLexing) {
+  // A 17-char raw-string delimiter is ill-formed C++; the lexer must not
+  // treat it as a raw string (and must keep lexing what follows).
+  const Lexed lx = lex("int a = 0; // R\"aaaaaaaaaaaaaaaaa(not raw\n"
+                       "int f() { return a; }\n");
+  const std::vector<FuncBody> bodies = function_bodies(lx);
+  ASSERT_EQ(bodies.size(), 1u);
+  EXPECT_EQ(bodies[0].name, "f");
+}
+
+TEST(LintLex, ClassicIncludeGuardSurvivesConditionalLexing) {
+  // H1 accepts classic guards; the conditional-branch tracking must still
+  // record the guard's directives (the first branch of #ifndef is live).
+  const std::string guarded =
+      "#ifndef SRDS_X_HPP\n"
+      "#define SRDS_X_HPP\n"
+      "int x();\n"
+      "#endif\n";
+  const auto fs = lint_file("src/net/x.hpp", guarded, {});
+  EXPECT_TRUE(hits(fs).empty());
+}
+
+// ---------------------------------------------------------------------------
 // Baseline ratchet (baseline.hpp).
 
 std::vector<Finding> baseline_fixture_findings() {

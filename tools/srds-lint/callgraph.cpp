@@ -1,0 +1,1048 @@
+#include "callgraph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace srds::lint {
+
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+bool is_control_keyword(const std::string& s) {
+  static const std::set<std::string> kControl = {"if",    "for",    "while",  "switch",
+                                                "catch", "return", "sizeof", "alignof",
+                                                "decltype"};
+  return kControl.count(s) != 0;
+}
+
+/// Identifiers that are never a callee name nor the type of a
+/// `Type name(args)` declaration-style constructor call.
+bool is_non_callee_keyword(const std::string& s) {
+  static const std::set<std::string> k = {
+      "return",  "throw",     "new",      "delete",   "else",     "do",
+      "case",    "goto",      "break",    "continue", "co_return", "co_await",
+      "co_yield", "operator", "typeid",   "static_assert", "alignas", "noexcept",
+      "const",   "constexpr", "static",   "inline",   "virtual",  "explicit",
+      "typename", "template", "using",    "typedef",  "public",   "private",
+      "protected", "assert"};
+  return is_control_keyword(s) || k.count(s) != 0;
+}
+
+bool is_unordered_type(const std::string& s) {
+  return s == "unordered_map" || s == "unordered_set" || s == "unordered_multimap" ||
+         s == "unordered_multiset";
+}
+
+/// std <random> engine types whose construction inside shard-reachable code
+/// sidesteps the seeded src/common/rng chain. random_device/rand/srand are
+/// rule D1's (everywhere, not just reachable code) — not duplicated here.
+bool is_rng_engine(const std::string& s) {
+  static const std::set<std::string> k = {
+      "mt19937",       "mt19937_64",    "minstd_rand", "minstd_rand0",
+      "default_random_engine", "knuth_b", "ranlux24",  "ranlux48",
+      "ranlux24_base", "ranlux48_base"};
+  return k.count(s) != 0;
+}
+
+bool is_iter_member(const std::string& s) {
+  return s == "begin" || s == "end" || s == "cbegin" || s == "cend" || s == "rbegin" ||
+         s == "rend";
+}
+
+/// Member names that read as STL container/string/smart-pointer API. A
+/// member call through a receiver whose type a token scanner cannot see
+/// would otherwise name-match any class that mimics STL naming (obs::Json's
+/// push_back/set, say) and drag unrelated code into the reachable set —
+/// these stay opaque (external) instead.
+bool is_opaque_member(const std::string& s) {
+  static const std::set<std::string> k = {
+      "push_back", "emplace_back", "pop_back", "push_front", "pop_front", "push",
+      "pop",       "top",          "insert",   "emplace",    "erase",     "clear",
+      "resize",    "reserve",      "shrink_to_fit", "at",    "find",      "count",
+      "contains",  "lower_bound",  "upper_bound", "equal_range", "empty", "size",
+      "length",    "capacity",     "substr",   "append",     "compare",   "c_str",
+      "str",       "data",         "front",    "back",       "begin",     "end",
+      "cbegin",    "cend",         "rbegin",   "rend",       "get",       "reset",
+      "release",   "swap",         "assign",   "set",        "dump",      "value",
+      "has_value", "value_or",     "load",     "store",      "exchange",  "fetch_add",
+      "fetch_sub", "lock",         "unlock",   "try_lock",   "first",     "second"};
+  return k.count(s) != 0;
+}
+
+bool is_rng_home(const std::string& path) {
+  return path_under(path, "src/common") && path.find("/rng.") != std::string::npos;
+}
+
+// Mirrors taint.cpp's T1 notion of a validation point / byte read.
+bool is_validation_ident(const std::string& s) {
+  if (s == "untag_body" || s == "Reader") return true;
+  return s.find("deserialize") != std::string::npos || s.find("validate") != std::string::npos;
+}
+
+bool is_byte_read_member(const std::string& s) {
+  static const std::set<std::string> kReads = {"data",  "begin",  "end",  "front",
+                                               "back",  "rbegin", "rend", "cbegin",
+                                               "cend"};
+  return kReads.count(s) != 0;
+}
+
+bool in_taint_scope(const std::string& path) {
+  return path_under(path, "src/ba") || path_under(path, "src/consensus") ||
+         path_under(path, "src/srds") || path_under(path, "src/mpc");
+}
+
+// ---------------------------------------------------------------------------
+// Per-file extraction.
+// ---------------------------------------------------------------------------
+
+/// Parameter names from the declarator's (...) token range, in order.
+std::vector<std::string> extract_params(const Lexed& lx, const FuncBody& fb) {
+  const std::vector<Tok>& toks = lx.toks;
+  std::vector<std::string> out;
+  if (fb.lparen_tok + 1 >= fb.rparen_tok || fb.rparen_tok >= toks.size()) return out;
+  int depth = 0;
+  bool in_default = false;  // past a top-level '=' (default argument)
+  std::string last_ident;
+  auto finish = [&] {
+    out.push_back(last_ident);  // "" for unnamed params keeps positions aligned
+    last_ident.clear();
+    in_default = false;
+  };
+  for (std::size_t i = fb.lparen_tok + 1; i < fb.rparen_tok; ++i) {
+    const Tok& t = toks[i];
+    if (t.text == "(" || t.text == "[" || t.text == "{" || t.text == "<") ++depth;
+    else if (t.text == ")" || t.text == "]" || t.text == "}" || t.text == ">") --depth;
+    else if (depth == 0 && t.text == ",") { finish(); continue; }
+    else if (depth == 0 && t.text == "=") { in_default = true; continue; }
+    if (!in_default && depth == 0 && t.kind == Tok::kIdent) last_ident = t.text;
+  }
+  finish();
+  if (out.size() == 1 && out[0].empty()) out.clear();  // `()` / `(void)`-ish
+  return out;
+}
+
+/// Call sites inside one body: `name(`, `Qual::name(`, `Type var(args)`
+/// constructor calls, and make_unique/make_shared<T>(...).
+std::vector<CallSite> extract_calls(const Lexed& lx, const FuncBody& fb) {
+  const std::vector<Tok>& toks = lx.toks;
+  std::vector<CallSite> out;
+  for (std::size_t i = fb.open_tok + 1; i < fb.close_tok && i + 1 < toks.size(); ++i) {
+    const Tok& t = toks[i];
+    if (t.kind != Tok::kIdent) continue;
+    const Tok& next = toks[i + 1];
+    if ((t.text == "make_unique" || t.text == "make_shared") && next.text == "<") {
+      // Constructor call on the first template argument's last name
+      // component: make_unique<srds::CoinTossProto>(...) -> CoinTossProto.
+      int depth = 0;
+      std::string last;
+      for (std::size_t j = i + 1; j < fb.close_tok && j < toks.size(); ++j) {
+        if (toks[j].text == "<") ++depth;
+        else if (toks[j].text == ">") { if (--depth == 0) break; }
+        else if (depth == 1 && toks[j].text == ",") break;
+        else if (depth == 1 && toks[j].kind == Tok::kIdent) last = toks[j].text;
+      }
+      if (!last.empty()) out.push_back(CallSite{t.line, i, last, ""});
+      continue;
+    }
+    if (next.text != "(") continue;
+    if (is_non_callee_keyword(t.text)) continue;
+    const Tok* prev = (i > 0) ? &toks[i - 1] : nullptr;
+    if (prev && (prev->text == "." || prev->text == "->") && is_opaque_member(t.text)) {
+      continue;
+    }
+    if (prev && prev->text == "::" && i >= 2 && toks[i - 2].kind == Tok::kIdent) {
+      out.push_back(CallSite{t.line, i, t.text, toks[i - 2].text});
+      continue;
+    }
+    if (prev && prev->kind == Tok::kIdent && !is_non_callee_keyword(prev->text)) {
+      // `Type var(args)` declaration: the call this makes is Type's
+      // constructor, and `var` itself is not a callee.
+      out.push_back(CallSite{t.line, i, prev->text, ""});
+      continue;
+    }
+    out.push_back(CallSite{t.line, i, t.text, ""});
+  }
+  return out;
+}
+
+/// Mutable namespace-scope variable declarations of a file. Statements are
+/// scanned outside every function and class body; anything const/constexpr,
+/// type-introducing, or involving parentheses is skipped, so the survivors
+/// are plain `Type name;` / `Type name = init;` mutable state.
+void collect_globals(const Lexed& lx, const std::vector<FuncBody>& funcs,
+                     std::map<std::string, std::size_t>& out) {
+  const std::vector<Tok>& toks = lx.toks;
+  std::vector<char> in_body(toks.size(), 0);
+  std::vector<char> body_open(toks.size(), 0);
+  for (const FuncBody& fb : funcs) {
+    for (std::size_t k = fb.open_tok; k <= fb.close_tok && k < toks.size(); ++k) in_body[k] = 1;
+    if (fb.open_tok < toks.size()) body_open[fb.open_tok] = 1;
+  }
+  enum Kind { kNs, kClass, kOther };
+  std::vector<Kind> scopes;
+  std::vector<const Tok*> stmt;
+  auto collecting = [&] {
+    for (Kind k : scopes) {
+      if (k != kNs) return false;
+    }
+    return true;
+  };
+  auto evaluate = [&] {
+    if (stmt.size() < 2) return;
+    static const std::set<std::string> kSkip = {
+        "const",  "constexpr", "using",   "typedef",  "extern",  "friend",
+        "template", "operator", "static_assert", "enum", "struct", "class",
+        "union",  "namespace", "requires", "concept"};
+    std::size_t idents = 0;
+    for (const Tok* t : stmt) {
+      if (t->text == "(") return;
+      if (t->kind == Tok::kIdent) {
+        if (kSkip.count(t->text)) return;
+        ++idents;
+      }
+    }
+    if (idents < 2) return;
+    // Name: the identifier before '=' (skipping array extents), else the
+    // last identifier of the declaration.
+    std::size_t limit = stmt.size();
+    for (std::size_t k = 0; k < stmt.size(); ++k) {
+      if (stmt[k]->text == "=") {
+        limit = k;
+        break;
+      }
+    }
+    std::size_t k = limit;
+    while (k > 0) {
+      const Tok* t = stmt[k - 1];
+      if (t->text == "]" || t->text == "[" || t->kind == Tok::kNum) {
+        --k;
+        continue;
+      }
+      break;
+    }
+    if (k == 0 || stmt[k - 1]->kind != Tok::kIdent) return;
+    const Tok* name = stmt[k - 1];
+    out.emplace(name->text, name->line);  // first declaration wins
+  };
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Tok& t = toks[i];
+    if (in_body[i]) {
+      if (body_open[i]) stmt.clear();  // `void f() {` left a dangling declarator
+      continue;
+    }
+    if (t.text == "{") {
+      // Classify the scope this brace opens by its head.
+      std::size_t b = i;
+      Kind kind = kOther;
+      for (int steps = 0; b > 0 && steps < 64; ++steps) {
+        const Tok& p = toks[b - 1];
+        if (p.kind == Tok::kIdent) {
+          if (p.text == "namespace") {
+            kind = kNs;
+            break;
+          }
+          if (p.text == "class" || p.text == "struct" || p.text == "union" ||
+              p.text == "enum") {
+            kind = kClass;
+            break;
+          }
+          --b;
+          continue;
+        }
+        if (p.kind == Tok::kNum || p.text == "::" || p.text == "<" || p.text == ">" ||
+            p.text == ":" || p.text == "," || p.text == "&" || p.text == "*") {
+          --b;
+          continue;
+        }
+        break;
+      }
+      scopes.push_back(kind);
+      if (kind != kOther) stmt.clear();
+      continue;
+    }
+    if (t.text == "}") {
+      if (!scopes.empty()) {
+        if (scopes.back() != kOther) stmt.clear();
+        scopes.pop_back();
+      }
+      continue;
+    }
+    if (!collecting()) continue;
+    if (t.text == ";") {
+      evaluate();
+      stmt.clear();
+      continue;
+    }
+    stmt.push_back(&t);
+  }
+}
+
+/// Names declared anywhere in the file (members included) with an
+/// unordered container type.
+void collect_unordered_vars(const Lexed& lx, std::set<std::string>& out) {
+  const std::vector<Tok>& toks = lx.toks;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent || !is_unordered_type(toks[i].text)) continue;
+    if (toks[i + 1].text != "<") continue;
+    int depth = 0;
+    std::size_t j = i + 1;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].text == "<") ++depth;
+      else if (toks[j].text == ">" && --depth == 0) { ++j; break; }
+    }
+    while (j < toks.size() && (toks[j].text == "&" || toks[j].text == "*")) ++j;
+    if (j >= toks.size() || toks[j].kind != Tok::kIdent) continue;
+    if (j + 1 < toks.size() && toks[j + 1].text == "(") continue;  // function decl
+    out.insert(toks[j].text);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Graph construction + resolution.
+// ---------------------------------------------------------------------------
+
+std::vector<std::size_t> CallGraph::resolve(const FuncDef& caller, const CallSite& cs) const {
+  auto it = by_name.find(cs.name);
+  if (it == by_name.end()) return {};
+  const std::vector<std::size_t>& cands = it->second;
+  if (!cs.qual_hint.empty()) {
+    std::vector<std::size_t> hinted;
+    const std::string want = cs.qual_hint + "::" + cs.name;
+    for (std::size_t d : cands) {
+      const std::string& q = defs[d].body.qual;
+      if (q == want || (q.size() >= want.size() + 2 &&
+                        q.compare(q.size() - want.size() - 2, 2, "::") == 0 &&
+                        q.compare(q.size() - want.size(), want.size(), want) == 0)) {
+        hinted.push_back(d);
+      }
+    }
+    if (!hinted.empty()) return hinted;
+  }
+  // Same-class members: caller `A::f` calling `g` prefers `A::g`.
+  const std::string& cq = caller.body.qual;
+  std::size_t sep = cq.rfind("::");
+  if (sep != std::string::npos) {
+    const std::string cls = cq.substr(0, sep);
+    std::vector<std::size_t> same_class;
+    for (std::size_t d : cands) {
+      const std::string& q = defs[d].body.qual;
+      std::size_t s2 = q.rfind("::");
+      if (s2 != std::string::npos && q.compare(0, s2, cls) == 0) same_class.push_back(d);
+    }
+    if (!same_class.empty()) return same_class;
+  }
+  std::vector<std::size_t> same_file;
+  for (std::size_t d : cands) {
+    if (defs[d].file == caller.file) same_file.push_back(d);
+  }
+  if (!same_file.empty()) return same_file;
+  return cands;  // conservative over-approximation: every def with the name
+}
+
+CallGraph build_call_graph(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  CallGraph cg;
+  for (const auto& [raw_path, content] : files) {
+    const std::string path = normalize_path(raw_path);
+    if (!path_under(path, "src")) continue;
+    FileCtx fc;
+    fc.path = path;
+    fc.lx = lex(content);
+    const std::vector<FuncBody> funcs = function_bodies(fc.lx);
+    collect_globals(fc.lx, funcs, fc.globals);
+    collect_unordered_vars(fc.lx, fc.unordered_vars);
+    const std::size_t file_idx = cg.files.size();
+    for (const FuncBody& fb : funcs) {
+      FuncDef def;
+      def.file = file_idx;
+      def.body = fb;
+      def.params = extract_params(fc.lx, fb);
+      def.calls = extract_calls(fc.lx, fb);
+      cg.by_name[fb.name].push_back(cg.defs.size());
+      cg.defs.push_back(std::move(def));
+    }
+    cg.files.push_back(std::move(fc));
+  }
+  // External-call census: sites whose name resolves to no scanned def.
+  for (const FuncDef& def : cg.defs) {
+    for (const CallSite& cs : def.calls) {
+      if (cg.by_name.find(cs.name) == cg.by_name.end()) ++cg.external_calls;
+    }
+  }
+  return cg;
+}
+
+// ---------------------------------------------------------------------------
+// shard_roots.toml.
+// ---------------------------------------------------------------------------
+
+bool parse_shard_manifest(const std::string& text, ShardManifest& out, std::string& error) {
+  out = ShardManifest{};
+  std::string section;
+  bool in_array = false;
+  std::size_t lineno = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    std::string line = text.substr(start, end == std::string::npos ? std::string::npos
+                                                                   : end - start);
+    start = (end == std::string::npos) ? text.size() + 1 : end + 1;
+    ++lineno;
+    // Strip a '#' comment outside quotes.
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '"') quoted = !quoted;
+      if (line[i] == '#' && !quoted) {
+        line = line.substr(0, i);
+        break;
+      }
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    auto fail = [&](const std::string& why) {
+      error = "line " + std::to_string(lineno) + ": " + why;
+      return false;
+    };
+    if (in_array) {
+      for (std::size_t i = 0; i < line.size();) {
+        if (line[i] == '"') {
+          std::size_t close = line.find('"', i + 1);
+          if (close == std::string::npos) return fail("unterminated string");
+          out.roots.push_back(line.substr(i + 1, close - i - 1));
+          i = close + 1;
+        } else if (line[i] == ']') {
+          in_array = false;
+          break;
+        } else if (line[i] == ',' || line[i] == ' ' || line[i] == '\t') {
+          ++i;
+        } else {
+          return fail("unexpected character in functions array");
+        }
+      }
+      continue;
+    }
+    if (line.front() == '[') {
+      if (line.back() != ']') return fail("malformed section header");
+      section = trim(line.substr(1, line.size() - 2));
+      if (section != "roots" && section != "allow") {
+        return fail("unknown section '" + section + "' (expected [roots] or [allow])");
+      }
+      continue;
+    }
+    std::size_t eq = line.find('=');
+    if (eq == std::string::npos) return fail("expected `key = value`");
+    std::string key = trim(line.substr(0, eq));
+    std::string val = trim(line.substr(eq + 1));
+    if (key.size() >= 2 && key.front() == '"' && key.back() == '"') {
+      key = key.substr(1, key.size() - 2);
+    }
+    if (section == "roots") {
+      if (key != "functions") return fail("unknown [roots] key '" + key + "'");
+      if (val.empty() || val.front() != '[') return fail("functions must be an array");
+      in_array = true;
+      // Re-feed the remainder of this line through the array scanner.
+      for (std::size_t i = 1; i < val.size();) {
+        if (val[i] == '"') {
+          std::size_t close = val.find('"', i + 1);
+          if (close == std::string::npos) return fail("unterminated string");
+          out.roots.push_back(val.substr(i + 1, close - i - 1));
+          i = close + 1;
+        } else if (val[i] == ']') {
+          in_array = false;
+          break;
+        } else if (val[i] == ',' || val[i] == ' ' || val[i] == '\t') {
+          ++i;
+        } else {
+          return fail("unexpected character in functions array");
+        }
+      }
+    } else if (section == "allow") {
+      if (val.size() < 2 || val.front() != '"' || val.back() != '"') {
+        return fail("allow entry '" + key + "' needs a quoted justification");
+      }
+      std::string just = val.substr(1, val.size() - 2);
+      if (trim(just).empty()) {
+        return fail("allow entry '" + key + "' needs a non-empty justification");
+      }
+      out.allows.emplace_back(key, trim(just));
+    } else {
+      return fail("entry outside any section");
+    }
+  }
+  if (in_array) {
+    error = "unterminated functions array";
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Reachability.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Reach {
+  std::vector<std::size_t> parent;  // def index, kNpos at roots
+  std::vector<std::size_t> root;    // root def index
+  std::vector<char> vis;
+  std::size_t allowed_skips = 0;
+};
+
+Reach reach_from(const CallGraph& cg, const std::vector<std::size_t>& roots,
+                 const std::set<std::size_t>& allowed) {
+  Reach r;
+  r.parent.assign(cg.defs.size(), kNpos);
+  r.root.assign(cg.defs.size(), kNpos);
+  r.vis.assign(cg.defs.size(), 0);
+  std::deque<std::size_t> q;
+  for (std::size_t root : roots) {
+    if (r.vis[root]) continue;
+    r.vis[root] = 1;
+    r.root[root] = root;
+    q.push_back(root);
+  }
+  while (!q.empty()) {
+    std::size_t d = q.front();
+    q.pop_front();
+    for (const CallSite& cs : cg.defs[d].calls) {
+      for (std::size_t cal : cg.resolve(cg.defs[d], cs)) {
+        if (allowed.count(cal)) {
+          ++r.allowed_skips;
+          continue;
+        }
+        if (r.vis[cal]) continue;
+        r.vis[cal] = 1;
+        r.parent[cal] = d;
+        r.root[cal] = r.root[d];
+        q.push_back(cal);
+      }
+    }
+  }
+  return r;
+}
+
+std::string call_path(const CallGraph& cg, const Reach& r, std::size_t d) {
+  std::vector<std::string> chain;
+  for (std::size_t i = d; i != kNpos; i = r.parent[i]) {
+    chain.push_back(cg.defs[i].body.qual);
+    if (chain.size() > 24) {
+      chain.push_back("...");
+      break;
+    }
+  }
+  std::reverse(chain.begin(), chain.end());
+  std::string out;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (i) out += " -> ";
+    out += chain[i];
+  }
+  return out;
+}
+
+void add(std::vector<Finding>& out, const std::string& file, std::size_t line,
+         const char* rule, std::string msg) {
+  Finding f;
+  f.file = file;
+  f.line = line;
+  f.rule = rule;
+  f.message = std::move(msg);
+  out.push_back(std::move(f));
+}
+
+// ---------------------------------------------------------------------------
+// C1 body scans.
+// ---------------------------------------------------------------------------
+
+void c1_scan_def(const CallGraph& cg, const Reach& r, std::size_t di,
+                 std::vector<Finding>& out) {
+  const FuncDef& def = cg.defs[di];
+  const FileCtx& fc = cg.files[def.file];
+  const std::vector<Tok>& toks = fc.lx.toks;
+  const FuncBody& fb = def.body;
+  const std::string where = "shard-reachable function '" + fb.qual + "' (call path: " +
+                            call_path(cg, r, di) + ")";
+
+  std::set<std::string> flagged_globals;
+  for (std::size_t i = fb.open_tok + 1; i < fb.close_tok && i < toks.size(); ++i) {
+    const Tok& t = toks[i];
+    if (t.kind != Tok::kIdent) continue;
+    const Tok* prev = (i > 0) ? &toks[i - 1] : nullptr;
+    const Tok* next = (i + 1 < toks.size()) ? &toks[i + 1] : nullptr;
+    const bool member_access = prev && (prev->text == "." || prev->text == "->");
+
+    // Function-local static mutable state: shared across every party the
+    // shard executes.
+    if (t.text == "static") {
+      bool is_const = false;
+      std::size_t name_tok = kNpos;
+      for (std::size_t j = i + 1; j < fb.close_tok && j < i + 32 && j < toks.size(); ++j) {
+        const std::string& x = toks[j].text;
+        if (x == ";" || x == "=" || x == "{" || x == "(") break;
+        if (x == "const" || x == "constexpr") is_const = true;
+        if (toks[j].kind == Tok::kIdent) name_tok = j;
+      }
+      if (!is_const && name_tok != kNpos) {
+        add(out, fc.path, t.line, "C1",
+            "function-local static '" + toks[name_tok].text + "' in " + where +
+                "; function statics are shared across every party a shard executes and "
+                "break deterministic sharding");
+      }
+      continue;
+    }
+
+    // File-scope mutable state access.
+    if (!member_access && fc.globals.count(t.text) &&
+        !(prev && prev->kind == Tok::kIdent) &&  // `int g;` re-declares locally
+        flagged_globals.insert(t.text).second) {
+      add(out, fc.path, t.line, "C1",
+          "file-scope mutable state '" + t.text + "' (declared at " + fc.path + ":" +
+              std::to_string(fc.globals.at(t.text)) + ") accessed in " + where +
+              "; cross-party shared state breaks deterministic sharding");
+      continue;
+    }
+
+    // Unordered-container iteration: hash order leaks into emission order.
+    if (t.text == "for" && next && next->text == "(") {
+      int depth = 0;
+      std::size_t colon = kNpos;
+      std::size_t close = kNpos;
+      for (std::size_t j = i + 1; j < fb.close_tok && j < toks.size(); ++j) {
+        if (toks[j].text == "(") ++depth;
+        else if (toks[j].text == ")") {
+          if (--depth == 0) { close = j; break; }
+        } else if (depth == 1 && toks[j].text == ":" && colon == kNpos) {
+          colon = j;
+        }
+      }
+      if (colon != kNpos && close != kNpos) {
+        for (std::size_t j = colon + 1; j < close; ++j) {
+          if (toks[j].kind == Tok::kIdent && fc.unordered_vars.count(toks[j].text)) {
+            add(out, fc.path, toks[j].line, "C1",
+                "range-for over unordered container '" + toks[j].text + "' in " + where +
+                    "; hash iteration order is unspecified and leaks into message "
+                    "emission order");
+            break;
+          }
+        }
+      }
+      continue;
+    }
+    if (!member_access && fc.unordered_vars.count(t.text) && next &&
+        (next->text == "." || next->text == "->") && i + 3 < toks.size() &&
+        toks[i + 2].kind == Tok::kIdent && is_iter_member(toks[i + 2].text) &&
+        toks[i + 3].text == "(") {
+      add(out, fc.path, t.line, "C1",
+          "iteration over unordered container '" + t.text + "' (." + toks[i + 2].text +
+              "()) in " + where +
+              "; hash iteration order is unspecified and leaks into message emission "
+              "order");
+      continue;
+    }
+
+    // RNG engine construction outside the seeded chain.
+    if (!member_access && is_rng_engine(t.text) && !is_rng_home(fc.path)) {
+      add(out, fc.path, t.line, "C1",
+          "std RNG engine '" + t.text + "' in " + where +
+              "; randomness outside the seeded src/common/rng chain breaks bit-identical "
+              "sharded replay");
+      continue;
+    }
+  }
+
+  // Singleton accessors: a `X::instance()` handout is simulator-owned shared
+  // state escaping into party code.
+  for (const CallSite& cs : def.calls) {
+    if (cs.name == "instance" && !cs.qual_hint.empty()) {
+      add(out, fc.path, cs.line, "C1",
+          "singleton accessor '" + cs.qual_hint + "::instance()' called in " + where +
+              "; simulator-owned singletons are cross-shard shared state");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// T2 flow helpers.
+// ---------------------------------------------------------------------------
+
+/// Token index of the first validation call in a body, or kNpos.
+std::size_t first_validation_tok(const Lexed& lx, const FuncBody& fb) {
+  for (std::size_t i = fb.open_tok; i <= fb.close_tok && i < lx.toks.size(); ++i) {
+    if (lx.toks[i].kind == Tok::kIdent && is_validation_ident(lx.toks[i].text)) return i;
+  }
+  return kNpos;
+}
+
+/// Zero-based argument positions at call site `cs` whose expression
+/// mentions identifier `name`.
+std::vector<std::size_t> arg_positions_mentioning(const Lexed& lx, const CallSite& cs,
+                                                  const std::string& name) {
+  const std::vector<Tok>& toks = lx.toks;
+  std::vector<std::size_t> out;
+  std::size_t lp = cs.tok + 1;
+  while (lp < toks.size() && toks[lp].text != "(") ++lp;  // make_unique<T>(...)
+  if (lp >= toks.size()) return out;
+  int depth = 0;
+  std::size_t arg = 0;
+  bool mentioned = false;
+  for (std::size_t j = lp; j < toks.size(); ++j) {
+    const std::string& x = toks[j].text;
+    if (x == "(" || x == "[" || x == "{") {
+      ++depth;
+      continue;
+    }
+    if (x == ")" || x == "]" || x == "}") {
+      if (--depth == 0) break;
+      continue;
+    }
+    if (depth == 1 && x == ",") {
+      if (mentioned) out.push_back(arg);
+      mentioned = false;
+      ++arg;
+      continue;
+    }
+    if (toks[j].kind == Tok::kIdent && x == name) mentioned = true;
+  }
+  if (mentioned) out.push_back(arg);
+  return out;
+}
+
+/// First pre-validation byte read of parameter `pname` in `def`'s body:
+/// sets *line and *how. Mirrors T1's read forms.
+bool first_byte_read(const CallGraph& cg, const FuncDef& def, const std::string& pname,
+                     std::size_t* line, std::string* how) {
+  const Lexed& lx = cg.files[def.file].lx;
+  const std::vector<Tok>& toks = lx.toks;
+  const std::size_t valid = first_validation_tok(lx, def.body);
+  for (std::size_t i = def.body.open_tok; i <= def.body.close_tok && i < toks.size(); ++i) {
+    if (valid != kNpos && i >= valid) break;
+    const Tok& t = toks[i];
+    if (t.kind != Tok::kIdent) continue;
+    if (t.text == pname) {
+      const Tok* n1 = (i + 1 < toks.size()) ? &toks[i + 1] : nullptr;
+      const Tok* n2 = (i + 2 < toks.size()) ? &toks[i + 2] : nullptr;
+      if (n1 && n1->text == "[") {
+        *line = t.line;
+        *how = "indexing";
+        return true;
+      }
+      if (n1 && (n1->text == "." || n1->text == "->") && n2 && n2->kind == Tok::kIdent &&
+          is_byte_read_member(n2->text)) {
+        *line = t.line;
+        *how = "." + n2->text + "()";
+        return true;
+      }
+      continue;
+    }
+    if ((t.text == "memcpy" || t.text == "memmove" || t.text == "memcmp") &&
+        i + 1 < toks.size() && toks[i + 1].text == "(") {
+      int pdepth = 0;
+      for (std::size_t j = i + 1; j <= def.body.close_tok && j < toks.size(); ++j) {
+        if (toks[j].text == "(") ++pdepth;
+        if (toks[j].text == ")" && --pdepth == 0) break;
+        if (toks[j].kind == Tok::kIdent && toks[j].text == pname) {
+          *line = t.line;
+          *how = t.text + " over the buffer";
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+struct T2Hit {
+  std::size_t def = kNpos;
+  std::size_t line = 0;
+  std::string how;
+  std::vector<std::string> flow;  // qualified names, source first
+};
+
+/// DFS: does `def` read the bytes of its parameter `pname` before its own
+/// validation point, directly or by handing it to another helper?
+bool t2_trace(const CallGraph& cg, std::size_t di, const std::string& pname, int depth,
+              std::set<std::pair<std::size_t, std::string>>& visiting, T2Hit* hit) {
+  if (depth > 8 || pname.empty()) return false;
+  if (!visiting.insert({di, pname}).second) return false;  // recursion cycle
+  const FuncDef& def = cg.defs[di];
+  const FileCtx& fc = cg.files[def.file];
+  if (!in_taint_scope(fc.path)) return false;
+  // `payload` parameters are T1's jurisdiction already — no duplicate report.
+  if (pname == "payload") return false;
+  std::size_t line = 0;
+  std::string how;
+  if (first_byte_read(cg, def, pname, &line, &how)) {
+    hit->def = di;
+    hit->line = line;
+    hit->how = how;
+    hit->flow.push_back(def.body.qual);
+    return true;
+  }
+  const std::size_t valid = first_validation_tok(fc.lx, def.body);
+  for (const CallSite& cs : def.calls) {
+    if (valid != kNpos && cs.tok >= valid) continue;
+    if (is_validation_ident(cs.name)) continue;
+    const std::vector<std::size_t> positions = arg_positions_mentioning(fc.lx, cs, pname);
+    if (positions.empty()) continue;
+    for (std::size_t cal : cg.resolve(def, cs)) {
+      const FuncDef& callee = cg.defs[cal];
+      for (std::size_t pos : positions) {
+        if (pos >= callee.params.size()) continue;
+        if (t2_trace(cg, cal, callee.params[pos], depth + 1, visiting, hit)) {
+          hit->flow.push_back(def.body.qual);
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// The combined pass.
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> check_callgraph(const CallGraph& cg, const ShardManifest* manifest,
+                                     const std::string& manifest_path,
+                                     CallGraphStats* stats) {
+  std::vector<Finding> out;
+
+  // Roots from inline markers. Hotpath resolution errors are P1's job
+  // (check_p1 reports them per file); shard-root errors are reported here.
+  std::set<std::size_t> shard_roots, hotpath_marked;
+  std::vector<std::size_t> file_def_base(cg.files.size(), 0);
+  {
+    std::size_t di = 0;
+    for (std::size_t fi = 0; fi < cg.files.size(); ++fi) {
+      file_def_base[fi] = di;
+      while (di < cg.defs.size() && cg.defs[di].file == fi) ++di;
+    }
+  }
+  for (std::size_t fi = 0; fi < cg.files.size(); ++fi) {
+    const FileCtx& fc = cg.files[fi];
+    std::vector<FuncBody> funcs;
+    for (std::size_t d = file_def_base[fi]; d < cg.defs.size() && cg.defs[d].file == fi; ++d) {
+      funcs.push_back(cg.defs[d].body);
+    }
+    for (const Marker& m : parse_markers(fc.lx)) {
+      std::string err;
+      const std::size_t local = resolve_marker(m, funcs, &err);
+      if (m.kind == "shard-root") {
+        if (local == kNpos) {
+          add(out, fc.path, m.line, "C1", "srds-lint: shard-root marker " + err);
+        } else {
+          shard_roots.insert(file_def_base[fi] + local);
+        }
+      } else if (m.kind == "hotpath" && local != kNpos) {
+        hotpath_marked.insert(file_def_base[fi] + local);
+      }
+    }
+  }
+
+  // Roots + allows from the manifest.
+  std::set<std::size_t> allowed;
+  if (manifest) {
+    for (const std::string& name : manifest->roots) {
+      bool any = false;
+      for (std::size_t d = 0; d < cg.defs.size(); ++d) {
+        if (marker_name_matches(name, cg.defs[d].body)) {
+          shard_roots.insert(d);
+          any = true;
+        }
+      }
+      if (!any) {
+        add(out, manifest_path, 0, "C1",
+            "shard-root manifest entry '" + name +
+                "' matches no function definition in the scanned set; was the target "
+                "deleted or renamed?");
+      }
+    }
+    for (const auto& [name, just] : manifest->allows) {
+      (void)just;
+      bool any = false;
+      for (std::size_t d = 0; d < cg.defs.size(); ++d) {
+        if (marker_name_matches(name, cg.defs[d].body)) {
+          allowed.insert(d);
+          any = true;
+        }
+      }
+      if (!any) {
+        add(out, manifest_path, 0, "C1",
+            "shard-root manifest [allow] entry '" + name +
+                "' matches no function definition in the scanned set; remove the stale "
+                "entry");
+      }
+    }
+  }
+
+  // C1: everything reachable from a shard root (roots included).
+  const std::vector<std::size_t> c1_roots(shard_roots.begin(), shard_roots.end());
+  const Reach c1 = reach_from(cg, c1_roots, allowed);
+  std::size_t c1_reachable = 0;
+  for (std::size_t d = 0; d < cg.defs.size(); ++d) {
+    if (!c1.vis[d]) continue;
+    ++c1_reachable;
+    c1_scan_def(cg, c1, d, out);
+  }
+
+  // P2: the P1 discipline, propagated from every hotpath-marked function to
+  // everything it can reach. The marked bodies themselves are P1's.
+  const std::vector<std::size_t> p2_roots(hotpath_marked.begin(), hotpath_marked.end());
+  const Reach p2 = reach_from(cg, p2_roots, allowed);
+  std::size_t p2_reachable = 0;
+  std::set<std::pair<std::string, std::size_t>> p2_seen;
+  for (std::size_t d = 0; d < cg.defs.size(); ++d) {
+    if (!p2.vis[d]) continue;
+    ++p2_reachable;
+    if (hotpath_marked.count(d)) continue;
+    const FuncDef& def = cg.defs[d];
+    const FileCtx& fc = cg.files[def.file];
+    for (const HotpathViolation& v : hotpath_violations(fc.lx, def.body)) {
+      if (!p2_seen.insert({fc.path, v.line}).second) continue;
+      add(out, fc.path, v.line, "P2",
+          v.what + " in function '" + def.body.qual + "' reachable from hotpath '" +
+              cg.defs[p2.root[d]].body.qual + "' (call path: " + call_path(cg, p2, d) +
+              "); the per-message path must not allocate, unwind, or type-erase");
+    }
+  }
+
+  // T2: payload bytes handed to helpers before validation.
+  std::set<std::pair<std::string, std::size_t>> t2_seen;
+  for (std::size_t d = 0; d < cg.defs.size(); ++d) {
+    const FuncDef& def = cg.defs[d];
+    const FileCtx& fc = cg.files[def.file];
+    if (!in_taint_scope(fc.path)) continue;
+    if (allowed.count(d)) continue;
+    const std::size_t valid = first_validation_tok(fc.lx, def.body);
+    for (const CallSite& cs : def.calls) {
+      if (valid != kNpos && cs.tok >= valid) continue;
+      if (is_validation_ident(cs.name)) continue;
+      const std::vector<std::size_t> positions =
+          arg_positions_mentioning(fc.lx, cs, "payload");
+      if (positions.empty()) continue;
+      for (std::size_t cal : cg.resolve(def, cs)) {
+        const FuncDef& callee = cg.defs[cal];
+        if (allowed.count(cal)) continue;
+        for (std::size_t pos : positions) {
+          if (pos >= callee.params.size()) continue;
+          T2Hit hit;
+          std::set<std::pair<std::size_t, std::string>> visiting;
+          visiting.insert({d, "payload"});
+          if (!t2_trace(cg, cal, callee.params[pos], 1, visiting, &hit)) continue;
+          const FileCtx& hit_fc = cg.files[cg.defs[hit.def].file];
+          if (!t2_seen.insert({hit_fc.path, hit.line}).second) continue;
+          hit.flow.push_back(def.body.qual);
+          std::reverse(hit.flow.begin(), hit.flow.end());
+          std::string flow;
+          for (std::size_t i = 0; i < hit.flow.size(); ++i) {
+            if (i) flow += " -> ";
+            flow += hit.flow[i];
+          }
+          add(out, hit_fc.path, hit.line, "T2",
+              "function '" + cg.defs[hit.def].body.qual +
+                  "' reads adversarial payload bytes (" + hit.how +
+                  ") before validation; the payload was handed off unvalidated along " +
+                  flow +
+                  " — validate at the boundary or move the read behind a "
+                  "deserialize/validate call");
+        }
+      }
+    }
+  }
+
+  if (stats) {
+    stats->functions = cg.defs.size();
+    std::size_t edges = 0;
+    for (const FuncDef& def : cg.defs) {
+      for (const CallSite& cs : def.calls) edges += cg.resolve(def, cs).size();
+    }
+    stats->call_edges = edges;
+    stats->external_calls = cg.external_calls;
+    stats->shard_roots = shard_roots.size();
+    stats->hotpath_funcs = hotpath_marked.size();
+    stats->shard_reachable = c1_reachable;
+    stats->hotpath_reachable = p2_reachable;
+    stats->allowed_skips = c1.allowed_skips + p2.allowed_skips;
+  }
+  return out;
+}
+
+std::string call_graph_dot(const CallGraph& cg, const ShardManifest* manifest) {
+  // Same root/allow resolution as check_callgraph, minus the findings.
+  std::set<std::size_t> roots, allowed;
+  {
+    std::size_t di = 0;
+    for (std::size_t fi = 0; fi < cg.files.size(); ++fi) {
+      std::vector<FuncBody> funcs;
+      const std::size_t base = di;
+      while (di < cg.defs.size() && cg.defs[di].file == fi) {
+        funcs.push_back(cg.defs[di].body);
+        ++di;
+      }
+      for (const Marker& m : parse_markers(cg.files[fi].lx)) {
+        if (m.kind != "shard-root") continue;
+        std::string err;
+        const std::size_t local = resolve_marker(m, funcs, &err);
+        if (local != kNpos) roots.insert(base + local);
+      }
+    }
+  }
+  if (manifest) {
+    for (const std::string& name : manifest->roots) {
+      for (std::size_t d = 0; d < cg.defs.size(); ++d) {
+        if (marker_name_matches(name, cg.defs[d].body)) roots.insert(d);
+      }
+    }
+    for (const auto& [name, just] : manifest->allows) {
+      (void)just;
+      for (std::size_t d = 0; d < cg.defs.size(); ++d) {
+        if (marker_name_matches(name, cg.defs[d].body)) allowed.insert(d);
+      }
+    }
+  }
+  const Reach r = reach_from(cg, {roots.begin(), roots.end()}, allowed);
+
+  std::string dot = "digraph srds_callgraph {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  auto node_id = [](std::size_t d) { return "f" + std::to_string(d); };
+  std::set<std::size_t> shown;
+  for (std::size_t d = 0; d < cg.defs.size(); ++d) {
+    if (r.vis[d]) shown.insert(d);
+  }
+  // Allowed nodes adjacent to the reachable set, dashed: the escape hatch
+  // is visible in the artifact.
+  for (std::size_t d : std::set<std::size_t>(shown)) {
+    for (const CallSite& cs : cg.defs[d].calls) {
+      for (std::size_t cal : cg.resolve(cg.defs[d], cs)) {
+        if (allowed.count(cal)) shown.insert(cal);
+      }
+    }
+  }
+  for (std::size_t d : shown) {
+    dot += "  " + node_id(d) + " [label=\"" + cg.defs[d].body.qual + "\"";
+    if (roots.count(d)) dot += ", peripheries=2";
+    if (allowed.count(d)) dot += ", style=dashed";
+    dot += "];\n";
+  }
+  for (std::size_t d : shown) {
+    if (allowed.count(d)) continue;  // traversal stopped here
+    std::set<std::size_t> targets;
+    for (const CallSite& cs : cg.defs[d].calls) {
+      for (std::size_t cal : cg.resolve(cg.defs[d], cs)) {
+        if (shown.count(cal)) targets.insert(cal);
+      }
+    }
+    for (std::size_t cal : targets) {
+      dot += "  " + node_id(d) + " -> " + node_id(cal) + ";\n";
+    }
+  }
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace srds::lint

@@ -10,6 +10,38 @@ namespace {
 bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
 bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
 
+/// Encoding prefixes that may precede a raw string literal: R"..., u8R"...,
+/// uR"..., UR"..., LR"...
+bool is_raw_string_prefix(const std::string& s) {
+  return s == "R" || s == "u8R" || s == "uR" || s == "UR" || s == "LR";
+}
+
+/// One entry per open preprocessor conditional. Only the branch chosen at
+/// lex time is tokenized; the other branches are skipped wholesale so their
+/// braces/strings can never desynchronize the body matcher (the classic
+/// `#if`/`#else` pair that opens one function body twice).
+struct CondState {
+  bool taken;   // some branch of this conditional has been lexed
+  bool active;  // the branch we are currently inside is being lexed
+};
+
+/// First word of a directive after '#' (e.g. "ifndef"), or "".
+std::string directive_keyword(const std::string& text) {
+  std::size_t i = 0;
+  while (i < text.size() && (text[i] == '#' || text[i] == ' ' || text[i] == '\t')) ++i;
+  std::size_t j = i;
+  while (j < text.size() && ident_char(text[j])) ++j;
+  return text.substr(i, j - i);
+}
+
+/// Condition text after the keyword, trimmed.
+std::string directive_condition(const std::string& text) {
+  std::size_t i = 0;
+  while (i < text.size() && (text[i] == '#' || text[i] == ' ' || text[i] == '\t')) ++i;
+  while (i < text.size() && ident_char(text[i])) ++i;
+  return trim(text.substr(i));
+}
+
 }  // namespace
 
 Lexed lex(const std::string& s) {
@@ -18,9 +50,47 @@ Lexed lex(const std::string& s) {
   const std::size_t n = s.size();
   bool at_line_start = true;  // only whitespace seen so far on this line
 
+  // Preprocessor conditional tracking. `enabled` is true iff every open
+  // conditional's current branch is the one being lexed.
+  std::vector<CondState> cond_stack;
+  auto enabled = [&] {
+    for (const CondState& c : cond_stack) {
+      if (!c.active) return false;
+    }
+    return true;
+  };
+
   auto push = [&](Tok::Kind k, std::string text, std::size_t ln) {
     out.code_lines.insert(ln);
     out.toks.push_back(Tok{k, std::move(text), ln});
+  };
+
+  /// Consume a raw string literal starting at `start` (the first char of
+  /// the R prefix, with s[quote] == '"'). Returns the index one past the
+  /// closing quote, or `start` when the delimiter is malformed (caller
+  /// falls back to ordinary lexing).
+  auto consume_raw_string = [&](std::size_t start, std::size_t quote) -> std::size_t {
+    std::size_t j = quote + 1;
+    std::string delim;
+    // d-char-seq: at most 16 chars, none of space/(/)/backslash/quote/newline.
+    while (j < n && s[j] != '(') {
+      char c = s[j];
+      if (delim.size() >= 16 || c == ' ' || c == ')' || c == '\\' || c == '"' ||
+          c == '\n' || c == '\t') {
+        return start;  // malformed raw string; not a raw literal after all
+      }
+      delim.push_back(c);
+      ++j;
+    }
+    if (j >= n) return start;
+    const std::string close = ")" + delim + "\"";
+    std::size_t end = s.find(close, j);
+    std::size_t stop = (end == std::string::npos) ? n : end + close.size();
+    for (std::size_t k = start; k < stop; ++k) {
+      if (s[k] == '\n') ++line;
+    }
+    push(Tok::kStr, "", line);
+    return stop;
   };
 
   while (i < n) {
@@ -51,17 +121,73 @@ Lexed lex(const std::string& s) {
         text.push_back(s[i]);
         ++i;
       }
-      out.directives.push_back(PpDirective{start_line, std::move(text)});
+      // Conditional-compilation handling. Only the first live branch of
+      // each conditional is lexed (`#if 0` counts as dead); the rest is
+      // skipped so per-branch brace imbalance cannot corrupt body matching.
+      const std::string kw = directive_keyword(text);
+      const bool was_enabled = enabled();
+      if (kw == "if" || kw == "ifdef" || kw == "ifndef") {
+        const std::string cond = directive_condition(text);
+        const bool live =
+            was_enabled && !(kw == "if" && (cond == "0" || cond == "false"));
+        cond_stack.push_back(CondState{live, live});
+      } else if (kw == "elif" && !cond_stack.empty()) {
+        CondState& top = cond_stack.back();
+        const std::string cond = directive_condition(text);
+        bool parent_ok = true;
+        for (std::size_t d = 0; d + 1 < cond_stack.size(); ++d) parent_ok &= cond_stack[d].active;
+        top.active = parent_ok && !top.taken && cond != "0" && cond != "false";
+        top.taken = top.taken || top.active;
+      } else if (kw == "else" && !cond_stack.empty()) {
+        CondState& top = cond_stack.back();
+        bool parent_ok = true;
+        for (std::size_t d = 0; d + 1 < cond_stack.size(); ++d) parent_ok &= cond_stack[d].active;
+        top.active = parent_ok && !top.taken;
+        top.taken = true;
+      } else if (kw == "endif" && !cond_stack.empty()) {
+        cond_stack.pop_back();
+      }
+      // Record the directive when its surrounding region is lexed (the
+      // include graph and H1 guard detection must not see dead branches).
+      // Conditional directives themselves are recorded when either side of
+      // the transition is live, so include-guard `#ifndef` is kept.
+      if (was_enabled || enabled()) {
+        out.directives.push_back(PpDirective{start_line, std::move(text)});
+      }
       at_line_start = true;  // the upcoming '\n' handler resets anyway
       continue;
     }
+    // Inside a dead conditional branch: skip everything except newlines and
+    // directives (handled above). Dead code is not tokenized at all.
+    if (!enabled()) {
+      at_line_start = false;
+      ++i;
+      continue;
+    }
     at_line_start = false;
-    // Comments.
+    // Comments. A line comment whose last character is a backslash
+    // continues onto the next line (phase-2 splicing happens before
+    // comment removal), so the continuation must stay comment text.
     if (c == '/' && i + 1 < n && s[i + 1] == '/') {
       std::size_t start_line = line;
       std::size_t j = i + 2;
-      while (j < n && s[j] != '\n') ++j;
-      out.comments.push_back(Comment{start_line, s.substr(i + 2, j - (i + 2))});
+      std::string text;
+      while (j < n) {
+        if (s[j] == '\n') {
+          std::size_t back = j;
+          while (back > i + 2 && s[back - 1] == '\r') --back;
+          if (back > i + 2 && s[back - 1] == '\\') {
+            ++line;
+            text.push_back(' ');
+            ++j;
+            continue;
+          }
+          break;
+        }
+        text.push_back(s[j]);
+        ++j;
+      }
+      out.comments.push_back(Comment{start_line, std::move(text)});
       i = j;
       continue;
     }
@@ -76,21 +202,6 @@ Lexed lex(const std::string& s) {
       }
       out.comments.push_back(Comment{start_line, std::move(text)});
       i = (j + 1 < n) ? j + 2 : n;
-      continue;
-    }
-    // Raw strings: R"delim( ... )delim".
-    if (c == 'R' && i + 1 < n && s[i + 1] == '"') {
-      std::size_t j = i + 2;
-      std::string delim;
-      while (j < n && s[j] != '(') delim.push_back(s[j++]);
-      std::string close = ")" + delim + "\"";
-      std::size_t end = s.find(close, j);
-      std::size_t stop = (end == std::string::npos) ? n : end + close.size();
-      for (std::size_t k = i; k < stop; ++k) {
-        if (s[k] == '\n') ++line;
-      }
-      push(Tok::kStr, "", line);
-      i = stop;
       continue;
     }
     // String / char literals.
@@ -109,7 +220,18 @@ Lexed lex(const std::string& s) {
     if (ident_start(c)) {
       std::size_t j = i;
       while (j < n && ident_char(s[j])) ++j;
-      push(Tok::kIdent, s.substr(i, j - i), line);
+      const std::string ident = s.substr(i, j - i);
+      // Raw strings, with or without encoding prefix: R"( u8R"( LR"( ...
+      // The identifier scan owns this so `LR"(x)"` is never misread as
+      // ident `LR` followed by an ordinary string.
+      if (j < n && s[j] == '"' && is_raw_string_prefix(ident)) {
+        const std::size_t stop = consume_raw_string(i, j);
+        if (stop != i) {
+          i = stop;
+          continue;
+        }
+      }
+      push(Tok::kIdent, ident, line);
       i = j;
       continue;
     }

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <array>
 #include <cctype>
+#include <map>
 #include <set>
 #include <tuple>
 
+#include "callgraph.hpp"
 #include "graph.hpp"
 #include "lex.hpp"
 #include "taint.hpp"
@@ -296,6 +298,9 @@ const std::vector<RuleInfo>& rules() {
       {"L1", "include edge violating the layers.toml module DAG", Severity::kError},
       {"T1", "payload-byte read without prior deserialize/validate", Severity::kError},
       {"P1", "throw/new/std::function inside a hotpath-marked function", Severity::kError},
+      {"C1", "shared state / nondeterminism reachable from a shard-root", Severity::kError},
+      {"P2", "hot-path violation reachable from a hotpath function", Severity::kError},
+      {"T2", "unvalidated payload bytes flowing through helpers", Severity::kError},
       {"A0", "malformed srds-lint suppression", Severity::kError},
   };
   return kRules;
@@ -368,12 +373,58 @@ std::vector<Finding> lint_file(const std::string& raw_path, const std::string& c
 }
 
 std::vector<Finding> lint_files(
-    const std::vector<std::pair<std::string, std::string>>& files, const Config& cfg) {
+    const std::vector<std::pair<std::string, std::string>>& files, const Config& cfg,
+    CallGraphStats* cg_stats) {
   std::vector<Finding> all;
   for (const auto& [path, content] : files) {
     std::vector<Finding> fs = lint_file(path, content, cfg);
     all.insert(all.end(), std::make_move_iterator(fs.begin()),
                std::make_move_iterator(fs.end()));
+  }
+
+  // Call-graph passes (C1 shard readiness, P2/T2 interprocedural hotpath
+  // and taint). Roots come from inline shard-root/hotpath markers plus the
+  // shard_roots.toml manifest when given; inline suppressions apply to the
+  // cross-TU findings exactly as to per-file ones.
+  {
+    std::vector<Finding> raw;
+    ShardManifest manifest;
+    const ShardManifest* mptr = nullptr;
+    if (!cfg.shard_manifest.empty()) {
+      std::string error;
+      if (!parse_shard_manifest(cfg.shard_manifest, manifest, error)) {
+        Finding f;
+        f.file = normalize_path(cfg.shard_manifest_path);
+        f.line = 0;
+        f.rule = "C1";
+        f.message = "bad shard-roots manifest: " + error;
+        raw.push_back(std::move(f));
+      } else {
+        mptr = &manifest;
+      }
+    }
+    const CallGraph cg = build_call_graph(files);
+    std::vector<Finding> cgf = check_callgraph(
+        cg, mptr, normalize_path(cfg.shard_manifest_path), cg_stats);
+    raw.insert(raw.end(), std::make_move_iterator(cgf.begin()),
+               std::make_move_iterator(cgf.end()));
+    std::map<std::string, std::vector<Suppression>> sups_by_file;
+    for (const FileCtx& fc : cg.files) sups_by_file[fc.path] = parse_suppressions(fc.lx);
+    for (Finding& f : raw) {
+      auto it = sups_by_file.find(f.file);
+      if (it != sups_by_file.end()) {
+        for (const Suppression& s : it->second) {
+          if (s.valid && s.rule == f.rule && s.target_line == f.line) {
+            f.suppressed = true;
+            f.justification = s.justification;
+          }
+        }
+      }
+      Severity sev = cfg.severity_of(f.rule);
+      if (sev == Severity::kOff) continue;
+      f.severity = sev;
+      all.push_back(std::move(f));
+    }
   }
 
   // Cross-TU layering pass. L1 has no inline suppression (kept back-edges

@@ -48,7 +48,20 @@
 //   T1  adversarial-input taint: payload-byte reads without a prior
 //       deserialize/validate in the same function body (taint.hpp).
 //   P1  hot-path hygiene: no throw/new/std::function in functions marked
-//       `// srds-lint: hotpath` (taint.hpp).
+//       `// srds-lint: hotpath` (taint.hpp). Markers may name their target
+//       (`hotpath(Simulator::deliver)`); stale markers are findings.
+//   C1  concurrency readiness (callgraph.hpp): functions reachable from a
+//       `// srds-lint: shard-root` marker or a shard_roots.toml [roots]
+//       entry must be free of file-scope mutable state, function-local
+//       statics, unordered-container iteration, unseeded RNG engines and
+//       singleton accessors — each finding carries the call path from the
+//       root. This is the machine-checked gate for sharding the simulator
+//       (ROADMAP item 1).
+//   P2  interprocedural hot-path hygiene: the P1 discipline propagated
+//       through the call graph from every hotpath-marked function.
+//   T2  interprocedural taint: payload bytes handed to a helper before
+//       validation, where the helper (transitively) reads the bytes before
+//       its own deserialize/validate; reported with the flow path.
 //   A0  malformed suppression: `srds-lint: allow(...)` without the
 //       mandatory justification text, or naming an unknown rule. A
 //       malformed suppression never suppresses.
@@ -117,7 +130,28 @@ struct Config {
   std::string layers_manifest;
   std::string layers_manifest_path = "layers.toml";
 
+  /// Contents of the shard_roots.toml manifest ([roots] functions +
+  /// [allow] escape hatch for the call-graph passes). The C1/P2/T2 passes
+  /// run in lint_files regardless (inline markers alone can seed them); a
+  /// parse failure is reported as a C1 finding against
+  /// `shard_manifest_path`.
+  std::string shard_manifest;
+  std::string shard_manifest_path = "shard_roots.toml";
+
   Severity severity_of(const std::string& rule) const;
+};
+
+/// Call-graph census for the LINT_*.json stats block (deterministic —
+/// counts, not timings).
+struct CallGraphStats {
+  std::size_t functions = 0;         // definitions in the scanned set
+  std::size_t call_edges = 0;        // resolved caller->callee edges
+  std::size_t external_calls = 0;    // sites naming no scanned definition
+  std::size_t shard_roots = 0;       // C1 roots (markers + manifest)
+  std::size_t hotpath_funcs = 0;     // P1/P2 roots (hotpath markers)
+  std::size_t shard_reachable = 0;   // definitions reachable from C1 roots
+  std::size_t hotpath_reachable = 0; // definitions reachable from P2 roots
+  std::size_t allowed_skips = 0;     // traversal stops at [allow] entries
 };
 
 /// Lint a single file. `path` is the repo-relative logical path — rule
@@ -129,11 +163,14 @@ struct Config {
 std::vector<Finding> lint_file(const std::string& path, const std::string& content,
                                const Config& cfg);
 
-/// Lint many (path, content) pairs — per-file rules plus, when
-/// cfg.layers_manifest is set, the cross-TU L1 layering pass over the full
-/// set. Findings sorted by (file, line, rule).
+/// Lint many (path, content) pairs — per-file rules, the cross-TU C1/P2/T2
+/// call-graph passes (roots from inline markers plus cfg.shard_manifest)
+/// and, when cfg.layers_manifest is set, the L1 layering pass. Findings
+/// sorted by (file, line, rule). `cg_stats`, when given, receives the
+/// call-graph census for the JSON stats block.
 std::vector<Finding> lint_files(
-    const std::vector<std::pair<std::string, std::string>>& files, const Config& cfg);
+    const std::vector<std::pair<std::string, std::string>>& files, const Config& cfg,
+    CallGraphStats* cg_stats = nullptr);
 
 /// True if any finding is an unsuppressed error (the CI gate / exit code).
 bool has_blocking(const std::vector<Finding>& findings);

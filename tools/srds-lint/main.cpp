@@ -9,10 +9,15 @@
 //                          the test sources under DIR
 //     --layers FILE        layers.toml module-DAG manifest; enables the
 //                          cross-TU L1 layering pass
+//     --shard-roots FILE   shard_roots.toml manifest: extra C1 roots plus
+//                          the [allow] escape hatch for the call-graph
+//                          passes (inline markers work without it)
 //     --compile-db FILE    compile_commands.json; its translation units
 //                          (plus their transitively reachable quoted
 //                          includes) join the scan set
 //     --dot FILE           export the module dependency graph as Graphviz
+//     --callgraph-dot FILE export the shard-reachable call graph as
+//                          Graphviz (roots double-circled, allowed dashed)
 //     --baseline FILE      ratchet gate: fail only on findings not in FILE,
 //                          and on stale FILE entries (fixed but listed)
 //     --write-baseline FILE  record current blocking findings into FILE
@@ -39,6 +44,7 @@
 #include <vector>
 
 #include "baseline.hpp"
+#include "callgraph.hpp"
 #include "graph.hpp"
 #include "lex.hpp"
 #include "lint.hpp"
@@ -142,6 +148,7 @@ std::string repo_relative(const fs::path& p) {
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
   std::string json_path, tests_dir, layers_path, compile_db_path, dot_path;
+  std::string shard_roots_path, callgraph_dot_path;
   std::string baseline_path, write_baseline_path;
   bool quiet = false, show_suppressed = false;
   srds::lint::Config cfg;
@@ -161,10 +168,14 @@ int main(int argc, char** argv) {
       tests_dir = need_value("--tests-dir");
     } else if (a == "--layers") {
       layers_path = need_value("--layers");
+    } else if (a == "--shard-roots") {
+      shard_roots_path = need_value("--shard-roots");
     } else if (a == "--compile-db") {
       compile_db_path = need_value("--compile-db");
     } else if (a == "--dot") {
       dot_path = need_value("--dot");
+    } else if (a == "--callgraph-dot") {
+      callgraph_dot_path = need_value("--callgraph-dot");
     } else if (a == "--baseline") {
       baseline_path = need_value("--baseline");
     } else if (a == "--write-baseline") {
@@ -193,7 +204,8 @@ int main(int argc, char** argv) {
   }
   if (roots.empty() && compile_db_path.empty()) {
     std::cerr << "usage: srds-lint [--json FILE] [--tests-dir DIR] [--layers FILE]\n"
-                 "                 [--compile-db FILE] [--dot FILE] [--baseline FILE]\n"
+                 "                 [--shard-roots FILE] [--compile-db FILE] [--dot FILE]\n"
+                 "                 [--callgraph-dot FILE] [--baseline FILE]\n"
                  "                 [--write-baseline FILE] [--severity R=LEVEL]\n"
                  "                 [--show-suppressed] [--list-rules] [--quiet] <path>...\n";
     return 2;
@@ -225,6 +237,16 @@ int main(int argc, char** argv) {
     }
     cfg.layers_manifest_path = repo_relative(fs::path(layers_path));
     if (cfg.layers_manifest_path.empty()) cfg.layers_manifest_path = layers_path;
+  }
+
+  if (!shard_roots_path.empty()) {
+    if (!read_file(shard_roots_path, cfg.shard_manifest) || cfg.shard_manifest.empty()) {
+      std::cerr << "srds-lint: cannot read shard-roots manifest '" << shard_roots_path
+                << "'\n";
+      return 2;
+    }
+    cfg.shard_manifest_path = repo_relative(fs::path(shard_roots_path));
+    if (cfg.shard_manifest_path.empty()) cfg.shard_manifest_path = shard_roots_path;
   }
 
   std::vector<fs::path> files;
@@ -288,13 +310,31 @@ int main(int argc, char** argv) {
   std::sort(inputs.begin(), inputs.end());
 
   const auto t_io = std::chrono::steady_clock::now();
-  const std::vector<srds::lint::Finding> findings = srds::lint::lint_files(inputs, cfg);
+  srds::lint::CallGraphStats cg_stats;
+  const std::vector<srds::lint::Finding> findings =
+      srds::lint::lint_files(inputs, cfg, &cg_stats);
   const auto t_lint = std::chrono::steady_clock::now();
 
   if (!dot_path.empty()) {
     const std::string dot = srds::lint::dep_graph_dot(srds::lint::build_dep_graph(inputs));
     if (!srds::lint::write_text_file(dot_path, dot)) {
       std::cerr << "srds-lint: cannot write '" << dot_path << "'\n";
+      return 2;
+    }
+  }
+
+  if (!callgraph_dot_path.empty()) {
+    srds::lint::ShardManifest shard_manifest;
+    const srds::lint::ShardManifest* mptr = nullptr;
+    std::string error;
+    if (!cfg.shard_manifest.empty() &&
+        srds::lint::parse_shard_manifest(cfg.shard_manifest, shard_manifest, error)) {
+      mptr = &shard_manifest;
+    }
+    const std::string dot =
+        srds::lint::call_graph_dot(srds::lint::build_call_graph(inputs), mptr);
+    if (!srds::lint::write_text_file(callgraph_dot_path, dot)) {
+      std::cerr << "srds-lint: cannot write '" << callgraph_dot_path << "'\n";
       return 2;
     }
   }
@@ -373,6 +413,16 @@ int main(int argc, char** argv) {
     registry.counter("lint_baseline_new").inc(diff.fresh.size());
     registry.counter("lint_baseline_stale").inc(diff.stale.size());
   }
+  // Call-graph census (deterministic counts; the C1/P2/T2 passes ran inside
+  // lint_files).
+  registry.counter("lint_callgraph_functions").inc(cg_stats.functions);
+  registry.counter("lint_callgraph_call_edges").inc(cg_stats.call_edges);
+  registry.counter("lint_callgraph_external_calls").inc(cg_stats.external_calls);
+  registry.counter("lint_callgraph_shard_roots").inc(cg_stats.shard_roots);
+  registry.counter("lint_callgraph_hotpath_funcs").inc(cg_stats.hotpath_funcs);
+  registry.counter("lint_callgraph_shard_reachable").inc(cg_stats.shard_reachable);
+  registry.counter("lint_callgraph_hotpath_reachable").inc(cg_stats.hotpath_reachable);
+  registry.counter("lint_callgraph_allowed_skips").inc(cg_stats.allowed_skips);
   const auto ms = [](auto d) {
     return std::chrono::duration<double, std::milli>(d).count();
   };

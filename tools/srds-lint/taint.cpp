@@ -6,6 +6,8 @@ namespace srds::lint {
 
 namespace {
 
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
 bool is_control_keyword(const std::string& s) {
   static const std::set<std::string> kControl = {"if",     "for",   "while", "switch",
                                                 "catch",  "return", "sizeof", "alignof",
@@ -22,12 +24,26 @@ bool is_trailer_token(const Tok& t) {
          t.text == "," || t.text == "*" || t.text == "&" || t.text == ":";
 }
 
+/// Tokens allowed between a class-head keyword and its '{' (name, bases,
+/// template args, final).
+bool is_class_head_token(const Tok& t) {
+  if (t.kind == Tok::kIdent || t.kind == Tok::kNum) return true;
+  return t.text == "::" || t.text == "<" || t.text == ">" || t.text == ":" ||
+         t.text == "," || t.text == "&" || t.text == "*" || t.text == "[" ||
+         t.text == "]";
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
 }  // namespace
 
 std::vector<FuncBody> function_bodies(const Lexed& lx) {
   const std::vector<Tok>& toks = lx.toks;
   // Matching ')' -> '(' indices.
-  std::vector<std::size_t> open_of(toks.size(), static_cast<std::size_t>(-1));
+  std::vector<std::size_t> open_of(toks.size(), kNpos);
   {
     std::vector<std::size_t> stack;
     for (std::size_t i = 0; i < toks.size(); ++i) {
@@ -44,6 +60,12 @@ std::vector<FuncBody> function_bodies(const Lexed& lx) {
   int depth = 0;
   bool in_func = false;
   int func_open_depth = 0;
+  // Enclosing class/struct bodies, for qualifying in-class definitions.
+  struct ClassScope {
+    std::string name;
+    int depth;  // brace depth inside the class body
+  };
+  std::vector<ClassScope> classes;
 
   for (std::size_t i = 0; i < toks.size(); ++i) {
     const Tok& t = toks[i];
@@ -51,41 +73,74 @@ std::vector<FuncBody> function_bodies(const Lexed& lx) {
       ++depth;
       if (in_func) continue;
       // Walk back over declarator trailer tokens to the ')' (if any). A
-      // member-initializer list may contain (...) groups of its own; jump
-      // over each to its '(' and keep walking.
+      // constructor's member-initializer list puts `: a_(1), b_(2)` between
+      // the parameter list and the body; when the ')' we find belongs to an
+      // initializer (its name chain is preceded by ':' or ','), hop left to
+      // the previous group until the real declarator surfaces.
       std::size_t j = i;
-      std::size_t close = static_cast<std::size_t>(-1);
-      while (j > 0) {
-        const Tok& p = toks[j - 1];
-        if (p.text == ")") {
-          close = j - 1;
+      std::size_t close = kNpos, open = kNpos;
+      bool is_func = false;
+      for (int hop = 0; hop < 32; ++hop) {
+        close = kNpos;
+        while (j > 0) {
+          const Tok& p = toks[j - 1];
+          if (p.text == ")") {
+            close = j - 1;
+            break;
+          }
+          if (!is_trailer_token(p)) break;
+          --j;
+        }
+        if (close == kNpos) break;
+        open = open_of[close];
+        if (open == kNpos || open == 0) break;
+        const Tok& before = toks[open - 1];
+        if (before.text == "]") break;  // lambda at namespace scope
+        if (before.kind != Tok::kIdent || is_control_keyword(before.text)) break;
+        // Start of the qualified name chain (`A::B::name`).
+        std::size_t k = open - 1;
+        while (k >= 2 && toks[k - 1].text == "::" && toks[k - 2].kind == Tok::kIdent) k -= 2;
+        if (k > 0 && (toks[k - 1].text == ":" || toks[k - 1].text == ",")) {
+          j = open;  // initializer-list member; keep hopping left
+          continue;
+        }
+        is_func = true;
+        // Build name + qualified chain.
+        FuncBody fb;
+        fb.name = before.text;
+        for (std::size_t q = k; q < open; ++q) fb.qual += toks[q].text;
+        if (fb.qual.find("::") == std::string::npos && !classes.empty()) {
+          fb.qual = classes.back().name + "::" + fb.name;
+        }
+        fb.open_line = t.line;
+        fb.open_tok = i;
+        fb.close_tok = toks.size() ? toks.size() - 1 : 0;
+        fb.close_line = toks.empty() ? t.line : toks.back().line;
+        fb.lparen_tok = open;
+        fb.rparen_tok = close;
+        out.push_back(std::move(fb));
+        in_func = true;
+        func_open_depth = depth;
+        break;
+      }
+      if (is_func) continue;
+      // Not a function body: is it a class/struct body? Walk back over the
+      // class head (name, bases, template args) looking for the keyword.
+      std::size_t back = i;
+      std::string class_name;
+      for (int steps = 0; back > 0 && steps < 64; ++steps) {
+        const Tok& p = toks[back - 1];
+        if (p.kind == Tok::kIdent && (p.text == "class" || p.text == "struct" ||
+                                      p.text == "union")) {
+          if (back < toks.size() && toks[back].kind == Tok::kIdent) {
+            class_name = toks[back].text;
+          }
           break;
         }
-        if (!is_trailer_token(p)) break;
-        --j;
+        if (!is_class_head_token(p)) break;
+        --back;
       }
-      // Init-list hop: Foo::Foo() : a_(1), b_(2) { — the ')' we found may
-      // belong to an initializer; hop groups until the one whose '(' is
-      // preceded by the parameter-list context. One declarator heuristic
-      // covers both: take the *first* ')' scanning left, then identify the
-      // name before its matching '('. For init lists the name is a member
-      // ("a_"), which still marks a constructor body — good enough, the
-      // passes care about the body extent, not the pretty name.
-      if (close == static_cast<std::size_t>(-1)) continue;
-      const std::size_t open = open_of[close];
-      if (open == static_cast<std::size_t>(-1) || open == 0) continue;
-      const Tok& before = toks[open - 1];
-      if (before.text == "]") continue;  // lambda at namespace scope
-      if (before.kind != Tok::kIdent || is_control_keyword(before.text)) continue;
-      FuncBody fb;
-      fb.name = before.text;
-      fb.open_line = t.line;
-      fb.open_tok = i;
-      fb.close_tok = toks.size() ? toks.size() - 1 : 0;
-      fb.close_line = toks.empty() ? t.line : toks.back().line;
-      out.push_back(fb);
-      in_func = true;
-      func_open_depth = depth;
+      if (!class_name.empty()) classes.push_back(ClassScope{class_name, depth});
       continue;
     }
     if (t.text == "}") {
@@ -94,10 +149,92 @@ std::vector<FuncBody> function_bodies(const Lexed& lx) {
         out.back().close_line = t.line;
         in_func = false;
       }
+      if (!in_func && !classes.empty() && depth == classes.back().depth) classes.pop_back();
       if (depth > 0) --depth;
     }
   }
   return out;
+}
+
+std::vector<Marker> parse_markers(const Lexed& lx) {
+  std::vector<Marker> out;
+  for (const Comment& c : lx.comments) {
+    std::size_t pos = c.text.find("srds-lint:");
+    if (pos == std::string::npos) continue;
+    std::size_t i = pos + 10;
+    while (i < c.text.size() && (c.text[i] == ' ' || c.text[i] == '\t')) ++i;
+    std::string kind;
+    for (const char* k : {"shard-root", "hotpath"}) {
+      const std::string kw = k;
+      if (c.text.compare(i, kw.size(), kw) == 0) {
+        // Word boundary: "hotpathology" is not a marker.
+        const std::size_t after = i + kw.size();
+        if (after < c.text.size() && (std::isalnum(static_cast<unsigned char>(c.text[after])) ||
+                                      c.text[after] == '_' || c.text[after] == '-')) {
+          continue;
+        }
+        kind = kw;
+        i = after;
+        break;
+      }
+    }
+    if (kind.empty()) continue;
+    Marker m;
+    m.kind = kind;
+    m.line = c.line;
+    while (i < c.text.size() && (c.text[i] == ' ' || c.text[i] == '\t')) ++i;
+    if (i < c.text.size() && c.text[i] == '(') {
+      std::size_t closep = c.text.find(')', i);
+      if (closep != std::string::npos) m.name = trim(c.text.substr(i + 1, closep - i - 1));
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+bool marker_name_matches(const std::string& name, const FuncBody& fb) {
+  if (name.empty()) return true;
+  if (name == fb.name || name == fb.qual) return true;
+  if (ends_with(fb.qual, "::" + name)) return true;
+  // A qualified marker name may carry *more* context than the def's
+  // extracted qual (namespace prefix, say) — but only when the def's own
+  // qualifier doesn't contradict it. `Foo::run` must never match a def
+  // known to be `Bar::run`, else every same-named method becomes a match.
+  if (fb.qual == fb.name && ends_with(name, "::" + fb.name)) return true;
+  if (fb.qual != fb.name && ends_with(name, "::" + fb.qual)) return true;
+  return false;
+}
+
+std::size_t resolve_marker(const Marker& m, const std::vector<FuncBody>& funcs,
+                           std::string* error) {
+  // A marker inside a body marks that body; otherwise the next body below.
+  for (std::size_t fi = 0; fi < funcs.size(); ++fi) {
+    const FuncBody& fb = funcs[fi];
+    if (fb.open_line <= m.line && m.line <= fb.close_line) {
+      if (!marker_name_matches(m.name, fb)) {
+        *error = "names '" + m.name + "' but sits inside the body of '" + fb.qual +
+                 "'; was the target deleted or renamed?";
+        return kNpos;
+      }
+      return fi;
+    }
+    if (fb.open_line >= m.line) {
+      if (!m.name.empty()) {
+        if (marker_name_matches(m.name, fb)) return fi;
+        *error = "names '" + m.name + "' but the next function body (line " +
+                 std::to_string(fb.open_line) + ") belongs to '" + fb.qual +
+                 "'; was the target deleted or renamed?";
+        return kNpos;
+      }
+      if (fb.open_line - m.line <= kMarkerAttachWindow) return fi;
+      *error = "no function body opens within " + std::to_string(kMarkerAttachWindow) +
+               " lines (next is '" + fb.qual + "' at line " + std::to_string(fb.open_line) +
+               "); was the target deleted or moved?";
+      return kNpos;
+    }
+  }
+  *error = "matches no function body";
+  return kNpos;
 }
 
 namespace {
@@ -128,7 +265,7 @@ void check_t1(const std::string& path, const Lexed& lx, std::vector<Finding>& ou
 
   for (const FuncBody& fb : funcs) {
     // First validation point in the body, as a token index.
-    std::size_t first_valid = static_cast<std::size_t>(-1);
+    std::size_t first_valid = kNpos;
     for (std::size_t i = fb.open_tok; i <= fb.close_tok && i < toks.size(); ++i) {
       if (toks[i].kind == Tok::kIdent && is_validation_ident(toks[i].text)) {
         first_valid = i;
@@ -138,7 +275,7 @@ void check_t1(const std::string& path, const Lexed& lx, std::vector<Finding>& ou
 
     std::set<std::size_t> flagged_lines;
     auto flag = [&](std::size_t tok_idx, const std::string& how) {
-      if (first_valid != static_cast<std::size_t>(-1) && first_valid <= tok_idx) return;
+      if (first_valid != kNpos && first_valid <= tok_idx) return;
       if (!flagged_lines.insert(toks[tok_idx].line).second) return;
       Finding f;
       f.file = path;
@@ -182,37 +319,43 @@ void check_t1(const std::string& path, const Lexed& lx, std::vector<Finding>& ou
   }
 }
 
-void check_p1(const std::string& path, const Lexed& lx, std::vector<Finding>& out) {
-  // Collect hotpath markers; each marks the function whose body contains
-  // it, or else the next function opening at/after the marker line.
-  std::vector<std::size_t> markers;
-  for (const Comment& c : lx.comments) {
-    if (c.text.find("srds-lint: hotpath") != std::string::npos) markers.push_back(c.line);
+std::vector<HotpathViolation> hotpath_violations(const Lexed& lx, const FuncBody& fb) {
+  const std::vector<Tok>& toks = lx.toks;
+  std::vector<HotpathViolation> out;
+  for (std::size_t i = fb.open_tok; i <= fb.close_tok && i < toks.size(); ++i) {
+    const Tok& t = toks[i];
+    if (t.kind != Tok::kIdent) continue;
+    if (t.text == "throw") {
+      out.push_back(HotpathViolation{t.line, "'throw'"});
+    } else if (t.text == "new") {
+      out.push_back(HotpathViolation{t.line, "'new'"});
+    } else if (t.text == "std" && i + 2 < toks.size() && toks[i + 1].text == "::" &&
+               toks[i + 2].text == "function") {
+      out.push_back(HotpathViolation{t.line, "std::function construction"});
+    }
   }
-  if (markers.empty()) return;
+  return out;
+}
+
+void check_p1(const std::string& path, const Lexed& lx, std::vector<Finding>& out) {
+  const std::vector<Marker> markers = parse_markers(lx);
+  bool any_hotpath = false;
+  for (const Marker& m : markers) any_hotpath |= (m.kind == "hotpath");
+  if (!any_hotpath) return;
 
   const std::vector<FuncBody> funcs = function_bodies(lx);
-  const std::vector<Tok>& toks = lx.toks;
   std::set<std::size_t> marked;  // indices into funcs
 
-  for (std::size_t mline : markers) {
-    std::size_t target = static_cast<std::size_t>(-1);
-    for (std::size_t fi = 0; fi < funcs.size(); ++fi) {
-      if (funcs[fi].open_line <= mline && mline <= funcs[fi].close_line) {
-        target = fi;
-        break;
-      }
-      if (funcs[fi].open_line >= mline) {
-        target = fi;
-        break;
-      }
-    }
-    if (target == static_cast<std::size_t>(-1)) {
+  for (const Marker& m : markers) {
+    if (m.kind != "hotpath") continue;  // shard-root is the call-graph pass's job
+    std::string err;
+    std::size_t target = resolve_marker(m, funcs, &err);
+    if (target == kNpos) {
       Finding f;
       f.file = path;
-      f.line = mline;
+      f.line = m.line;
       f.rule = "P1";
-      f.message = "srds-lint: hotpath marker matches no function body";
+      f.message = "srds-lint: hotpath marker " + err;
       out.push_back(std::move(f));
       continue;
     }
@@ -221,25 +364,12 @@ void check_p1(const std::string& path, const Lexed& lx, std::vector<Finding>& ou
 
   for (std::size_t fi : marked) {
     const FuncBody& fb = funcs[fi];
-    for (std::size_t i = fb.open_tok; i <= fb.close_tok && i < toks.size(); ++i) {
-      const Tok& t = toks[i];
-      if (t.kind != Tok::kIdent) continue;
-      std::string what;
-      if (t.text == "throw") {
-        what = "'throw'";
-      } else if (t.text == "new") {
-        what = "'new'";
-      } else if (t.text == "std" && i + 2 < toks.size() && toks[i + 1].text == "::" &&
-                 toks[i + 2].text == "function") {
-        what = "std::function construction";
-      } else {
-        continue;
-      }
+    for (const HotpathViolation& v : hotpath_violations(lx, fb)) {
       Finding f;
       f.file = path;
-      f.line = t.line;
+      f.line = v.line;
       f.rule = "P1";
-      f.message = what + " in hotpath function '" + fb.name +
+      f.message = v.what + " in hotpath function '" + fb.name +
                   "': the delivery/aggregation path runs per message; it must not "
                   "allocate, unwind, or type-erase";
       out.push_back(std::move(f));
