@@ -2,11 +2,68 @@
 // bench CLI first (bench::Args consumes its flags and compacts argv), hand
 // the remainder to google-benchmark, and tee every run into a
 // bench::Reporter so the suites emit BENCH_*.json like the figure binaries.
+//
+// The header also replaces global operator new/delete with alloc-counting
+// versions, so every micro suite can report allocs/op next to ns/op
+// (report_allocs below): allocation-free hot paths are a contract here
+// (srds-lint rule P1), and the micro suites are where the contract is
+// *measured* rather than pattern-matched. Each micro binary includes this
+// header in exactly one translation unit — replacement operator new must
+// not be defined twice, or inline.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "bench_util.hpp"
+
+namespace srds::bench {
+
+/// Allocations observed process-wide since startup (all threads).
+inline std::atomic<std::uint64_t> g_alloc_ops{0};
+
+inline std::uint64_t alloc_ops() { return g_alloc_ops.load(); }
+
+/// Attach allocs/op for the span since `before = alloc_ops()` as a user
+/// counter: it lands in the console table and, via CapturingReporter, in
+/// BENCH_*.json as counter_allocs_per_op.
+inline void report_allocs(benchmark::State& state, std::uint64_t before) {
+  state.counters["allocs_per_op"] =
+      benchmark::Counter(static_cast<double>(alloc_ops() - before),
+                         benchmark::Counter::kAvgIterations);
+}
+
+}  // namespace srds::bench
+
+// Counting replacements. Default (seq_cst) ordering: the counter is bench
+// harness bookkeeping, and an allocation dwarfs the fence anyway. The
+// nothrow/aligned variants are not replaced — those allocations go
+// uncounted, which no current suite exercises on a measured path.
+// noinline keeps the malloc/free internals opaque at call sites: inlined,
+// GCC's -Wmismatched-new-delete heuristic pairs the caller's `new` with
+// the exposed `free` and misfires (and replacement allocation functions
+// are not meant to inline in the first place).
+#if defined(__GNUC__) || defined(__clang__)
+#define SRDS_BENCH_NOINLINE __attribute__((noinline))
+#else
+#define SRDS_BENCH_NOINLINE
+#endif
+
+SRDS_BENCH_NOINLINE void* operator new(std::size_t sz) {
+  srds::bench::g_alloc_ops.fetch_add(1);
+  if (void* p = std::malloc(sz ? sz : 1)) return p;
+  throw std::bad_alloc();
+}
+SRDS_BENCH_NOINLINE void* operator new[](std::size_t sz) { return operator new(sz); }
+SRDS_BENCH_NOINLINE void operator delete(void* p) noexcept { std::free(p); }
+SRDS_BENCH_NOINLINE void operator delete[](void* p) noexcept { std::free(p); }
+SRDS_BENCH_NOINLINE void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+SRDS_BENCH_NOINLINE void operator delete[](void* p, std::size_t) noexcept {
+  std::free(p);
+}
 
 namespace srds::bench {
 

@@ -1,0 +1,108 @@
+// Micro-benchmarks for the observability plane's hot path: Counter::inc,
+// Gauge::set and Histogram::record (lock-free per-bucket atomics since the
+// sharded-bucket conversion — the contended variant is the case the old
+// per-histogram mutex serialized), registry handle lookup, and
+// Reporter::add_row. Every benchmark reports allocs/op next to ns/op via
+// the counting operator new in micro_main.hpp: the record/inc/set paths
+// must stay at 0.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "micro_main.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+
+namespace {
+
+using namespace srds;
+
+void BM_CounterInc(benchmark::State& state) {
+  obs::Counter c;
+  const std::uint64_t a0 = bench::alloc_ops();
+  for (auto _ : state) c.inc();
+  bench::report_allocs(state, a0);
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_GaugeSet(benchmark::State& state) {
+  obs::Gauge g;
+  double v = 0.0;
+  const std::uint64_t a0 = bench::alloc_ops();
+  for (auto _ : state) g.set(v += 1.5);
+  bench::report_allocs(state, a0);
+  benchmark::DoNotOptimize(g.value());
+}
+BENCHMARK(BM_GaugeSet);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Histogram h;
+  std::uint64_t v = 1;
+  const std::uint64_t a0 = bench::alloc_ops();
+  for (auto _ : state) {
+    h.record(v & 0xffff);
+    v = v * 2862933555777941757ULL + 3037000493ULL;  // cheap LCG spread
+  }
+  bench::report_allocs(state, a0);
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramRecord);
+
+// The contended case: all benchmark threads hammer one histogram, exactly
+// what every per-party record() does in a sharded simulator round.
+void BM_HistogramRecordContended(benchmark::State& state) {
+  static obs::Histogram h;
+  std::uint64_t v = static_cast<std::uint64_t>(state.thread_index()) + 1;
+  const std::uint64_t a0 = bench::alloc_ops();
+  for (auto _ : state) {
+    h.record(v & 0xffff);
+    v = v * 2862933555777941757ULL + 3037000493ULL;
+  }
+  bench::report_allocs(state, a0);
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramRecordContended)->Threads(4);
+
+void BM_HistogramQuantile(benchmark::State& state) {
+  obs::Histogram h;
+  for (std::uint64_t v = 0; v < 4096; ++v) h.record(v);
+  const std::uint64_t a0 = bench::alloc_ops();
+  for (auto _ : state) benchmark::DoNotOptimize(h.quantile_bound(0.9));
+  bench::report_allocs(state, a0);
+}
+BENCHMARK(BM_HistogramQuantile);
+
+// Handle lookup pays the registry mutex + key canonicalization; the point
+// of stable handles is to pay it once, outside the loop. Measured so the
+// cost of doing it wrong is a number, not folklore.
+void BM_RegistryLookup(benchmark::State& state) {
+  obs::Registry reg;
+  reg.counter("msgs_sent", {{"protocol", "pi_ba"}});
+  const std::uint64_t a0 = bench::alloc_ops();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.counter("msgs_sent", {{"protocol", "pi_ba"}}));
+  }
+  bench::report_allocs(state, a0);
+}
+BENCHMARK(BM_RegistryLookup);
+
+void BM_ReporterAddRow(benchmark::State& state) {
+  bench::Reporter rep("micro_obs_rows");
+  double x = 0;
+  const std::uint64_t a0 = bench::alloc_ops();
+  for (auto _ : state) {
+    obs::Json m = obs::Json::object();
+    m.set("v", x);
+    rep.add_row(x += 1.0, std::move(m));
+  }
+  bench::report_allocs(state, a0);
+  benchmark::DoNotOptimize(rep.rows());
+}
+BENCHMARK(BM_ReporterAddRow);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return srds::bench::run_micro_suite(argc, argv, "micro_obs");
+}

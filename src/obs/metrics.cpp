@@ -14,27 +14,35 @@ std::size_t Histogram::bucket_of(std::uint64_t v) {
 }
 
 void Histogram::record(std::uint64_t v) {
-  std::lock_guard<std::mutex> lk(mu_);
-  buckets_[bucket_of(v)] += 1;
-  count_ += 1;
-  sum_ += v;
-  min_ = std::min(min_, v);
-  max_ = std::max(max_, v);
+  // Lock-free: one relaxed RMW per statistic. min/max are CAS loops — the
+  // compare_exchange updates `cur` on failure, so the loop re-tests the
+  // ordering condition against the freshest observed value.
+  buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
 }
 
 std::uint64_t Histogram::quantile_bound(double q) const {
-  std::lock_guard<std::mutex> lk(mu_);
-  if (count_ == 0) return 0;
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
-  const double target = q * static_cast<double>(count_);
+  const double target = q * static_cast<double>(total);
   std::uint64_t seen = 0;
   for (std::size_t b = 0; b < kBuckets; ++b) {
-    seen += buckets_[b];
+    seen += buckets_[b].load(std::memory_order_relaxed);
     if (static_cast<double>(seen) >= target) {
       return b + 1 >= 64 ? ~0ull : (1ull << (b + 1));
     }
   }
-  return max_;
+  return max();
 }
 
 Registry::Key Registry::make_key(const std::string& name, Labels labels) {

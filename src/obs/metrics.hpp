@@ -13,10 +13,18 @@
 //
 // Thread safety: registration, updates and export are safe to call from
 // concurrent threads (the TSan leg of the sanitizer matrix runs
-// tests/obs_threaded_test.cpp against exactly this). Counters and gauges
-// are relaxed atomics — they are statistics, not synchronization; nothing
-// may be ordered against them. Histograms take a per-histogram mutex
-// because record() updates five fields that must stay mutually consistent.
+// tests/obs_threaded_test.cpp against exactly this). Counters, gauges and
+// histograms are relaxed atomics — they are statistics, not
+// synchronization; nothing may be ordered against them (the policy is
+// docs/observability.md "memory-order policy", machine-checked by
+// srds-lint rule C3 against tools/srds-lint/locks.toml). Histogram::record
+// is lock-free: each log2 bucket is its own atomic and min/max are CAS
+// loops, so the per-message hot path never serializes through a mutex. The
+// price is that a concurrent reader can observe a sum whose count has not
+// landed yet — fine for statistics, which is all a histogram is. The
+// registry's entry lists keep a mutex (registration + export only, never
+// the record path); those fields carry guarded_by annotations that
+// srds-lint rule C2 enforces interprocedurally.
 #pragma once
 
 #include <atomic>
@@ -63,17 +71,21 @@ class Histogram {
 
   void record(std::uint64_t v);
 
-  std::uint64_t count() const { std::lock_guard<std::mutex> lk(mu_); return count_; }
-  std::uint64_t sum() const { std::lock_guard<std::mutex> lk(mu_); return sum_; }
-  std::uint64_t min() const { std::lock_guard<std::mutex> lk(mu_); return count_ ? min_ : 0; }
-  std::uint64_t max() const { std::lock_guard<std::mutex> lk(mu_); return max_; }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t min() const {
+    return count() ? min_.load(std::memory_order_relaxed) : 0;
+  }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
   double mean() const {
-    std::lock_guard<std::mutex> lk(mu_);
-    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+    const std::uint64_t c = count();
+    return c ? static_cast<double>(sum()) / static_cast<double>(c) : 0.0;
   }
   /// Index of the bucket `v` falls into.
   static std::size_t bucket_of(std::uint64_t v);
-  std::uint64_t bucket(std::size_t b) const { std::lock_guard<std::mutex> lk(mu_); return buckets_[b]; }
+  std::uint64_t bucket(std::size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
 
   /// Upper bound (exclusive) of a quantile q in [0, 1]: the smallest bucket
   /// boundary 2^(b+1) such that at least q*count samples fall at or below
@@ -81,12 +93,11 @@ class Histogram {
   std::uint64_t quantile_bound(double q) const;
 
  private:
-  mutable std::mutex mu_;
-  std::uint64_t buckets_[kBuckets] = {};
-  std::uint64_t count_ = 0;
-  std::uint64_t sum_ = 0;
-  std::uint64_t min_ = ~0ull;
-  std::uint64_t max_ = 0;
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ull};
+  std::atomic<std::uint64_t> max_{0};
 };
 
 class Registry {
@@ -129,9 +140,9 @@ class Registry {
   // Guards the entry lists (registration + export); the metrics themselves
   // synchronize their own updates.
   mutable std::mutex mu_;
-  std::deque<Entry<Counter>> counters_;
-  std::deque<Entry<Gauge>> gauges_;
-  std::deque<Entry<Histogram>> histograms_;
+  std::deque<Entry<Counter>> counters_;      // srds-lint: guarded_by(mu_)
+  std::deque<Entry<Gauge>> gauges_;          // srds-lint: guarded_by(mu_)
+  std::deque<Entry<Histogram>> histograms_;  // srds-lint: guarded_by(mu_)
 };
 
 }  // namespace srds::obs

@@ -79,12 +79,17 @@ class InstancePipeline final : public Party {
   };
 
   PartyId me_;
-  bool open_ = true;
+  // Pipeline state is owned by the daemon's round loop (one thread drives
+  // every hosted instance); srds-lint rule C3 flags any access from the C1
+  // shard-reachable surface.
+  bool open_ = true;  // srds-lint: confined(daemon-loop)
+  // srds-lint: confined(daemon-loop)
   std::vector<Slot> slots_;  // admission order
-  std::vector<Retired> retired_;
-  std::uint64_t malformed_ = 0;
-  std::uint64_t retired_malformed_ = 0;  // carried over from retired instances
-  std::uint64_t stale_ = 0;
+  std::vector<Retired> retired_;  // srds-lint: confined(daemon-loop)
+  std::uint64_t malformed_ = 0;   // srds-lint: confined(daemon-loop)
+  // Carried over from retired instances.
+  std::uint64_t retired_malformed_ = 0;  // srds-lint: confined(daemon-loop)
+  std::uint64_t stale_ = 0;  // srds-lint: confined(daemon-loop)
 };
 
 }  // namespace srds::svc

@@ -1,0 +1,26 @@
+// Locks fixture: the clean counterpart of lk_guarded.cpp — the helper
+// never takes the lock itself, but every caller enters it with the mutex
+// held, so the per-mutex unheld traversal must not flag it.
+#include <mutex>
+#include <vector>
+
+class Clean {
+ public:
+  void add(int v) {
+    std::lock_guard<std::mutex> lk(mu_);
+    append_locked(v);
+  }
+  void add_twice(int v) {
+    std::lock_guard<std::mutex> lk(mu_);
+    append_locked(v);
+    append_locked(v);
+  }
+
+ private:
+  void append_locked(int v) {
+    items_.push_back(v);  // only ever entered under mu_
+  }
+
+  std::mutex mu_;
+  std::vector<int> items_;  // srds-lint: guarded_by(mu_)
+};

@@ -1,0 +1,25 @@
+// Locks fixture: confined state crossing into the shard surface — the
+// shard root reaches Collector::absorb through Worker::relay, and absorb
+// mutates a field annotated confined(sim-loop). Expected C3 finding with
+// the full call path; a locks.toml [allow] on the *intermediate* hop must
+// stop the traversal (absorb itself stays unlisted).
+#include <cstddef>
+
+class Collector {
+ public:
+  void absorb(int v) {
+    total_ += v;  // line 11: confined field, shard-reachable
+  }
+
+ private:
+  long total_ = 0;  // srds-lint: confined(sim-loop)
+};
+
+class Worker {
+ public:
+  // srds-lint: shard-root(Worker::on_round)
+  void on_round(Collector& c) { relay(c); }
+
+ private:
+  void relay(Collector& c) { c.absorb(1); }
+};

@@ -1,0 +1,26 @@
+// Locks fixture: double acquisition of one non-recursive mutex — once by
+// locally nested guard scopes, once through a call made under the lock.
+// Expected (rule, line) pairs are asserted by tests/lint_locks_test.cpp.
+#include <mutex>
+
+class Box {
+ public:
+  void local() {
+    std::lock_guard<std::mutex> a(mu_);
+    std::lock_guard<std::mutex> b(mu_);  // line 10: local double-lock
+    ++n_;
+  }
+  void outer() {
+    std::lock_guard<std::mutex> lk(mu_);
+    inner();
+  }
+
+ private:
+  void inner() {
+    std::lock_guard<std::mutex> lk(mu_);  // line 20: double-lock via outer
+    ++n_;
+  }
+
+  std::mutex mu_;
+  int n_ = 0;
+};

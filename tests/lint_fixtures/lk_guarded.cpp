@@ -1,0 +1,25 @@
+// Locks fixture: guarded_by discipline. Reg::add takes the lock before
+// touching items_; the public entry Reg::reset reaches the unlocked write
+// in Reg::clear_unlocked — expected C2 finding with the unlocked call
+// path. Expected (rule, line) pairs are asserted by
+// tests/lint_locks_test.cpp — renumbering lines here means renumbering
+// there.
+#include <mutex>
+#include <vector>
+
+class Reg {
+ public:
+  void add(int v) {
+    std::lock_guard<std::mutex> lk(mu_);
+    items_.push_back(v);  // held: clean
+  }
+  void reset() { clear_unlocked(); }
+
+ private:
+  void clear_unlocked() {
+    items_.clear();  // line 20: unheld access via Reg::reset
+  }
+
+  std::mutex mu_;
+  std::vector<int> items_;  // srds-lint: guarded_by(mu_)
+};

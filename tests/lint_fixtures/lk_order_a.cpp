@@ -1,0 +1,12 @@
+// Locks fixture (1/2): acquires g_a then g_b — the AB half of the
+// lock-order cycle whose BA half lives in lk_order_b.cpp. Free mutexes
+// agree across translation units by name.
+#include <mutex>
+
+std::mutex g_a;
+std::mutex g_b;
+
+void ab_path() {
+  std::lock_guard<std::mutex> la(g_a);
+  std::lock_guard<std::mutex> lb(g_b);  // line 11: edge g_a -> g_b
+}

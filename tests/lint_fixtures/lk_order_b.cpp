@@ -1,0 +1,18 @@
+// Locks fixture (2/2): acquires g_b then g_a — closes the cycle opened in
+// lk_order_a.cpp. The BA acquisition is two calls deep so the cycle report
+// must carry the call path, not just the edge site.
+#include <mutex>
+
+extern std::mutex g_a;
+extern std::mutex g_b;
+
+void grab_a() {
+  std::lock_guard<std::mutex> la(g_a);  // line 10: edge g_b -> g_a lands here
+}
+
+void ba_step() { grab_a(); }
+
+void ba_path() {
+  std::lock_guard<std::mutex> lb(g_b);
+  ba_step();
+}

@@ -1,0 +1,12 @@
+// Locks fixture: memory_order_relaxed sites for the C3 relaxed audit —
+// flagged with no manifest, silenced by an [allow-relaxed] wildcard.
+#include <atomic>
+
+class Stat {
+ public:
+  void bump() { v_.fetch_add(1, std::memory_order_relaxed); }  // line 7
+  unsigned read() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<unsigned> v_{0};
+};

@@ -1,0 +1,19 @@
+// Locks fixture: [shared] manifest fields for the C3 atomics audit — a
+// plain counter mutated by read-modify-writes, an atomic mutated by a
+// split load-store, and an unprotected field with no RMW site (flagged at
+// its declaration). The [shared] list lives in the test, not a file.
+#include <atomic>
+
+class Tally {
+ public:
+  void hit() { hits_ += 1; }  // line 9: RMW on non-atomic shared
+  void spin() { hits_++; }    // line 10: second RMW site
+  void lose() { total_ = total_ + 1; }  // line 11: load-store on atomic
+  void gain() { total_.fetch_add(1); }  // single RMW: clean
+  long peek() const { return raw_; }
+
+ private:
+  long hits_ = 0;
+  std::atomic<long> total_{0};
+  long raw_ = 0;  // line 18: shared, unprotected, no RMW site
+};

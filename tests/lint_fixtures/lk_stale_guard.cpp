@@ -1,0 +1,15 @@
+// Locks fixture: stale guarded_by markers — one naming a mutex that does
+// not exist, one binding to no field declaration at all. Both must be
+// findings; neither may silently register a guard.
+#include <mutex>
+
+class Odd {
+ public:
+  int get() const { return v_; }
+
+ private:
+  std::mutex mu_;
+  int v_ = 0;  // srds-lint: guarded_by(gone_)
+
+  // srds-lint: guarded_by(mu_)
+};

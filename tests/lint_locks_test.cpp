@@ -1,0 +1,369 @@
+// srds-lint C2/C3 engine tests (locks.hpp): guarded_by discipline (unheld
+// access with the unlocked call path, caller-held cleanliness, double-lock
+// locally and through calls, whole-program lock-order cycles spanning
+// translation units), the atomics audit (non-atomic RMW on [shared]
+// fields, atomic load-store splits, unprotected shared state, the
+// memory_order_relaxed policy with wildcard and stale entries), confined
+// state crossing into the shard surface, the locks.toml manifest
+// (sections, justifications, parse failures as findings, allow stopping
+// the traversal), stale markers, suppressions, the census stats and the
+// lock-order DOT export.
+//
+// Fixtures live in tests/lint_fixtures/ (lk_*.cpp) and are linted under
+// *logical* src/ paths; expected line numbers are pinned to the fixture
+// sources — renumbering there means renumbering here.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "callgraph.hpp"
+#include "lint.hpp"
+#include "locks.hpp"
+
+namespace srds::lint {
+namespace {
+
+std::string fixture(const std::string& name) {
+  const std::string path = std::string(SRDS_LINT_FIXTURES) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "missing fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::set<std::pair<std::string, std::size_t>> rule_hits(const std::vector<Finding>& fs,
+                                                        const std::string& rule) {
+  std::set<std::pair<std::string, std::size_t>> out;
+  for (const Finding& f : fs) {
+    if (!f.suppressed && f.rule == rule) out.insert({f.rule, f.line});
+  }
+  return out;
+}
+
+const Finding* find_at(const std::vector<Finding>& fs, const std::string& rule,
+                       std::size_t line) {
+  for (const Finding& f : fs) {
+    if (f.rule == rule && f.line == line) return &f;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// C2: guarded_by discipline.
+// ---------------------------------------------------------------------------
+
+TEST(LintC2, UnguardedAccessReportedWithUnlockedPath) {
+  const auto fs =
+      lint_files({{"src/obs/lk_guarded.cpp", fixture("lk_guarded.cpp")}}, {});
+  const std::set<std::pair<std::string, std::size_t>> expected = {{"C2", 20}};
+  EXPECT_EQ(rule_hits(fs, "C2"), expected);
+  const Finding* f = find_at(fs, "C2", 20);
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("Reg::items_"), std::string::npos) << f->message;
+  EXPECT_NE(f->message.find("guarded_by 'Reg::mu_'"), std::string::npos) << f->message;
+  EXPECT_NE(f->message.find("Reg::reset -> Reg::clear_unlocked"), std::string::npos)
+      << f->message;
+}
+
+TEST(LintC2, CallerHeldHelperIsClean) {
+  // append_locked never takes the lock, but every path into it holds mu_:
+  // the per-mutex traversal must not mark it unheld-enterable.
+  const auto fs =
+      lint_files({{"src/obs/lk_caller_held.cpp", fixture("lk_caller_held.cpp")}}, {});
+  EXPECT_TRUE(rule_hits(fs, "C2").empty());
+  EXPECT_TRUE(rule_hits(fs, "C3").empty());
+}
+
+TEST(LintC2, LocalDoubleLockReported) {
+  const auto fs =
+      lint_files({{"src/obs/lk_double_lock.cpp", fixture("lk_double_lock.cpp")}}, {});
+  const std::set<std::pair<std::string, std::size_t>> expected = {{"C2", 10}, {"C2", 20}};
+  EXPECT_EQ(rule_hits(fs, "C2"), expected);
+  const Finding* f = find_at(fs, "C2", 10);
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("Box::mu_"), std::string::npos) << f->message;
+  EXPECT_NE(f->message.find("not recursive"), std::string::npos) << f->message;
+}
+
+TEST(LintC2, DoubleLockThroughCallCarriesHeldPath) {
+  const auto fs =
+      lint_files({{"src/obs/lk_double_lock.cpp", fixture("lk_double_lock.cpp")}}, {});
+  const Finding* f = find_at(fs, "C2", 20);
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("held along Box::outer -> Box::inner"), std::string::npos)
+      << f->message;
+}
+
+TEST(LintC2, LockOrderCycleSpansTranslationUnits) {
+  const auto fs = lint_files({{"src/obs/lk_order_a.cpp", fixture("lk_order_a.cpp")},
+                              {"src/obs/lk_order_b.cpp", fixture("lk_order_b.cpp")}},
+                             {});
+  // Exactly one cycle report, anchored at its first edge's acquisition site.
+  const std::set<std::pair<std::string, std::size_t>> expected = {{"C2", 11}};
+  EXPECT_EQ(rule_hits(fs, "C2"), expected);
+  const Finding* f = find_at(fs, "C2", 11);
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("lock-order cycle: g_a -> g_b -> g_a"), std::string::npos)
+      << f->message;
+  // Both acquisition sites, with the BA edge's two-hop call path.
+  EXPECT_NE(f->message.find("src/obs/lk_order_a.cpp:11"), std::string::npos) << f->message;
+  EXPECT_NE(f->message.find("src/obs/lk_order_b.cpp:10"), std::string::npos) << f->message;
+  EXPECT_NE(f->message.find("ba_path -> ba_step -> grab_a"), std::string::npos)
+      << f->message;
+}
+
+TEST(LintC2, ConsistentOrderHasNoCycle) {
+  // The AB half alone: one edge, no cycle, no double-lock.
+  const auto fs =
+      lint_files({{"src/obs/lk_order_a.cpp", fixture("lk_order_a.cpp")}}, {});
+  EXPECT_TRUE(rule_hits(fs, "C2").empty());
+}
+
+TEST(LintC2, StaleGuardMarkersAreFindings) {
+  const auto fs =
+      lint_files({{"src/obs/lk_stale_guard.cpp", fixture("lk_stale_guard.cpp")}}, {});
+  const std::set<std::pair<std::string, std::size_t>> expected = {{"C2", 12}, {"C2", 14}};
+  EXPECT_EQ(rule_hits(fs, "C2"), expected);
+  const Finding* unknown = find_at(fs, "C2", 12);
+  ASSERT_NE(unknown, nullptr);
+  EXPECT_NE(unknown->message.find("names no mutex member"), std::string::npos)
+      << unknown->message;
+  const Finding* unbound = find_at(fs, "C2", 14);
+  ASSERT_NE(unbound, nullptr);
+  EXPECT_NE(unbound->message.find("binds to no field declaration"), std::string::npos)
+      << unbound->message;
+}
+
+TEST(LintC2, SuppressionWithJustificationApplies) {
+  // The standard allow(RULE) suppression idiom covers C2 like every rule.
+  std::string src = fixture("lk_guarded.cpp");
+  const std::string anchor = "items_.clear();";
+  const auto pos = src.find(anchor);
+  ASSERT_NE(pos, std::string::npos);
+  src.insert(pos + anchor.size(),
+             "  // srds-lint: allow(C2): fixture exercises the suppression path");
+  const auto fs = lint_files({{"src/obs/lk_guarded.cpp", src}}, {});
+  EXPECT_TRUE(rule_hits(fs, "C2").empty());
+  bool suppressed = false;
+  for (const Finding& f : fs) {
+    if (f.rule == "C2" && f.suppressed) suppressed = true;
+  }
+  EXPECT_TRUE(suppressed);
+}
+
+// ---------------------------------------------------------------------------
+// C3: the atomics audit.
+// ---------------------------------------------------------------------------
+
+Config shared_cfg(const std::string& extra = {}) {
+  Config cfg;
+  cfg.locks_manifest =
+      "[shared]\n"
+      "fields = [\"Tally::hits_\", \"Tally::total_\", \"Tally::raw_\"]\n" +
+      extra;
+  cfg.locks_manifest_path = "tools/srds-lint/locks.toml";
+  return cfg;
+}
+
+TEST(LintC3, NonAtomicRmwFlaggedPerSite) {
+  const auto fs = lint_files({{"src/obs/lk_shared.cpp", fixture("lk_shared.cpp")}},
+                             shared_cfg());
+  // Two RMW sites on hits_, the load-store on total_, the bare decl of
+  // raw_ — and nothing on the clean fetch_add in gain().
+  const std::set<std::pair<std::string, std::size_t>> expected = {
+      {"C3", 9}, {"C3", 10}, {"C3", 11}, {"C3", 18}};
+  EXPECT_EQ(rule_hits(fs, "C3"), expected);
+  const Finding* f = find_at(fs, "C3", 9);
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("hits_ += ..."), std::string::npos) << f->message;
+  EXPECT_NE(f->message.find("Tally::hit"), std::string::npos) << f->message;
+}
+
+TEST(LintC3, AtomicLoadStoreSplitFlagged) {
+  const auto fs = lint_files({{"src/obs/lk_shared.cpp", fixture("lk_shared.cpp")}},
+                             shared_cfg());
+  const Finding* f = find_at(fs, "C3", 11);
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("two operations, not one RMW"), std::string::npos)
+      << f->message;
+  EXPECT_NE(f->message.find("fetch_add"), std::string::npos) << f->message;
+}
+
+TEST(LintC3, UnprotectedSharedFlaggedAtDeclaration) {
+  const auto fs = lint_files({{"src/obs/lk_shared.cpp", fixture("lk_shared.cpp")}},
+                             shared_cfg());
+  const Finding* f = find_at(fs, "C3", 18);
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("Tally::raw_"), std::string::npos) << f->message;
+  EXPECT_NE(f->message.find("neither std::atomic nor guarded_by"), std::string::npos)
+      << f->message;
+}
+
+TEST(LintC3, RelaxedOutsidePolicyFlagged) {
+  const auto fs =
+      lint_files({{"src/obs/lk_relaxed.cpp", fixture("lk_relaxed.cpp")}}, {});
+  const std::set<std::pair<std::string, std::size_t>> expected = {{"C3", 7}, {"C3", 8}};
+  EXPECT_EQ(rule_hits(fs, "C3"), expected);
+  const Finding* f = find_at(fs, "C3", 7);
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("memory_order_relaxed in 'Stat::bump'"), std::string::npos)
+      << f->message;
+  EXPECT_NE(f->message.find("[allow-relaxed]"), std::string::npos) << f->message;
+}
+
+TEST(LintC3, RelaxedWildcardSilencesAndCountsMatches) {
+  Config cfg;
+  cfg.locks_manifest = "[allow-relaxed]\n\"Stat::*\" = \"fixture statistics\"\n";
+  LockStats stats;
+  const auto fs = lint_files({{"src/obs/lk_relaxed.cpp", fixture("lk_relaxed.cpp")}},
+                             cfg, nullptr, &stats);
+  EXPECT_TRUE(rule_hits(fs, "C3").empty());
+  EXPECT_EQ(stats.relaxed_allows, 2u);  // bump + read
+}
+
+TEST(LintC3, StaleRelaxedEntryIsAFinding) {
+  Config cfg;
+  cfg.locks_manifest =
+      "[allow-relaxed]\n"
+      "\"Stat::*\" = \"fixture statistics\"\n"
+      "\"Gone::*\" = \"matches nothing\"\n";
+  cfg.locks_manifest_path = "tools/srds-lint/locks.toml";
+  const auto fs =
+      lint_files({{"src/obs/lk_relaxed.cpp", fixture("lk_relaxed.cpp")}}, cfg);
+  const Finding* f = find_at(fs, "C3", 0);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->file, cfg.locks_manifest_path);
+  EXPECT_NE(f->message.find("'Gone::*' matches no memory_order_relaxed site"),
+            std::string::npos)
+      << f->message;
+}
+
+TEST(LintC3, ConfinedFieldReachableFromShardRootFlagged) {
+  const auto fs =
+      lint_files({{"src/obs/lk_confined.cpp", fixture("lk_confined.cpp")}}, {});
+  const std::set<std::pair<std::string, std::size_t>> expected = {{"C3", 11}};
+  EXPECT_EQ(rule_hits(fs, "C3"), expected);
+  const Finding* f = find_at(fs, "C3", 11);
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("confined to 'sim-loop'"), std::string::npos) << f->message;
+  EXPECT_NE(
+      f->message.find("call path: Worker::on_round -> Worker::relay -> Collector::absorb"),
+      std::string::npos)
+      << f->message;
+}
+
+TEST(LintC3, AllowOnIntermediateHopStopsTheTraversal) {
+  // The allow names the hop, not the accessor: absorb must become
+  // unreachable rather than merely skipped.
+  Config cfg;
+  cfg.locks_manifest = "[allow]\n\"Worker::relay\" = \"fixture: hop out of the surface\"\n";
+  const auto fs =
+      lint_files({{"src/obs/lk_confined.cpp", fixture("lk_confined.cpp")}}, cfg);
+  EXPECT_TRUE(rule_hits(fs, "C3").empty());
+}
+
+// ---------------------------------------------------------------------------
+// The locks.toml manifest.
+// ---------------------------------------------------------------------------
+
+TEST(LocksManifest, ParsesSectionsAndJustifications) {
+  LocksManifest m;
+  std::string error;
+  ASSERT_TRUE(parse_locks_manifest("# comment\n"
+                                   "[shared]\n"
+                                   "fields = [\n"
+                                   "  \"A::x_\",\n"
+                                   "  \"B::y_\",\n"
+                                   "]\n"
+                                   "[allow-relaxed]\n"
+                                   "\"A::*\" = \"statistics\"\n"
+                                   "[allow]\n"
+                                   "\"B::helper\" = \"daemon plane\"\n",
+                                   m, error))
+      << error;
+  ASSERT_EQ(m.shared_fields.size(), 2u);
+  EXPECT_EQ(m.shared_fields[0], "A::x_");
+  ASSERT_EQ(m.relaxed_allows.size(), 1u);
+  EXPECT_EQ(m.relaxed_allows[0].first, "A::*");
+  EXPECT_EQ(m.relaxed_allows[0].second, "statistics");
+  ASSERT_EQ(m.allows.size(), 1u);
+  EXPECT_EQ(m.allows[0].first, "B::helper");
+}
+
+TEST(LocksManifest, UnqualifiedSharedFieldIsAParseError) {
+  LocksManifest m;
+  std::string error;
+  EXPECT_FALSE(parse_locks_manifest("[shared]\nfields = [\"hits_\"]\n", m, error));
+  EXPECT_NE(error.find("must be qualified"), std::string::npos) << error;
+}
+
+TEST(LocksManifest, MissingJustificationIsAParseError) {
+  LocksManifest m;
+  std::string error;
+  EXPECT_FALSE(parse_locks_manifest("[allow-relaxed]\n\"A::*\" = \"\"\n", m, error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
+TEST(LocksManifest, ParseFailureIsItselfAFinding) {
+  Config cfg;
+  cfg.locks_manifest = "[shared]\nfields = [\"hits_\"]\n";
+  cfg.locks_manifest_path = "tools/srds-lint/locks.toml";
+  const auto fs =
+      lint_files({{"src/obs/lk_relaxed.cpp", fixture("lk_relaxed.cpp")}}, cfg);
+  const Finding* f = nullptr;
+  for (const Finding& g : fs) {
+    if (g.rule == "C2" && g.file == cfg.locks_manifest_path) f = &g;
+  }
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("bad locks manifest"), std::string::npos) << f->message;
+}
+
+// ---------------------------------------------------------------------------
+// Census + DOT export.
+// ---------------------------------------------------------------------------
+
+TEST(LockStatsTest, CensusCountsEdgesCyclesAndAnnotations) {
+  Config cfg;
+  cfg.locks_manifest = "[allow-relaxed]\n\"Stat::*\" = \"fixture statistics\"\n";
+  LockStats stats;
+  const auto fs = lint_files({{"src/obs/lk_order_a.cpp", fixture("lk_order_a.cpp")},
+                              {"src/obs/lk_order_b.cpp", fixture("lk_order_b.cpp")},
+                              {"src/obs/lk_guarded.cpp", fixture("lk_guarded.cpp")},
+                              {"src/obs/lk_relaxed.cpp", fixture("lk_relaxed.cpp")}},
+                             cfg, nullptr, &stats);
+  (void)fs;
+  EXPECT_EQ(stats.annotated_fields, 1u);  // Reg::items_
+  EXPECT_EQ(stats.lock_edges, 2u);        // g_a -> g_b and g_b -> g_a
+  EXPECT_EQ(stats.order_cycles, 1u);
+  EXPECT_EQ(stats.relaxed_allows, 2u);
+}
+
+TEST(LockOrderDot, CycleEdgesMarkedRedWithAcquisitionSites) {
+  const CallGraph cg =
+      build_call_graph({{"src/obs/lk_order_a.cpp", fixture("lk_order_a.cpp")},
+                        {"src/obs/lk_order_b.cpp", fixture("lk_order_b.cpp")}});
+  const std::string dot = lock_order_dot(cg, nullptr);
+  EXPECT_NE(dot.find("g_a"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("g_b"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("->"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("red"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("lk_order_a.cpp:11"), std::string::npos) << dot;
+}
+
+TEST(LockOrderDot, AcyclicGraphHasNoRedEdges) {
+  const CallGraph cg =
+      build_call_graph({{"src/obs/lk_order_a.cpp", fixture("lk_order_a.cpp")}});
+  const std::string dot = lock_order_dot(cg, nullptr);
+  EXPECT_NE(dot.find("g_a"), std::string::npos) << dot;
+  EXPECT_EQ(dot.find("red"), std::string::npos) << dot;
+}
+
+}  // namespace
+}  // namespace srds::lint

@@ -153,6 +153,10 @@ std::vector<CallSite> extract_calls(const Lexed& lx, const FuncBody& fb) {
       continue;
     }
     if (prev && prev->text == "::" && i >= 2 && toks[i - 2].kind == Tok::kIdent) {
+      // `std::min(a, b)` must not fall through the resolution chain onto a
+      // same-named member (Histogram::min, say) — std is never a project
+      // qualifier, so the call is opaque.
+      if (toks[i - 2].text == "std") continue;
       out.push_back(CallSite{t.line, i, t.text, toks[i - 2].text});
       continue;
     }
@@ -484,15 +488,6 @@ bool parse_shard_manifest(const std::string& text, ShardManifest& out, std::stri
 // Reachability.
 // ---------------------------------------------------------------------------
 
-namespace {
-
-struct Reach {
-  std::vector<std::size_t> parent;  // def index, kNpos at roots
-  std::vector<std::size_t> root;    // root def index
-  std::vector<char> vis;
-  std::size_t allowed_skips = 0;
-};
-
 Reach reach_from(const CallGraph& cg, const std::vector<std::size_t>& roots,
                  const std::set<std::size_t>& allowed) {
   Reach r;
@@ -543,6 +538,41 @@ std::string call_path(const CallGraph& cg, const Reach& r, std::size_t d) {
   }
   return out;
 }
+
+void shard_roots_and_allows(const CallGraph& cg, const ShardManifest* manifest,
+                            std::set<std::size_t>& roots,
+                            std::set<std::size_t>& allowed) {
+  std::size_t di = 0;
+  for (std::size_t fi = 0; fi < cg.files.size(); ++fi) {
+    std::vector<FuncBody> funcs;
+    const std::size_t base = di;
+    while (di < cg.defs.size() && cg.defs[di].file == fi) {
+      funcs.push_back(cg.defs[di].body);
+      ++di;
+    }
+    for (const Marker& m : parse_markers(cg.files[fi].lx)) {
+      if (m.kind != "shard-root") continue;
+      std::string err;
+      const std::size_t local = resolve_marker(m, funcs, &err);
+      if (local != static_cast<std::size_t>(-1)) roots.insert(base + local);
+    }
+  }
+  if (manifest) {
+    for (const std::string& name : manifest->roots) {
+      for (std::size_t d = 0; d < cg.defs.size(); ++d) {
+        if (marker_name_matches(name, cg.defs[d].body)) roots.insert(d);
+      }
+    }
+    for (const auto& [name, just] : manifest->allows) {
+      (void)just;
+      for (std::size_t d = 0; d < cg.defs.size(); ++d) {
+        if (marker_name_matches(name, cg.defs[d].body)) allowed.insert(d);
+      }
+    }
+  }
+}
+
+namespace {
 
 void add(std::vector<Finding>& out, const std::string& file, std::size_t line,
          const char* rule, std::string msg) {
@@ -976,36 +1006,7 @@ std::vector<Finding> check_callgraph(const CallGraph& cg, const ShardManifest* m
 std::string call_graph_dot(const CallGraph& cg, const ShardManifest* manifest) {
   // Same root/allow resolution as check_callgraph, minus the findings.
   std::set<std::size_t> roots, allowed;
-  {
-    std::size_t di = 0;
-    for (std::size_t fi = 0; fi < cg.files.size(); ++fi) {
-      std::vector<FuncBody> funcs;
-      const std::size_t base = di;
-      while (di < cg.defs.size() && cg.defs[di].file == fi) {
-        funcs.push_back(cg.defs[di].body);
-        ++di;
-      }
-      for (const Marker& m : parse_markers(cg.files[fi].lx)) {
-        if (m.kind != "shard-root") continue;
-        std::string err;
-        const std::size_t local = resolve_marker(m, funcs, &err);
-        if (local != kNpos) roots.insert(base + local);
-      }
-    }
-  }
-  if (manifest) {
-    for (const std::string& name : manifest->roots) {
-      for (std::size_t d = 0; d < cg.defs.size(); ++d) {
-        if (marker_name_matches(name, cg.defs[d].body)) roots.insert(d);
-      }
-    }
-    for (const auto& [name, just] : manifest->allows) {
-      (void)just;
-      for (std::size_t d = 0; d < cg.defs.size(); ++d) {
-        if (marker_name_matches(name, cg.defs[d].body)) allowed.insert(d);
-      }
-    }
-  }
+  shard_roots_and_allows(cg, manifest, roots, allowed);
   const Reach r = reach_from(cg, {roots.begin(), roots.end()}, allowed);
 
   std::string dot = "digraph srds_callgraph {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n";

@@ -1,0 +1,1232 @@
+#include "locks.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace srds::lint {
+
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+bool is_mutex_type(const std::string& s) {
+  static const std::set<std::string> k = {"mutex",        "recursive_mutex",
+                                          "timed_mutex",  "recursive_timed_mutex",
+                                          "shared_mutex", "shared_timed_mutex"};
+  return k.count(s) != 0;
+}
+
+bool is_guard_type(const std::string& s) {
+  return s == "lock_guard" || s == "unique_lock" || s == "scoped_lock" ||
+         s == "shared_lock";
+}
+
+bool is_access_spec(const std::string& s) {
+  return s == "public" || s == "private" || s == "protected";
+}
+
+bool is_atomic_type(const std::string& s) {
+  return s == "atomic" || s.compare(0, 7, "atomic_") == 0;
+}
+
+/// Innermost class of a qualified name: "Outer::Inner::f" -> "Inner",
+/// free function -> "".
+std::string def_class(const FuncBody& fb) {
+  const std::size_t sep = fb.qual.rfind("::");
+  if (sep == std::string::npos) return "";
+  const std::string pre = fb.qual.substr(0, sep);
+  const std::size_t sep2 = pre.rfind("::");
+  return sep2 == std::string::npos ? pre : pre.substr(sep2 + 2);
+}
+
+// ---------------------------------------------------------------------------
+// Field / mutex declaration index.
+// ---------------------------------------------------------------------------
+
+struct FieldInfo {
+  std::string cls;      // innermost declaring class
+  std::string name;     // member name
+  std::size_t file = 0; // index into CallGraph::files
+  std::size_t line = 0; // declaration line (the name token's line)
+  bool is_atomic = false;
+  std::string guard;    // qualified mutex identity from guarded_by, "" if none
+  std::string confined; // owner label from confined(...), "" if none
+};
+
+struct ClassIndex {
+  /// Innermost class name -> mutex member names (merged across files: the
+  /// class body lives in a header, the method bodies in a .cpp).
+  std::map<std::string, std::set<std::string>> class_mutexes;
+  std::set<std::string> global_mutexes;  // namespace-scope mutex declarations
+  std::vector<FieldInfo> fields;         // non-mutex mutable members
+
+  const FieldInfo* find(const std::string& cls, const std::string& name) const {
+    for (const FieldInfo& f : fields) {
+      if (f.cls == cls && f.name == name) return &f;
+    }
+    return nullptr;
+  }
+};
+
+/// Member and namespace-scope declarations of one file. Same skeleton as
+/// callgraph.cpp's collect_globals: function-body tokens are skipped, brace
+/// scopes are classified by walking back from '{', and a statement is
+/// evaluated at each ';'. Inside a class scope the statement is a member
+/// declaration (field or mutex); at pure namespace scope a mutex-typed
+/// declaration is a free mutex (lock identity for guards naming it).
+void scan_file_decls(const Lexed& lx, const std::vector<FuncBody>& funcs,
+                     std::size_t file_idx, ClassIndex& idx) {
+  const std::vector<Tok>& toks = lx.toks;
+  std::vector<char> in_body(toks.size(), 0);
+  std::vector<char> body_open(toks.size(), 0);
+  for (const FuncBody& fb : funcs) {
+    for (std::size_t k = fb.open_tok; k <= fb.close_tok && k < toks.size(); ++k) {
+      in_body[k] = 1;
+    }
+    if (fb.open_tok < toks.size()) body_open[fb.open_tok] = 1;
+  }
+  enum Kind { kNs, kClass, kOther };
+  struct Scope {
+    Kind kind;
+    std::string name;  // class name for kClass
+  };
+  std::vector<Scope> scopes;
+  std::vector<const Tok*> stmt;
+  auto all_ns = [&] {
+    for (const Scope& s : scopes) {
+      if (s.kind != kNs) return false;
+    }
+    return true;
+  };
+  auto in_class = [&] { return !scopes.empty() && scopes.back().kind == kClass; };
+
+  // Returns npos on "not a plain data member": method declarations, using/
+  // typedef/static/friend/..., const members. On success *name_out points at
+  // the member-name token.
+  static const std::set<std::string> kSkip = {
+      "using",     "typedef",  "friend",   "template", "operator",
+      "static_assert", "enum", "namespace", "requires", "concept",
+      "static",    "extern",   "virtual",  "explicit", "inline",
+      "typename",  "const",    "constexpr", "class",   "struct", "union"};
+  auto member_name = [&](bool* is_atomic, bool* is_mutex) -> const Tok* {
+    if (stmt.size() < 2) return nullptr;
+    for (const Tok* t : stmt) {
+      if (t->kind == Tok::kIdent && kSkip.count(t->text)) return nullptr;
+    }
+    // Method declaration vs field: the first depth-0 '(' before any depth-0
+    // '=' means a declarator parameter list.
+    int depth = 0;
+    std::size_t limit = stmt.size();  // position of the deciding '='
+    bool decided = false;
+    for (std::size_t k = 0; k < stmt.size(); ++k) {
+      const std::string& x = stmt[k]->text;
+      if (x == "<" || x == "[" || x == "(") {
+        if (x == "(" && depth == 0) return nullptr;  // method / function ptr
+        ++depth;
+      } else if (x == ">" || x == "]" || x == ")") {
+        if (depth > 0) --depth;
+      } else if (x == "=" && depth == 0) {
+        limit = k;
+        decided = true;
+        break;
+      }
+    }
+    (void)decided;
+    // Walk back over array extents to the member name.
+    std::size_t k = limit;
+    int bdepth = 0;
+    while (k > 0) {
+      const std::string& x = stmt[k - 1]->text;
+      if (x == "]") { ++bdepth; --k; continue; }
+      if (x == "[") { if (bdepth > 0) --bdepth; --k; continue; }
+      if (bdepth > 0) { --k; continue; }
+      break;
+    }
+    if (k == 0 || stmt[k - 1]->kind != Tok::kIdent) return nullptr;
+    *is_atomic = false;
+    *is_mutex = false;
+    for (std::size_t j = 0; j + 1 < k; ++j) {
+      if (stmt[j]->kind != Tok::kIdent) continue;
+      if (is_atomic_type(stmt[j]->text)) *is_atomic = true;
+      if (is_mutex_type(stmt[j]->text)) *is_mutex = true;
+    }
+    return stmt[k - 1];
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Tok& t = toks[i];
+    if (in_body[i]) {
+      if (body_open[i]) stmt.clear();  // `void f() {` left a dangling declarator
+      continue;
+    }
+    if (t.text == "{") {
+      // Classify the scope this brace opens by its head.
+      std::size_t b = i;
+      Scope sc{kOther, ""};
+      bool clear = false;
+      for (int steps = 0; b > 0 && steps < 64; ++steps) {
+        const Tok& p = toks[b - 1];
+        if (p.kind == Tok::kIdent) {
+          if (p.text == "namespace") {
+            sc.kind = kNs;
+            clear = true;
+            break;
+          }
+          if (p.text == "enum") {
+            clear = true;  // enum body: not a field scope
+            break;
+          }
+          if (p.text == "class" || p.text == "struct" || p.text == "union") {
+            if (b >= 2 && toks[b - 2].text == "enum") {
+              clear = true;  // `enum class K {`
+              break;
+            }
+            sc.kind = kClass;
+            if (b < toks.size() && toks[b].kind == Tok::kIdent) sc.name = toks[b].text;
+            clear = true;
+            break;
+          }
+          --b;
+          continue;
+        }
+        if (p.kind == Tok::kNum || p.text == "::" || p.text == "<" || p.text == ">" ||
+            p.text == ":" || p.text == "," || p.text == "&" || p.text == "*") {
+          --b;
+          continue;
+        }
+        break;
+      }
+      scopes.push_back(sc);
+      if (clear) stmt.clear();
+      continue;
+    }
+    if (t.text == "}") {
+      if (!scopes.empty()) {
+        if (scopes.back().kind != kOther) stmt.clear();
+        scopes.pop_back();
+      }
+      continue;
+    }
+    const bool collecting = in_class() || all_ns();
+    if (!collecting) continue;
+    if (t.text == ":" && stmt.size() == 1 && stmt[0]->kind == Tok::kIdent &&
+        is_access_spec(stmt[0]->text)) {
+      stmt.clear();  // `public:` and friends
+      continue;
+    }
+    if (t.text == ";") {
+      bool is_atomic = false, is_mutex = false;
+      const Tok* name = member_name(&is_atomic, &is_mutex);
+      if (name) {
+        if (in_class()) {
+          const std::string& cls = scopes.back().name;
+          if (!cls.empty()) {
+            if (is_mutex) {
+              idx.class_mutexes[cls].insert(name->text);
+            } else {
+              FieldInfo f;
+              f.cls = cls;
+              f.name = name->text;
+              f.file = file_idx;
+              f.line = name->line;
+              f.is_atomic = is_atomic;
+              idx.fields.push_back(std::move(f));
+            }
+          }
+        } else if (is_mutex) {
+          idx.global_mutexes.insert(name->text);
+        }
+      }
+      stmt.clear();
+      continue;
+    }
+    stmt.push_back(&t);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// guarded_by / confined field markers.
+// ---------------------------------------------------------------------------
+
+struct FieldMarker {
+  bool guarded = false;  // guarded_by(...) vs confined(...)
+  std::string arg;       // mutex name / owner label; "" when malformed
+  std::size_t line = 0;         // comment line
+  std::size_t target_line = 0;  // resolved code line, 0 when none
+  bool malformed = false;
+};
+
+/// All guarded_by/confined annotations of a file, bound to a code line the
+/// same way suppressions bind: the comment's own line when it carries code
+/// (trailing comment), else the next line with code.
+std::vector<FieldMarker> parse_field_markers(const Lexed& lx) {
+  std::vector<FieldMarker> out;
+  for (const Comment& c : lx.comments) {
+    std::size_t pos = c.text.find("srds-lint:");
+    if (pos == std::string::npos) continue;
+    pos += 10;
+    while (pos < c.text.size() && (c.text[pos] == ' ' || c.text[pos] == '\t')) ++pos;
+    FieldMarker fm;
+    std::size_t kind_len = 0;
+    if (c.text.compare(pos, 10, "guarded_by") == 0) {
+      fm.guarded = true;
+      kind_len = 10;
+    } else if (c.text.compare(pos, 8, "confined") == 0) {
+      fm.guarded = false;
+      kind_len = 8;
+    } else {
+      continue;  // allow(...)/hotpath/shard-root — other machinery's job
+    }
+    fm.line = c.line;
+    if (lx.code_lines.count(c.line)) {
+      fm.target_line = c.line;
+    } else {
+      auto it = lx.code_lines.upper_bound(c.line);
+      if (it != lx.code_lines.end()) fm.target_line = *it;
+    }
+    const std::size_t lp = pos + kind_len;
+    if (lp >= c.text.size() || c.text[lp] != '(') {
+      fm.malformed = true;
+      out.push_back(std::move(fm));
+      continue;
+    }
+    const std::size_t rp = c.text.find(')', lp + 1);
+    if (rp == std::string::npos) {
+      fm.malformed = true;
+      out.push_back(std::move(fm));
+      continue;
+    }
+    fm.arg = trim(c.text.substr(lp + 1, rp - lp - 1));
+    if (fm.arg.empty()) fm.malformed = true;
+    out.push_back(std::move(fm));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Guard scopes.
+// ---------------------------------------------------------------------------
+
+/// One lock_guard/unique_lock/scoped_lock/shared_lock declaration; the lock
+/// is held from decl_tok to end_tok (the enclosing brace's close).
+struct GuardScope {
+  std::size_t decl_tok = 0;
+  std::size_t end_tok = 0;
+  std::size_t line = 0;
+  std::vector<std::string> mutexes;  // qualified identities, in arg order
+};
+
+/// Qualified lock identity for a guard argument naming `name` inside a
+/// member of `cls`: the declaring class's "Cls::name" when the class has a
+/// mutex member of that name, else the raw name (free mutexes agree across
+/// TUs by name).
+std::string mutex_identity(const std::string& cls, const std::string& name,
+                           const ClassIndex& idx) {
+  if (!cls.empty()) {
+    auto it = idx.class_mutexes.find(cls);
+    if (it != idx.class_mutexes.end() && it->second.count(name)) {
+      return cls + "::" + name;
+    }
+  }
+  return name;
+}
+
+std::vector<GuardScope> find_guards(const Lexed& lx, const FuncBody& fb,
+                                    const std::string& cls, const ClassIndex& idx) {
+  const std::vector<Tok>& toks = lx.toks;
+  // Brace-match map for the body.
+  std::map<std::size_t, std::size_t> match;
+  {
+    std::vector<std::size_t> st;
+    for (std::size_t i = fb.open_tok; i <= fb.close_tok && i < toks.size(); ++i) {
+      if (toks[i].text == "{") {
+        st.push_back(i);
+      } else if (toks[i].text == "}" && !st.empty()) {
+        match[st.back()] = i;
+        st.pop_back();
+      }
+    }
+  }
+  std::vector<GuardScope> out;
+  std::vector<std::size_t> open;  // enclosing '{' indices, innermost last
+  for (std::size_t i = fb.open_tok; i <= fb.close_tok && i < toks.size(); ++i) {
+    const Tok& t = toks[i];
+    if (t.text == "{") {
+      open.push_back(i);
+      continue;
+    }
+    if (t.text == "}") {
+      if (!open.empty()) open.pop_back();
+      continue;
+    }
+    if (t.kind != Tok::kIdent || !is_guard_type(t.text)) continue;
+    std::size_t j = i + 1;
+    if (j < toks.size() && toks[j].text == "<") {  // lock_guard<std::mutex>
+      int d = 0;
+      for (; j <= fb.close_tok && j < toks.size(); ++j) {
+        if (toks[j].text == "<") ++d;
+        else if (toks[j].text == ">" && --d == 0) { ++j; break; }
+      }
+    }
+    if (j >= toks.size() || toks[j].kind != Tok::kIdent) continue;  // no var name
+    if (j + 1 > fb.close_tok || j + 1 >= toks.size()) continue;
+    const std::string opener = toks[j + 1].text;
+    if (opener != "(" && opener != "{") continue;  // not `guard lk(mu);`
+    const std::string closer = (opener == "(") ? ")" : "}";
+    std::vector<std::vector<const Tok*>> args(1);
+    int d = 0;
+    std::size_t k = j + 1;
+    for (; k <= fb.close_tok && k < toks.size(); ++k) {
+      const std::string& x = toks[k].text;
+      if (x == "(" || x == "[" || x == "{") {
+        if (++d > 1) args.back().push_back(&toks[k]);
+        continue;
+      }
+      if (x == ")" || x == "]" || x == "}") {
+        if (--d == 0) break;
+        args.back().push_back(&toks[k]);
+        continue;
+      }
+      if (d == 1 && x == ",") {
+        args.emplace_back();
+        continue;
+      }
+      args.back().push_back(&toks[k]);
+    }
+    (void)closer;
+    GuardScope g;
+    g.decl_tok = i;
+    g.line = t.line;
+    g.end_tok = open.empty() ? fb.close_tok
+                             : (match.count(open.back()) ? match[open.back()]
+                                                         : fb.close_tok);
+    bool deferred = false;
+    for (const std::vector<const Tok*>& arg : args) {
+      const Tok* last = nullptr;
+      for (const Tok* a : arg) {
+        if (a->kind != Tok::kIdent) continue;
+        if (a->text == "defer_lock") {
+          deferred = true;
+          last = nullptr;
+          break;
+        }
+        if (a->text == "std" || a->text == "this" || a->text == "adopt_lock" ||
+            a->text == "try_to_lock") {
+          continue;
+        }
+        last = a;
+      }
+      if (last) g.mutexes.push_back(mutex_identity(cls, last->text, idx));
+    }
+    // A defer_lock-constructed unique_lock is not held at declaration; the
+    // later .lock() is invisible to a token scanner, so the guard is dropped
+    // (under-approximation, documented in locks.hpp).
+    if (!deferred && !g.mutexes.empty()) out.push_back(std::move(g));
+    i = k;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// The shared world both entry points build.
+// ---------------------------------------------------------------------------
+
+struct LockWorld {
+  ClassIndex idx;
+  std::vector<std::vector<GuardScope>> guards;  // per def
+  std::set<std::size_t> allowed;                // locks.toml [allow] defs
+  std::vector<std::size_t> incoming;            // per def resolved-caller count
+  std::size_t annotated_fields = 0;
+};
+
+void add(std::vector<Finding>& out, const std::string& file, std::size_t line,
+         const char* rule, std::string msg) {
+  Finding f;
+  f.file = file;
+  f.line = line;
+  f.rule = rule;
+  f.message = std::move(msg);
+  out.push_back(std::move(f));
+}
+
+/// Build the declaration index, bind annotations (stale ones become findings
+/// when `out` is given), collect guard scopes and incoming-edge counts.
+LockWorld build_world(const CallGraph& cg, const LocksManifest* manifest,
+                      const std::string& manifest_path, std::vector<Finding>* out) {
+  LockWorld w;
+  // Per-file function lists (cg.defs is in (file, body) order).
+  std::vector<std::vector<FuncBody>> file_funcs(cg.files.size());
+  {
+    std::size_t di = 0;
+    for (std::size_t fi = 0; fi < cg.files.size(); ++fi) {
+      while (di < cg.defs.size() && cg.defs[di].file == fi) {
+        file_funcs[fi].push_back(cg.defs[di].body);
+        ++di;
+      }
+    }
+  }
+  for (std::size_t fi = 0; fi < cg.files.size(); ++fi) {
+    scan_file_decls(cg.files[fi].lx, file_funcs[fi], fi, w.idx);
+  }
+  // Bind guarded_by/confined annotations to field declarations.
+  for (std::size_t fi = 0; fi < cg.files.size(); ++fi) {
+    const FileCtx& fc = cg.files[fi];
+    for (const FieldMarker& fm : parse_field_markers(fc.lx)) {
+      const char* kind = fm.guarded ? "guarded_by" : "confined";
+      const char* rule = fm.guarded ? "C2" : "C3";
+      if (fm.malformed) {
+        if (out) {
+          add(*out, fc.path, fm.line, rule,
+              std::string("srds-lint: ") + kind +
+                  " marker is malformed: expected `" + kind +
+                  "(<name>)` with a non-empty name");
+        }
+        continue;
+      }
+      FieldInfo* bound = nullptr;
+      for (FieldInfo& f : w.idx.fields) {
+        if (f.file == fi && f.line == fm.target_line) {
+          bound = &f;
+          break;
+        }
+      }
+      if (!bound) {
+        if (out) {
+          add(*out, fc.path, fm.line, rule,
+              std::string("srds-lint: ") + kind + "(" + fm.arg +
+                  ") marker binds to no field declaration; was the field deleted, "
+                  "renamed, or moved? Stale markers are never silently dropped");
+        }
+        continue;
+      }
+      if (fm.guarded) {
+        const bool in_class =
+            w.idx.class_mutexes.count(bound->cls) != 0 &&
+            w.idx.class_mutexes.at(bound->cls).count(fm.arg) != 0;
+        if (!in_class && !w.idx.global_mutexes.count(fm.arg)) {
+          if (out) {
+            add(*out, fc.path, fm.line, "C2",
+                "srds-lint: guarded_by(" + fm.arg + ") on field '" + bound->cls +
+                    "::" + bound->name + "' names no mutex member of '" + bound->cls +
+                    "' and no file-scope mutex; was the mutex deleted or renamed?");
+          }
+          continue;
+        }
+        bound->guard = in_class ? bound->cls + "::" + fm.arg : fm.arg;
+      } else {
+        bound->confined = fm.arg;
+      }
+      ++w.annotated_fields;
+    }
+  }
+  // Guard scopes per definition.
+  w.guards.resize(cg.defs.size());
+  for (std::size_t d = 0; d < cg.defs.size(); ++d) {
+    const FuncDef& def = cg.defs[d];
+    w.guards[d] =
+        find_guards(cg.files[def.file].lx, def.body, def_class(def.body), w.idx);
+  }
+  // [allow] entries; stale ones are findings (same contract as shard_roots).
+  if (manifest) {
+    for (const auto& [name, just] : manifest->allows) {
+      (void)just;
+      bool any = false;
+      for (std::size_t d = 0; d < cg.defs.size(); ++d) {
+        if (marker_name_matches(name, cg.defs[d].body)) {
+          w.allowed.insert(d);
+          any = true;
+        }
+      }
+      if (!any && out) {
+        add(*out, manifest_path, 0, "C2",
+            "locks manifest [allow] entry '" + name +
+                "' matches no function definition in the scanned set; remove the "
+                "stale entry");
+      }
+    }
+  }
+  // Incoming resolved-call edges: zero-incoming definitions are the public
+  // entry points the unheld-access traversal starts from.
+  w.incoming.assign(cg.defs.size(), 0);
+  for (const FuncDef& def : cg.defs) {
+    for (const CallSite& cs : def.calls) {
+      for (std::size_t cal : cg.resolve(def, cs)) ++w.incoming[cal];
+    }
+  }
+  return w;
+}
+
+bool tok_in_guard(const GuardScope& g, std::size_t tok) {
+  return tok > g.decl_tok && tok < g.end_tok;
+}
+
+bool held_at(const std::vector<GuardScope>& guards, const std::string& mu,
+             std::size_t tok) {
+  for (const GuardScope& g : guards) {
+    if (!tok_in_guard(g, tok)) continue;
+    for (const std::string& m : g.mutexes) {
+      if (m == mu) return true;
+    }
+  }
+  return false;
+}
+
+/// True when toks[i] (an identifier) reads as a member access of the current
+/// object: a bare use or `this->name`. Accesses through another object are
+/// skipped — a token scanner cannot type the receiver — and `name(` is a
+/// call, `X::name` a qualified non-instance use.
+bool own_field_access(const std::vector<Tok>& toks, std::size_t i) {
+  if (i > 0) {
+    const std::string& p = toks[i - 1].text;
+    if (p == ".") return false;
+    if (p == "->") return i >= 2 && toks[i - 2].text == "this";
+    if (p == "::") return false;
+  }
+  if (i + 1 < toks.size() && toks[i + 1].text == "(") return false;
+  return true;
+}
+
+/// Constructors/destructors initialize members before the object is shared;
+/// the lock-discipline and confinement scans skip them.
+bool is_ctor_or_dtor(const FuncBody& fb) {
+  const std::string cls = def_class(fb);
+  return (!cls.empty() && fb.name == cls) || (!fb.name.empty() && fb.name[0] == '~');
+}
+
+// ---------------------------------------------------------------------------
+// Lock-order edges + double-lock (one traversal feeds both).
+// ---------------------------------------------------------------------------
+
+struct EdgeProv {
+  std::string file;
+  std::size_t line = 0;  // acquisition site of the second mutex
+  std::string path;      // call path from the holder of the first
+};
+
+using EdgeMap = std::map<std::pair<std::string, std::string>, EdgeProv>;
+
+void lock_order_edges(const CallGraph& cg, const LockWorld& w, EdgeMap& edges,
+                      std::vector<Finding>* out) {
+  std::set<std::pair<std::string, std::size_t>> dbl_seen;  // (file, line)
+  auto dbl = [&](const std::string& file, std::size_t line, const std::string& mu,
+                 const std::string& held_where, const std::string& path) {
+    if (!out || !dbl_seen.insert({file, line}).second) return;
+    add(*out, file, line, "C2",
+        "mutex '" + mu + "' acquired while already held (first acquired in '" +
+            held_where + "'" + (path.empty() ? "" : ", held along " + path) +
+            "); std::mutex is not recursive — this deadlocks");
+  };
+  for (std::size_t d = 0; d < cg.defs.size(); ++d) {
+    if (w.allowed.count(d)) continue;
+    const FuncDef& def = cg.defs[d];
+    const std::string& dfile = cg.files[def.file].path;
+    for (const GuardScope& g : w.guards[d]) {
+      for (const std::string& mu : g.mutexes) {
+        // Nested guards in the same body. A multi-mutex scoped_lock acquires
+        // its own set atomically — no self-edges from one guard.
+        for (const GuardScope& g2 : w.guards[d]) {
+          if (g2.decl_tok <= g.decl_tok || !tok_in_guard(g, g2.decl_tok)) continue;
+          for (const std::string& mu2 : g2.mutexes) {
+            if (mu2 == mu) {
+              dbl(dfile, g2.line, mu, def.body.qual, "");
+            } else {
+              edges.emplace(std::make_pair(mu, mu2),
+                            EdgeProv{dfile, g2.line, def.body.qual});
+            }
+          }
+        }
+        // Guards in functions reachable from call sites inside this scope —
+        // the mutex is held across the whole callee.
+        std::map<std::size_t, std::size_t> parent;  // def -> caller (kNpos at seeds)
+        std::deque<std::size_t> q;
+        for (const CallSite& cs : def.calls) {
+          if (!tok_in_guard(g, cs.tok)) continue;
+          for (std::size_t cal : cg.resolve(def, cs)) {
+            if (w.allowed.count(cal) || parent.count(cal)) continue;
+            parent[cal] = kNpos;
+            q.push_back(cal);
+          }
+        }
+        auto held_path = [&](std::size_t r) {
+          std::vector<std::string> chain;
+          for (std::size_t i = r; i != kNpos; i = parent.at(i)) {
+            chain.push_back(cg.defs[i].body.qual);
+            if (chain.size() > 24) { chain.push_back("..."); break; }
+          }
+          chain.push_back(def.body.qual);
+          std::reverse(chain.begin(), chain.end());
+          std::string p;
+          for (std::size_t i = 0; i < chain.size(); ++i) {
+            if (i) p += " -> ";
+            p += chain[i];
+          }
+          return p;
+        };
+        while (!q.empty()) {
+          const std::size_t r = q.front();
+          q.pop_front();
+          const FuncDef& rdef = cg.defs[r];
+          const std::string& rfile = cg.files[rdef.file].path;
+          for (const GuardScope& gr : w.guards[r]) {
+            for (const std::string& mu2 : gr.mutexes) {
+              if (mu2 == mu) {
+                dbl(rfile, gr.line, mu, def.body.qual, held_path(r));
+              } else {
+                edges.emplace(std::make_pair(mu, mu2),
+                              EdgeProv{rfile, gr.line, held_path(r)});
+              }
+            }
+          }
+          for (const CallSite& cs : rdef.calls) {
+            for (std::size_t cal : cg.resolve(rdef, cs)) {
+              if (w.allowed.count(cal) || parent.count(cal)) continue;
+              parent[cal] = r;
+              q.push_back(cal);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Shortest cycle through each edge, deduplicated by canonical rotation.
+/// Each cycle is its node list (first node repeated implicitly).
+std::vector<std::vector<std::string>> find_cycles(const EdgeMap& edges) {
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [e, prov] : edges) {
+    (void)prov;
+    adj[e.first].push_back(e.second);
+  }
+  std::set<std::string> seen;
+  std::vector<std::vector<std::string>> out;
+  for (const auto& [e, prov] : edges) {
+    (void)prov;
+    const std::string &a = e.first, &b = e.second;
+    // BFS b -> a.
+    std::map<std::string, std::string> par;
+    std::deque<std::string> q;
+    par[b] = "";
+    q.push_back(b);
+    bool found = (b == a);
+    while (!q.empty() && !found) {
+      const std::string u = q.front();
+      q.pop_front();
+      auto it = adj.find(u);
+      if (it == adj.end()) continue;
+      for (const std::string& v : it->second) {
+        if (par.count(v)) continue;
+        par[v] = u;
+        if (v == a) { found = true; break; }
+        q.push_back(v);
+      }
+    }
+    if (!found) continue;
+    std::vector<std::string> nodes;  // a -> b -> ... (back to a implied)
+    if (b == a) {
+      nodes = {a};
+    } else {
+      std::vector<std::string> back;  // a, ..., b
+      for (std::string v = a; !v.empty(); v = par.at(v)) back.push_back(v);
+      std::reverse(back.begin(), back.end());  // b, ..., a — wait: built a<-...
+      // `back` was collected a -> parent chain toward b; after reverse it is
+      // b, ..., a. The cycle is a -> (b, ..., a): drop the trailing a.
+      back.pop_back();
+      nodes.push_back(a);
+      nodes.insert(nodes.end(), back.begin(), back.end());
+    }
+    // Canonical rotation: smallest node first.
+    const std::size_t mi = static_cast<std::size_t>(
+        std::min_element(nodes.begin(), nodes.end()) - nodes.begin());
+    std::rotate(nodes.begin(), nodes.begin() + mi, nodes.end());
+    std::string key;
+    for (const std::string& n : nodes) key += n + "\x1f";
+    if (seen.insert(key).second) out.push_back(std::move(nodes));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// C3 helpers.
+// ---------------------------------------------------------------------------
+
+bool is_rmw_op(const std::string& s) {
+  return s == "+" || s == "-" || s == "*" || s == "/" || s == "%" || s == "&" ||
+         s == "|" || s == "^";
+}
+
+struct RmwSite {
+  std::size_t line = 0;
+  std::string what;       // "x++", "x += ...", "x = x op ..."
+  bool load_store = false;  // the `x = x op ...` two-op form
+};
+
+/// Non-atomic RMW shapes on `name` inside one body. The lexer emits
+/// single-character punctuation (`+=` is '+','='; `++` is '+','+'), so the
+/// shapes are token pairs.
+std::vector<RmwSite> rmw_sites(const std::vector<Tok>& toks, const FuncBody& fb,
+                               const std::string& name) {
+  std::vector<RmwSite> out;
+  for (std::size_t i = fb.open_tok + 1; i < fb.close_tok && i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent || toks[i].text != name) continue;
+    if (!own_field_access(toks, i)) continue;
+    const std::string n1 = (i + 1 < toks.size()) ? toks[i + 1].text : "";
+    const std::string n2 = (i + 2 < toks.size()) ? toks[i + 2].text : "";
+    // x++ / x--
+    if ((n1 == "+" && n2 == "+") || (n1 == "-" && n2 == "-")) {
+      out.push_back({toks[i].line, "'" + name + n1 + n2 + "'", false});
+      continue;
+    }
+    // ++x / --x
+    if (i >= 2 && toks[i - 1].text == toks[i - 2].text &&
+        (toks[i - 1].text == "+" || toks[i - 1].text == "-")) {
+      out.push_back(
+          {toks[i].line, "'" + toks[i - 1].text + toks[i - 2].text + name + "'", false});
+      continue;
+    }
+    // x += e (any compound op)
+    if (is_rmw_op(n1) && n2 == "=") {
+      out.push_back({toks[i].line, "'" + name + " " + n1 + "= ...'", false});
+      continue;
+    }
+    // x = x op ... — a separate load and store even on std::atomic.
+    if (n1 == "=" && n2 != "=") {
+      for (std::size_t j = i + 2; j < fb.close_tok && j < toks.size(); ++j) {
+        if (toks[j].text == ";") break;
+        if (toks[j].kind == Tok::kIdent && toks[j].text == name &&
+            own_field_access(toks, j)) {
+          out.push_back({toks[i].line, "'" + name + " = " + name + " ...'", true});
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// locks.toml.
+// ---------------------------------------------------------------------------
+
+bool parse_locks_manifest(const std::string& text, LocksManifest& out,
+                          std::string& error) {
+  out = LocksManifest{};
+  std::string section;
+  bool in_array = false;
+  std::size_t lineno = 0;
+  std::size_t start = 0;
+  auto push_field = [&](const std::string& s, std::string* err) {
+    if (s.find("::") == std::string::npos) {
+      *err = "[shared] field '" + s + "' must be qualified as 'Class::field'";
+      return false;
+    }
+    out.shared_fields.push_back(s);
+    return true;
+  };
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    std::string line = text.substr(start, end == std::string::npos ? std::string::npos
+                                                                   : end - start);
+    start = (end == std::string::npos) ? text.size() + 1 : end + 1;
+    ++lineno;
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '"') quoted = !quoted;
+      if (line[i] == '#' && !quoted) {
+        line = line.substr(0, i);
+        break;
+      }
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    auto fail = [&](const std::string& why) {
+      error = "line " + std::to_string(lineno) + ": " + why;
+      return false;
+    };
+    if (in_array) {
+      for (std::size_t i = 0; i < line.size();) {
+        if (line[i] == '"') {
+          std::size_t close = line.find('"', i + 1);
+          if (close == std::string::npos) return fail("unterminated string");
+          std::string err;
+          if (!push_field(line.substr(i + 1, close - i - 1), &err)) return fail(err);
+          i = close + 1;
+        } else if (line[i] == ']') {
+          in_array = false;
+          break;
+        } else if (line[i] == ',' || line[i] == ' ' || line[i] == '\t') {
+          ++i;
+        } else {
+          return fail("unexpected character in fields array");
+        }
+      }
+      continue;
+    }
+    if (line.front() == '[') {
+      if (line.back() != ']') return fail("malformed section header");
+      section = trim(line.substr(1, line.size() - 2));
+      if (section != "shared" && section != "allow-relaxed" && section != "allow") {
+        return fail("unknown section '" + section +
+                    "' (expected [shared], [allow-relaxed] or [allow])");
+      }
+      continue;
+    }
+    std::size_t eq = line.find('=');
+    if (eq == std::string::npos) return fail("expected `key = value`");
+    std::string key = trim(line.substr(0, eq));
+    std::string val = trim(line.substr(eq + 1));
+    if (key.size() >= 2 && key.front() == '"' && key.back() == '"') {
+      key = key.substr(1, key.size() - 2);
+    }
+    if (section == "shared") {
+      if (key != "fields") return fail("unknown [shared] key '" + key + "'");
+      if (val.empty() || val.front() != '[') return fail("fields must be an array");
+      in_array = true;
+      for (std::size_t i = 1; i < val.size();) {
+        if (val[i] == '"') {
+          std::size_t close = val.find('"', i + 1);
+          if (close == std::string::npos) return fail("unterminated string");
+          std::string err;
+          if (!push_field(val.substr(i + 1, close - i - 1), &err)) return fail(err);
+          i = close + 1;
+        } else if (val[i] == ']') {
+          in_array = false;
+          break;
+        } else if (val[i] == ',' || val[i] == ' ' || val[i] == '\t') {
+          ++i;
+        } else {
+          return fail("unexpected character in fields array");
+        }
+      }
+    } else if (section == "allow-relaxed" || section == "allow") {
+      if (val.size() < 2 || val.front() != '"' || val.back() != '"') {
+        return fail(std::string("[") + section + "] entry '" + key +
+                    "' needs a quoted justification");
+      }
+      std::string just = trim(val.substr(1, val.size() - 2));
+      if (just.empty()) {
+        return fail(std::string("[") + section + "] entry '" + key +
+                    "' needs a non-empty justification");
+      }
+      if (section == "allow-relaxed") {
+        out.relaxed_allows.emplace_back(key, just);
+      } else {
+        out.allows.emplace_back(key, just);
+      }
+    } else {
+      return fail("entry outside any section");
+    }
+  }
+  if (in_array) {
+    error = "unterminated fields array";
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// The combined C2 + C3 pass.
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> check_locks(const CallGraph& cg, const LocksManifest* manifest,
+                                 const std::string& manifest_path,
+                                 const ShardManifest* shard_manifest,
+                                 LockStats* stats) {
+  std::vector<Finding> out;
+  LockWorld w = build_world(cg, manifest, manifest_path, &out);
+
+  // --- C2: unheld access, per annotated mutex. A definition is
+  // "unheld-enterable" for mutex M when a zero-incoming public entry point
+  // reaches it through call sites that are not inside a scope holding M.
+  std::map<std::string, std::vector<const FieldInfo*>> by_mutex;
+  for (const FieldInfo& f : w.idx.fields) {
+    if (!f.guard.empty()) by_mutex[f.guard].push_back(&f);
+  }
+  for (const auto& [mu, fields] : by_mutex) {
+    std::vector<char> vis(cg.defs.size(), 0);
+    std::vector<std::size_t> parent(cg.defs.size(), kNpos);
+    std::deque<std::size_t> q;
+    for (std::size_t d = 0; d < cg.defs.size(); ++d) {
+      if (w.incoming[d] == 0 && !w.allowed.count(d)) {
+        vis[d] = 1;
+        q.push_back(d);
+      }
+    }
+    while (!q.empty()) {
+      const std::size_t d = q.front();
+      q.pop_front();
+      for (const CallSite& cs : cg.defs[d].calls) {
+        if (held_at(w.guards[d], mu, cs.tok)) continue;
+        for (std::size_t cal : cg.resolve(cg.defs[d], cs)) {
+          if (w.allowed.count(cal) || vis[cal]) continue;
+          vis[cal] = 1;
+          parent[cal] = d;
+          q.push_back(cal);
+        }
+      }
+    }
+    auto unlocked_path = [&](std::size_t d) {
+      std::vector<std::string> chain;
+      for (std::size_t i = d; i != kNpos; i = parent[i]) {
+        chain.push_back(cg.defs[i].body.qual);
+        if (chain.size() > 24) { chain.push_back("..."); break; }
+      }
+      std::reverse(chain.begin(), chain.end());
+      std::string p;
+      for (std::size_t i = 0; i < chain.size(); ++i) {
+        if (i) p += " -> ";
+        p += chain[i];
+      }
+      return p;
+    };
+    for (std::size_t d = 0; d < cg.defs.size(); ++d) {
+      if (!vis[d] || w.allowed.count(d)) continue;
+      const FuncDef& def = cg.defs[d];
+      if (is_ctor_or_dtor(def.body)) continue;
+      const std::string cls = def_class(def.body);
+      const std::vector<Tok>& toks = cg.files[def.file].lx.toks;
+      for (const FieldInfo* f : fields) {
+        if (f->cls != cls) continue;
+        for (std::size_t i = def.body.open_tok + 1;
+             i < def.body.close_tok && i < toks.size(); ++i) {
+          if (toks[i].kind != Tok::kIdent || toks[i].text != f->name) continue;
+          if (!own_field_access(toks, i)) continue;
+          if (held_at(w.guards[d], mu, i)) continue;
+          add(out, cg.files[def.file].path, toks[i].line, "C2",
+              "field '" + f->cls + "::" + f->name + "' (guarded_by '" + mu +
+                  "') accessed without the lock held in '" + def.body.qual +
+                  "'; reachable unlocked via " + unlocked_path(d) +
+                  " — take the lock or prove the caller holds it");
+          break;  // one finding per (definition, field)
+        }
+      }
+    }
+  }
+
+  // --- C2: double-lock + the lock-order graph (one traversal feeds both).
+  EdgeMap edges;
+  lock_order_edges(cg, w, edges, &out);
+  const std::vector<std::vector<std::string>> cycles = find_cycles(edges);
+  for (const std::vector<std::string>& nodes : cycles) {
+    std::string msg = "lock-order cycle: ";
+    for (const std::string& n : nodes) msg += n + " -> ";
+    msg += nodes.front();
+    std::string anchor_file = manifest_path;
+    std::size_t anchor_line = 0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const std::string& u = nodes[i];
+      const std::string& v = nodes[(i + 1) % nodes.size()];
+      auto it = edges.find({u, v});
+      if (it == edges.end()) continue;
+      msg += "; '" + v + "' acquired under '" + u + "' at " + it->second.file + ":" +
+             std::to_string(it->second.line) + " (call path: " + it->second.path + ")";
+      if (i == 0) {
+        anchor_file = it->second.file;
+        anchor_line = it->second.line;
+      }
+    }
+    msg += " — acquire these mutexes in one global order or merge the critical sections";
+    add(out, anchor_file, anchor_line, "C2", msg);
+  }
+
+  // --- C3: [shared] manifest fields.
+  if (manifest) {
+    for (const std::string& entry : manifest->shared_fields) {
+      const std::size_t sep = entry.rfind("::");
+      const std::string cls = entry.substr(0, sep);
+      const std::string fname = entry.substr(sep + 2);
+      const FieldInfo* f = w.idx.find(cls, fname);
+      if (!f) {
+        add(out, manifest_path, 0, "C3",
+            "locks manifest [shared] field '" + entry +
+                "' matches no member declaration in the scanned set; remove the "
+                "stale entry");
+        continue;
+      }
+      if (!f->guard.empty()) continue;  // C2 owns guarded fields
+      std::vector<std::pair<const FuncDef*, RmwSite>> sites;
+      for (std::size_t d = 0; d < cg.defs.size(); ++d) {
+        if (w.allowed.count(d)) continue;
+        const FuncDef& def = cg.defs[d];
+        if (def_class(def.body) != cls || is_ctor_or_dtor(def.body)) continue;
+        for (const RmwSite& s : rmw_sites(cg.files[def.file].lx.toks, def.body, fname)) {
+          if (f->is_atomic && !s.load_store) continue;  // atomic ++/+= is one RMW
+          sites.emplace_back(&def, s);
+        }
+      }
+      for (const auto& [def, s] : sites) {
+        add(out, cg.files[def->file].path, s.line, "C3",
+            s.load_store
+                ? "load-store update " + s.what + " on " +
+                      std::string(f->is_atomic ? "atomic " : "") + "[shared] field '" +
+                      entry + "' in '" + def->body.qual +
+                      "' is two operations, not one RMW — concurrent updates are "
+                      "lost; use fetch_add/compare_exchange" +
+                      std::string(f->is_atomic ? "" : " on an atomic, or take a lock")
+                : "non-atomic RMW " + s.what + " on [shared] field '" + entry +
+                      "' in '" + def->body.qual +
+                      "'; make the field std::atomic (fetch_add) or guard it with a "
+                      "mutex and a guarded_by annotation");
+      }
+      if (sites.empty() && !f->is_atomic && f->confined.empty()) {
+        add(out, cg.files[f->file].path, f->line, "C3",
+            "[shared] field '" + entry +
+                "' is neither std::atomic nor guarded_by-annotated; cross-thread "
+                "state needs one of the two (or a confined(owner) claim)");
+      }
+    }
+  }
+
+  // --- C3: memory_order_relaxed outside the justified [allow-relaxed] list.
+  std::vector<char> relaxed_used(manifest ? manifest->relaxed_allows.size() : 0, 0);
+  std::size_t relaxed_matched = 0;
+  for (std::size_t fi = 0; fi < cg.files.size(); ++fi) {
+    const FileCtx& fc = cg.files[fi];
+    const std::vector<Tok>& toks = fc.lx.toks;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != Tok::kIdent || toks[i].text != "memory_order_relaxed") {
+        continue;
+      }
+      const FuncDef* def = nullptr;
+      for (std::size_t d = 0; d < cg.defs.size(); ++d) {
+        if (cg.defs[d].file != fi) continue;
+        if (i >= cg.defs[d].body.open_tok && i <= cg.defs[d].body.close_tok) {
+          def = &cg.defs[d];
+          break;
+        }
+      }
+      bool matched = false;
+      if (manifest && def) {
+        for (std::size_t a = 0; a < manifest->relaxed_allows.size(); ++a) {
+          const std::string& name = manifest->relaxed_allows[a].first;
+          bool hit = false;
+          if (name.size() > 3 && name.compare(name.size() - 3, 3, "::*") == 0) {
+            hit = def_class(def->body) == name.substr(0, name.size() - 3);
+          } else {
+            hit = marker_name_matches(name, def->body);
+          }
+          if (hit) {
+            matched = true;
+            relaxed_used[a] = 1;
+            break;
+          }
+        }
+      }
+      if (matched) {
+        ++relaxed_matched;
+      } else {
+        add(out, fc.path, toks[i].line, "C3",
+            "memory_order_relaxed in '" +
+                (def ? def->body.qual : std::string("(no enclosing function)")) +
+                "' is not covered by a locks.toml [allow-relaxed] entry; relaxed "
+                "ordering is only for statistics nothing synchronizes against — "
+                "justify it in the manifest or use the default ordering");
+      }
+    }
+  }
+  if (manifest) {
+    for (std::size_t a = 0; a < manifest->relaxed_allows.size(); ++a) {
+      if (relaxed_used[a]) continue;
+      add(out, manifest_path, 0, "C3",
+          "locks manifest [allow-relaxed] entry '" + manifest->relaxed_allows[a].first +
+              "' matches no memory_order_relaxed site in the scanned set; remove "
+              "the stale entry");
+    }
+  }
+
+  // --- C3: confined state crossing into the shard-reachable surface.
+  {
+    std::set<std::size_t> roots, shard_allowed;
+    shard_roots_and_allows(cg, shard_manifest, roots, shard_allowed);
+    // locks.toml [allow] entries stop this traversal too: an allowed def is
+    // neither scanned nor walked through (the justification covers its whole
+    // closure, exactly like a shard-manifest allow).
+    shard_allowed.insert(w.allowed.begin(), w.allowed.end());
+    const Reach r =
+        reach_from(cg, {roots.begin(), roots.end()}, shard_allowed);
+    for (std::size_t d = 0; d < cg.defs.size(); ++d) {
+      if (!r.vis[d] || w.allowed.count(d)) continue;
+      const FuncDef& def = cg.defs[d];
+      if (is_ctor_or_dtor(def.body)) continue;
+      const std::string cls = def_class(def.body);
+      if (cls.empty()) continue;
+      const std::vector<Tok>& toks = cg.files[def.file].lx.toks;
+      for (const FieldInfo& f : w.idx.fields) {
+        if (f.confined.empty() || f.cls != cls) continue;
+        for (std::size_t i = def.body.open_tok + 1;
+             i < def.body.close_tok && i < toks.size(); ++i) {
+          if (toks[i].kind != Tok::kIdent || toks[i].text != f.name) continue;
+          if (!own_field_access(toks, i)) continue;
+          add(out, cg.files[def.file].path, toks[i].line, "C3",
+              "field '" + f.cls + "::" + f.name + "' is confined to '" + f.confined +
+                  "' but accessed in shard-reachable '" + def.body.qual +
+                  "' (call path: " + call_path(cg, r, d) +
+                  "); single-thread state crossing into the sharded surface needs "
+                  "atomics or a mutex first");
+          break;  // one finding per (definition, field)
+        }
+      }
+    }
+  }
+
+  if (stats) {
+    stats->annotated_fields = w.annotated_fields;
+    stats->lock_edges = edges.size();
+    stats->order_cycles = cycles.size();
+    stats->relaxed_allows = relaxed_matched;
+  }
+  return out;
+}
+
+std::string lock_order_dot(const CallGraph& cg, const LocksManifest* manifest) {
+  LockWorld w = build_world(cg, manifest, "locks.toml", nullptr);
+  EdgeMap edges;
+  lock_order_edges(cg, w, edges, nullptr);
+  // An edge a->b lies on a cycle iff b reaches a.
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [e, prov] : edges) {
+    (void)prov;
+    adj[e.first].push_back(e.second);
+  }
+  auto reaches = [&](const std::string& from, const std::string& to) {
+    std::set<std::string> vis{from};
+    std::deque<std::string> q{from};
+    while (!q.empty()) {
+      const std::string u = q.front();
+      q.pop_front();
+      if (u == to) return true;
+      auto it = adj.find(u);
+      if (it == adj.end()) continue;
+      for (const std::string& v : it->second) {
+        if (vis.insert(v).second) q.push_back(v);
+      }
+    }
+    return false;
+  };
+  std::map<std::string, std::size_t> node_id;
+  for (const auto& [e, prov] : edges) {
+    (void)prov;
+    node_id.emplace(e.first, node_id.size());
+    node_id.emplace(e.second, node_id.size());
+  }
+  std::string dot =
+      "digraph srds_lockorder {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  for (const auto& [name, id] : node_id) {
+    dot += "  m" + std::to_string(id) + " [label=\"" + name + "\"];\n";
+  }
+  for (const auto& [e, prov] : edges) {
+    dot += "  m" + std::to_string(node_id[e.first]) + " -> m" +
+           std::to_string(node_id[e.second]) + " [label=\"" + prov.file + ":" +
+           std::to_string(prov.line) + "\"";
+    if (reaches(e.second, e.first)) dot += ", color=red";
+    dot += "];\n";
+  }
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace srds::lint

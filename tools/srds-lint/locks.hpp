@@ -1,0 +1,96 @@
+// C2 (lock discipline) and C3 (atomics audit) — the concurrency passes
+// built on the callgraph.hpp call graph. Together they are the static
+// precondition for sharding the simulator (ROADMAP item 1): TSan only
+// catches races on interleavings a test happens to exercise; these passes
+// check the locking/atomics discipline on every path, every build.
+//
+// C2 — lock discipline over `// srds-lint: guarded_by(mu)` field
+// annotations:
+//   * unheld access: a read/write of an annotated field, in a function a
+//     caller can enter without the named mutex held (callers are walked
+//     through the call graph from public entry points — definitions with
+//     no incoming edge — propagating only through call sites *outside* a
+//     guard scope). Locally-held accesses and functions only ever entered
+//     under the lock are clean. Reported with the unlocked call path.
+//   * double-lock: a second acquisition of a mutex already held — nested
+//     guard scopes in one body, or a guard in a function reachable from a
+//     call site inside a guard scope (std::mutex is not recursive; this is
+//     a guaranteed deadlock). Reported with the held call path.
+//   * lock-order cycle: the whole-program lock-order graph has an edge
+//     A -> B whenever B is acquired (directly or through calls) while A is
+//     held; any cycle is a potential deadlock. The shortest cycle through
+//     each edge is reported with each edge's acquisition site and call
+//     path, and the graph exports as LINT_lockorder.dot.
+//
+// Lock *identity* is token-level: a guard argument `mu_` inside a member
+// of class C that declares a mutex member `mu_` is "C::mu_"; anything else
+// keeps its raw name (free mutexes agree across TUs by name). Guard scopes
+// are lock_guard/unique_lock/scoped_lock/shared_lock declarations, held
+// from the declaration to the end of the enclosing brace scope
+// (defer_lock-constructed locks are not counted as held).
+//
+// C3 — atomics audit over the locks.toml manifest:
+//   * non-atomic RMW: `x++` / `x += e` / `x = x op ...` on a [shared]
+//     field with no protection, and the load-store form `x = x + ...` even
+//     on a std::atomic field (two atomic ops, not one RMW — lost updates).
+//   * unprotected shared state: a [shared] field that is neither
+//     std::atomic nor guarded_by-annotated (flagged at the declaration
+//     when no RMW site pins it).
+//   * relaxed ordering: every `memory_order_relaxed` site must be inside a
+//     function matched by an [allow-relaxed] entry with a justification —
+//     the obs counters/gauges are statistics nothing orders against, and
+//     that claim is recorded in the manifest, not in tribal memory.
+//   * confinement: `// srds-lint: confined(owner)` marks mutable state
+//     owned by a single thread (the svc daemon loop, the trace sinks). A
+//     confined field accessed from a C1 shard-reachable function is
+//     flagged with the call path — single-thread state crossing into the
+//     sharded surface needs atomics or a mutex first.
+//
+// Annotations bind to the field declaration on the same line (trailing
+// comment) or the next code line (comment-only line), exactly like
+// suppressions; a guarded_by/confined marker that binds to no field, or
+// names no mutex member of the owning class, is itself a finding — stale
+// markers are never silently dropped (same contract as shard-root/hotpath
+// markers).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "callgraph.hpp"
+#include "lint.hpp"
+
+namespace srds::lint {
+
+/// tools/srds-lint/locks.toml:
+///   [shared]        fields = ["Class::field", ...]  — cross-thread state
+///   [allow-relaxed] "Class::*" = "justification"    — relaxed whitelist
+///                   (exact function names also accepted)
+///   [allow]         "Func" = "justification"        — excluded from the
+///                   C2 traversals and body scans, recorded reason
+struct LocksManifest {
+  std::vector<std::string> shared_fields;
+  std::vector<std::pair<std::string, std::string>> relaxed_allows;
+  std::vector<std::pair<std::string, std::string>> allows;
+};
+
+bool parse_locks_manifest(const std::string& text, LocksManifest& out,
+                          std::string& error);
+
+/// Run C2 + C3 over the call graph. `manifest` may be null (the
+/// annotation-driven C2 checks and the relaxed audit still run); the
+/// shard manifest feeds the confined-reachability check with the same
+/// roots C1 uses. Raw findings — severity/suppression post-processing
+/// happens in lint_files.
+std::vector<Finding> check_locks(const CallGraph& cg, const LocksManifest* manifest,
+                                 const std::string& manifest_path,
+                                 const ShardManifest* shard_manifest,
+                                 LockStats* stats);
+
+/// DOT export of the lock-order graph (cycle edges red, labeled with the
+/// acquisition site) for the CI artifact next to the call-graph DOT.
+std::string lock_order_dot(const CallGraph& cg, const LocksManifest* manifest);
+
+}  // namespace srds::lint
