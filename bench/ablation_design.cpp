@@ -17,7 +17,7 @@ namespace {
 using namespace srds;
 using namespace srds::bench;
 
-void redundancy_ablation(Reporter& rep) {
+void redundancy_ablation(Reporter& rep, const Args& args) {
   print_header("Ablation 1: certificate redundancy rho (n=256, beta=0.2, pi_ba/snark)");
   std::vector<int> widths{8, 12, 18, 18};
   print_row({"rho", "decided", "max boost bytes", "agreement"}, widths);
@@ -33,7 +33,8 @@ void redundancy_ablation(Reporter& rep) {
     cfg.protocol = BoostProtocol::kPiBaSnark;
     cfg.certificate_redundancy = rho;
     cfg.ledger = &ledger;
-    auto r = run_ba(cfg);
+    BaRunResult r;
+    RepeatStats rs = timed_repeats(args.repeats, [&] { r = run_ba(cfg); });
     const obs::PartyStat pp =
         ledger.stat(obs::LedgerField::kBytesTotal, ledger.phase_index("boost"));
     print_row({std::to_string(rho), fmt(100.0 * r.decided_fraction(), 1) + "%",
@@ -46,19 +47,23 @@ void redundancy_ablation(Reporter& rep) {
     m.set("max_boost_bytes", pp.max);
     m.set("p50_boost_bytes", pp.p50);
     m.set("agreement", r.agreement);
+    rs.attach(m);
     rep.add_row(static_cast<double>(rho), std::move(m));
   }
   say("Expected: delivery already ~100%% at rho=1 thanks to the PRF round;\n"
       "bytes grow with rho — rho=3 is belt-and-braces at ~moderate cost.\n");
 }
 
-void lambda_ablation(Reporter& rep) {
+void lambda_ablation(Reporter& rep, const Args& args) {
   print_header("Ablation 2: OWF-SRDS sortition lambda (robustness@t=10% / forgery@<n/3 over 12 trials, n=180)");
   std::vector<int> widths{10, 16, 16, 18};
   print_row({"lambda", "robust fails", "forgeries", "aggregate size"}, widths);
   for (std::size_t lambda : {12u, 24u, 48u, 96u}) {
     std::size_t robust_fails = 0, forgeries = 0, agg_size = 0;
-    for (std::size_t trial = 0; trial < 12; ++trial) {
+    RepeatStats rs = timed_repeats(args.repeats, [&] {
+      robust_fails = 0;
+      forgeries = 0;
+      for (std::size_t trial = 0; trial < 12; ++trial) {
       CommTree tree = make_game_tree(180, 600 + trial);
       OwfSrdsParams p;
       p.n_signers = tree.virtual_count();
@@ -83,22 +88,23 @@ void lambda_ablation(Reporter& rep) {
         cfg.seed = 1000 + trial;
         forgeries += run_forgery_game(scheme, cfg).adversary_wins ? 1 : 0;
       }
-    }
-    // Aggregate size sample.
-    OwfSrdsParams p;
-    p.n_signers = 400;
-    p.expected_signers = lambda;
-    p.backend = BaseSigBackend::kCompact;
-    OwfSrds scheme(p, 1100);
-    for (std::size_t i = 0; i < 400; ++i) scheme.keygen(i);
-    scheme.finalize_keys();
-    Bytes m = to_bytes("m");
-    std::vector<Bytes> sigs;
-    for (std::size_t i = 0; i < 400; ++i) {
-      Bytes s = scheme.sign(i, m);
-      if (!s.empty()) sigs.push_back(std::move(s));
-    }
-    agg_size = scheme.aggregate(m, sigs).size();
+      }
+      // Aggregate size sample.
+      OwfSrdsParams p;
+      p.n_signers = 400;
+      p.expected_signers = lambda;
+      p.backend = BaseSigBackend::kCompact;
+      OwfSrds scheme(p, 1100);
+      for (std::size_t i = 0; i < 400; ++i) scheme.keygen(i);
+      scheme.finalize_keys();
+      Bytes m = to_bytes("m");
+      std::vector<Bytes> sigs;
+      for (std::size_t i = 0; i < 400; ++i) {
+        Bytes s = scheme.sign(i, m);
+        if (!s.empty()) sigs.push_back(std::move(s));
+      }
+      agg_size = scheme.aggregate(m, sigs).size();
+    });
     print_row({std::to_string(lambda), std::to_string(robust_fails) + "/12",
                std::to_string(forgeries) + "/12",
                fmt_bytes(static_cast<double>(agg_size))},
@@ -109,6 +115,7 @@ void lambda_ablation(Reporter& rep) {
     jm.set("forgeries", forgeries);
     jm.set("trials", 12);
     jm.set("aggregate_bytes", agg_size);
+    rs.attach(jm);
     rep.add_row(static_cast<double>(lambda), std::move(jm));
   }
   say("Expected: small lambda leaves no concentration margin (both failure\n"
@@ -116,7 +123,7 @@ void lambda_ablation(Reporter& rep) {
       "lambda — the paper's polylog(n) knob traded against poly(kappa) bytes.\n");
 }
 
-void committee_ablation(Reporter& rep) {
+void committee_ablation(Reporter& rep, const Args& args) {
   print_header("Ablation 3: tree committee-size factor (n=256, beta=0.2, pi_ba/snark)");
   std::vector<int> widths{22, 12, 12, 18};
   print_row({"committee size", "decided", "rounds", "max boost bytes"}, widths);
@@ -129,7 +136,8 @@ void committee_ablation(Reporter& rep) {
     cfg.protocol = BoostProtocol::kPiBaSnark;
     cfg.committee_factor = factor;
     cfg.ledger = &ledger;
-    auto r = run_ba(cfg);
+    BaRunResult r;
+    RepeatStats rs = timed_repeats(args.repeats, [&] { r = run_ba(cfg); });
     const obs::PartyStat pp =
         ledger.stat(obs::LedgerField::kBytesTotal, ledger.phase_index("boost"));
     char label[32];
@@ -144,6 +152,7 @@ void committee_ablation(Reporter& rep) {
     m.set("rounds", r.rounds);
     m.set("max_boost_bytes", pp.max);
     m.set("p50_boost_bytes", pp.p50);
+    rs.attach(m);
     rep.add_row(factor, std::move(m));
   }
   say("Expected: bigger committees buy corruption margin with a superlinear\n"
@@ -156,9 +165,9 @@ void committee_ablation(Reporter& rep) {
 int main(int argc, char** argv) {
   Args args = Args::parse(argc, argv);
   Reporter rep("ablation_design");
-  redundancy_ablation(rep);
-  lambda_ablation(rep);
-  committee_ablation(rep);
+  redundancy_ablation(rep, args);
+  lambda_ablation(rep, args);
+  committee_ablation(rep, args);
   finish_report(rep, args);
   return 0;
 }

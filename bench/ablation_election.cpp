@@ -35,7 +35,10 @@ int main(int argc, char** argv) {
 
   // --- CRS-derived committees (CommTree seeded from public randomness) ---
   double crs_blind = 0, crs_aware = 0;
-  for (std::size_t trial = 0; trial < trials; ++trial) {
+  RepeatStats crs_rs = timed_repeats(args.repeats, [&] {
+    crs_blind = 0;
+    crs_aware = 0;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
     CommTree tree(TreeParams::scaled(n), seed + trial);
     const auto& committee = tree.supreme_committee();
     // Blind adversary: random corruption.
@@ -48,11 +51,15 @@ int main(int argc, char** argv) {
     // Setup-aware adversary: reads the committee off the CRS, corrupts it.
     std::size_t bad_aware = std::min(budget, committee.size());
     crs_aware += static_cast<double>(bad_aware) / static_cast<double>(committee.size());
-  }
+    }
+  });
 
   // --- interactively elected committees ---
   double el_blind = 0, el_aware = 0;
-  for (std::size_t trial = 0; trial < trials; ++trial) {
+  RepeatStats el_rs = timed_repeats(args.repeats, [&] {
+    el_blind = 0;
+    el_aware = 0;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
     Rng rng(140 + trial);
     std::vector<bool> corrupt(n, false);
     for (auto idx : rng.subset(n, budget)) corrupt[idx] = true;
@@ -64,7 +71,8 @@ int main(int argc, char** argv) {
     auto r = run_committee_election(n, corrupt, params, 990 + trial);
     el_blind += r.committee_corrupt_fraction;
     el_aware += r.committee_corrupt_fraction;
-  }
+    }
+  });
 
   print_row({"CRS-derived (CommTree seed)", fmt(100.0 * crs_blind / trials, 1) + "%",
              fmt(100.0 * crs_aware / trials, 1) + "%"},
@@ -78,6 +86,7 @@ int main(int argc, char** argv) {
     m.set("source", "crs-derived");
     m.set("blind_corrupt_fraction", crs_blind / trials);
     m.set("aware_corrupt_fraction", crs_aware / trials);
+    crs_rs.attach(m);
     rep.add_row(0, std::move(m));
   }
   {
@@ -85,12 +94,16 @@ int main(int argc, char** argv) {
     m.set("source", "interactive-election");
     m.set("blind_corrupt_fraction", el_blind / trials);
     m.set("aware_corrupt_fraction", el_aware / trials);
+    el_rs.attach(m);
     rep.add_row(1, std::move(m));
   }
 
   ElectionParams params;
   params.final_size = 16;
-  auto cost = run_committee_election(512, std::vector<bool>(512, false), params, 5);
+  ElectionResult cost;
+  RepeatStats cost_rs = timed_repeats(args.repeats, [&] {
+    cost = run_committee_election(512, std::vector<bool>(512, false), params, 5);
+  });
   say("\nelection cost at n=512: %zu rounds, max %s per party, locality %zu\n",
       cost.rounds, fmt_bytes(static_cast<double>(cost.stats.max_bytes_total())).c_str(),
       cost.stats.max_locality());
@@ -100,6 +113,7 @@ int main(int argc, char** argv) {
     m.set("rounds", cost.rounds);
     m.set("max_bytes_per_party", cost.stats.max_bytes_total());
     m.set("locality", cost.stats.max_locality());
+    cost_rs.attach(m);
     rep.add_row(2, std::move(m));
   }
   say("\nExpected shape: the setup-aware column hits 100%% (committee > corruption\n"

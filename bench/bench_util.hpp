@@ -5,18 +5,84 @@
 // bench::Reporter in addition to the text tables.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/alloc_hooks.hpp"
 #include "obs/bench_args.hpp"
 #include "obs/budget.hpp"
 #include "obs/ledger.hpp"
+#include "obs/prof.hpp"
 #include "obs/report.hpp"
 #include "obs/tracer.hpp"
 
 namespace srds::bench {
+
+/// Allocations observed process-wide since startup. Nonzero only when the
+/// binary links the srds_alloc_hooks OBJECT library (obs/alloc_hooks.hpp).
+inline std::uint64_t alloc_ops() { return obs::alloc_ops(); }
+
+/// Wall/alloc statistics over the repeats of one measured row.
+struct RepeatStats {
+  double wall_ns_median = 0;   // median wall time of one repeat (ns)
+  double spread_rel = 0;       // (max - min) / median over the repeats
+  double allocs_per_op = 0;    // median allocations of one repeat
+  std::size_t repeats = 1;
+
+  /// The schema-3 per-row "wall" metrics object.
+  obs::Json wall_json() const {
+    obs::Json j = obs::Json::object();
+    j.set("ns_per_op", wall_ns_median);
+    j.set("spread_rel", spread_rel);
+    j.set("repeats", static_cast<unsigned long long>(repeats));
+    return j;
+  }
+
+  /// Attach the schema-3 wall/allocs metrics to a row's metrics object.
+  void attach(obs::Json& metrics) const {
+    metrics.set("wall", wall_json());
+    metrics.set("allocs_per_op", allocs_per_op);
+  }
+};
+
+/// Run `fn` `repeats` times, timing each run (steady_clock) and counting
+/// its allocations; report the median and the relative spread so the
+/// bench-diff wall-metric gate can separate noise from regression. `fn`
+/// must be a self-contained repeat: it resets whatever run state it reuses
+/// (tracer/ledger), so only the last repeat's artifacts survive for the
+/// row's deterministic metrics.
+template <typename F>
+RepeatStats timed_repeats(std::size_t repeats, F&& fn) {
+  if (repeats == 0) repeats = 1;
+  std::vector<double> ns;
+  std::vector<double> allocs;
+  ns.reserve(repeats);
+  allocs.reserve(repeats);
+  for (std::size_t i = 0; i < repeats; ++i) {
+    const std::uint64_t a0 = alloc_ops();
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    ns.push_back(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+    allocs.push_back(static_cast<double>(alloc_ops() - a0));
+  }
+  std::sort(ns.begin(), ns.end());
+  std::sort(allocs.begin(), allocs.end());
+  RepeatStats s;
+  s.repeats = repeats;
+  s.wall_ns_median = ns[ns.size() / 2];
+  s.allocs_per_op = allocs[allocs.size() / 2];
+  if (s.wall_ns_median > 0) {
+    s.spread_rel = (ns.back() - ns.front()) / s.wall_ns_median;
+  }
+  return s;
+}
 
 inline void print_header(const std::string& title) {
   if (quiet()) return;
@@ -107,6 +173,18 @@ inline void finish_report(const Reporter& rep, const Args& args) {
   } else {
     say("\n[json] %s\n", path.c_str());
   }
+}
+
+/// Write PROF_<name>.json (the standalone prof snapshot) under --json-out.
+/// No-op unless --prof is active; returns the path or empty.
+inline std::string write_prof_artifact(const Args& args, const std::string& name) {
+  if (!args.json_enabled() || !obs::prof_enabled()) return {};
+  std::string path = args.json_out;
+  if (path.back() != '/') path.push_back('/');
+  path += "PROF_" + name + ".json";
+  if (!obs::write_text_file(path, obs::prof_to_json().dump(2) + "\n")) return {};
+  say("[json] %s\n", path.c_str());
+  return path;
 }
 
 inline std::string fmt_bytes(double b) {

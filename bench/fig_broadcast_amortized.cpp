@@ -33,7 +33,8 @@ int main(int argc, char** argv) {
     cfg.beta = 0.1;
     cfg.seed = seed;
     cfg.ledger = &ledger;
-    auto r = run_broadcast_service(cfg);
+    BroadcastRunResult r;
+    RepeatStats rs = timed_repeats(args.repeats, [&] { r = run_broadcast_service(cfg); });
     const obs::PartyStat pp = ledger.stat(obs::LedgerField::kBytesTotal);
     double total = static_cast<double>(pp.max);
     double delivered = static_cast<double>(r.delivered) / static_cast<double>(r.possible);
@@ -48,6 +49,7 @@ int main(int argc, char** argv) {
     m.set("per_broadcast_bytes", total / static_cast<double>(ell));
     m.set("delivered_fraction", delivered);
     m.set("agreement", r.agreement);
+    rs.attach(m);
     rep.add_row(static_cast<double>(ell), std::move(m));
   }
 
@@ -63,8 +65,7 @@ int main(int argc, char** argv) {
     cfg.beta = 0.1;
     cfg.seed = seed + 1;
     cfg.ledger = &ledger;
-    auto r = run_broadcast_service(cfg);
-    (void)r;
+    RepeatStats rs = timed_repeats(args.repeats, [&] { run_broadcast_service(cfg); });
     double per = static_cast<double>(ledger.stat(obs::LedgerField::kBytesTotal).max) / 4.0;
     xs.push_back(static_cast<double>(n));
     ys.push_back(per);
@@ -72,6 +73,7 @@ int main(int argc, char** argv) {
     obs::Json m = obs::Json::object();
     m.set("sweep", "n");
     m.set("per_broadcast_bytes", per);
+    rs.attach(m);
     rep.add_row(static_cast<double>(n), std::move(m));
   }
   rep.set_param("n_sweep_slope", loglog_slope(xs, ys));

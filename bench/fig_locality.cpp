@@ -54,8 +54,9 @@ int main(int argc, char** argv) {
       cfg.ledger = &ledger;
       cfg.strict_budgets = args.strict_budgets;
       BaRunResult r;
+      RepeatStats rs;
       try {
-        r = run_ba(cfg);
+        rs = timed_repeats(args.repeats, [&] { r = run_ba(cfg); });
       } catch (const BudgetViolation& v) {
         std::fprintf(stderr, "%s\n", v.what());
         report_budget_findings(v.findings);
@@ -72,6 +73,7 @@ int main(int argc, char** argv) {
       m.set("decided_fraction", r.decided_fraction());
       m.set("max_comm_per_party_bytes", boost_pp.max);
       m.set("p50_comm_per_party_bytes", boost_pp.p50);
+      rs.attach(m);
       per_n[i].set(label, std::move(m));
     }
     const double slope = loglog_slope(xs, ys);

@@ -40,18 +40,28 @@ int main(int argc, char** argv) {
   per_n.reserve(sizes.size());
   for (std::size_t i = 0; i < sizes.size(); ++i) per_n.push_back(obs::Json::object());
 
+  // Row wall/alloc stats aggregate over the setup cells of one n: medians
+  // and allocations add, the noisiest cell's spread stands for the row.
+  std::vector<RepeatStats> row_rs(sizes.size());
   for (auto setup : setups) {
     std::vector<std::string> cells{setup_name(setup)};
     for (std::size_t i = 0; i < sizes.size(); ++i) {
       const std::size_t n = sizes[i];
       std::size_t fooled = 0;
-      for (std::size_t trial = 0; trial < trials; ++trial) {
-        IsolationConfig cfg;
-        cfg.n = n;
-        cfg.t = n / 4;
-        cfg.seed = seed * n + trial;
-        fooled += run_isolation_attack(setup, cfg).target_fooled ? 1 : 0;
-      }
+      RepeatStats rs = timed_repeats(args.repeats, [&, setup = setup] {
+        fooled = 0;
+        for (std::size_t trial = 0; trial < trials; ++trial) {
+          IsolationConfig cfg;
+          cfg.n = n;
+          cfg.t = n / 4;
+          cfg.seed = seed * n + trial;
+          fooled += run_isolation_attack(setup, cfg).target_fooled ? 1 : 0;
+        }
+      });
+      row_rs[i].wall_ns_median += rs.wall_ns_median;
+      row_rs[i].allocs_per_op += rs.allocs_per_op;
+      row_rs[i].spread_rel = std::max(row_rs[i].spread_rel, rs.spread_rel);
+      row_rs[i].repeats = rs.repeats;
       cells.push_back(fmt(100.0 * static_cast<double>(fooled) / trials, 0) + "%");
       per_n[i].set(setup_name(setup), static_cast<double>(fooled) / trials);
     }
@@ -61,6 +71,7 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < sizes.size(); ++i) {
     obs::Json m = obs::Json::object();
     m.set("fooling_rate", std::move(per_n[i]));
+    row_rs[i].attach(m);
     rep.add_row(static_cast<double>(sizes[i]), std::move(m));
   }
 

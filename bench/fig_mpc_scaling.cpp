@@ -31,7 +31,8 @@ int main(int argc, char** argv) {
     cfg.beta = 0.15;
     cfg.seed = seed;
     cfg.trace = &ledger;
-    auto r = run_scalable_sum_mpc(cfg);
+    MpcRunResult r;
+    RepeatStats rs = timed_repeats(args.repeats, [&] { r = run_scalable_sum_mpc(cfg); });
     const obs::PartyStat pp = ledger.stat(obs::LedgerField::kBytesTotal);
     xs.push_back(static_cast<double>(n));
     total_ys.push_back(static_cast<double>(r.stats.total_bytes()));
@@ -51,6 +52,7 @@ int main(int argc, char** argv) {
     m.set("p50_bytes_per_party", pp.p50);
     m.set("sum_correct", sum_ok);
     m.set("decided_fraction", decided);
+    rs.attach(m);
     rep.add_row(static_cast<double>(n), std::move(m));
   }
   rep.set_param("total_comm_slope", loglog_slope(xs, total_ys));

@@ -70,8 +70,12 @@ int main(int argc, char** argv) {
       cfg.ledger = &ledger;
       cfg.strict_budgets = args.strict_budgets;
       BaRunResult r;
+      RepeatStats rs;
       try {
-        r = run_ba(cfg);
+        rs = timed_repeats(args.repeats, [&] {
+          tracer.clear();
+          r = run_ba(cfg);
+        });
       } catch (const BudgetViolation& v) {
         std::fprintf(stderr, "%s\n", v.what());
         report_budget_findings(v.findings);
@@ -96,6 +100,7 @@ int main(int argc, char** argv) {
       m.set("phases", phase_metrics(tracer));
       m.set("per_party", perparty_metrics(ledger));
       m.set("budgets", obs::BudgetAuditor::to_json(r.budget_evals));
+      rs.attach(m);
       per_n[i].set(label, std::move(m));
     }
     const double slope = loglog_slope(xs, ys);

@@ -104,22 +104,29 @@ int main(int argc, char** argv) {
       std::size_t extra = 0;
       obs::Json by_rate = obs::Json::object();
       obs::Json pp_by_rate = obs::Json::object();
-      for (double rate : drop_rates) {
-        FaultPlan plan;
-        plan.seed = 2026;
-        plan.drop_prob = rate;
-        obs::Ledger ledger;
-        auto r = run_with(proto, plan, ledger);
-        cells.push_back(fmt(r.decided_fraction(), 3));
-        by_rate.set(fmt(rate, 2), r.decided_fraction());
-        const obs::PartyStat pp = ledger.stat(obs::LedgerField::kBytesTotal);
-        obs::Json ppj = obs::Json::object();
-        ppj.set("max", pp.max);
-        ppj.set("p50", pp.p50);
-        pp_by_rate.set(fmt(rate, 2), std::move(ppj));
-        all_agree = all_agree && r.agreement;
-        extra = r.rounds > base_rounds[pi] ? r.rounds - base_rounds[pi] : 0;
-      }
+      RepeatStats rs = timed_repeats(args.repeats, [&, proto = proto] {
+        cells.resize(1);
+        all_agree = true;
+        extra = 0;
+        by_rate = obs::Json::object();
+        pp_by_rate = obs::Json::object();
+        for (double rate : drop_rates) {
+          FaultPlan plan;
+          plan.seed = 2026;
+          plan.drop_prob = rate;
+          obs::Ledger ledger;
+          auto r = run_with(proto, plan, ledger);
+          cells.push_back(fmt(r.decided_fraction(), 3));
+          by_rate.set(fmt(rate, 2), r.decided_fraction());
+          const obs::PartyStat pp = ledger.stat(obs::LedgerField::kBytesTotal);
+          obs::Json ppj = obs::Json::object();
+          ppj.set("max", pp.max);
+          ppj.set("p50", pp.p50);
+          pp_by_rate.set(fmt(rate, 2), std::move(ppj));
+          all_agree = all_agree && r.agreement;
+          extra = r.rounds > base_rounds[pi] ? r.rounds - base_rounds[pi] : 0;
+        }
+      });
       cells.push_back(all_agree ? "yes" : "NO");
       cells.push_back(std::to_string(extra));
       print_row(cells, widths);
@@ -131,6 +138,7 @@ int main(int argc, char** argv) {
       m.set("per_party_bytes_by_drop", std::move(pp_by_rate));
       m.set("agreement", all_agree);
       m.set("extra_rounds", extra);
+      rs.attach(m);
       rep.add_row(row_idx++, std::move(m));
     }
   }
@@ -157,23 +165,30 @@ int main(int argc, char** argv) {
       std::size_t extra = 0;
       obs::Json by_delay = obs::Json::object();
       obs::Json pp_by_delay = obs::Json::object();
-      for (auto d : delays) {
-        FaultPlan plan;
-        plan.seed = 2027;
-        plan.delay_prob = 0.25;
-        plan.max_delay = d;
-        obs::Ledger ledger;
-        auto r = run_with(proto, plan, ledger);
-        cells.push_back(fmt(r.decided_fraction(), 3));
-        by_delay.set(std::to_string(d), r.decided_fraction());
-        const obs::PartyStat pp = ledger.stat(obs::LedgerField::kBytesTotal);
-        obs::Json ppj = obs::Json::object();
-        ppj.set("max", pp.max);
-        ppj.set("p50", pp.p50);
-        pp_by_delay.set(std::to_string(d), std::move(ppj));
-        all_agree = all_agree && r.agreement;
-        extra = r.rounds > base_rounds[pi] ? r.rounds - base_rounds[pi] : 0;
-      }
+      RepeatStats rs = timed_repeats(args.repeats, [&, proto = proto] {
+        cells.resize(1);
+        all_agree = true;
+        extra = 0;
+        by_delay = obs::Json::object();
+        pp_by_delay = obs::Json::object();
+        for (auto d : delays) {
+          FaultPlan plan;
+          plan.seed = 2027;
+          plan.delay_prob = 0.25;
+          plan.max_delay = d;
+          obs::Ledger ledger;
+          auto r = run_with(proto, plan, ledger);
+          cells.push_back(fmt(r.decided_fraction(), 3));
+          by_delay.set(std::to_string(d), r.decided_fraction());
+          const obs::PartyStat pp = ledger.stat(obs::LedgerField::kBytesTotal);
+          obs::Json ppj = obs::Json::object();
+          ppj.set("max", pp.max);
+          ppj.set("p50", pp.p50);
+          pp_by_delay.set(std::to_string(d), std::move(ppj));
+          all_agree = all_agree && r.agreement;
+          extra = r.rounds > base_rounds[pi] ? r.rounds - base_rounds[pi] : 0;
+        }
+      });
       cells.push_back(all_agree ? "yes" : "NO");
       cells.push_back(std::to_string(extra));
       print_row(cells, widths);
@@ -185,6 +200,7 @@ int main(int argc, char** argv) {
       m.set("per_party_bytes_by_delay", std::move(pp_by_delay));
       m.set("agreement", all_agree);
       m.set("extra_rounds", extra);
+      rs.attach(m);
       rep.add_row(row_idx++, std::move(m));
     }
   }
@@ -222,8 +238,14 @@ int main(int argc, char** argv) {
         obs::Json decided = obs::Json::object();
         obs::Json agreement = obs::Json::object();
         obs::Json granted = obs::Json::object();
-        for (double rate : rates) {
-          for (double drop : drops) {
+        RepeatStats rs = timed_repeats(args.repeats, [&, proto = proto] {
+          cells.resize(2);
+          all_agree = true;
+          decided = obs::Json::object();
+          agreement = obs::Json::object();
+          granted = obs::Json::object();
+          for (double rate : rates) {
+            for (double drop : drops) {
             BaRunConfig cfg;
             cfg.n = frontier_n;
             cfg.beta = 0.0;
@@ -237,18 +259,19 @@ int main(int argc, char** argv) {
               plan.drop_prob = drop;
               cfg.faults = plan;
             }
-            auto r = run_ba(cfg);
-            const std::string key = "r" + fmt(rate, 2) + "_d" + fmt(drop, 2);
-            // The frontier metric: a cell is "held" only if agreement did —
-            // a decided fraction reached by deciding *differently* is worse
-            // than not deciding, so it renders as BROKE, not as a number.
-            cells.push_back(r.agreement ? fmt(r.decided_fraction(), 3) : "BROKE");
-            decided.set(key, r.decided_fraction());
-            agreement.set(key, r.agreement);
-            granted.set(key, r.adaptively_corrupted);
-            all_agree = all_agree && r.agreement;
+              auto r = run_ba(cfg);
+              const std::string key = "r" + fmt(rate, 2) + "_d" + fmt(drop, 2);
+              // The frontier metric: a cell is "held" only if agreement did —
+              // a decided fraction reached by deciding *differently* is worse
+              // than not deciding, so it renders as BROKE, not as a number.
+              cells.push_back(r.agreement ? fmt(r.decided_fraction(), 3) : "BROKE");
+              decided.set(key, r.decided_fraction());
+              agreement.set(key, r.agreement);
+              granted.set(key, r.adaptively_corrupted);
+              all_agree = all_agree && r.agreement;
+            }
           }
-        }
+        });
         cells.push_back(all_agree ? "yes" : "NO");
         print_row(cells, widths);
 
@@ -261,6 +284,7 @@ int main(int argc, char** argv) {
         m.set("agreement_by_cell", std::move(agreement));
         m.set("corruptions_by_cell", std::move(granted));
         m.set("agreement", all_agree);
+        rs.attach(m);
         rep.add_row(row_idx++, std::move(m));
       }
     }

@@ -60,21 +60,25 @@ int main(int argc, char** argv) {
     obs::Json m = obs::Json::object();
     m.set("game", "robustness");
     m.set("strategy", label);
-    for (bool owf : {true, false}) {
-      std::size_t wins = 0;
-      for (std::size_t trial = 0; trial < trials; ++trial) {
-        CommTree tree = make_game_tree(n_parties, seed + trial);
-        auto scheme = make_scheme(owf, tree.virtual_count(), 1700 + trial);
-        GameConfig cfg;
-        cfg.t = n_parties / 10;
-        cfg.strategy = strategy;
-        cfg.seed = 2600 + trial;
-        wins += run_robustness_game(*scheme, tree, cfg).adversary_wins ? 1 : 0;
+    RepeatStats rs = timed_repeats(args.repeats, [&, strategy = strategy] {
+      cells.resize(1);
+      for (bool owf : {true, false}) {
+        std::size_t wins = 0;
+        for (std::size_t trial = 0; trial < trials; ++trial) {
+          CommTree tree = make_game_tree(n_parties, seed + trial);
+          auto scheme = make_scheme(owf, tree.virtual_count(), 1700 + trial);
+          GameConfig cfg;
+          cfg.t = n_parties / 10;
+          cfg.strategy = strategy;
+          cfg.seed = 2600 + trial;
+          wins += run_robustness_game(*scheme, tree, cfg).adversary_wins ? 1 : 0;
+        }
+        cells.push_back(fmt(100.0 * static_cast<double>(wins) / trials, 1) + "%");
+        m.set(owf ? "owf_win_rate" : "snark_win_rate",
+              static_cast<double>(wins) / trials);
       }
-      cells.push_back(fmt(100.0 * static_cast<double>(wins) / trials, 1) + "%");
-      m.set(owf ? "owf_win_rate" : "snark_win_rate",
-            static_cast<double>(wins) / trials);
-    }
+    });
+    rs.attach(m);
     print_row(cells, widths);
     rep.add_row(row_idx++, std::move(m));
   }
@@ -89,20 +93,24 @@ int main(int argc, char** argv) {
     obs::Json m = obs::Json::object();
     m.set("game", "forgery");
     m.set("strategy", label);
-    for (bool owf : {true, false}) {
-      std::size_t wins = 0;
-      for (std::size_t trial = 0; trial < trials; ++trial) {
-        auto scheme = make_scheme(owf, 180, 3500 + trial);
-        GameConfig cfg;
-        cfg.t = 59;  // maximal corruption below n/3
-        cfg.strategy = strategy;
-        cfg.seed = 4400 + trial;
-        wins += run_forgery_game(*scheme, cfg).adversary_wins ? 1 : 0;
+    RepeatStats rs = timed_repeats(args.repeats, [&, strategy = strategy] {
+      cells.resize(1);
+      for (bool owf : {true, false}) {
+        std::size_t wins = 0;
+        for (std::size_t trial = 0; trial < trials; ++trial) {
+          auto scheme = make_scheme(owf, 180, 3500 + trial);
+          GameConfig cfg;
+          cfg.t = 59;  // maximal corruption below n/3
+          cfg.strategy = strategy;
+          cfg.seed = 4400 + trial;
+          wins += run_forgery_game(*scheme, cfg).adversary_wins ? 1 : 0;
+        }
+        cells.push_back(fmt(100.0 * static_cast<double>(wins) / trials, 1) + "%");
+        m.set(owf ? "owf_win_rate" : "snark_win_rate",
+              static_cast<double>(wins) / trials);
       }
-      cells.push_back(fmt(100.0 * static_cast<double>(wins) / trials, 1) + "%");
-      m.set(owf ? "owf_win_rate" : "snark_win_rate",
-            static_cast<double>(wins) / trials);
-    }
+    });
+    rs.attach(m);
     print_row(cells, widths);
     rep.add_row(row_idx++, std::move(m));
   }
@@ -114,25 +122,29 @@ int main(int argc, char** argv) {
            {CorruptionSelector::kRandom, "random (model)"},
            {CorruptionSelector::kClairvoyant, "clairvoyant (broken keygen)"}}) {
     std::size_t wins = 0;
-    for (std::size_t trial = 0; trial < trials; ++trial) {
-      // Run at 2x the population: the concentration margins (tree goodness
-      // and sortition) sharpen with n, isolating the selector effect.
-      const std::size_t n_ablation = 2 * n_parties;
-      CommTree tree = make_game_tree(n_ablation, 5200 + trial);
-      auto scheme = make_scheme(true, tree.virtual_count(), 6100 + trial, 100);
-      GameConfig cfg;
-      cfg.t = n_ablation / 5;
-      cfg.strategy = AttackStrategy::kWrongMessage;
-      cfg.selector = selector;
-      cfg.seed = 7000 + trial;
-      wins += run_robustness_game(*scheme, tree, cfg).adversary_wins ? 1 : 0;
-    }
+    RepeatStats rs = timed_repeats(args.repeats, [&, selector = selector] {
+      wins = 0;
+      for (std::size_t trial = 0; trial < trials; ++trial) {
+        // Run at 2x the population: the concentration margins (tree goodness
+        // and sortition) sharpen with n, isolating the selector effect.
+        const std::size_t n_ablation = 2 * n_parties;
+        CommTree tree = make_game_tree(n_ablation, 5200 + trial);
+        auto scheme = make_scheme(true, tree.virtual_count(), 6100 + trial, 100);
+        GameConfig cfg;
+        cfg.t = n_ablation / 5;
+        cfg.strategy = AttackStrategy::kWrongMessage;
+        cfg.selector = selector;
+        cfg.seed = 7000 + trial;
+        wins += run_robustness_game(*scheme, tree, cfg).adversary_wins ? 1 : 0;
+      }
+    });
     print_row({label, fmt(100.0 * static_cast<double>(wins) / trials, 1) + "%", ""},
               widths);
     obs::Json m = obs::Json::object();
     m.set("game", "selector-ablation");
     m.set("selector", label);
     m.set("owf_win_rate", static_cast<double>(wins) / trials);
+    rs.attach(m);
     rep.add_row(row_idx++, std::move(m));
   }
 

@@ -33,7 +33,8 @@ struct ServiceOut {
 };
 
 ServiceOut run_service(std::size_t n, std::size_t ell, bool pipelined,
-                       std::uint64_t seed, bool strict) {
+                       std::uint64_t seed, bool strict,
+                       obs::RoundTracer* tracer = nullptr) {
   obs::Ledger ledger;
   svc::ServiceConfig cfg;
   cfg.n = n;
@@ -44,6 +45,7 @@ ServiceOut run_service(std::size_t n, std::size_t ell, bool pipelined,
   cfg.session_window = pipelined ? cfg.max_inflight : 1;
   if (!pipelined) cfg.max_inflight = 1;
   cfg.ledger = &ledger;
+  cfg.trace = tracer;
   cfg.strict_budgets = strict;
   svc::BaServiceDaemon daemon(std::move(cfg));
 
@@ -116,8 +118,11 @@ int main(int argc, char** argv) {
                         {"seq", 64, false}};
     for (const Row& row : rows) {
       ServiceOut r;
+      RepeatStats rs;
       try {
-        r = run_service(n, row.ell, row.pipelined, seed, args.strict_budgets);
+        rs = timed_repeats(args.repeats, [&] {
+          r = run_service(n, row.ell, row.pipelined, seed, args.strict_budgets);
+        });
       } catch (const BudgetViolation& v) {
         std::fprintf(stderr, "fig_service: %s\n", v.what());
         report_budget_findings(v.findings);
@@ -153,6 +158,7 @@ int main(int argc, char** argv) {
       m.set("decisions_per_sec_wall",
             r.wall_sec > 0 ? static_cast<double>(r.stats.decisions) / r.wall_sec : 0.0);
       m.set("budgets", obs::BudgetAuditor::to_json(r.evals));
+      rs.attach(m);
       rep.add_row(static_cast<double>(row.ell), std::move(m));
     }
 
@@ -171,6 +177,24 @@ int main(int argc, char** argv) {
         speedup_ok = false;
       }
     }
+  }
+
+  // Artifact leg: one traced pipelined run, exporting the chrome timeline
+  // (with the prof flame track when --prof is on) and the standalone prof
+  // snapshot — the observability artifacts CI uploads.
+  if (args.json_enabled()) {
+    obs::RoundTracer tracer;
+    try {
+      run_service(256, 8, true, seed, false, &tracer);
+    } catch (const BudgetViolation&) {
+      // Non-strict run; unreachable, but never fail the figure over the
+      // artifact leg.
+    }
+    const std::string trace_path = args.json_out + "/TRACE_fig_service.json";
+    if (obs::write_text_file(trace_path, tracer.chrome_trace().dump(-1) + "\n")) {
+      say("[trace] %s\n", trace_path.c_str());
+    }
+    write_prof_artifact(args, "fig_service");
   }
 
   finish_report(rep, args);

@@ -93,11 +93,14 @@ int main(int argc, char** argv) {
 
   std::vector<double> xs, ms_ys, snark_ys;
   for (auto n : sizes) {
-    std::size_t ms = multisig_size(n);
-    std::size_t owf_wots = owf_size(n, BaseSigBackend::kWots);
-    std::size_t owf_c = owf_size(n, BaseSigBackend::kCompact);
-    std::size_t cm = counting_multisig_size(n);
-    std::size_t sn = snark_size(n);
+    std::size_t ms = 0, owf_wots = 0, owf_c = 0, cm = 0, sn = 0;
+    RepeatStats rs = timed_repeats(args.repeats, [&] {
+      ms = multisig_size(n);
+      owf_wots = owf_size(n, BaseSigBackend::kWots);
+      owf_c = owf_size(n, BaseSigBackend::kCompact);
+      cm = counting_multisig_size(n);
+      sn = snark_size(n);
+    });
     xs.push_back(static_cast<double>(n));
     ms_ys.push_back(static_cast<double>(ms));
     snark_ys.push_back(static_cast<double>(sn));
@@ -114,6 +117,7 @@ int main(int argc, char** argv) {
     m.set("owf_srds_compact_bytes", owf_c);
     m.set("counting_multisig_bytes", cm);
     m.set("snark_srds_bytes", sn);
+    rs.attach(m);
     rep.add_row(static_cast<double>(n), std::move(m));
   }
   say("\nmultisig growth exponent: %.2f   snark-srds growth exponent: %.2f\n",

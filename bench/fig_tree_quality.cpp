@@ -45,24 +45,30 @@ int main(int argc, char** argv) {
       std::vector<std::string> cells{std::to_string(n)};
       obs::Json by_beta = obs::Json::object();
       std::size_t root_good_all = 0, runs = 0;
-      for (double beta : betas) {
-        double sum = 0;
-        for (std::size_t trial = 0; trial < trials; ++trial) {
-          CommTree tree(TreeParams::scaled(n), seed + trial);
-          Rng rng(777 * n + trial + static_cast<std::size_t>(beta * 100));
-          std::vector<bool> corrupt(n, false);
-          for (auto idx :
-               rng.subset(n, static_cast<std::size_t>(beta * static_cast<double>(n)))) {
-            corrupt[idx] = true;
+      RepeatStats rs = timed_repeats(args.repeats, [&] {
+        by_beta = obs::Json::object();
+        root_good_all = 0;
+        runs = 0;
+        cells.resize(1);
+        for (double beta : betas) {
+          double sum = 0;
+          for (std::size_t trial = 0; trial < trials; ++trial) {
+            CommTree tree(TreeParams::scaled(n), seed + trial);
+            Rng rng(777 * n + trial + static_cast<std::size_t>(beta * 100));
+            std::vector<bool> corrupt(n, false);
+            for (auto idx : rng.subset(
+                     n, static_cast<std::size_t>(beta * static_cast<double>(n)))) {
+              corrupt[idx] = true;
+            }
+            auto g = tree.analyze(corrupt, rule);
+            sum += g.good_leaf_fraction;
+            root_good_all += g.root_good ? 1 : 0;
+            ++runs;
           }
-          auto g = tree.analyze(corrupt, rule);
-          sum += g.good_leaf_fraction;
-          root_good_all += g.root_good ? 1 : 0;
-          ++runs;
+          cells.push_back(fmt(sum / trials, 3));
+          by_beta.set(fmt(beta, 2), sum / trials);
         }
-        cells.push_back(fmt(sum / trials, 3));
-        by_beta.set(fmt(beta, 2), sum / trials);
-      }
+      });
       double bound = 1.0 - 3.0 / std::log2(static_cast<double>(n));
       cells.push_back(fmt(bound, 3));
       cells.push_back(fmt(100.0 * static_cast<double>(root_good_all) /
@@ -77,6 +83,7 @@ int main(int argc, char** argv) {
       m.set("paper_bound", bound);
       m.set("root_good_fraction",
             static_cast<double>(root_good_all) / static_cast<double>(runs));
+      rs.attach(m);
       rep.add_row(static_cast<double>(n), std::move(m));
     }
   }

@@ -20,9 +20,11 @@ using namespace srds;
 void BM_Sha256(benchmark::State& state) {
   Rng rng(1);
   Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  const std::uint64_t a0 = bench::alloc_ops();
   for (auto _ : state) {
     benchmark::DoNotOptimize(sha256(data));
   }
+  bench::report_allocs(state, a0);
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
 }
 BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
@@ -31,9 +33,11 @@ void BM_HmacSha256(benchmark::State& state) {
   Rng rng(2);
   Bytes key = rng.bytes(32);
   Bytes data = rng.bytes(256);
+  const std::uint64_t a0 = bench::alloc_ops();
   for (auto _ : state) {
     benchmark::DoNotOptimize(hmac_sha256(key, data));
   }
+  bench::report_allocs(state, a0);
 }
 BENCHMARK(BM_HmacSha256);
 
@@ -41,10 +45,12 @@ void BM_MerkleBuild(benchmark::State& state) {
   Rng rng(3);
   std::vector<Digest> leaves;
   for (int i = 0; i < state.range(0); ++i) leaves.push_back(Digest::from(rng.bytes(32)));
+  const std::uint64_t a0 = bench::alloc_ops();
   for (auto _ : state) {
     MerkleTree tree(leaves);
     benchmark::DoNotOptimize(tree.root());
   }
+  bench::report_allocs(state, a0);
 }
 BENCHMARK(BM_MerkleBuild)->Arg(256)->Arg(4096);
 
@@ -55,47 +61,57 @@ void BM_MerklePathVerify(benchmark::State& state) {
   MerkleTree tree(leaves);
   auto path = tree.path(static_cast<std::uint64_t>(state.range(0) / 2));
   Digest leaf = leaves[static_cast<std::size_t>(state.range(0) / 2)];
+  const std::uint64_t a0 = bench::alloc_ops();
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         MerkleTree::verify(tree.root(), leaf, path, static_cast<std::size_t>(state.range(0))));
   }
+  bench::report_allocs(state, a0);
 }
 BENCHMARK(BM_MerklePathVerify)->Arg(4096);
 
 void BM_LamportKeygen(benchmark::State& state) {
   Rng rng(5);
   Bytes seed = rng.bytes(32);
+  const std::uint64_t a0 = bench::alloc_ops();
   for (auto _ : state) {
     benchmark::DoNotOptimize(lamport_keygen(seed));
   }
+  bench::report_allocs(state, a0);
 }
 BENCHMARK(BM_LamportKeygen);
 
 void BM_LamportSignVerify(benchmark::State& state) {
   auto kp = lamport_keygen(Rng(6).bytes(32));
   Bytes m = to_bytes("bench message");
+  const std::uint64_t a0 = bench::alloc_ops();
   for (auto _ : state) {
     auto sig = lamport_sign(kp, m);
     benchmark::DoNotOptimize(lamport_verify(kp.verification_key, m, sig));
   }
+  bench::report_allocs(state, a0);
 }
 BENCHMARK(BM_LamportSignVerify);
 
 void BM_WotsKeygen(benchmark::State& state) {
   Rng rng(7);
   Bytes seed = rng.bytes(32);
+  const std::uint64_t a0 = bench::alloc_ops();
   for (auto _ : state) {
     benchmark::DoNotOptimize(wots_keygen(seed));
   }
+  bench::report_allocs(state, a0);
 }
 BENCHMARK(BM_WotsKeygen);
 
 void BM_WotsSign(benchmark::State& state) {
   auto kp = wots_keygen(Rng(8).bytes(32));
   Bytes m = to_bytes("bench message");
+  const std::uint64_t a0 = bench::alloc_ops();
   for (auto _ : state) {
     benchmark::DoNotOptimize(wots_sign(kp, m));
   }
+  bench::report_allocs(state, a0);
 }
 BENCHMARK(BM_WotsSign);
 
@@ -103,18 +119,22 @@ void BM_WotsVerify(benchmark::State& state) {
   auto kp = wots_keygen(Rng(9).bytes(32));
   Bytes m = to_bytes("bench message");
   auto sig = wots_sign(kp, m);
+  const std::uint64_t a0 = bench::alloc_ops();
   for (auto _ : state) {
     benchmark::DoNotOptimize(wots_verify(kp.verification_key, m, sig));
   }
+  bench::report_allocs(state, a0);
 }
 BENCHMARK(BM_WotsVerify);
 
 void BM_ShamirShare(benchmark::State& state) {
   Rng rng(10);
   std::size_t c = static_cast<std::size_t>(state.range(0));
+  const std::uint64_t a0 = bench::alloc_ops();
   for (auto _ : state) {
     benchmark::DoNotOptimize(shamir_share(123456789, c / 3, c, rng));
   }
+  bench::report_allocs(state, a0);
 }
 BENCHMARK(BM_ShamirShare)->Arg(16)->Arg(64);
 
@@ -122,9 +142,11 @@ void BM_ShamirReconstruct(benchmark::State& state) {
   Rng rng(11);
   std::size_t c = static_cast<std::size_t>(state.range(0));
   auto shares = shamir_share(987654321, c / 3, c, rng);
+  const std::uint64_t a0 = bench::alloc_ops();
   for (auto _ : state) {
     benchmark::DoNotOptimize(shamir_reconstruct(shares, c / 3));
   }
+  bench::report_allocs(state, a0);
 }
 BENCHMARK(BM_ShamirReconstruct)->Arg(16)->Arg(64);
 

@@ -3,76 +3,49 @@
 // the remainder to google-benchmark, and tee every run into a
 // bench::Reporter so the suites emit BENCH_*.json like the figure binaries.
 //
-// The header also replaces global operator new/delete with alloc-counting
-// versions, so every micro suite can report allocs/op next to ns/op
-// (report_allocs below): allocation-free hot paths are a contract here
-// (srds-lint rule P1), and the micro suites are where the contract is
-// *measured* rather than pattern-matched. Each micro binary includes this
-// header in exactly one translation unit — replacement operator new must
-// not be defined twice, or inline.
+// Allocation accounting comes from obs/alloc_hooks.hpp: every micro binary
+// links the srds_alloc_hooks OBJECT library (see bench/CMakeLists.txt), so
+// the counting replacement operator new/delete is one strong definition per
+// binary and report_allocs below can attach allocs/op next to ns/op.
+// Allocation-free hot paths are a contract here (srds-lint rule P1), and
+// the micro suites are where the contract is *measured* rather than
+// pattern-matched.
+//
+// --repeats K maps onto google-benchmark's repetition machinery
+// (--benchmark_repetitions=K with aggregates-only reporting): each captured
+// row is then the median aggregate, carrying a "wall" block with the median
+// ns/op and the stddev/median relative spread the bench-diff wall-metric
+// gate consumes.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
-#include <atomic>
-#include <cstdlib>
-#include <new>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "obs/alloc_hooks.hpp"
 
 namespace srds::bench {
 
-/// Allocations observed process-wide since startup (all threads).
-inline std::atomic<std::uint64_t> g_alloc_ops{0};
-
-inline std::uint64_t alloc_ops() { return g_alloc_ops.load(); }
-
 /// Attach allocs/op for the span since `before = alloc_ops()` as a user
 /// counter: it lands in the console table and, via CapturingReporter, in
-/// BENCH_*.json as counter_allocs_per_op.
+/// BENCH_*.json as allocs_per_op.
 inline void report_allocs(benchmark::State& state, std::uint64_t before) {
   state.counters["allocs_per_op"] =
       benchmark::Counter(static_cast<double>(alloc_ops() - before),
                          benchmark::Counter::kAvgIterations);
 }
 
-}  // namespace srds::bench
-
-// Counting replacements. Default (seq_cst) ordering: the counter is bench
-// harness bookkeeping, and an allocation dwarfs the fence anyway. The
-// nothrow/aligned variants are not replaced — those allocations go
-// uncounted, which no current suite exercises on a measured path.
-// noinline keeps the malloc/free internals opaque at call sites: inlined,
-// GCC's -Wmismatched-new-delete heuristic pairs the caller's `new` with
-// the exposed `free` and misfires (and replacement allocation functions
-// are not meant to inline in the first place).
-#if defined(__GNUC__) || defined(__clang__)
-#define SRDS_BENCH_NOINLINE __attribute__((noinline))
-#else
-#define SRDS_BENCH_NOINLINE
-#endif
-
-SRDS_BENCH_NOINLINE void* operator new(std::size_t sz) {
-  srds::bench::g_alloc_ops.fetch_add(1);
-  if (void* p = std::malloc(sz ? sz : 1)) return p;
-  throw std::bad_alloc();
-}
-SRDS_BENCH_NOINLINE void* operator new[](std::size_t sz) { return operator new(sz); }
-SRDS_BENCH_NOINLINE void operator delete(void* p) noexcept { std::free(p); }
-SRDS_BENCH_NOINLINE void operator delete[](void* p) noexcept { std::free(p); }
-SRDS_BENCH_NOINLINE void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-SRDS_BENCH_NOINLINE void operator delete[](void* p, std::size_t) noexcept {
-  std::free(p);
-}
-
-namespace srds::bench {
-
 /// ConsoleReporter that also records each run into a Reporter row
-/// {name, iterations, real/cpu ns per iteration, user counters}. --quiet
-/// suppresses the console table, not the capture.
+/// {name, iterations, real/cpu ns per iteration, wall block, user
+/// counters}. With repetitions, the captured row is the median aggregate
+/// and its wall.spread_rel is stddev/median. --quiet suppresses the
+/// console table, not the capture.
 class CapturingReporter : public benchmark::ConsoleReporter {
  public:
-  explicit CapturingReporter(Reporter& rep) : rep_(rep) {}
+  CapturingReporter(Reporter& rep, std::size_t repeats)
+      : rep_(rep), repeats_(repeats) {}
 
   bool ReportContext(const Context& ctx) override {
     if (quiet()) return true;
@@ -80,37 +53,96 @@ class CapturingReporter : public benchmark::ConsoleReporter {
   }
 
   void ReportRuns(const std::vector<Run>& runs) override {
-    for (const Run& run : runs) {
-      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
-      obs::Json m = obs::Json::object();
-      m.set("name", run.benchmark_name());
-      m.set("iterations", static_cast<long long>(run.iterations));
-      const double iters =
-          run.iterations ? static_cast<double>(run.iterations) : 1.0;
-      m.set("real_ns_per_iter", run.real_accumulated_time * 1e9 / iters);
-      m.set("cpu_ns_per_iter", run.cpu_accumulated_time * 1e9 / iters);
-      for (const auto& [cname, counter] : run.counters) {
-        m.set("counter_" + cname, static_cast<double>(counter));
+    if (repeats_ > 1) {
+      capture_aggregates(runs);
+    } else {
+      for (const Run& run : runs) {
+        if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+        RepeatStats rs;
+        rs.repeats = 1;
+        rs.wall_ns_median = per_iter(run.real_accumulated_time, run);
+        emit(run.benchmark_name(), run, rs);
       }
-      rep_.add_row(static_cast<double>(idx_++), std::move(m));
     }
     if (!quiet()) benchmark::ConsoleReporter::ReportRuns(runs);
   }
 
  private:
+  static double per_iter(double accumulated_s, const Run& run) {
+    const double iters =
+        run.iterations ? static_cast<double>(run.iterations) : 1.0;
+    return accumulated_s * 1e9 / iters;
+  }
+
+  // Aggregates of one repetition family arrive in a single ReportRuns call
+  // (mean, median, stddev, cv); the row is built from the median, and the
+  // stddev supplies the spread.
+  void capture_aggregates(const std::vector<Run>& runs) {
+    const Run* median = nullptr;
+    double stddev_real_ns = 0;
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Aggregate || run.error_occurred) continue;
+      if (run.aggregate_name == "median") median = &run;
+      if (run.aggregate_name == "stddev") {
+        stddev_real_ns = per_iter(run.real_accumulated_time, run);
+      }
+    }
+    if (!median) return;
+    RepeatStats rs;
+    rs.repeats = repeats_;
+    rs.wall_ns_median = per_iter(median->real_accumulated_time, *median);
+    if (rs.wall_ns_median > 0) {
+      rs.spread_rel = stddev_real_ns / rs.wall_ns_median;
+    }
+    emit(median->run_name.str(), *median, rs);
+  }
+
+  void emit(const std::string& name, const Run& run, RepeatStats rs) {
+    obs::Json m = obs::Json::object();
+    m.set("name", name);
+    m.set("iterations", static_cast<long long>(run.iterations));
+    m.set("real_ns_per_iter", per_iter(run.real_accumulated_time, run));
+    m.set("cpu_ns_per_iter", per_iter(run.cpu_accumulated_time, run));
+    for (const auto& [cname, counter] : run.counters) {
+      if (cname == "allocs_per_op") {
+        rs.allocs_per_op = static_cast<double>(counter);
+        continue;
+      }
+      m.set("counter_" + cname, static_cast<double>(counter));
+    }
+    rs.attach(m);
+    rep_.add_row(static_cast<double>(idx_++), std::move(m));
+  }
+
   Reporter& rep_;
+  std::size_t repeats_;
   std::size_t idx_ = 0;
 };
 
 inline int run_micro_suite(int argc, char** argv, const char* suite_name) {
   Args args = Args::parse(argc, argv);
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Map --repeats K to google-benchmark repetitions with aggregates-only
+  // reporting, so each benchmark contributes exactly one (median) row.
+  std::vector<char*> xargv(argv, argv + argc);
+  std::string reps_flag, aggregates_flag;
+  if (args.repeats > 1) {
+    reps_flag = "--benchmark_repetitions=" + std::to_string(args.repeats);
+    aggregates_flag = "--benchmark_report_aggregates_only=true";
+    xargv.push_back(reps_flag.data());
+    xargv.push_back(aggregates_flag.data());
+  }
+  xargv.push_back(nullptr);
+  int xargc = static_cast<int>(xargv.size()) - 1;
+  benchmark::Initialize(&xargc, xargv.data());
+  if (benchmark::ReportUnrecognizedArguments(xargc, xargv.data())) return 1;
   Reporter rep(suite_name);
-  CapturingReporter console(rep);
+  rep.set_param("repeats", static_cast<unsigned long long>(args.repeats));
+  rep.set_param("alloc_hooks", obs::alloc_hooks_active());
+  CapturingReporter console(rep, args.repeats);
   benchmark::RunSpecifiedBenchmarks(&console);
   benchmark::Shutdown();
   finish_report(rep, args);
+  write_prof_artifact(args, suite_name);
   return 0;
 }
 

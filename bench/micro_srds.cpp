@@ -51,9 +51,11 @@ void bench_sign(benchmark::State& state, MakeScheme make) {
   std::size_t signer = 0;
   // Find a signer that can sign (OWF sortition).
   while (scheme->sign(signer, m).empty() && signer + 1 < scheme->signer_count()) ++signer;
+  const std::uint64_t a0 = bench::alloc_ops();
   for (auto _ : state) {
     benchmark::DoNotOptimize(scheme->sign(signer, m));
   }
+  bench::report_allocs(state, a0);
 }
 
 template <typename MakeScheme>
@@ -61,9 +63,11 @@ void bench_aggregate(benchmark::State& state, MakeScheme make) {
   auto scheme = make();
   Bytes m = to_bytes("bench");
   auto sigs = all_signatures(*scheme, m);
+  const std::uint64_t a0 = bench::alloc_ops();
   for (auto _ : state) {
     benchmark::DoNotOptimize(scheme->aggregate(m, sigs));
   }
+  bench::report_allocs(state, a0);
   state.counters["base_sigs"] = static_cast<double>(sigs.size());
 }
 
@@ -72,9 +76,11 @@ void bench_verify(benchmark::State& state, MakeScheme make) {
   auto scheme = make();
   Bytes m = to_bytes("bench");
   Bytes agg = scheme->aggregate(m, all_signatures(*scheme, m));
+  const std::uint64_t a0 = bench::alloc_ops();
   for (auto _ : state) {
     benchmark::DoNotOptimize(scheme->verify(m, agg));
   }
+  bench::report_allocs(state, a0);
   state.counters["sig_bytes"] = static_cast<double>(agg.size());
 }
 
@@ -121,10 +127,12 @@ void BM_PcdProveVerify(benchmark::State& state) {
   auto prover = oracle.register_predicate(
       [](BytesView, BytesView, const std::vector<PriorMessage>&) { return true; });
   Bytes st = to_bytes("statement");
+  const std::uint64_t a0 = bench::alloc_ops();
   for (auto _ : state) {
     auto proof = prover.prove(st, {}, {});
     benchmark::DoNotOptimize(prover.verifier().verify(st, *proof));
   }
+  bench::report_allocs(state, a0);
 }
 BENCHMARK(BM_PcdProveVerify);
 

@@ -71,8 +71,12 @@ int main(int argc, char** argv) {
     cfg.ledger = &ledger;
     cfg.strict_budgets = args.strict_budgets;
     BaRunResult r;
+    RepeatStats rs;
     try {
-      r = run_ba(cfg);
+      rs = timed_repeats(args.repeats, [&] {
+        tracer.clear();
+        r = run_ba(cfg);
+      });
     } catch (const BudgetViolation& v) {
       std::fprintf(stderr, "%s\n", v.what());
       report_budget_findings(v.findings);
@@ -108,6 +112,7 @@ int main(int argc, char** argv) {
     m.set("phases", phase_metrics(tracer));
     m.set("per_party", perparty_metrics(ledger));
     m.set("budgets", obs::BudgetAuditor::to_json(r.budget_evals));
+    rs.attach(m);
     rep.add_row(row_idx, std::move(m));
     row_idx += 1;
 

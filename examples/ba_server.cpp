@@ -51,6 +51,9 @@ std::size_t serve(BaServiceDaemon& daemon, ServiceClient& client, std::size_t el
       client.submit(submitted % 3 != 0);
       ++submitted;
     }
+    // Poke the stats surface once mid-stream: a kStats round-trip while
+    // instances are in flight, answered out of band from decisions.
+    if (received == ell / 2 && client.stats_received() == 0) client.request_stats();
     daemon.poll();
     daemon.step();
     client.poll();
@@ -103,6 +106,9 @@ bool run_leg(const LegConfig& leg) {
   ServiceClient client(std::move(conn));
   client.open();
   const std::size_t agreed = serve(daemon, client, leg.ell, leg.oversubscribe);
+  if (client.stats_received() > 0) {
+    std::printf("mid-stream stats      : %s\n", client.last_stats().c_str());
+  }
   client.close();
 
   bool audit_ok = true;

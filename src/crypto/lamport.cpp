@@ -6,6 +6,7 @@
 #include "crypto/merkle.hpp"
 #include "crypto/prg.hpp"
 #include "crypto/sha256.hpp"
+#include "obs/prof.hpp"
 
 namespace srds {
 
@@ -76,6 +77,7 @@ Digest lamport_oblivious_keygen(Rng& rng) {
 }
 
 LamportSignature lamport_sign(const LamportKeyPair& kp, BytesView message) {
+  PROF_SCOPE(obs::ProfSiteId::kCryptoLamportSign);
   Digest md = sha256_tagged("lamport-msg", message);
   LamportSignature sig;
   sig.revealed.reserve(kBits);
@@ -91,6 +93,7 @@ LamportSignature lamport_sign(const LamportKeyPair& kp, BytesView message) {
 }
 
 bool lamport_verify(const Digest& vk, BytesView message, const LamportSignature& sig) {
+  PROF_SCOPE(obs::ProfSiteId::kCryptoLamportVerify);
   if (sig.revealed.size() != kBits || sig.sibling.size() != kBits) return false;
   Digest md = sha256_tagged("lamport-msg", message);
   std::vector<Digest> leaves(kLeaves);

@@ -4,6 +4,7 @@
 
 #include "common/serial.hpp"
 #include "crypto/sha256.hpp"
+#include "obs/prof.hpp"
 
 namespace srds {
 
@@ -35,6 +36,7 @@ bool MerklePath::deserialize(BytesView data, MerklePath& out) {
 }
 
 MerkleTree::MerkleTree(std::vector<Digest> leaves) : leaf_count_(leaves.size()) {
+  PROF_SCOPE(obs::ProfSiteId::kCryptoMerkleBuild);
   if (leaves.empty()) throw std::invalid_argument("MerkleTree: needs >= 1 leaf");
   levels_.push_back(std::move(leaves));
   while (levels_.back().size() > 1) {
@@ -73,6 +75,7 @@ MerklePath MerkleTree::path(std::uint64_t leaf_index) const {
 
 bool MerkleTree::verify(const Digest& root, const Digest& leaf, const MerklePath& path,
                         std::size_t leaf_count) {
+  PROF_SCOPE(obs::ProfSiteId::kCryptoMerkleVerify);
   if (leaf_count == 0 || path.leaf_index >= leaf_count) return false;
   // Depth check: path length must match the tree height for this leaf count.
   std::size_t expect_depth = 0;

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/prof.hpp"
+
 namespace srds {
 
 namespace {
@@ -123,7 +125,10 @@ Digest Sha256::finish() {
   return d;
 }
 
-Digest sha256(BytesView data) { return Sha256().update(data).finish(); }
+Digest sha256(BytesView data) {
+  PROF_SCOPE(obs::ProfSiteId::kCryptoSha256);
+  return Sha256().update(data).finish();
+}
 
 Digest sha256_tagged(const char* tag, BytesView data) {
   Sha256 ctx;

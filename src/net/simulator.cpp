@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/prof.hpp"
+
 namespace srds {
 
 Simulator::Simulator(std::vector<std::unique_ptr<Party>> parties, std::vector<bool> corrupt,
@@ -45,6 +47,7 @@ void Simulator::set_fault_plan(const FaultPlan& plan) {
 // control structures, unwind, or type-erase (rule P1).
 void Simulator::deliver(std::size_t round, Message m,
                         std::vector<std::vector<Message>>& inboxes) {
+  PROF_SCOPE(obs::ProfSiteId::kSimDeliver);
   const bool in_phase = phase_mark_ && round >= *phase_mark_;
   for (obs::TraceSink* s : sinks_) s->on_send(round, m);
   if (!injector_) {
@@ -108,6 +111,7 @@ void Simulator::begin_run() {
 }
 
 bool Simulator::tick() {
+  PROF_SCOPE(obs::ProfSiteId::kSimRound);
   begin_run();
   const std::size_t n = parties_.size();
   const std::size_t round = cur_round_;
@@ -189,6 +193,7 @@ bool Simulator::tick() {
     // Churned-offline parties neither execute nor send this round; their
     // protocol state is frozen until they rejoin.
     if (offline_[i]) continue;
+    PROF_SCOPE(obs::ProfSiteId::kSimPartyStep);
     auto out = parties_[i]->on_round(round, inboxes_[i]);
     for (auto& m : out) {
       if (m.from != i || m.to >= n) {

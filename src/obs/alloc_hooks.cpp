@@ -1,0 +1,51 @@
+// Counting replacement operator new/delete (see alloc_hooks.hpp for the
+// linkage model). This TU is the OBJECT library `srds_alloc_hooks`: its
+// definitions are strong and always reach the link, overriding the weak
+// fallbacks in alloc_hooks_stub.cpp.
+#include "obs/alloc_hooks.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace srds::obs {
+
+namespace {
+
+/// Allocations observed process-wide since startup (all threads).
+std::atomic<std::uint64_t> g_alloc_ops{0};
+
+}  // namespace
+
+std::uint64_t alloc_ops() { return g_alloc_ops.load(); }
+
+bool alloc_hooks_active() { return true; }
+
+}  // namespace srds::obs
+
+// Counting replacements. Default (seq_cst) ordering: the counter is
+// bookkeeping, and an allocation dwarfs the fence anyway. The
+// nothrow/aligned variants are not replaced — those allocations go
+// uncounted, which no current caller exercises on a measured path.
+// noinline keeps the malloc/free internals opaque at call sites: inlined,
+// GCC's -Wmismatched-new-delete heuristic pairs the caller's `new` with
+// the exposed `free` and misfires (and replacement allocation functions
+// are not meant to inline in the first place).
+#if defined(__GNUC__) || defined(__clang__)
+#define SRDS_ALLOC_NOINLINE __attribute__((noinline))
+#else
+#define SRDS_ALLOC_NOINLINE
+#endif
+
+SRDS_ALLOC_NOINLINE void* operator new(std::size_t sz) {
+  srds::obs::g_alloc_ops.fetch_add(1);
+  if (void* p = std::malloc(sz ? sz : 1)) return p;
+  throw std::bad_alloc();
+}
+SRDS_ALLOC_NOINLINE void* operator new[](std::size_t sz) { return operator new(sz); }
+SRDS_ALLOC_NOINLINE void operator delete(void* p) noexcept { std::free(p); }
+SRDS_ALLOC_NOINLINE void operator delete[](void* p) noexcept { std::free(p); }
+SRDS_ALLOC_NOINLINE void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+SRDS_ALLOC_NOINLINE void operator delete[](void* p, std::size_t) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,29 @@
+// Allocation accounting, promoted out of bench/micro_main.hpp so any
+// binary — micro suite, figure bench, or the svc daemon — can report
+// allocs/op next to ns/op. Allocation-free hot paths are a contract here
+// (srds-lint rule P1); linking the hooks is how the contract is *measured*
+// rather than pattern-matched.
+//
+// Linkage model: the counting replacement operator new/delete live in
+// alloc_hooks.cpp, built as the CMake OBJECT library `srds_alloc_hooks` —
+// object files always reach the link, so the replacement is one strong,
+// non-inline definition per binary (replacement allocation functions must
+// not be inline or duplicated). Binaries that do NOT link the object
+// library get the [[gnu::weak]] fallbacks in alloc_hooks_stub.cpp:
+// alloc_ops() pins at 0 and alloc_hooks_active() reports false, so callers
+// can always link against srds_obs and branch on activity at runtime.
+#pragma once
+
+#include <cstdint>
+
+namespace srds::obs {
+
+/// Allocations observed process-wide since startup (all threads). Always 0
+/// when the counting hooks are not linked into this binary.
+std::uint64_t alloc_ops();
+
+/// True iff the counting replacement operator new/delete from
+/// alloc_hooks.cpp are linked into this binary.
+bool alloc_hooks_active();
+
+}  // namespace srds::obs

@@ -1,0 +1,21 @@
+// Weak fallbacks for the alloc-hooks accessors (see alloc_hooks.hpp).
+// Built into srds_obs: binaries that also link the srds_alloc_hooks OBJECT
+// library get the strong counting definitions from alloc_hooks.cpp and
+// these lose; everything else links these and reports "hooks inactive".
+#include "obs/alloc_hooks.hpp"
+
+namespace srds::obs {
+
+#if defined(__GNUC__) || defined(__clang__)
+
+[[gnu::weak]] std::uint64_t alloc_ops() { return 0; }
+[[gnu::weak]] bool alloc_hooks_active() { return false; }
+
+#else
+
+std::uint64_t alloc_ops() { return 0; }
+bool alloc_hooks_active() { return false; }
+
+#endif
+
+}  // namespace srds::obs

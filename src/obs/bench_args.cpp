@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/prof.hpp"
+
 namespace srds::bench {
 
 namespace {
@@ -13,13 +15,15 @@ bool g_quiet = false;
 [[noreturn]] void usage(const char* prog, int code) {
   std::fprintf(code == 0 ? stdout : stderr,
                "usage: %s [--n-list N1,N2,...] [--seed S] [--json-out DIR | --no-json]\n"
-               "          [--quiet] [--strict-budgets]\n"
+               "          [--quiet] [--strict-budgets] [--repeats K] [--prof]\n"
                "  --n-list   override the sweep sizes (comma-separated)\n"
                "  --seed     override the base RNG seed\n"
                "  --json-out directory for BENCH_*.json artifacts (default: .)\n"
                "  --no-json  do not write JSON artifacts\n"
                "  --quiet    suppress the text tables\n"
-               "  --strict-budgets  abort (exit 3) on a communication-budget violation\n",
+               "  --strict-budgets  abort (exit 3) on a communication-budget violation\n"
+               "  --repeats  timed repeats per row; rows report median wall ns/op + spread\n"
+               "  --prof     enable the profiling layer (prof block in the artifact)\n",
                prog);
   std::exit(code);
 }
@@ -85,6 +89,15 @@ Args Args::parse(int& argc, char** argv) {
       args.quiet = true;
     } else if (std::strcmp(a, "--strict-budgets") == 0) {
       args.strict_budgets = true;
+    } else if (std::strcmp(a, "--repeats") == 0) {
+      std::uint64_t k = 0;
+      if (!parse_u64(value("--repeats"), k) || k == 0) {
+        std::fprintf(stderr, "%s: bad --repeats (want a positive integer)\n", argv[0]);
+        std::exit(2);
+      }
+      args.repeats = static_cast<std::size_t>(k);
+    } else if (std::strcmp(a, "--prof") == 0) {
+      args.prof = true;
     } else {
       argv[out++] = argv[i];  // unknown: leave for the caller's parser
     }
@@ -92,6 +105,7 @@ Args Args::parse(int& argc, char** argv) {
   argc = out;
   argv[argc] = nullptr;
   set_quiet(args.quiet);
+  obs::prof_set_enabled(args.prof);
   return args;
 }
 

@@ -8,6 +8,10 @@
 //   --quiet               suppress the fixed-width text tables
 //   --strict-budgets      hard-fail when a declared communication budget is
 //                         violated (simulator-driven benches only)
+//   --repeats K           run each measured row K times; rows report the
+//                         median wall ns/op and the relative spread
+//   --prof                enable the obs profiling layer (PROF_SCOPE sites;
+//                         adds a `prof` block to the JSON artifact)
 //   --help                usage
 //
 // `parse` consumes the flags it recognizes and compacts argv, so binaries
@@ -27,6 +31,8 @@ struct Args {
   std::string json_out = ".";       // artifact directory; empty = disabled
   bool quiet = false;
   bool strict_budgets = false;      // violations abort the binary (exit 3)
+  std::size_t repeats = 1;          // timed repeats per row (median reported)
+  bool prof = false;                // enable PROF_SCOPE + `prof` JSON block
 
   /// Parse known flags out of argv (argc/argv are rewritten in place to the
   /// unconsumed remainder). Prints usage and exits on --help; prints an

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "obs/prof.hpp"
 #include "obs/tracer.hpp"
 
 namespace srds::bench {
@@ -23,7 +24,9 @@ void Reporter::add_row(double x, obs::Json metrics) {
 obs::Json Reporter::to_json(bool with_timestamp) const {
   std::lock_guard<std::mutex> lk(mu_);
   obs::Json out = obs::Json::object();
-  out.set("schema", 2);  // v2: rows may carry per_party/budgets blocks
+  // v2 added per_party/budgets row blocks; v3 adds wall/allocs row metrics
+  // and the optional top-level prof block below.
+  out.set("schema", 3);
   out.set("bench", bench_);
   out.set("git_describe", git_describe());
   if (with_timestamp) {
@@ -37,6 +40,12 @@ obs::Json Reporter::to_json(bool with_timestamp) const {
   }
   out.set("params", params_);
   out.set("series", series_);
+  // The prof block rides the same gate as the timestamp: it is wall-clock
+  // data, so it must never appear in the deterministic document the
+  // trace_test determinism guard compares.
+  if (with_timestamp && obs::prof_enabled()) {
+    out.set("prof", obs::prof_to_json());
+  }
   return out;
 }
 
@@ -44,12 +53,7 @@ std::string Reporter::write(const std::string& dir) const {
   std::string path = dir.empty() ? std::string(".") : dir;
   if (path.back() != '/') path.push_back('/');
   path += "BENCH_" + bench_ + ".json";
-  // CI points --json-out at not-yet-existing artifact directories; create
-  // missing parents instead of failing the write (same convention as the
-  // lint baseline artifacts).
-  std::error_code ec;
-  const std::filesystem::path p(path);
-  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path(), ec);
+  // write_text_file creates missing parent directories.
   if (!obs::write_text_file(path, to_json().dump(2) + "\n")) return {};
   return path;
 }

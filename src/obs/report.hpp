@@ -4,21 +4,26 @@
 // the fixed-width text tables, producing a `BENCH_<name>.json` artifact:
 //
 //   {
-//     "schema": 2,
+//     "schema": 3,
 //     "bench": "<name>",
 //     "git_describe": "<git describe --always --dirty>",
 //     "timestamp": "<ISO 8601 UTC>",
 //     "params": { ... fixed experiment parameters ... },
-//     "series": [ {"x": <number>, "metrics": { ... }}, ... ]
+//     "series": [ {"x": <number>, "metrics": { ... }}, ... ],
+//     "prof": { "sites": [ ... ] }        (only when profiling is enabled)
 //   }
 //
 // `x` is the sweep coordinate (n, ell, drop rate, row index...); `metrics`
 // is a flat-ish object of numbers/strings (nested objects allowed, e.g. a
 // per-phase breakdown). Schema v2 adds per-party distribution blocks
 // (obs::Ledger stats under "per_party") and "budgets" evaluation arrays to
-// the simulator-driven benches; tools/bench-diff consumes these documents
+// the simulator-driven benches; v3 adds the per-row wall/allocs metrics
+// ("wall": {ns_per_op, spread_rel, repeats} and "allocs_per_op", see
+// bench_util.hpp timed_repeats) plus the optional top-level "prof" block
+// (obs/prof.hpp). tools/bench-diff consumes these documents
 // and compares any two of them metric-by-metric. Output is byte-deterministic for a deterministic
-// benchmark apart from the `timestamp` field — the determinism guard in
+// benchmark apart from the `timestamp` and `prof` fields — both ride the
+// with_timestamp gate, and the determinism guard in
 // tests/trace_test.cpp enforces exactly that, so the perf trajectory
 // across PRs can be diffed mechanically.
 //

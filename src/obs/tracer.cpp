@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "obs/prof.hpp"
 
 namespace srds::obs {
 
@@ -280,6 +284,41 @@ Json RoundTracer::chrome_trace() const {
     }
   }
 
+  // Profiling flame track: one duration slice per hot prof site, laid out
+  // end to end in recorded-time proportion. Only present when profiling is
+  // on, so deterministic-trace comparisons (prof off) are unaffected.
+  if (prof_enabled()) {
+    bool titled = false;
+    std::uint64_t ts = 0;
+    for (std::size_t i = 0; i < kProfSiteCount; ++i) {
+      const ProfSite& site = prof_site(static_cast<ProfSiteId>(i));
+      const std::uint64_t count = site.count();
+      if (count == 0) continue;
+      if (!titled) {
+        meta(4, "thread_name", "prof");
+        titled = true;
+      }
+      Json e = Json::object();
+      e.set("name", prof_site_name(static_cast<ProfSiteId>(i)));
+      e.set("cat", "prof");
+      e.set("ph", "X");
+      e.set("ts", ts);
+      const std::uint64_t dur = std::max<std::uint64_t>(site.total_ns() / 1000, 1);
+      e.set("dur", dur);
+      e.set("pid", 1);
+      e.set("tid", 4);
+      Json args = Json::object();
+      args.set("count", count);
+      args.set("total_ns", site.total_ns());
+      args.set("mean_ns", site.total_ns() / count);
+      args.set("min_ns", site.min_ns());
+      args.set("max_ns", site.max_ns());
+      e.set("args", std::move(args));
+      events.push_back(std::move(e));
+      ts += dur;
+    }
+  }
+
   Json out = Json::object();
   out.set("traceEvents", std::move(events));
   out.set("displayTimeUnit", "ms");
@@ -287,6 +326,11 @@ Json RoundTracer::chrome_trace() const {
 }
 
 bool write_text_file(const std::string& path, const std::string& text) {
+  // CI points artifact writers (BENCH_/TRACE_/PROF_ json) at not-yet-existing
+  // directories; create missing parents instead of failing the write.
+  std::error_code ec;
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path(), ec);
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (!f) return false;
   const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();

@@ -6,6 +6,7 @@
 #include "common/serial.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
+#include "obs/prof.hpp"
 
 namespace srds {
 
@@ -98,6 +99,7 @@ bool OwfSrds::verify_base(std::uint64_t index, BytesView m, BytesView sig_raw) c
 }
 
 Bytes OwfSrds::encode(const std::vector<BaseSig>& sigs) {
+  PROF_SCOPE(obs::ProfSiteId::kSrdsSerialize);
   if (sigs.empty()) return {};
   Writer w;
   w.u8(kTagAggregate);
@@ -112,6 +114,7 @@ Bytes OwfSrds::encode(const std::vector<BaseSig>& sigs) {
 }
 
 bool OwfSrds::extract(BytesView blob, BytesView m, std::vector<BaseSig>& out) const {
+  PROF_SCOPE(obs::ProfSiteId::kSrdsDeserialize);
   Reader r(blob);
   if (r.u8() != kTagAggregate) return false;
   std::uint64_t min = r.u64();
@@ -139,6 +142,7 @@ bool OwfSrds::extract(BytesView blob, BytesView m, std::vector<BaseSig>& out) co
 }
 
 Bytes OwfSrds::sign(std::size_t i, BytesView m) {
+  PROF_SCOPE(obs::ProfSiteId::kSrdsSign);
   if (i >= entries_.size()) throw std::out_of_range("OwfSrds::sign: bad index");
   if (!finalized_) throw std::logic_error("OwfSrds::sign: keys not finalized");
   const Entry& e = entries_[i];
@@ -154,6 +158,7 @@ Bytes OwfSrds::sign(std::size_t i, BytesView m) {
 }
 
 std::vector<Bytes> OwfSrds::aggregate1(BytesView m, const std::vector<Bytes>& sigs) const {
+  PROF_SCOPE(obs::ProfSiteId::kSrdsAggregate1);
   // Deterministic filter: keep blobs that fully verify on m.
   std::vector<Bytes> kept;
   kept.reserve(sigs.size());
@@ -165,6 +170,7 @@ std::vector<Bytes> OwfSrds::aggregate1(BytesView m, const std::vector<Bytes>& si
 }
 
 Bytes OwfSrds::aggregate2(BytesView m, const std::vector<Bytes>& filtered) const {
+  PROF_SCOPE(obs::ProfSiteId::kSrdsAggregate2);
   // Concatenation: merge all base signatures, dedup by index. Invalid blobs
   // (aggregate2 trusts aggregate1, but remains safe) are skipped.
   std::vector<BaseSig> merged;
@@ -186,6 +192,7 @@ Bytes OwfSrds::aggregate2(BytesView m, const std::vector<Bytes>& filtered) const
 }
 
 bool OwfSrds::verify(BytesView m, BytesView sig) const {
+  PROF_SCOPE(obs::ProfSiteId::kSrdsVerify);
   std::vector<BaseSig> parsed;
   if (!extract(sig, m, parsed)) return false;
   return parsed.size() >= threshold_;

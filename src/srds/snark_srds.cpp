@@ -6,6 +6,7 @@
 #include "common/serial.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
+#include "obs/prof.hpp"
 
 namespace srds {
 
@@ -191,6 +192,7 @@ Bytes SnarkSrds::verification_key(std::size_t i) const {
 }
 
 Bytes SnarkSrds::make_base_signature(std::uint64_t index, const WotsKeyPair& kp, BytesView m) {
+  PROF_SCOPE(obs::ProfSiteId::kSrdsSerialize);
   Writer w;
   w.u8(kTagBase);
   w.u64(index);
@@ -201,6 +203,7 @@ Bytes SnarkSrds::make_base_signature(std::uint64_t index, const WotsKeyPair& kp,
 // srds-lint: shard-root(SnarkSrds::sign) — per-party signing entry; a
 // sharded simulator calls this concurrently across parties (rule C1).
 Bytes SnarkSrds::sign(std::size_t i, BytesView m) {
+  PROF_SCOPE(obs::ProfSiteId::kSrdsSign);
   if (i >= vks_.size()) throw std::out_of_range("SnarkSrds::sign: bad index");
   if (!finalized_) throw std::logic_error("SnarkSrds::sign: keys not finalized");
   if (params_.backend == BaseSigBackend::kWots) {
@@ -225,6 +228,7 @@ bool SnarkSrds::parse_base(BytesView blob, BytesView m, std::uint64_t& index,
 }
 
 bool SnarkSrds::parse_aggregate(BytesView blob, ParsedAggregate& out) {
+  PROF_SCOPE(obs::ProfSiteId::kSrdsDeserialize);
   Reader r(blob);
   if (r.u8() != kTagAggregate) return false;
   Bytes md = r.raw(32);
@@ -241,6 +245,7 @@ bool SnarkSrds::parse_aggregate(BytesView blob, ParsedAggregate& out) {
 }
 
 std::vector<Bytes> SnarkSrds::aggregate1(BytesView m, const std::vector<Bytes>& sigs) const {
+  PROF_SCOPE(obs::ProfSiteId::kSrdsAggregate1);
   // Validate every candidate, then keep a maximal prefix-greedy set of
   // range-disjoint blobs ordered by min index (base = [i, i]).
   struct Cand {
@@ -290,6 +295,7 @@ std::vector<Bytes> SnarkSrds::aggregate1(BytesView m, const std::vector<Bytes>& 
 }
 
 Bytes SnarkSrds::aggregate2(BytesView m, const std::vector<Bytes>& filtered) const {
+  PROF_SCOPE(obs::ProfSiteId::kSrdsAggregate2);
   if (!finalized_) throw std::logic_error("SnarkSrds::aggregate2: keys not finalized");
   Digest md = message_digest(m);
 
@@ -387,6 +393,7 @@ Bytes SnarkSrds::aggregate2(BytesView m, const std::vector<Bytes>& filtered) con
 }
 
 bool SnarkSrds::verify(BytesView m, BytesView sig) const {
+  PROF_SCOPE(obs::ProfSiteId::kSrdsVerify);
   ParsedAggregate agg;
   if (!parse_aggregate(sig, agg)) return false;
   if (agg.m_digest != message_digest(m) || agg.root != key_root_) return false;

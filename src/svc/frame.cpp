@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "obs/prof.hpp"
+
 namespace srds::svc {
 
 namespace {
@@ -16,7 +18,7 @@ Frame header_only(FrameType t, std::uint64_t session, std::uint64_t seq) {
 
 bool known_type(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         t <= static_cast<std::uint8_t>(FrameType::kError);
+         t <= static_cast<std::uint8_t>(FrameType::kStatsReply);
 }
 
 }  // namespace
@@ -81,6 +83,24 @@ Frame make_error(std::uint64_t session, std::uint64_t seq, const std::string& wh
   return f;
 }
 
+Frame make_stats(std::uint64_t session) {
+  return header_only(FrameType::kStats, session, 0);
+}
+
+Frame make_stats_reply(std::uint64_t session, const std::string& json) {
+  Frame f = header_only(FrameType::kStatsReply, session, 0);
+  Writer w;
+  w.str(json);
+  f.payload = std::move(w).take();
+  return f;
+}
+
+bool parse_stats_reply(BytesView payload, std::string& json) {
+  Reader r(payload);
+  json = r.str();
+  return r.done();
+}
+
 bool parse_decision(BytesView payload, DecisionPayload& out) {
   Reader r(payload);
   out.value = r.u8() != 0;
@@ -121,6 +141,7 @@ void FrameDecoder::feed(BytesView chunk) {
 // srds-lint: hotpath(FrameDecoder::next) — runs once per frame on the service front door; must
 // not throw or type-erase (rule P1).
 std::optional<Frame> FrameDecoder::next() {
+  PROF_SCOPE(obs::ProfSiteId::kSvcFrameDecode);
   while (!poisoned_) {
     const std::size_t avail = buf_.size() - pos_;
     if (avail < 4) return std::nullopt;
@@ -179,10 +200,15 @@ std::size_t FrameRouter::on_bytes(std::uint64_t conn, BytesView chunk) {
         handler_->on_close(conn, *f);
         ++dispatched;
         break;
+      case FrameType::kStats:
+        handler_->on_stats(conn, *f);
+        ++dispatched;
+        break;
       case FrameType::kHelloAck:
       case FrameType::kDecision:
       case FrameType::kReject:
       case FrameType::kError:
+      case FrameType::kStatsReply:
         // Server-to-client types have no business arriving at the server.
         misdirected_ += 1;
         break;

@@ -38,6 +38,9 @@ enum class FrameType : std::uint8_t {
   kReject,        // server -> client: window full; payload u32 retry_after rounds
   kClose,         // client -> server: end of session
   kError,         // server -> client: payload str diagnostic
+  kStats,         // client -> server: request a stats snapshot (empty payload)
+  kStatsReply,    // server -> client: payload str — one JSON document with
+                  //   daemon/session/ledger totals and prof sites (service.md)
 };
 
 /// Largest accepted value of the length prefix. Far above any legitimate
@@ -67,6 +70,8 @@ Frame make_decision(std::uint64_t session, std::uint64_t seq, bool value, bool a
 Frame make_reject(std::uint64_t session, std::uint64_t seq, std::uint32_t retry_after);
 Frame make_close(std::uint64_t session);
 Frame make_error(std::uint64_t session, std::uint64_t seq, const std::string& what);
+Frame make_stats(std::uint64_t session);
+Frame make_stats_reply(std::uint64_t session, const std::string& json);
 
 struct DecisionPayload {
   bool value = false;
@@ -80,6 +85,8 @@ bool parse_decision(BytesView payload, DecisionPayload& out);
 bool parse_reject(BytesView payload, std::uint32_t& retry_after);
 /// Parse a kHelloAck payload; false on malformed input.
 bool parse_hello_ack(BytesView payload, std::uint32_t& window);
+/// Parse a kStatsReply payload (the JSON text); false on malformed input.
+bool parse_stats_reply(BytesView payload, std::string& json);
 
 /// Incremental stream decoder: feed() chunks as they arrive off the wire,
 /// next() pops complete frames in order. One decoder per connection.
@@ -123,6 +130,12 @@ class FrameHandler {
   /// decision if the instance already retired.
   virtual void on_duplicate_submit(std::uint64_t conn, const Frame& f) = 0;
   virtual void on_close(std::uint64_t conn, const Frame& f) = 0;
+  /// A kStats snapshot request. Default: ignore (daemons that predate the
+  /// stats surface stay valid handlers).
+  virtual void on_stats(std::uint64_t conn, const Frame& f) {
+    (void)conn;
+    (void)f;
+  }
 };
 
 /// Demultiplexes the server side of many connections: owns one FrameDecoder

@@ -1,6 +1,7 @@
 #include "svc/pipeline.hpp"
 
 #include "common/serial.hpp"
+#include "obs/prof.hpp"
 
 namespace srds::svc {
 
@@ -21,6 +22,7 @@ std::vector<InstancePipeline::Retired> InstancePipeline::take_retired() {
 
 std::vector<Message> InstancePipeline::on_round(std::size_t round,
                                                 const std::vector<Message>& inbox) {
+  PROF_SCOPE(obs::ProfSiteId::kSvcPipelineStep);
   // Demux by instance id. Instance lookup is by linear scan over the (small,
   // bounded by the daemon's max_inflight) active set.
   std::vector<std::vector<Message>> per_slot(slots_.size());

@@ -7,6 +7,8 @@
 
 #include "ba/attack.hpp"
 #include "ba/pi_ba.hpp"
+#include "obs/alloc_hooks.hpp"
+#include "obs/prof.hpp"
 
 namespace srds::svc {
 
@@ -301,6 +303,7 @@ void BaServiceDaemon::admit_one(const QueuedAdmission& q) {
 }
 
 bool BaServiceDaemon::step() {
+  PROF_SCOPE(obs::ProfSiteId::kSvcDaemonStep);
   while (!admission_queue_.empty() && active_instances() < cfg_.max_inflight) {
     QueuedAdmission q = admission_queue_.front();
     admission_queue_.pop_front();
@@ -435,6 +438,53 @@ std::vector<obs::BudgetEval> BaServiceDaemon::audit() {
   return evals;
 }
 
+obs::Json BaServiceDaemon::stats_json() const {
+  obs::Json j = obs::Json::object();
+  obs::Json s = obs::Json::object();
+  s.set("decisions", static_cast<unsigned long long>(stats_.decisions));
+  s.set("accepted", static_cast<unsigned long long>(stats_.accepted));
+  s.set("rejected_backpressure",
+        static_cast<unsigned long long>(stats_.rejected_backpressure));
+  s.set("sessions", static_cast<unsigned long long>(stats_.sessions));
+  s.set("rounds", static_cast<unsigned long long>(stats_.rounds));
+  s.set("agreed", static_cast<unsigned long long>(stats_.agreed));
+  s.set("delivered", static_cast<unsigned long long>(stats_.delivered));
+  s.set("duplicates", static_cast<unsigned long long>(stats_.duplicates));
+  s.set("transport_malformed",
+        static_cast<unsigned long long>(stats_.transport_malformed));
+  s.set("pipeline_malformed",
+        static_cast<unsigned long long>(stats_.pipeline_malformed));
+  s.set("pipeline_stale", static_cast<unsigned long long>(stats_.pipeline_stale));
+  s.set("adaptively_corrupted",
+        static_cast<unsigned long long>(stats_.adaptively_corrupted));
+  j.set("stats", std::move(s));
+  j.set("active_instances", static_cast<unsigned long long>(active_instances()));
+  j.set("queued_admissions", static_cast<unsigned long long>(queued_admissions()));
+  j.set("sessions_opened",
+        static_cast<unsigned long long>(sessions_.sessions_opened()));
+  j.set("current_round", static_cast<unsigned long long>(sim_->current_round()));
+  if (cfg_.ledger) {
+    const obs::PartyStat ps = cfg_.ledger->stat(obs::LedgerField::kBytesTotal);
+    obs::Json l = obs::Json::object();
+    l.set("bytes_total", static_cast<unsigned long long>(ps.total));
+    l.set("bytes_max_party", static_cast<unsigned long long>(ps.max));
+    l.set("bytes_p90_party", static_cast<unsigned long long>(ps.p90));
+    j.set("ledger", std::move(l));
+  }
+  if (obs::alloc_hooks_active()) {
+    j.set("alloc_ops", static_cast<unsigned long long>(obs::alloc_ops()));
+  }
+  if (obs::prof_enabled()) {
+    j.set("prof", obs::prof_to_json());
+  }
+  return j;
+}
+
+void BaServiceDaemon::on_stats(std::uint64_t conn, const Frame& f) {
+  // Snapshot requests carry no session requirement: any connection may ask.
+  send_to_conn(conn, make_stats_reply(f.session, stats_json().dump()));
+}
+
 void BaServiceDaemon::send_frame(std::uint64_t session, const Frame& f) {
   auto it = session_conn_.find(session);
   if (it == session_conn_.end()) return;  // session's connection is gone
@@ -519,13 +569,26 @@ std::size_t ServiceClient::poll() {
         }
         break;
       }
+      case FrameType::kStatsReply: {
+        std::string json;
+        if (parse_stats_reply(f->payload, json)) {
+          last_stats_ = std::move(json);
+          ++stats_received_;
+        }
+        break;
+      }
       case FrameType::kHello:
       case FrameType::kSubmit:
       case FrameType::kClose:
+      case FrameType::kStats:
         break;  // client-bound stream should not carry these; ignore
     }
   }
   return processed;
+}
+
+void ServiceClient::request_stats() {
+  conn_->send(encode_frame(make_stats(session_)));
 }
 
 std::vector<ServiceClient::ClientDecision> ServiceClient::take_decisions() {

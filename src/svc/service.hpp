@@ -31,6 +31,7 @@
 #include "ba/runner.hpp"
 #include "common/rng.hpp"
 #include "net/simulator.hpp"
+#include "obs/json.hpp"
 #include "svc/frame.hpp"
 #include "svc/pipeline.hpp"
 #include "svc/session.hpp"
@@ -146,11 +147,18 @@ class BaServiceDaemon final : public FrameHandler {
   /// attached to backpressure rejections; total schedule length when idle).
   std::uint32_t estimate_retry_after() const;
 
+  /// The kStatsReply document (also served to on_stats requests): daemon
+  /// counters, session/instance occupancy, ledger totals when a ledger is
+  /// attached, live allocation count when the alloc hooks are linked, and
+  /// the prof sites when profiling is enabled.
+  obs::Json stats_json() const;
+
   // FrameHandler (the router calls these from poll()):
   void on_hello(std::uint64_t conn, const Frame& f) override;
   void on_submit(std::uint64_t conn, const Frame& f) override;
   void on_duplicate_submit(std::uint64_t conn, const Frame& f) override;
   void on_close(std::uint64_t conn, const Frame& f) override;
+  void on_stats(std::uint64_t conn, const Frame& f) override;
 
  private:
   struct ConnState {
@@ -243,6 +251,13 @@ class ServiceClient {
   /// Ingest server frames. Returns the number of frames processed.
   std::size_t poll();
 
+  /// Request a stats snapshot from the daemon (kStats). The reply lands in
+  /// last_stats() after a later poll().
+  void request_stats();
+  /// The most recent kStatsReply JSON text ("" until one arrives).
+  const std::string& last_stats() const { return last_stats_; }
+  std::size_t stats_received() const { return stats_received_; }
+
   struct ClientDecision {
     std::uint64_t seq = 0;
     bool bit = false;  // what was submitted
@@ -270,6 +285,8 @@ class ServiceClient {
   std::size_t decisions_received_ = 0;
   std::uint64_t rejects_ = 0;
   std::string last_error_;
+  std::string last_stats_;
+  std::size_t stats_received_ = 0;
 };
 
 }  // namespace srds::svc

@@ -215,5 +215,130 @@ TEST(BenchDiff, ReportJsonAndVolatileStrip) {
   EXPECT_EQ(back.dump(2), stripped.dump(2));
 }
 
+/// A one-row schema-3 document carrying the wall/alloc leaves the wall-mode
+/// gate consumes.
+Json make_wall_doc(double ns_per_op, double spread_rel, double allocs) {
+  Json doc = Json::object();
+  doc.set("schema", 3);
+  doc.set("bench", "micro_x");
+  Json m = Json::object();
+  m.set("name", "BM_Thing");
+  m.set("protocol", "BM_Thing");
+  m.set("deterministic_bytes", 4096);
+  Json wall = Json::object();
+  wall.set("ns_per_op", ns_per_op);
+  wall.set("spread_rel", spread_rel);
+  wall.set("repeats", 3);
+  m.set("wall", std::move(wall));
+  m.set("allocs_per_op", allocs);
+  Json row = Json::object();
+  row.set("x", 0);
+  row.set("metrics", std::move(m));
+  Json series = Json::array();
+  series.push_back(std::move(row));
+  doc.set("series", std::move(series));
+  return doc;
+}
+
+TEST(BenchDiffWall, WallLeavesOnlyFlattenInWallMode) {
+  std::vector<Sample> plain, walled;
+  ASSERT_TRUE(flatten(make_wall_doc(100, 0.05, 7), plain));
+  for (const Sample& s : plain) {
+    EXPECT_EQ(s.metric.find("wall"), std::string::npos) << s.metric;
+    EXPECT_EQ(s.metric.find("allocs"), std::string::npos) << s.metric;
+  }
+
+  FlattenOptions opt;
+  opt.include_wall = true;
+  ASSERT_TRUE(flatten(make_wall_doc(100, 0.05, 7), walled, nullptr, opt));
+  const Sample* wall = nullptr;
+  const Sample* allocs = nullptr;
+  for (const Sample& s : walled) {
+    if (s.metric == "wall.ns_per_op") wall = &s;
+    if (s.metric == "allocs_per_op") allocs = &s;
+  }
+  ASSERT_NE(wall, nullptr);
+  EXPECT_TRUE(wall->wall);
+  EXPECT_DOUBLE_EQ(wall->value, 100.0);
+  EXPECT_DOUBLE_EQ(wall->spread_rel, 0.05);
+  ASSERT_NE(allocs, nullptr);
+  EXPECT_FALSE(allocs->wall) << "alloc counts gate with the exact threshold";
+  EXPECT_DOUBLE_EQ(allocs->value, 7.0);
+  EXPECT_EQ(classify("wall.ns_per_op"), Direction::kHigherWorse);
+  EXPECT_EQ(classify("allocs_per_op"), Direction::kHigherWorse);
+}
+
+TEST(BenchDiffWall, NoiseWithinSpreadGuardPasses) {
+  FlattenOptions opt;
+  opt.include_wall = true;
+  std::vector<Sample> base, fresh;
+  // +25% median shift, but both runs measured a 10% spread: the effective
+  // gate is spread_guard(3) * 0.10 = 30%, so this is machine noise.
+  ASSERT_TRUE(flatten(make_wall_doc(100, 0.10, 7), base, nullptr, opt));
+  ASSERT_TRUE(flatten(make_wall_doc(125, 0.10, 7), fresh, nullptr, opt));
+  DiffReport r = diff(base, fresh);
+  EXPECT_FALSE(r.failed());
+  EXPECT_EQ(r.regressions, 0u);
+}
+
+TEST(BenchDiffWall, RealRegressionBeyondWallThresholdFails) {
+  FlattenOptions opt;
+  opt.include_wall = true;
+  std::vector<Sample> base, fresh;
+  // Tight spreads (1%): the gate bottoms out at wall_threshold (25%), and a
+  // 2x slowdown is unambiguous.
+  ASSERT_TRUE(flatten(make_wall_doc(100, 0.01, 7), base, nullptr, opt));
+  ASSERT_TRUE(flatten(make_wall_doc(200, 0.01, 7), fresh, nullptr, opt));
+  DiffReport r = diff(base, fresh);
+  EXPECT_TRUE(r.failed());
+  bool saw_wall = false;
+  for (const Delta& d : r.deltas) {
+    if (d.sample.metric == "wall.ns_per_op") {
+      saw_wall = true;
+      EXPECT_EQ(d.kind, Delta::Kind::kRegression);
+      EXPECT_NEAR(d.rel, 1.0, 1e-9);
+    }
+  }
+  EXPECT_TRUE(saw_wall);
+
+  // The asymmetric case: only the *larger* spread of the two runs widens
+  // the gate, so one noisy run is enough to avoid a false failure.
+  std::vector<Sample> noisy_fresh;
+  ASSERT_TRUE(flatten(make_wall_doc(200, 0.50, 7), noisy_fresh, nullptr, opt));
+  EXPECT_FALSE(diff(base, noisy_fresh).failed());
+}
+
+TEST(BenchDiffWall, AllocRegressionFailsExactly) {
+  FlattenOptions opt;
+  opt.include_wall = true;
+  std::vector<Sample> base, fresh;
+  ASSERT_TRUE(flatten(make_wall_doc(100, 0.01, 8), base, nullptr, opt));
+  ASSERT_TRUE(flatten(make_wall_doc(100, 0.01, 16), fresh, nullptr, opt));
+  DiffReport r = diff(base, fresh);
+  EXPECT_TRUE(r.failed());
+  bool saw = false;
+  for (const Delta& d : r.deltas) {
+    if (d.sample.metric == "allocs_per_op") {
+      saw = true;
+      EXPECT_EQ(d.kind, Delta::Kind::kRegression);
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(BenchDiffWall, StaleWallBaselineFails) {
+  FlattenOptions opt;
+  opt.include_wall = true;
+  std::vector<Sample> base, fresh;
+  ASSERT_TRUE(flatten(make_wall_doc(100, 0.05, 7), base, nullptr, opt));
+  // Fresh run produced no wall/alloc leaves (e.g. run without --repeats):
+  // the wall baseline entries go stale and the gate must fail rather than
+  // silently stop ratcheting timing.
+  ASSERT_TRUE(flatten(make_wall_doc(100, 0.05, 7), fresh));
+  DiffReport r = diff(base, fresh);
+  EXPECT_TRUE(r.failed());
+  EXPECT_EQ(r.stale, 2u);  // wall.ns_per_op and allocs_per_op
+}
+
 }  // namespace
 }  // namespace srds

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "json_parser.hpp"
+#include "obs/alloc_hooks.hpp"
 #include "obs/bench_args.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -268,7 +269,7 @@ TEST(Reporter, WriteCreatesMissingParentDirectories) {
   ss << in.rdbuf();
   PJson doc = testjson::parse(ss.str());
   EXPECT_EQ(doc.get("bench")->string, "nested_dir_unit");
-  EXPECT_EQ(doc.get("schema")->integer, 2);
+  EXPECT_EQ(doc.get("schema")->integer, 3);
   fs::remove_all(root);
 }
 
@@ -386,6 +387,18 @@ TEST(BenchArgs, DefaultsAndHelpers) {
   EXPECT_FALSE(args2.json_enabled());
   EXPECT_EQ(args2.sizes({8, 16}), (std::vector<std::size_t>{32}));
   EXPECT_EQ(args2.n_or(512), 32u);
+}
+
+TEST(AllocHooks, StubReportsInactiveWhenHooksAreNotLinked) {
+  // This binary does NOT link the srds_alloc_hooks OBJECT library, so the
+  // [[gnu::weak]] stubs must win: the counter pins at 0 and active() is
+  // false (tests/prof_test.cpp asserts the linked side).
+  EXPECT_FALSE(obs::alloc_hooks_active());
+  const std::uint64_t before = obs::alloc_ops();
+  std::vector<std::uint64_t> v(128, 1);
+  EXPECT_EQ(v.size(), 128u);
+  EXPECT_EQ(obs::alloc_ops(), before);
+  EXPECT_EQ(before, 0u);
 }
 
 }  // namespace

@@ -398,6 +398,91 @@ TEST(ServiceDaemon, ClosedSessionDropsQueuedSubmissions) {
   EXPECT_EQ(daemon.stats().decisions, 1u);
 }
 
+// --- kStats snapshot --------------------------------------------------------
+
+TEST(FrameCodec, StatsFramesRoundTrip) {
+  FrameDecoder dec;
+  Bytes wire = encode_frame(make_stats(42));
+  Bytes reply = encode_frame(make_stats_reply(42, "{\"stats\":{}}"));
+  wire.insert(wire.end(), reply.begin(), reply.end());
+  dec.feed(BytesView(wire.data(), wire.size()));
+
+  auto req = dec.next();
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->type, FrameType::kStats);
+  EXPECT_EQ(req->session, 42u);
+  EXPECT_TRUE(req->payload.empty());
+
+  auto rep = dec.next();
+  ASSERT_TRUE(rep.has_value());
+  EXPECT_EQ(rep->type, FrameType::kStatsReply);
+  std::string json;
+  ASSERT_TRUE(parse_stats_reply(rep->payload, json));
+  EXPECT_EQ(json, "{\"stats\":{}}");
+  EXPECT_EQ(dec.malformed(), 0u);
+}
+
+TEST(ServiceDaemon, StatsSnapshotRoundTripsMidStream) {
+  ServiceConfig cfg = small_config();
+  obs::Ledger ledger;
+  cfg.ledger = &ledger;
+  BaServiceDaemon daemon(std::move(cfg));
+  LoopbackTransport transport;
+  daemon.add_listener(transport.listener());
+
+  ServiceClient client(transport.connect());
+  client.open();
+
+  const std::size_t ell = 4;
+  std::size_t submitted = 0, received = 0;
+  bool stats_requested = false;
+  for (std::size_t iter = 0; iter < 100000 && received < ell; ++iter) {
+    client.retry();
+    while (submitted < ell && client.can_submit()) {
+      ASSERT_NE(client.submit(true), 0u);
+      ++submitted;
+    }
+    // Request the snapshot mid-stream, once the session is live and the
+    // pipeline has work in it.
+    if (!stats_requested && client.opened() && submitted >= 1) {
+      client.request_stats();
+      stats_requested = true;
+    }
+    daemon.poll();
+    daemon.step();
+    client.poll();
+    received += client.take_decisions().size();
+  }
+  ASSERT_EQ(received, ell);
+  ASSERT_TRUE(stats_requested);
+  ASSERT_GE(client.stats_received(), 1u) << "mid-stream snapshot never arrived";
+
+  // Second snapshot after the last decision: totals are now deterministic.
+  client.request_stats();
+  daemon.poll();
+  client.poll();
+  ASSERT_GE(client.stats_received(), 2u);
+
+  // The reply is one JSON document mirroring ServiceStats plus the Ledger
+  // and pipeline gauges.
+  obs::Json doc;
+  std::string err;
+  ASSERT_TRUE(obs::Json::parse(client.last_stats(), doc, &err)) << err;
+  const obs::Json* stats = doc.find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GE(stats->find("decisions")->as_uint(), 1u);
+  EXPECT_GE(stats->find("rounds")->as_uint(), 1u);
+  ASSERT_NE(doc.find("current_round"), nullptr);
+  ASSERT_NE(doc.find("sessions_opened"), nullptr);
+  EXPECT_GE(doc.find("sessions_opened")->as_uint(), 1u);
+  const obs::Json* lj = doc.find("ledger");
+  ASSERT_NE(lj, nullptr) << "cfg.ledger was set: snapshot must carry totals";
+  EXPECT_GT(lj->find("bytes_total")->as_uint(), 0u);
+
+  client.close();
+  daemon.shutdown();
+}
+
 // --- TCP transport ----------------------------------------------------------
 
 TEST(TcpTransport, LoopbackSmoke) {

@@ -8,6 +8,7 @@
 #include "ba/runner.hpp"
 #include "json_parser.hpp"
 #include "net/simulator.hpp"
+#include "obs/prof.hpp"
 #include "obs/report.hpp"
 #include "obs/tracer.hpp"
 
@@ -235,6 +236,55 @@ TEST(RoundTracer, ChromeTraceIsWellFormedJson) {
   EXPECT_EQ(counter_events, round_events);
 }
 
+TEST(RoundTracer, ChromeTraceCarriesProfTrackOnlyWhenEnabled) {
+  obs::prof_set_enabled(false);
+  obs::prof_reset();
+
+  auto trace_once = [] {
+    obs::RoundTracer tracer;
+    BaRunConfig cfg;
+    cfg.n = 64;
+    cfg.beta = 0.1;
+    cfg.seed = 11;
+    cfg.protocol = BoostProtocol::kPiBaSnark;
+    cfg.trace = &tracer;
+    run_ba(cfg);
+    return tracer.chrome_trace().dump();
+  };
+
+  auto count_prof_events = [](const std::string& json) {
+    PJson doc = testjson::parse(json);
+    std::size_t prof_events = 0;
+    for (const PJson& e : doc.get("traceEvents")->array) {
+      const PJson* cat = e.get("cat");
+      if (cat && cat->string == "prof") {
+        ++prof_events;
+        // Prof spans are full X events on their own track with the
+        // aggregate stats in args.
+        EXPECT_EQ(e.get("ph")->string, "X");
+        EXPECT_NE(e.get("ts"), nullptr);
+        EXPECT_NE(e.get("dur"), nullptr);
+        const PJson* args = e.get("args");
+        EXPECT_NE(args, nullptr);
+        if (args && args->get("count")) {
+          EXPECT_GT(args->get("count")->integer, 0);
+        }
+      }
+    }
+    return prof_events;
+  };
+
+  EXPECT_EQ(count_prof_events(trace_once()), 0u)
+      << "profiling off: the trace must not grow a prof track";
+
+  obs::prof_set_enabled(true);
+  const std::size_t with_prof = count_prof_events(trace_once());
+  obs::prof_set_enabled(false);
+  obs::prof_reset();
+  EXPECT_GT(with_prof, 0u)
+      << "a profiled pi_ba run must surface instrumented sites in the trace";
+}
+
 /// Rebuild the metrics a bench binary would report for one traced run,
 /// excluding wall-clock (the only non-deterministic tracer signal).
 obs::Json deterministic_metrics(const BaRunResult& r, const obs::RoundTracer& tracer) {
@@ -283,6 +333,16 @@ TEST(DeterminismGuard, IdenticalRunsProduceByteIdenticalReports) {
   std::string second = run_once();
   EXPECT_EQ(first, second) << "identical (seed, fault plan) runs must serialize "
                               "byte-identically apart from the timestamp";
+
+  // The profiling determinism contract (docs/observability.md): timing
+  // never enters deterministic documents, so running the same seed with
+  // profiling ON must reproduce the same bytes.
+  obs::prof_set_enabled(true);
+  std::string profiled = run_once();
+  obs::prof_set_enabled(false);
+  obs::prof_reset();
+  EXPECT_EQ(first, profiled)
+      << "enabling profiling must not change any deterministic byte";
   // Sanity: the report is parseable and carries the faulted run's data.
   PJson doc = testjson::parse(first);
   EXPECT_EQ(doc.get("bench")->string, "determinism_guard");

@@ -27,9 +27,12 @@ std::string fmt_x(double x) {
 
 /// Leaves that change run-to-run without the measured numbers changing.
 /// They never become samples — identical logical runs must diff clean.
+/// (Wall mode re-admits wall.ns_per_op and allocs_per_op explicitly, with
+/// their own noise-aware gate, rather than through this walk.)
 bool volatile_key(const std::string& key) {
-  return key == "timestamp" || key == "git_describe" || contains(key, "wall") ||
-         contains(key, "span") || ends_with(key, "_ns");
+  return key == "timestamp" || key == "git_describe" || key == "prof" ||
+         contains(key, "wall") || contains(key, "span") || contains(key, "allocs") ||
+         ends_with(key, "_ns");
 }
 
 void walk(const obs::Json& v, std::string& path, const Sample& proto,
@@ -102,13 +105,15 @@ Direction classify(const std::string& metric) {
   }
   if (contains(leaf, "bytes") || contains(leaf, "bits") || contains(leaf, "msgs") ||
       contains(leaf, "rounds") || leaf == "locality" || leaf == "violators" ||
-      leaf == "max" || leaf == "p50" || leaf == "p90" || leaf == "total") {
+      leaf == "max" || leaf == "p50" || leaf == "p90" || leaf == "total" ||
+      leaf == "ns_per_op" || leaf == "allocs_per_op") {
     return Direction::kHigherWorse;
   }
   return Direction::kInfo;
 }
 
-bool flatten(const obs::Json& doc, std::vector<Sample>& out, std::string* err) {
+bool flatten(const obs::Json& doc, std::vector<Sample>& out, std::string* err,
+             const FlattenOptions& options) {
   const obs::Json* bench = doc.find("bench");
   const obs::Json* series = doc.find("series");
   if (!bench || bench->type() != obs::Json::Type::kString || !series ||
@@ -132,6 +137,28 @@ bool flatten(const obs::Json& doc, std::vector<Sample>& out, std::string* err) {
     }
     std::string path;
     walk(*metrics, path, proto, out);
+    if (!options.include_wall) continue;
+    // Wall mode: lift the schema-3 wall/alloc leaves into gated samples,
+    // tagging the wall sample with the row's measured spread so the diff
+    // can widen the threshold on noisy rows.
+    if (const obs::Json* wall = metrics->find("wall"); wall && wall->is_object()) {
+      if (const obs::Json* ns = wall->find("ns_per_op")) {
+        Sample s = proto;
+        s.metric = "wall.ns_per_op";
+        s.value = ns->as_double(std::numeric_limits<double>::quiet_NaN());
+        s.wall = true;
+        if (const obs::Json* sp = wall->find("spread_rel")) {
+          s.spread_rel = sp->as_double(0.0);
+        }
+        if (std::isfinite(s.value)) out.push_back(std::move(s));
+      }
+    }
+    if (const obs::Json* allocs = metrics->find("allocs_per_op")) {
+      Sample s = proto;
+      s.metric = "allocs_per_op";
+      s.value = allocs->as_double(std::numeric_limits<double>::quiet_NaN());
+      if (std::isfinite(s.value)) out.push_back(std::move(s));
+    }
   }
   return true;
 }
@@ -167,11 +194,18 @@ DiffReport diff(const std::vector<Sample>& baseline, const std::vector<Sample>& 
     const double worse = d.direction == Direction::kHigherWorse  ? d.rel
                          : d.direction == Direction::kLowerWorse ? -d.rel
                                                                  : 0.0;
-    if (worse > options.threshold) {
+    double gate = options.threshold;
+    if (s.wall) {
+      // Noise-aware ratchet: a wall median must move beyond BOTH the wall
+      // threshold and a few measured spreads before it counts.
+      const double spread = std::max(s.spread_rel, it->second->spread_rel);
+      gate = std::max(options.wall_threshold, options.spread_guard * spread);
+    }
+    if (worse > gate) {
       d.kind = Delta::Kind::kRegression;
       ++report.regressions;
       bad.push_back(std::move(d));
-    } else if (worse < -options.threshold) {
+    } else if (worse < -gate) {
       d.kind = Delta::Kind::kImprovement;
       ++report.improvements;
       notable.push_back(std::move(d));
@@ -230,7 +264,7 @@ obs::Json strip_volatile(const obs::Json& doc) {
   if (!doc.is_object()) return doc;
   obs::Json out = obs::Json::object();
   for (const auto& [key, value] : doc.members()) {
-    if (key == "timestamp" || key == "git_describe") continue;
+    if (key == "timestamp" || key == "git_describe" || key == "prof") continue;
     out.set(key, value);
   }
   return out;

@@ -37,6 +37,11 @@ struct Sample {
   double x = 0;
   std::string metric;  // dotted path inside the row's "metrics" object
   double value = 0;
+  /// Wall-clock class sample (wall mode only): gated with the wall
+  /// threshold widened by the measured run-to-run spread, not the exact
+  /// deterministic threshold.
+  bool wall = false;
+  double spread_rel = 0;  // row's measured (max-min)/median across repeats
 
   /// Stable map key — x is rendered with the writer's shortest round-trip
   /// formatting so 512 and 512.0 collide as intended.
@@ -47,11 +52,21 @@ struct Sample {
 enum class Direction { kHigherWorse, kLowerWorse, kInfo };
 Direction classify(const std::string& metric);
 
+struct FlattenOptions {
+  /// Wall mode (schema 3): promote each row's wall.ns_per_op (carrying its
+  /// spread_rel) and allocs_per_op into samples so the ratchet can gate
+  /// timing and allocation costs. Off by default — wall clocks are volatile
+  /// and must never break the deterministic diff.
+  bool include_wall = false;
+};
+
 /// Flatten a parsed BENCH document into samples. Returns false (with *err)
 /// when the document lacks the expected "bench"/"series" shape. Volatile
-/// leaves (timestamp, git_describe, anything wall-clock) never become
-/// samples, so identical logical runs diff clean.
-bool flatten(const obs::Json& doc, std::vector<Sample>& out, std::string* err = nullptr);
+/// leaves (timestamp, git_describe, anything wall-clock, allocs, prof)
+/// never become samples, so identical logical runs diff clean — unless
+/// wall mode explicitly opts the wall/alloc leaves in.
+bool flatten(const obs::Json& doc, std::vector<Sample>& out, std::string* err = nullptr,
+             const FlattenOptions& options = {});
 
 struct Delta {
   enum class Kind {
@@ -71,6 +86,13 @@ struct Delta {
 struct DiffOptions {
   /// Relative change that counts as a regression/improvement (0.10 = 10%).
   double threshold = 0.10;
+  /// Wall-class samples use this (usually looser) relative threshold...
+  double wall_threshold = 0.25;
+  /// ...widened to spread_guard × the larger measured spread of the two
+  /// runs: a median shift smaller than a few spreads is machine noise, not
+  /// a regression. The effective wall threshold is
+  ///   max(wall_threshold, spread_guard * max(base.spread, fresh.spread)).
+  double spread_guard = 3.0;
 };
 
 struct DiffReport {

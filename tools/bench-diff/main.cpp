@@ -8,6 +8,12 @@
 //                           name in directory mode
 //     --threshold PCT       relative change that counts as a regression
 //                           (default 10, i.e. 10%)
+//     --wall-threshold PCT  ALSO gate wall-clock medians (wall.ns_per_op)
+//                           and allocs_per_op from schema-3 artifacts. A
+//                           wall median regresses only when it moves beyond
+//                           both this threshold and 3x the larger measured
+//                           spread of the two runs (noise-aware ratchet).
+//                           Off by default: wall clocks are volatile.
 //     --json-out FILE       write the machine-readable diff report (parent
 //                           directories are created as needed)
 //     --write-baseline      refresh the baseline from the fresh run instead
@@ -46,6 +52,8 @@ struct Options {
   std::string baseline;
   std::string fresh;
   double threshold = 0.10;
+  bool wall_mode = false;
+  double wall_threshold = 0.25;
   std::string json_out;
   bool write_baseline = false;
   bool quiet = false;
@@ -53,8 +61,8 @@ struct Options {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--threshold PCT] [--json-out FILE] [--write-baseline] "
-               "[--quiet] <baseline> <fresh>\n"
+               "usage: %s [--threshold PCT] [--wall-threshold PCT] [--json-out FILE] "
+               "[--write-baseline] [--quiet] <baseline> <fresh>\n"
                "  <baseline>/<fresh>: two BENCH_*.json files or two directories\n",
                argv0);
   return 2;
@@ -189,6 +197,10 @@ int main(int argc, char** argv) {
     if (std::strcmp(a, "--threshold") == 0) {
       opt.threshold = std::atof(value("--threshold")) / 100.0;
       if (opt.threshold < 0) return usage(argv[0]);
+    } else if (std::strcmp(a, "--wall-threshold") == 0) {
+      opt.wall_mode = true;
+      opt.wall_threshold = std::atof(value("--wall-threshold")) / 100.0;
+      if (opt.wall_threshold < 0) return usage(argv[0]);
     } else if (std::strcmp(a, "--json-out") == 0) {
       opt.json_out = value("--json-out");
     } else if (std::strcmp(a, "--write-baseline") == 0) {
@@ -262,16 +274,18 @@ int main(int argc, char** argv) {
     pairs.emplace_back(opt.baseline, opt.fresh);
   }
 
+  FlattenOptions flat_opt;
+  flat_opt.include_wall = opt.wall_mode;
   std::vector<Sample> base_samples, fresh_samples;
   for (const auto& [base_path, fresh_path] : pairs) {
     srds::obs::Json base_doc, fresh_doc;
     if (!load_doc(base_path, base_doc) || !load_doc(fresh_path, fresh_doc)) return 2;
     std::string err;
-    if (!flatten(base_doc, base_samples, &err)) {
+    if (!flatten(base_doc, base_samples, &err, flat_opt)) {
       std::fprintf(stderr, "bench-diff: %s: %s\n", base_path.c_str(), err.c_str());
       return 2;
     }
-    if (!flatten(fresh_doc, fresh_samples, &err)) {
+    if (!flatten(fresh_doc, fresh_samples, &err, flat_opt)) {
       std::fprintf(stderr, "bench-diff: %s: %s\n", fresh_path.c_str(), err.c_str());
       return 2;
     }
@@ -279,6 +293,7 @@ int main(int argc, char** argv) {
 
   DiffOptions diff_opt;
   diff_opt.threshold = opt.threshold;
+  diff_opt.wall_threshold = opt.wall_threshold;
   DiffReport report = diff(base_samples, fresh_samples, diff_opt);
   report.stale += stale_files.size();
 
@@ -295,16 +310,23 @@ int main(int argc, char** argv) {
     }
     for (const Delta& d : report.deltas) print_delta(d);
   }
+  char wall_note[64] = "";
+  if (opt.wall_mode) {
+    std::snprintf(wall_note, sizeof wall_note, ", wall %.1f%%",
+                  100.0 * opt.wall_threshold);
+  }
   std::printf("bench-diff: %zu compared, %zu regression%s, %zu stale, "
-              "%zu improvement%s, %zu new (threshold %.1f%%) -> %s\n",
+              "%zu improvement%s, %zu new (threshold %.1f%%%s) -> %s\n",
               report.compared, report.regressions, report.regressions == 1 ? "" : "s",
               report.stale, report.improvements, report.improvements == 1 ? "" : "s",
-              report.added, 100.0 * opt.threshold, report.failed() ? "FAIL" : "ok");
+              report.added, 100.0 * opt.threshold, wall_note,
+              report.failed() ? "FAIL" : "ok");
 
   if (!opt.json_out.empty()) {
     srds::obs::Json out = report.to_json();
     out.set("tool", "bench-diff");
     out.set("threshold", opt.threshold);
+    if (opt.wall_mode) out.set("wall_threshold", opt.wall_threshold);
     out.set("baseline", opt.baseline);
     out.set("fresh", opt.fresh);
     const fs::path p(opt.json_out);
